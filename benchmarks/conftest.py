@@ -1,0 +1,50 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index), saves the regenerated rows under
+``benchmarks/results/`` for inspection, and times a representative kernel
+via pytest-benchmark.
+
+Environment knobs:
+
+* ``GRACE_BENCH_FULL=1`` — run every compressor (default: the quick,
+  family-covering subset) and more epochs.  Slower, closer to the paper's
+  full grid.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_grid() -> bool:
+    return os.environ.get("GRACE_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Save a regenerated table under benchmarks/results/<name>.txt."""
+
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return save
+
+
+@pytest.fixture
+def compressor_set() -> list[str]:
+    from repro.bench.experiments._common import ALL_COMPRESSORS, QUICK_COMPRESSORS
+
+    return ALL_COMPRESSORS if full_grid() else QUICK_COMPRESSORS

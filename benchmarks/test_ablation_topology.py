@@ -1,0 +1,60 @@
+"""Ablation: collective (Allreduce) vs parameter-server aggregation.
+
+§IV-A notes GRACE's Horovod base "exclusively supports collective
+communication libraries" while the framework itself is PS-compatible.
+This bench shows why collectives are the right default: PS ingress
+serializes all workers' pushes, so its cost grows linearly with the
+worker count while ring-Allreduce stays near-constant.
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.comm import (
+    Communicator,
+    OPENMPI_TCP,
+    ParameterServerCommunicator,
+    ethernet,
+)
+
+WORKER_COUNTS = (2, 4, 8, 16)
+TENSOR_BYTES = 4 * (1 << 20)  # a 4 MiB gradient
+
+
+def iteration_seconds(communicator_cls, n_workers: int) -> float:
+    comm = communicator_cls(n_workers, ethernet(10.0), OPENMPI_TCP)
+    tensors = [np.zeros(TENSOR_BYTES // 4, dtype=np.float32)] * n_workers
+    comm.allreduce(tensors)
+    return comm.record.simulated_seconds
+
+
+def test_ablation_topology(benchmark, record):
+    def sweep():
+        rows = []
+        for n_workers in WORKER_COUNTS:
+            rows.append({
+                "workers": n_workers,
+                "collective_s": iteration_seconds(Communicator, n_workers),
+                "parameter_server_s": iteration_seconds(
+                    ParameterServerCommunicator, n_workers
+                ),
+            })
+        return rows
+
+    rows = benchmark(sweep)
+    record(
+        "ablation_topology",
+        format_table(
+            ["Workers", "Ring Allreduce (s)", "Parameter server (s)"],
+            [[r["workers"], r["collective_s"], r["parameter_server_s"]]
+             for r in rows],
+        ),
+    )
+    # PS cost grows ~linearly in workers; ring stays near-flat.
+    ps_growth = rows[-1]["parameter_server_s"] / rows[0]["parameter_server_s"]
+    ring_growth = rows[-1]["collective_s"] / rows[0]["collective_s"]
+    assert ps_growth > 3.0
+    # Ring's bandwidth term is flat in n; only the latency term grows.
+    assert ring_growth < 2.5
+    # At 16 workers PS is clearly worse.
+    assert rows[-1]["parameter_server_s"] > 2 * rows[-1]["collective_s"]

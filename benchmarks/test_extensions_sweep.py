@@ -1,0 +1,35 @@
+"""Extensions sweep: the surveyed-but-unreleased methods on the NCF panel.
+
+Runs the eight extension compressors (LPC-SVRG, variance-based,
+Sketched-SGD, Qsparse-local-SGD, 3LC, ATOMO, GradiVeQ, GradZip) through
+the same quality-vs-throughput cell as Fig. 6d, extending the paper's
+evaluation grid to the full survey of Table I.
+"""
+
+from repro.bench.experiments import fig6
+from repro.bench.experiments._common import EXTENSION_COMPRESSORS
+from benchmarks.conftest import full_grid
+
+
+def test_extensions_sweep(benchmark, record):
+    epochs = None if full_grid() else 2
+    compressors = ["none"] + EXTENSION_COMPRESSORS
+
+    def run():
+        return fig6.run_panel(
+            "ncf-movielens", compressors=compressors, n_workers=2,
+            epochs=epochs,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("extensions_ncf_sweep", fig6.format(rows))
+
+    assert len(rows) == len(compressors)
+    by_name = {r["compressor"]: r for r in rows}
+    # The cheap-wire extensions should beat the baseline's throughput on
+    # this communication-bound benchmark.
+    assert by_name["threelc"]["relative_throughput"] > 1.2
+    assert by_name["qsparse"]["relative_throughput"] > 1.2
+    # Every extension trains to something sane (hit-rate above chance).
+    for row in rows:
+        assert row["quality"] > 0.2, row["compressor"]

@@ -1,0 +1,29 @@
+"""Fig. 10: ResNet-50/ImageNet over 1 Gbps links.
+
+With the network bottleneck emphasized, many compressors obtain clear
+speedups over the no-compression baseline (relative throughput well above
+1), unlike the 10 Gbps panel (Fig. 6c).
+"""
+
+from repro.bench.experiments import fig10, fig6
+from benchmarks.conftest import full_grid
+
+
+def test_fig10_slow_network(benchmark, record, compressor_set):
+    epochs = None if full_grid() else 2
+
+    def run():
+        return fig10.run(compressors=compressor_set, n_workers=2,
+                         epochs=epochs)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("fig10_resnet50_1gbps", fig10.format(rows))
+
+    winners = [
+        r for r in rows
+        if r["compressor"] != "none" and r["relative_throughput"] > 1.0
+    ]
+    # "a large number of compressors obtain a throughput speedup".
+    assert len(winners) >= len(rows) // 2
+    best = max(r["relative_throughput"] for r in rows)
+    assert best > 3.0  # paper's Fig. 10 x-axis reaches ~5

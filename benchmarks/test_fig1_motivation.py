@@ -1,0 +1,32 @@
+"""Fig. 1: VGG16/CIFAR-10 motivation — accuracy vs epochs and wall time.
+
+Panel (a): the three methods reach comparable accuracy per epoch.
+Panel (b): under the simulated 25 Gbps clock, Randk(0.01) finishes each
+epoch faster than the baseline while 8-bit quantization is slower — the
+paper's motivating inversion.
+"""
+
+from repro.bench.experiments import fig1
+from benchmarks.conftest import full_grid
+
+
+def test_fig1_motivation(benchmark, record):
+    epochs = 6 if full_grid() else 3
+
+    def run():
+        return fig1.run(n_workers=4, epochs=epochs, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("fig1_motivation", fig1.format(rows))
+
+    by_name = {r["compressor"]: r for r in rows}
+    # Panel (b)'s ordering: randomk faster than baseline, 8-bit slower.
+    assert by_name["randomk"]["seconds_per_epoch"] < (
+        by_name["none"]["seconds_per_epoch"]
+    )
+    assert by_name["eightbit"]["seconds_per_epoch"] > (
+        by_name["none"]["seconds_per_epoch"]
+    )
+    # Panel (a): all three learn (accuracy above 4-class chance by the end).
+    for row in rows:
+        assert row["best_accuracy"] > 1.0 / 6 + 0.05, row["compressor"]

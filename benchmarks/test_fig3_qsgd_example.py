@@ -1,0 +1,60 @@
+"""Fig. 3: the paper's worked QSGD example, reproduced exactly.
+
+The figure quantizes g = [-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1,
+12.5] with s = 4 levels.  Its annotations: ‖g‖₂ = 38.0062, the element
+g = -2.22 has |g|/‖g‖₂ = 0.0584 ∈ [0, 1/4] and is rounded to magnitude
+1/4 with probability p = s·|g|/‖g‖₂ = 0.2336 (else to 0), and each
+code-word needs 3 bits (5 code-words).
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.core import create
+
+FIG3_GRADIENT = np.array(
+    [-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1, 12.5], dtype=np.float32
+)
+
+
+def test_fig3_qsgd_example(benchmark, record):
+    norm = float(np.linalg.norm(FIG3_GRADIENT))
+    # The figure's stated norm.
+    np.testing.assert_allclose(norm, 38.0062, rtol=1e-4)
+
+    compressor = create("qsgd", levels=4, seed=0)
+    assert compressor.code_bits == 3  # 5 code-words -> 3 bits (figure text)
+
+    def estimate_probability(element_index: int = 3, trials: int = 4000):
+        nonzero = 0
+        for trial in range(trials):
+            worker = create("qsgd", levels=4, seed=trial)
+            out = worker.decompress(worker.compress(FIG3_GRADIENT, "g"))
+            if out[element_index] != 0:
+                nonzero += 1
+        return nonzero / trials
+
+    probability = benchmark.pedantic(
+        estimate_probability, rounds=1, iterations=1
+    )
+    record(
+        "fig3_qsgd_example",
+        format_table(
+            ["Quantity", "Paper", "Measured"],
+            [
+                ["||g||_2", 38.0062, norm],
+                ["|g_4|/||g||_2", 0.0584, abs(FIG3_GRADIENT[3]) / norm],
+                ["P(quantized to 1/4)", 0.2336, probability],
+                ["code bits", 3, compressor.code_bits],
+            ],
+        ),
+    )
+    # p = s |g| / ||g|| = 4 * 0.0584 = 0.2336 (figure annotation).
+    np.testing.assert_allclose(probability, 0.2336, atol=0.025)
+
+    # And when the element is nonzero it equals ±||g||/4 (the code-word).
+    worker = create("qsgd", levels=4, seed=123)
+    out = worker.decompress(worker.compress(FIG3_GRADIENT, "g"))
+    nonzero = out[out != 0]
+    codes = np.abs(nonzero) * 4 / norm
+    np.testing.assert_allclose(codes, np.round(codes), atol=1e-5)

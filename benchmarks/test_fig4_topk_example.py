@@ -1,0 +1,46 @@
+"""Fig. 4: the paper's worked Top-k example, reproduced exactly.
+
+The figure sparsifies a 15-element gradient at 20%: the selected
+components are [-3.5, 4.9, 9] with (1-indexed) indices [5, 6, 13].
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.core import create
+
+FIG4_GRADIENT = np.array(
+    [-0.1, 1.2, 3, 0, -3.5, 4.9, 0.88, 0, 0, -0.7, 1, 0, 9, -0.3, 0.05],
+    dtype=np.float32,
+)
+
+
+def test_fig4_topk_example(benchmark, record):
+    compressor = create("topk", ratio=0.2, seed=0)
+
+    def run():
+        return compressor.compress(FIG4_GRADIENT, "g")
+
+    compressed = benchmark(run)
+    values, indices = compressed.payload
+    record(
+        "fig4_topk_example",
+        format_table(
+            ["Quantity", "Paper", "Measured"],
+            [
+                ["selected values", "[-3.5, 4.9, 9]", sorted(values.tolist())],
+                ["selected indices (1-based)", "[5, 6, 13]",
+                 sorted((indices + 1).tolist())],
+            ],
+        ),
+    )
+    np.testing.assert_allclose(
+        sorted(values.tolist()), [-3.5, 4.9, 9.0], rtol=1e-6
+    )
+    assert sorted((indices + 1).tolist()) == [5, 6, 13]
+
+    # Decompression fills zeros everywhere else (the figure's bottom row).
+    out = compressor.decompress(compressed)
+    expected = np.zeros(15, dtype=np.float32)
+    expected[[4, 5, 12]] = [-3.5, 4.9, 9.0]
+    np.testing.assert_allclose(out, expected, rtol=1e-6)

@@ -1,0 +1,58 @@
+"""Fig. 6: model quality vs relative throughput at 10 Gbps over TCP.
+
+One test per panel (a-f).  Each regenerates its (compressor, relative
+throughput, quality) series, records it, and asserts the paper's
+qualitative shape: compute-bound panels (a, b, f) keep every compressor
+below the baseline's throughput; communication-bound panels (c, d, e)
+show clear speedups for the high-ratio methods.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6
+from benchmarks.conftest import full_grid
+
+#: Panels where the model is compute-bound at 10 Gbps (every method < 1).
+COMPUTE_BOUND = {"a": "resnet20-cifar10", "b": "densenet40-cifar10",
+                 "f": "unet-dagm"}
+#: Panels with meaningful speedups for good compressors.
+COMM_BOUND = {"c": "resnet50-imagenet", "d": "ncf-movielens",
+              "e": "lstm-ptb"}
+
+
+@pytest.mark.parametrize("panel", sorted(COMPUTE_BOUND))
+def test_fig6_compute_bound_panel(panel, benchmark, record, compressor_set):
+    epochs = None if full_grid() else 2
+
+    def run():
+        return fig6.run_panel(
+            COMPUTE_BOUND[panel], compressors=compressor_set,
+            n_workers=2, epochs=epochs,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(f"fig6{panel}_{COMPUTE_BOUND[panel]}", fig6.format(rows))
+    for row in rows:
+        if row["compressor"] != "none":
+            assert row["relative_throughput"] < 1.0, row
+
+
+@pytest.mark.parametrize("panel", sorted(COMM_BOUND))
+def test_fig6_comm_bound_panel(panel, benchmark, record, compressor_set):
+    epochs = None if full_grid() else 2
+
+    def run():
+        return fig6.run_panel(
+            COMM_BOUND[panel], compressors=compressor_set,
+            n_workers=2, epochs=epochs,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(f"fig6{panel}_{COMM_BOUND[panel]}", fig6.format(rows))
+    by_name = {r["compressor"]: r for r in rows}
+    assert by_name["topk"]["relative_throughput"] > 1.2
+    assert by_name["efsignsgd"]["relative_throughput"] > 1.2
+    # No strong quality-throughput correlation: the fastest method is not
+    # automatically the best-quality one everywhere (paper's takeaway).
+    qualities = [r["quality"] for r in rows]
+    assert max(qualities) > min(qualities)

@@ -1,0 +1,38 @@
+"""Fig. 7: model quality vs transmitted data volume per iteration.
+
+Panels a (ResNet-50), b (LSTM/PTB) and c (NCF/MovieLens, including the
+TopK vs TopK-EF contrast the paper highlights).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig7
+from benchmarks.conftest import full_grid
+
+PANELS = {"a": "resnet50-imagenet", "b": "lstm-ptb", "c": "ncf-movielens"}
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig7_panel(panel, benchmark, record, compressor_set):
+    epochs = None if full_grid() else 2
+
+    def run():
+        return fig7.run_panel(
+            PANELS[panel], compressors=compressor_set, n_workers=2,
+            epochs=epochs,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(f"fig7{panel}_{PANELS[panel]}", fig7.format(rows))
+
+    by_name = {r["compressor"]: r for r in rows}
+    # Volume axis sanity: baseline at 1.0, every compressor below it.
+    assert by_name["none"]["relative_volume"] == pytest.approx(1.0)
+    for row in rows:
+        if row["compressor"] != "none":
+            assert row["relative_volume"] < 1.0, row
+    if panel == "c":
+        # The TopK EF split exists and shares the volume coordinate.
+        assert by_name["topk-ef"]["relative_volume"] == pytest.approx(
+            by_name["topk-no-ef"]["relative_volume"]
+        )

@@ -1,0 +1,17 @@
+"""Fig. 9: ResNet-9/CIFAR-10 absolute throughput, TCP vs RDMA."""
+
+from repro.bench.experiments import fig9
+
+
+def test_fig9_tcp_vs_rdma(benchmark, record, compressor_set):
+    rows = benchmark(lambda: fig9.run(compressors=compressor_set))
+    record("fig9_tcp_vs_rdma", fig9.format(rows))
+
+    # RDMA consistently beats TCP — the paper's uniform finding.
+    for row in rows:
+        assert row["throughput_rdma"] > row["throughput_tcp"], row
+    # Sign-family and PowerSGD sit at the fast end, threshold methods at
+    # the slow end (Fig. 9's x-axis ordering).
+    order = [r["compressor"] for r in rows]  # sorted ascending by RDMA
+    if "powersgd" in order and "thresholdv" in order:
+        assert order.index("powersgd") > order.index("thresholdv")

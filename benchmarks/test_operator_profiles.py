@@ -1,0 +1,53 @@
+"""Operator profiles: §III's Ω / δ / bias, measured for every method.
+
+Not a numbered figure in the paper, but the quantitative backing of its
+§III classification: Table I's Rand/unbiased operators must measure
+near-zero bias, and the sparsifier family must measure as
+δ-compressors.
+"""
+
+from repro.analysis import profile_compressor
+from repro.bench.report import format_table
+from repro.core import create, paper_compressors
+from benchmarks.conftest import full_grid
+
+
+def test_operator_profiles(benchmark, record):
+    trials = (48, 400) if full_grid() else (16, 120)
+
+    def sweep():
+        rows = []
+        for name in paper_compressors():
+            if name == "none":
+                continue
+            profile = profile_compressor(
+                create(name, seed=0), dim=4096,
+                omega_trials=trials[0], bias_trials=trials[1],
+            )
+            rows.append(profile)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "operator_profiles",
+        format_table(
+            ["Method", "Omega", "Delta", "Rel. bias", "Unbiased",
+             "Delta-compressor"],
+            [
+                [p.name, p.omega, p.delta, p.relative_bias,
+                 "yes" if p.unbiased else "no",
+                 "yes" if p.delta_compressor else "no"]
+                for p in rows
+            ],
+        ),
+    )
+    by_name = {p.name: p for p in rows}
+    # Unbiased per Table I's classification discussion.
+    for name in ("qsgd", "natural", "terngrad"):
+        assert by_name[name].unbiased, name
+    # "Many sparsifiers belong to this [delta-compressor] category".
+    for name in ("topk", "randomk", "dgc", "thresholdv"):
+        assert by_name[name].delta_compressor, name
+    # Biased methods measure as such.
+    for name in ("signsgd", "topk", "powersgd"):
+        assert not by_name[name].unbiased, name

@@ -1,0 +1,40 @@
+"""§V-B: the error-feedback ablation.
+
+EF improves the sparsifiers on image classification; the paper further
+observes EF *hurting* several quantizers and, exclusively on the
+recommendation task, hurting TopK — the Fig. 6d/7c callout.
+"""
+
+from repro.bench.experiments import ef_ablation
+from benchmarks.conftest import full_grid
+
+
+def test_sec5b_ef_ablation(benchmark, record):
+    cells = (
+        ef_ablation.DEFAULT_CELLS
+        if full_grid()
+        else [
+            ("resnet20-cifar10", "topk"),
+            ("resnet20-cifar10", "qsgd"),
+            ("ncf-movielens", "topk"),
+        ]
+    )
+    epochs = None if full_grid() else 3
+
+    def run():
+        return ef_ablation.run(cells=cells, n_workers=2, epochs=epochs)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("sec5b_ef_ablation", ef_ablation.format(rows))
+
+    assert len(rows) == len(cells)
+    for row in rows:
+        assert row["quality_ef_on"] == row["quality_ef_on"]  # not NaN
+        assert row["quality_ef_off"] == row["quality_ef_off"]
+    # EF helps the image-classification sparsifier cell (the paper's
+    # central EF finding) — allow equality at lite scale.
+    image_topk = next(
+        r for r in rows
+        if r["benchmark"] == "resnet20-cifar10" and r["compressor"] == "topk"
+    )
+    assert image_topk["quality_ef_on"] >= image_topk["quality_ef_off"] - 0.1

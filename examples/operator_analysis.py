@@ -1,0 +1,40 @@
+"""Empirical operator analysis — the paper's §III definitions, measured.
+
+For every implemented method this script estimates the compression
+factor Ω (E‖x − Q(x)‖² / ‖x‖²), the derived δ, and the relative bias of
+the operator, then checks the measurements against Table I's "nature"
+column: Rand operators advertised as unbiased should measure near-zero
+bias, and the sparsifiers should measure as δ-compressors.
+
+Run:  python examples/operator_analysis.py
+"""
+
+from repro.analysis import profile_compressor
+from repro.core import create, paper_compressors
+
+
+def main():
+    print(f"{'method':<12} {'omega':>8} {'delta':>8} {'rel.bias':>9} "
+          f"{'unbiased':>8} {'delta-comp':>10}")
+    print("-" * 60)
+    for name in paper_compressors():
+        if name == "none":
+            continue
+        profile = profile_compressor(
+            create(name, seed=0), dim=4096, omega_trials=24, bias_trials=150
+        )
+        print(
+            f"{name:<12} {profile.omega:>8.3f} {profile.delta:>8.3f} "
+            f"{profile.relative_bias:>9.3f} "
+            f"{'yes' if profile.unbiased else 'no':>8} "
+            f"{'yes' if profile.delta_compressor else 'no':>10}"
+        )
+    print(
+        "\nReading: delta-compressors (omega < 1) remove energy without "
+        "overshooting;\nunbiased operators pay for E[Q(x)] = x with "
+        "variance (omega can exceed 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

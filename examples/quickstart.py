@@ -1,0 +1,69 @@
+"""Quickstart: compress gradients, then train a model with compressed
+communication.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import DistributedTrainer, available_compressors, create
+from repro.datasets import make_image_classification
+from repro.metrics import top1_accuracy
+from repro.ndl import ArrayDataset, ModelTask, SGD, ShardedLoader
+from repro.ndl.losses import softmax_cross_entropy
+from repro.ndl.models import MLP
+
+
+def part_one_compress_a_gradient():
+    """The core API: compress / decompress one gradient tensor."""
+    print("== Part 1: the compressor API ==")
+    rng = np.random.default_rng(0)
+    gradient = (1e-2 * rng.standard_normal((256, 128))).astype(np.float32)
+    print(f"{'method':<12} {'wire bytes':>10} {'ratio':>7} {'rel. error':>10}")
+    for name in available_compressors():
+        compressor = create(name, seed=0)
+        compressed = compressor.compress(gradient, "layer0.weight")
+        restored = compressor.decompress(compressed)
+        error = np.linalg.norm(restored - gradient) / np.linalg.norm(gradient)
+        print(
+            f"{name:<12} {compressed.nbytes:>10} "
+            f"{compressed.nbytes / gradient.nbytes:>7.3f} {error:>10.3f}"
+        )
+
+
+def part_two_distributed_training():
+    """Algorithm 1: data-parallel training with Top-k + error feedback."""
+    print("\n== Part 2: distributed training with compression ==")
+    images, labels = make_image_classification(
+        576, image_size=8, channels=1, num_classes=4, noise=0.4, seed=0
+    )
+    train_x, train_y = images[:448], labels[:448]
+    test_x, test_y = images[448:], labels[448:]
+
+    model = MLP(in_features=64, hidden=[48], num_classes=4, seed=0)
+    task = ModelTask(
+        model,
+        SGD(model.named_parameters(), lr=0.1, momentum=0.9),
+        softmax_cross_entropy,
+    )
+    loader = ShardedLoader(
+        ArrayDataset(train_x, train_y), n_workers=4, batch_size=16, seed=0
+    )
+    trainer = DistributedTrainer(
+        task,
+        create("topk", ratio=0.05),  # residual error feedback is the default
+        n_workers=4,
+    )
+    report = trainer.train(
+        loader, epochs=5,
+        eval_fn=lambda: top1_accuracy(model, test_x, test_y),
+    )
+    print(f"epoch accuracies : {[round(q, 3) for q in report.epoch_quality]}")
+    print(f"best accuracy    : {report.best_quality:.3f}")
+    print(f"bytes/worker/iter: {report.bytes_per_worker_per_iteration:,.0f}")
+    print(f"simulated comm   : {report.sim_comm_seconds * 1e3:.1f} ms total")
+
+
+if __name__ == "__main__":
+    part_one_compress_a_gradient()
+    part_two_distributed_training()

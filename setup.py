@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools but not ``wheel``, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""GRACE reproduction: a compressed-communication framework for
+distributed machine learning (Xu et al., ICDCS 2021), rebuilt end-to-end
+on a NumPy substrate.
+
+Subpackages
+-----------
+``repro.core``
+    The GRACE framework: compressors, error-feedback memories, registry
+    and the Algorithm 1 distributed trainer.
+``repro.ndl``
+    The deep-learning toolkit substrate (autograd, layers, models,
+    optimizers, data loading).
+``repro.comm``
+    Simulated collectives, network/backend models and the parameter-
+    server topology.
+``repro.datasets``
+    Synthetic stand-ins for CIFAR/ImageNet/MovieLens/PTB/DAGM.
+``repro.metrics``
+    Table II's quality metrics and volume accounting.
+``repro.bench``
+    Benchmark suite, performance models and one experiment module per
+    paper table/figure.
+"""
+
+from repro.core import (
+    Compressor,
+    DistributedTrainer,
+    available_compressors,
+    compressor_info,
+    create,
+    paper_compressors,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Compressor",
+    "DistributedTrainer",
+    "available_compressors",
+    "compressor_info",
+    "create",
+    "paper_compressors",
+    "__version__",
+]

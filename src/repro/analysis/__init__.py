@@ -1,0 +1,25 @@
+"""Empirical compressor analysis (the paper's §III formalism).
+
+The paper defines a compressor as a random operator Q with
+``E‖x − Q(x)‖² ≤ Ω‖x‖²`` and classifies methods as δ-compressors
+(Ω = 1 − δ, δ ∈ (0, 1]) or unbiased (E Q(x) = x).  This package measures
+those quantities for any implemented method, giving the quantitative
+backing for Table I's "nature" column and §III-E's convergence
+discussion.
+"""
+
+from repro.analysis.operators import (
+    CompressorProfile,
+    estimate_bias,
+    estimate_omega,
+    is_delta_compressor,
+    profile_compressor,
+)
+
+__all__ = [
+    "CompressorProfile",
+    "estimate_bias",
+    "estimate_omega",
+    "is_delta_compressor",
+    "profile_compressor",
+]

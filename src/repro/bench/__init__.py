@@ -1,0 +1,23 @@
+"""Benchmark harness: performance models, the benchmark suite of Table II,
+and one experiment module per table/figure of the paper (see DESIGN.md's
+experiment index).
+"""
+
+from repro.bench.perf import DeviceModel, KernelCostModel, PerfModel, V100
+from repro.bench.suite import (
+    BenchmarkSpec,
+    BENCHMARKS,
+    get_benchmark,
+    paper_gradient_tensors,
+)
+
+__all__ = [
+    "DeviceModel",
+    "KernelCostModel",
+    "PerfModel",
+    "V100",
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "get_benchmark",
+    "paper_gradient_tensors",
+]

@@ -1,0 +1,27 @@
+"""One module per table/figure of the paper (see DESIGN.md's index)."""
+
+from repro.bench.experiments import (
+    table1,
+    table2,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    bandwidth,
+    ef_ablation,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "bandwidth",
+    "ef_ablation",
+]

@@ -1,0 +1,31 @@
+"""Shared constants for the experiment modules."""
+
+from __future__ import annotations
+
+from repro.core.registry import available_compressors, paper_compressors
+
+#: The paper's Table I "Implementation" set (16 methods + baseline) —
+#: what every figure/table reproduction sweeps by default.
+ALL_COMPRESSORS: list[str] = paper_compressors()
+
+#: Surveyed-but-not-released methods this reproduction adds.
+EXTENSION_COMPRESSORS: list[str] = [
+    name
+    for name in available_compressors()
+    if name not in set(ALL_COMPRESSORS)
+]
+
+#: A fast, family-covering subset used by default in CI-style runs:
+#: one quantizer of each character (deterministic sign, stochastic
+#: codebook, EF sign), two sparsifiers, one hybrid and the low-rank method.
+QUICK_COMPRESSORS: list[str] = [
+    "none",
+    "signsgd",
+    "qsgd",
+    "efsignsgd",
+    "topk",
+    "randomk",
+    "dgc",
+    "adaptive",
+    "powersgd",
+]

@@ -1,0 +1,45 @@
+"""Fig. 10: ResNet-50 / ImageNet over 1 Gbps links.
+
+The same quality-vs-relative-throughput panel as Fig. 6c but with the
+network bottleneck emphasized: at 1 Gbps, a large number of compressors
+now beat the no-compression baseline (relative throughput well above 1),
+where at 10 Gbps most sat below it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig6
+from repro.bench.report import format_table
+from repro.comm.network import ethernet
+
+
+def run(
+    compressors: list[str] | None = None,
+    n_workers: int = 4,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> list[dict]:
+    """Fig. 6c's panel at 1 Gbps."""
+    return fig6.run_panel(
+        "resnet50-imagenet",
+        compressors=compressors,
+        n_workers=n_workers,
+        seed=seed,
+        epochs=epochs,
+        network=ethernet(1.0),
+    )
+
+
+def format(rows: list[dict]) -> str:
+    """Render the experiment rows as an aligned text table."""
+    return format_table(
+        ["Compressor", "Rel. throughput @1Gbps", "Top-1 accuracy"],
+        [
+            [r["compressor"], r["relative_throughput"], r["quality"]]
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(format(run()))

@@ -1,0 +1,90 @@
+"""Fig. 8: latency of compress + decompress in isolation.
+
+The paper measures 30 repetitions per compressor on 1 MB / 10 MB /
+100 MB inputs and shows the distributions as violins.  This module
+reports both clocks:
+
+* ``simulated`` — the kernel cost model's latency at each input size
+  (the device-aware clock used in every throughput simulation, encoding
+  the §V-D findings: CPU-bound shuffle/find_bins, threshold loops,
+  sketch overheads);
+* ``measured`` — actual wall-clock of this repository's NumPy kernels
+  on the smallest input, with repetition statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.experiments._common import ALL_COMPRESSORS
+from repro.bench.perf import KernelCostModel
+from repro.bench.report import format_table
+from repro.core.registry import create
+
+#: Paper input sizes (bytes of float32 gradient).
+INPUT_SIZES_MB: tuple[int, ...] = (1, 10, 100)
+
+
+def run(
+    compressors: list[str] | None = None,
+    repetitions: int = 5,
+    measure_mb: float = 1.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Per-compressor latency rows (simulated at 1/10/100 MB + measured)."""
+    compressors = compressors if compressors is not None else ALL_COMPRESSORS
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    kernels = KernelCostModel()
+    rng = np.random.default_rng(seed)
+    measure_elements = int(measure_mb * 1024 * 1024 / 4)
+    side = int(np.sqrt(measure_elements))
+    probe = (1e-2 * rng.standard_normal((side, side))).astype(np.float32)
+    rows = []
+    for name in compressors:
+        if name == "none":
+            continue
+        simulated = {
+            f"simulated_{mb}mb": kernels.latency_seconds(
+                name, mb * 1024 * 1024 // 4
+            )
+            for mb in INPUT_SIZES_MB
+        }
+        compressor = create(name, seed=seed)
+        samples = []
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            compressed = compressor.compress(probe, "latency-probe")
+            compressor.decompress(compressed)
+            samples.append(time.perf_counter() - start)
+        rows.append(
+            {
+                "compressor": name,
+                **simulated,
+                "measured_mean_s": float(np.mean(samples)),
+                "measured_std_s": float(np.std(samples)),
+                "measured_min_s": float(np.min(samples)),
+                "measured_max_s": float(np.max(samples)),
+            }
+        )
+    rows.sort(key=lambda r: r["simulated_100mb"])
+    return rows
+
+
+def format(rows: list[dict]) -> str:
+    """Render the experiment rows as an aligned text table."""
+    return format_table(
+        ["Compressor", "Sim 1MB (s)", "Sim 10MB (s)", "Sim 100MB (s)",
+         "Measured 1MB mean (s)", "Measured std"],
+        [
+            [r["compressor"], r["simulated_1mb"], r["simulated_10mb"],
+             r["simulated_100mb"], r["measured_mean_s"], r["measured_std_s"]]
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(format(run()))

@@ -1,0 +1,70 @@
+"""Training runner shared by the quality experiments.
+
+``train_quality`` runs one (benchmark, compressor) cell of the paper's
+evaluation grid at lite scale: build the benchmark, train for its lite
+epoch budget with the GRACE trainer, and report the best witnessed model
+quality (the paper's §V-A protocol) plus the full training report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.suite import BenchmarkSpec
+from repro.core.registry import create
+from repro.core.trainer import DistributedTrainer, TrainingReport
+
+
+@dataclass
+class QualityResult:
+    """Outcome of one training cell."""
+
+    benchmark: str
+    compressor: str
+    best_quality: float
+    report: TrainingReport
+
+    def display_quality(self, spec: BenchmarkSpec) -> float:
+        """Invert the internal sign convention for lower-is-better metrics."""
+        if spec.paper.metric == "Test Perplexity":
+            return -self.best_quality
+        return self.best_quality
+
+
+def train_quality(
+    spec: BenchmarkSpec,
+    compressor_name: str,
+    n_workers: int = 4,
+    seed: int = 0,
+    epochs: int | None = None,
+    memory: str | None = None,
+    memory_params: dict | None = None,
+    compressor_params: dict | None = None,
+) -> QualityResult:
+    """Train one benchmark with one compressor; return best quality."""
+    run = spec.build(n_workers=n_workers, seed=seed,
+                     compressor_name=compressor_name)
+    compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
+    params = dict(memory_params or {})
+    if compressor_name == "efsignsgd" and memory is None and not params:
+        # §V-A: EFsignSGD runs with beta=1 and gamma = the initial LR.
+        params = {"beta": 1.0, "gamma": run.task.optimizer.lr}
+    trainer = DistributedTrainer(
+        run.task,
+        compressor,
+        n_workers=n_workers,
+        memory=memory,
+        memory_params=params,
+        seed=seed,
+    )
+    report = trainer.train(
+        run.loader,
+        epochs=epochs if epochs is not None else spec.lite_epochs,
+        eval_fn=run.eval_fn,
+    )
+    return QualityResult(
+        benchmark=spec.key,
+        compressor=compressor_name,
+        best_quality=report.best_quality,
+        report=report,
+    )

@@ -1,0 +1,218 @@
+"""Paper-scale iteration-time and throughput simulation.
+
+Combines the three cost components the paper identifies:
+
+* **compute** — forward+backward time from the calibrated device model;
+* **communication** — the baseline rides Horovod's tensor fusion (a few
+  large fused ring-Allreduce buffers), while compressed methods pay a
+  per-tensor Allgather, exactly the asymmetry GRACE's implementation has
+  (§IV-B: Allreduce cannot carry variable-size/typed payloads);
+* **compression kernels** — compress+decompress latency per tensor from
+  the kernel cost model (§V-D).
+
+Compressed byte counts are *measured*, not assumed: each compressor is
+probed on gradient-like tensors and its wire footprint extrapolated to
+the paper-scale tensor sizes.  Low-rank methods get a ``sqrt(n)`` term
+(PowerSGD sends (m+L)·r elements for an m×L tensor); everything else is
+affine in the element count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bench.perf import KernelCostModel, PerfModel
+from repro.bench.suite import BenchmarkSpec
+from repro.comm.backends import Backend, OPENMPI_TCP
+from repro.comm.cost import allgather_time, ring_allreduce_time
+from repro.comm.network import NetworkModel, ethernet
+from repro.core.api import Compressor
+from repro.core.registry import compressor_info, create
+
+#: Horovod's default fusion buffer (64 MB) — the baseline Allreduce unit.
+FUSION_BUFFER_BYTES = 64 * 1024 * 1024
+
+
+def _square_probe(n_elements: int, scale: float, rng: np.random.Generator):
+    side = int(math.isqrt(n_elements))
+    return (scale * rng.standard_normal((side, side))).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class WireFootprint:
+    """Wire-size model: bytes(n) = fixed + per_element·n + per_sqrt·√n."""
+
+    fixed_bytes: float
+    bytes_per_element: float
+    bytes_per_sqrt_element: float = 0.0
+
+    def bytes_for(self, n_elements: int) -> float:
+        """Wire bytes for a tensor of the given element count."""
+        return (
+            self.fixed_bytes
+            + self.bytes_per_element * n_elements
+            + self.bytes_per_sqrt_element * math.sqrt(n_elements)
+        )
+
+
+def measure_wire_footprint(
+    compressor: Compressor,
+    probe_elements: int = 1 << 16,
+    scale: float = 1e-2,
+    seed: int = 0,
+) -> WireFootprint:
+    """Fit the wire-size model from two square gradient-like probes.
+
+    Probe data is Gaussian with the small magnitudes typical of DNN
+    gradients, so data-dependent methods (threshold, adaptive, DGC)
+    produce representative selection counts.  Gradients are probed as
+    square matrices because low-rank methods factorize the matrix view.
+    """
+    rng = np.random.default_rng(seed)
+    small_n = probe_elements // 4
+    small = _square_probe(small_n, scale, rng)
+    large = _square_probe(probe_elements, scale, rng)
+    bytes_small = compressor.compress(small, "probe-small").nbytes
+    bytes_large = compressor.compress(large, "probe-large").nbytes
+    if compressor.family == "low-rank":
+        # bytes ≈ fixed + c·sqrt(n): fit c on the large probe.
+        per_sqrt = bytes_large / math.sqrt(large.size)
+        return WireFootprint(
+            fixed_bytes=0.0,
+            bytes_per_element=0.0,
+            bytes_per_sqrt_element=per_sqrt,
+        )
+    per_element = (bytes_large - bytes_small) / (large.size - small.size)
+    per_element = max(per_element, 0.0)
+    fixed = max(bytes_small - per_element * small.size, 0.0)
+    return WireFootprint(fixed_bytes=fixed, bytes_per_element=per_element)
+
+
+@lru_cache(maxsize=128)
+def _cached_footprint(compressor_name: str) -> WireFootprint:
+    return measure_wire_footprint(create(compressor_name, seed=0))
+
+
+@dataclass
+class IterationCost:
+    """Simulated per-iteration breakdown at paper scale."""
+
+    compute_seconds: float
+    comm_seconds: float
+    kernel_seconds: float
+    bytes_per_worker: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Compute + communication + kernel time."""
+        return self.compute_seconds + self.comm_seconds + self.kernel_seconds
+
+
+def simulate_iteration(
+    spec: BenchmarkSpec,
+    compressor_name: str,
+    n_workers: int = 8,
+    network: NetworkModel | None = None,
+    backend: Backend = OPENMPI_TCP,
+    perf: PerfModel | None = None,
+    compressor_params: dict | None = None,
+) -> IterationCost:
+    """Simulate one training iteration of ``spec`` at paper scale."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    network = network if network is not None else ethernet(10.0)
+    perf = perf if perf is not None else spec.make_perf_model()
+    kernels = KernelCostModel(perf.device)
+    if compressor_params:
+        footprint = measure_wire_footprint(
+            create(compressor_name, seed=0, **compressor_params)
+        )
+    else:
+        footprint = _cached_footprint(compressor_name)
+    strategy = compressor_info(compressor_name).cls.communication
+
+    compute = perf.compute_seconds(spec.paper.batch_per_worker)
+    sizes = spec.paper_tensor_sizes()
+    kernel_critical = 0.0
+    kernel_overlappable = 0.0
+    for size in sizes:
+        critical, overlappable = kernels.latency_breakdown(
+            compressor_name, size
+        )
+        kernel_critical += critical
+        kernel_overlappable += overlappable
+    per_tensor_bytes = [footprint.bytes_for(s) for s in sizes]
+    total_bytes = float(sum(per_tensor_bytes))
+
+    if strategy == "allreduce":
+        # Horovod fuses same-dtype dense tensors into 64 MB buffers: the
+        # whole gradient moves in ceil(total/64MB) fused Allreduce calls.
+        n_buffers = max(1, math.ceil(total_bytes / FUSION_BUFFER_BYTES))
+        chunk = total_bytes / n_buffers
+        comm = sum(
+            ring_allreduce_time(chunk, n_workers, network, backend)
+            for _ in range(n_buffers)
+        )
+    else:
+        # Compressed payloads vary in size/dtype: one Allgather per tensor.
+        comm = sum(
+            allgather_time([nbytes] * n_workers, network, backend)
+            for nbytes in per_tensor_bytes
+        )
+    # Data-independent host work (index shuffles, PCIe copies) hides
+    # under back-propagation and communication — §V-D's mitigation.
+    kernel = kernel_critical + max(
+        0.0, kernel_overlappable - (compute + comm)
+    )
+    return IterationCost(
+        compute_seconds=compute,
+        comm_seconds=comm,
+        kernel_seconds=kernel,
+        bytes_per_worker=total_bytes,
+    )
+
+
+def relative_throughput(
+    spec: BenchmarkSpec,
+    compressor_name: str,
+    n_workers: int = 8,
+    network: NetworkModel | None = None,
+    backend: Backend = OPENMPI_TCP,
+    compressor_params: dict | None = None,
+) -> float:
+    """Throughput normalized to the no-compression baseline (Fig. 6 x-axis)."""
+    baseline = simulate_iteration(
+        spec, "none", n_workers=n_workers, network=network, backend=backend
+    )
+    compressed = simulate_iteration(
+        spec,
+        compressor_name,
+        n_workers=n_workers,
+        network=network,
+        backend=backend,
+        compressor_params=compressor_params,
+    )
+    return baseline.total_seconds / compressed.total_seconds
+
+
+def relative_volume(
+    spec: BenchmarkSpec,
+    compressor_name: str,
+    compressor_params: dict | None = None,
+) -> float:
+    """Per-iteration data volume normalized to the baseline (Fig. 7 x-axis)."""
+    if compressor_params:
+        footprint = measure_wire_footprint(
+            create(compressor_name, seed=0, **compressor_params)
+        )
+    else:
+        footprint = _cached_footprint(compressor_name)
+    baseline = _cached_footprint("none")
+    sizes = spec.paper_tensor_sizes()
+    compressed = sum(footprint.bytes_for(s) for s in sizes)
+    raw = sum(baseline.bytes_for(s) for s in sizes)
+    return compressed / raw

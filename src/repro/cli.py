@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro compress --method topk --elements 65536 --param ratio=0.05
+    python -m repro train --benchmark ncf-movielens --compressor topk
+    python -m repro experiment fig6 --panels a,d
+    python -m repro experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """Parse repeated ``--param key=value`` options with literal typing."""
+    params: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = {"true": True, "false": False}.get(raw.lower(), raw)
+        params[key] = value
+    return params
+
+
+def cmd_list(args) -> int:
+    """Print Table I for every implemented method."""
+    from repro.bench.experiments import table1
+
+    print(table1.format(table1.run()))
+    return 0
+
+
+def cmd_compress(args) -> int:
+    """Compress one synthetic gradient and report the wire stats."""
+    from repro.core import create
+
+    rng = np.random.default_rng(args.seed)
+    side = int(np.sqrt(args.elements))
+    tensor = (args.scale * rng.standard_normal((side, side))).astype(
+        np.float32
+    )
+    compressor = create(args.method, seed=args.seed,
+                        **_parse_params(args.param))
+    compressed = compressor.compress(tensor, "cli")
+    restored = compressor.decompress(compressed)
+    error = np.linalg.norm(restored - tensor) / np.linalg.norm(tensor)
+    print(f"method          : {args.method}")
+    print(f"input           : {tensor.size} elements "
+          f"({tensor.nbytes:,} bytes)")
+    print(f"wire size       : {compressed.nbytes:,} bytes")
+    print(f"compression     : {compressed.nbytes / tensor.nbytes:.4f}x")
+    print(f"relative error  : {error:.4f}")
+    print(f"strategy        : {compressor.communication}")
+    print(f"default memory  : {compressor.default_memory}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    """Train one (benchmark, compressor) cell and print the report."""
+    from repro.bench.runner import train_quality
+    from repro.bench.suite import BENCHMARKS, get_benchmark
+
+    if args.benchmark not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r}; "
+            f"choose from {', '.join(sorted(BENCHMARKS))}"
+        )
+    spec = get_benchmark(args.benchmark)
+    result = train_quality(
+        spec,
+        args.compressor,
+        n_workers=args.workers,
+        seed=args.seed,
+        epochs=args.epochs,
+        compressor_params=_parse_params(args.param) or None,
+    )
+    report = result.report
+    print(f"benchmark        : {spec.key} ({spec.model_name})")
+    print(f"compressor       : {args.compressor}")
+    print(f"epochs           : {len(report.epoch_losses)}")
+    print(f"final loss       : {report.epoch_losses[-1]:.4f}")
+    print(f"best {spec.paper.metric:<12}: "
+          f"{result.display_quality(spec):.4f}")
+    print(f"bytes/worker/iter: "
+          f"{report.bytes_per_worker_per_iteration:,.0f}")
+    print(f"simulated comm   : {report.sim_comm_seconds:.3f} s")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate one of the paper's tables/figures."""
+    from repro.bench.experiments import (
+        bandwidth, ef_ablation, fig1, fig6, fig7, fig8, fig9, fig10,
+        table1, table2,
+    )
+
+    modules = {
+        "table1": table1, "table2": table2, "fig1": fig1, "fig6": fig6,
+        "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
+        "bandwidth": bandwidth, "ef": ef_ablation,
+    }
+    if args.name not in modules:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; "
+            f"choose from {', '.join(sorted(modules))}"
+        )
+    module = modules[args.name]
+    kwargs: dict = {}
+    if args.compressors:
+        kwargs["compressors"] = args.compressors.split(",")
+    if args.panels and args.name in ("fig6", "fig7"):
+        kwargs["panels"] = args.panels.split(",")
+    if args.epochs is not None and args.name in ("fig1", "fig6", "fig7",
+                                                 "fig10", "ef"):
+        kwargs["epochs"] = args.epochs
+    rows = module.run(**kwargs)
+    print(module.format(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRACE (ICDCS 2021) reproduction — compressed "
+                    "communication for distributed ML",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print Table I (all implemented methods)")
+
+    compress = sub.add_parser("compress",
+                              help="compress one gradient-like tensor")
+    compress.add_argument("--method", required=True)
+    compress.add_argument("--elements", type=int, default=1 << 16)
+    compress.add_argument("--scale", type=float, default=1e-2)
+    compress.add_argument("--seed", type=int, default=0)
+    compress.add_argument("--param", action="append", default=[],
+                          metavar="KEY=VALUE")
+
+    train = sub.add_parser("train", help="train one benchmark cell")
+    train.add_argument("--benchmark", required=True)
+    train.add_argument("--compressor", default="none")
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name")
+    experiment.add_argument("--compressors", default=None,
+                            help="comma-separated subset")
+    experiment.add_argument("--panels", default=None,
+                            help="comma-separated panels (fig6/fig7)")
+    experiment.add_argument("--epochs", type=int, default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "compress": cmd_compress,
+        "train": cmd_train,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

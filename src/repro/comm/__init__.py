@@ -1,0 +1,62 @@
+"""Simulated communication substrate.
+
+The paper runs Horovod on top of OpenMPI / NCCL / Gloo over 1, 10 and
+25 Gbps links with TCP or RDMA transports.  This package replaces that
+stack with an in-process simulation:
+
+* :mod:`repro.comm.network` — an alpha-beta link model (per-message latency
+  + per-byte bandwidth cost) with TCP/RDMA transport profiles.
+* :mod:`repro.comm.backends` — collective-library profiles (OpenMPI-, NCCL-
+  and Gloo-like), including NCCL's uniform-input-size constraint that the
+  paper calls out in §V footnote 7.
+* :mod:`repro.comm.cost` — analytical time of ring-Allreduce, Allgather and
+  Broadcast.
+* :mod:`repro.comm.collectives` — a :class:`Communicator` that performs the
+  actual data movement between simulated workers and accounts bytes and
+  simulated seconds.
+"""
+
+from repro.comm.network import NetworkModel, Transport, ethernet
+from repro.comm.backends import Backend, OPENMPI_TCP, OPENMPI_RDMA, NCCL, GLOO
+from repro.comm.cost import (
+    ring_allreduce_time,
+    allgather_time,
+    broadcast_time,
+    sparse_allreduce_time,
+)
+from repro.comm.collectives import Communicator, CommRecord
+from repro.comm.parameter_server import (
+    ParameterServerCommunicator,
+    ps_round_trip_time,
+)
+from repro.comm.gossip import (
+    GossipCommunicator,
+    Topology,
+    complete_topology,
+    random_regular_topology,
+    ring_topology,
+)
+
+__all__ = [
+    "GossipCommunicator",
+    "Topology",
+    "complete_topology",
+    "random_regular_topology",
+    "ring_topology",
+    "ParameterServerCommunicator",
+    "ps_round_trip_time",
+    "NetworkModel",
+    "Transport",
+    "ethernet",
+    "Backend",
+    "OPENMPI_TCP",
+    "OPENMPI_RDMA",
+    "NCCL",
+    "GLOO",
+    "ring_allreduce_time",
+    "allgather_time",
+    "broadcast_time",
+    "sparse_allreduce_time",
+    "Communicator",
+    "CommRecord",
+]

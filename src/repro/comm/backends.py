@@ -1,0 +1,81 @@
+"""Collective-library backend profiles.
+
+The paper observes (§V-F) that "the major performance variations are due to
+the underlying collective communication libraries".  Each profile scales
+the analytical collective cost and declares the functional constraints the
+paper relies on — most importantly NCCL's requirement that all ranks
+contribute inputs of identical size and dtype (footnote 7), which prevents
+its use with variable-size sparsified tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.network import Transport
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A Horovod-style collective backend.
+
+    Parameters
+    ----------
+    name:
+        Human-readable library name.
+    transport:
+        Default wire transport of this backend.
+    collective_efficiency:
+        Multiplier (<= 1) on the effective bandwidth during collectives;
+        models pipelining quality and progress-engine overheads.
+    per_op_overhead_s:
+        Fixed software cost per collective call (tensor fusion, negotiation).
+    requires_uniform_input:
+        True if all ranks must contribute same-size/dtype tensors (NCCL).
+    supports_sparse:
+        True if variable-size Allgather payloads are allowed.
+    """
+
+    name: str
+    transport: Transport
+    collective_efficiency: float
+    per_op_overhead_s: float
+    requires_uniform_input: bool = False
+    supports_sparse: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.collective_efficiency <= 1:
+            raise ValueError("collective_efficiency must be in (0, 1]")
+        if self.per_op_overhead_s < 0:
+            raise ValueError("per_op_overhead_s must be non-negative")
+
+
+OPENMPI_TCP = Backend(
+    name="openmpi",
+    transport=Transport.TCP,
+    collective_efficiency=0.85,
+    per_op_overhead_s=80e-6,
+)
+
+OPENMPI_RDMA = Backend(
+    name="openmpi-rdma",
+    transport=Transport.RDMA,
+    collective_efficiency=0.90,
+    per_op_overhead_s=40e-6,
+)
+
+NCCL = Backend(
+    name="nccl",
+    transport=Transport.RDMA,
+    collective_efficiency=0.97,
+    per_op_overhead_s=20e-6,
+    requires_uniform_input=True,
+    supports_sparse=False,
+)
+
+GLOO = Backend(
+    name="gloo",
+    transport=Transport.TCP,
+    collective_efficiency=0.75,
+    per_op_overhead_s=120e-6,
+)

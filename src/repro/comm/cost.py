@@ -1,0 +1,112 @@
+"""Analytical collective cost model.
+
+Standard alpha-beta estimates for the three primitives GRACE exposes:
+
+* Ring **Allreduce** over ``n`` workers of an ``m``-byte tensor moves
+  ``2 (n-1)/n * m`` bytes per link in ``2 (n-1)`` latency-bound steps.
+* Ring **Allgather** moves ``(n-1)/n`` of the total gathered payload per
+  link in ``n-1`` steps; with variable payloads the step cost is driven by
+  the largest contribution still in flight, which we upper-bound by the
+  per-step maximum contribution.
+* **Broadcast** along a binomial tree of depth ``ceil(log2 n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.comm.backends import Backend
+from repro.comm.network import NetworkModel
+
+
+def _link_rate(net: NetworkModel, backend: Backend) -> float:
+    return net.effective_bytes_per_second * backend.collective_efficiency
+
+
+def ring_allreduce_time(
+    nbytes: int | float, n_workers: int, net: NetworkModel, backend: Backend
+) -> float:
+    """Seconds for a ring Allreduce of one ``nbytes`` tensor."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if n_workers == 1:
+        return backend.per_op_overhead_s
+    steps = 2 * (n_workers - 1)
+    payload = 2.0 * (n_workers - 1) / n_workers * nbytes
+    return (
+        backend.per_op_overhead_s
+        + steps * net.message_latency_s
+        + payload / _link_rate(net, backend)
+    )
+
+
+def allgather_time(
+    payload_nbytes: Sequence[int | float],
+    net: NetworkModel,
+    backend: Backend,
+) -> float:
+    """Seconds for an Allgather where rank ``i`` contributes ``payload_nbytes[i]``."""
+    n_workers = len(payload_nbytes)
+    if n_workers < 1:
+        raise ValueError("at least one payload required")
+    if any(b < 0 for b in payload_nbytes):
+        raise ValueError("payload sizes must be non-negative")
+    if n_workers == 1:
+        return backend.per_op_overhead_s
+    steps = n_workers - 1
+    # Ring allgather: each step forwards one rank's (possibly variable-size)
+    # contribution; with unequal payloads every step is paced by the largest
+    # block travelling that step, bounded by the global maximum contribution.
+    per_step_bytes = max(payload_nbytes)
+    return (
+        backend.per_op_overhead_s
+        + steps * (net.message_latency_s + per_step_bytes / _link_rate(net, backend))
+    )
+
+
+def sparse_allreduce_time(
+    union_nbytes: int | float,
+    bitmap_nbytes: int | float,
+    n_workers: int,
+    net: NetworkModel,
+    backend: Backend,
+) -> float:
+    """Seconds for an OmniReduce-style block-sparse Allreduce.
+
+    Only the union of the workers' non-zero blocks travels the ring
+    (plus a per-worker block bitmap for coordination); zero blocks are
+    skipped entirely — the related-work §VI "sends the non-zero gradient
+    blocks" design.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if union_nbytes < 0 or bitmap_nbytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if n_workers == 1:
+        return backend.per_op_overhead_s
+    steps = 2 * (n_workers - 1)
+    payload = 2.0 * (n_workers - 1) / n_workers * union_nbytes + bitmap_nbytes
+    return (
+        backend.per_op_overhead_s
+        + steps * net.message_latency_s
+        + payload / _link_rate(net, backend)
+    )
+
+
+def broadcast_time(
+    nbytes: int | float, n_workers: int, net: NetworkModel, backend: Backend
+) -> float:
+    """Seconds for a binomial-tree Broadcast of one ``nbytes`` tensor."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if n_workers == 1:
+        return backend.per_op_overhead_s
+    depth = math.ceil(math.log2(n_workers))
+    return backend.per_op_overhead_s + depth * (
+        net.message_latency_s + nbytes / _link_rate(net, backend)
+    )

@@ -1,0 +1,81 @@
+"""Alpha-beta network model.
+
+A message of ``n`` bytes between two workers costs
+
+    ``alpha + n / effective_bandwidth``
+
+where ``alpha`` is the per-message latency and the effective bandwidth is
+the nominal link rate scaled by a transport efficiency factor.  TCP pays
+kernel/copy overheads (lower efficiency, higher latency); RDMA runs close
+to line rate — reproducing the uniform TCP < RDMA gap of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Transport(enum.Enum):
+    """Wire transport used by the collective library."""
+
+    TCP = "tcp"
+    RDMA = "rdma"
+
+
+#: Fraction of the nominal link rate each transport sustains, and the
+#: per-message latency it adds.  Calibrated so the TCP/RDMA throughput gap
+#: matches the consistent advantage the paper reports in Fig. 9.
+_TRANSPORT_EFFICIENCY = {Transport.TCP: 0.70, Transport.RDMA: 0.95}
+_TRANSPORT_LATENCY_S = {Transport.TCP: 50e-6, Transport.RDMA: 5e-6}
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point link model.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Nominal link rate in gigabits per second (1, 10 or 25 in the paper).
+    transport:
+        ``Transport.TCP`` or ``Transport.RDMA``.
+    extra_latency_s:
+        Additional fixed per-message latency (switch hops, software stack).
+    """
+
+    bandwidth_gbps: float
+    transport: Transport = Transport.TCP
+    extra_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.extra_latency_s < 0:
+            raise ValueError("extra latency must be non-negative")
+
+    @property
+    def effective_bytes_per_second(self) -> float:
+        """Sustained payload rate after transport overheads."""
+        bits = self.bandwidth_gbps * 1e9 * _TRANSPORT_EFFICIENCY[self.transport]
+        return bits / 8.0
+
+    @property
+    def message_latency_s(self) -> float:
+        """Fixed cost of sending one message (alpha term)."""
+        return _TRANSPORT_LATENCY_S[self.transport] + self.extra_latency_s
+
+    def transfer_time(self, nbytes: int | float) -> float:
+        """Time to move ``nbytes`` over one link, in seconds."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.message_latency_s + nbytes / self.effective_bytes_per_second
+
+
+def ethernet(
+    bandwidth_gbps: float, transport: Transport = Transport.TCP
+) -> NetworkModel:
+    """Convenience constructor matching the paper's testbed links."""
+    return NetworkModel(bandwidth_gbps=bandwidth_gbps, transport=transport)

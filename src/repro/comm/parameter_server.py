@@ -1,0 +1,119 @@
+"""Parameter-server communication (paper §IV-A).
+
+"Conceptually, a parameter server provides a gradient aggregation
+function equivalent to Allreduce" — but its cost structure differs from
+a collective: all workers push into the server's single ingress link
+(incast serialization) and the server fans the result back out over its
+egress link.  :class:`ParameterServerCommunicator` is a drop-in
+replacement for :class:`~repro.comm.collectives.Communicator` with those
+costs, so any GRACE trainer can run in the master-worker topology the
+paper mentions Horovod cannot provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backends import Backend, OPENMPI_TCP
+from repro.comm.collectives import Communicator, Payload, payload_nbytes
+from repro.comm.network import NetworkModel, ethernet
+
+
+def ps_round_trip_time(
+    upload_nbytes: list[float],
+    download_nbytes: list[float],
+    net: NetworkModel,
+    backend: Backend,
+) -> float:
+    """Push-then-pull time through a single parameter server.
+
+    Uploads serialize on the server's ingress link; downloads serialize
+    on its egress.  Each direction pays one message latency per worker.
+    """
+    if len(upload_nbytes) != len(download_nbytes):
+        raise ValueError("upload and download lists must align per worker")
+    if any(b < 0 for b in upload_nbytes + download_nbytes):
+        raise ValueError("byte counts must be non-negative")
+    rate = net.effective_bytes_per_second * backend.collective_efficiency
+    n_workers = len(upload_nbytes)
+    push = n_workers * net.message_latency_s + sum(upload_nbytes) / rate
+    pull = n_workers * net.message_latency_s + sum(download_nbytes) / rate
+    return backend.per_op_overhead_s + push + pull
+
+
+class ParameterServerCommunicator(Communicator):
+    """Master-worker aggregation with Communicator-compatible semantics.
+
+    * ``allreduce``: workers push their dense tensors; the server sums
+      and pushes the sum back to every worker.
+    * ``allgather``: workers push their (variable-size) payloads; the
+      server relays the full set back to every worker, which then
+      decompresses and aggregates locally exactly as in the collective
+      path — so compressed methods behave identically, only the cost
+      model changes.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        network: NetworkModel | None = None,
+        backend: Backend = OPENMPI_TCP,
+    ):
+        super().__init__(
+            n_workers,
+            network if network is not None else ethernet(10.0),
+            backend,
+        )
+
+    def allreduce(self, tensors: list[np.ndarray]) -> np.ndarray:
+        """Sum uniform tensors across ranks via the server."""
+        self._check_rank_count(tensors)
+        first = np.asarray(tensors[0])
+        for rank, tensor in enumerate(tensors[1:], start=1):
+            tensor = np.asarray(tensor)
+            if tensor.shape != first.shape or tensor.dtype != first.dtype:
+                raise ValueError(
+                    "parameter-server sum requires uniform inputs: rank 0 "
+                    f"has {first.shape}/{first.dtype}, rank {rank} has "
+                    f"{tensor.shape}/{tensor.dtype}"
+                )
+        total = np.sum(np.stack([np.asarray(t) for t in tensors]), axis=0)
+        seconds = ps_round_trip_time(
+            [float(first.nbytes)] * self.n_workers,
+            [float(first.nbytes)] * self.n_workers,
+            self.network,
+            self.backend,
+        )
+        self.record.charge(bytes_per_worker=float(first.nbytes),
+                           seconds=seconds)
+        return total
+
+    def allgather(self, payloads: list[Payload]) -> list[Payload]:
+        """Relay every rank's payload through the server."""
+        self._check_rank_count(payloads)
+        sizes = [float(payload_nbytes(p)) for p in payloads]
+        relay = float(sum(sizes))
+        seconds = ps_round_trip_time(
+            sizes, [relay] * self.n_workers, self.network, self.backend
+        )
+        mean_contribution = float(np.mean(sizes)) if sizes else 0.0
+        self.record.charge(bytes_per_worker=mean_contribution,
+                           seconds=seconds)
+        return [list(p) for p in payloads]
+
+    def broadcast(self, payload: Payload, root: int = 0) -> list[Payload]:
+        """Send one payload from root to all ranks via the server."""
+        if not 0 <= root < self.n_workers:
+            raise ValueError(
+                f"root {root} out of range for {self.n_workers} ranks"
+            )
+        nbytes = float(payload_nbytes(payload))
+        seconds = ps_round_trip_time(
+            [nbytes] + [0.0] * (self.n_workers - 1),
+            [nbytes] * self.n_workers,
+            self.network,
+            self.backend,
+        )
+        self.record.charge(bytes_per_worker=nbytes / self.n_workers,
+                           seconds=seconds)
+        return [list(payload) for _ in range(self.n_workers)]

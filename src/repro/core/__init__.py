@@ -1,0 +1,49 @@
+"""GRACE core: the unified compressed-communication framework (§IV).
+
+Public surface:
+
+* :class:`~repro.core.api.Compressor` — ``compress`` (Q) / ``decompress``
+  (Q⁻¹) / ``aggregate`` (Agg) with an opaque ``ctx``.
+* :class:`~repro.core.api.Memory` — ``compensate`` (φ) / ``update`` (ψ),
+  with the Eq. 4 residual memory and the DGC momentum-correction memory.
+* :func:`~repro.core.registry.create` — instantiate any of the 16
+  implemented compressors (plus the no-compression baseline) by name.
+* :class:`~repro.core.trainer.DistributedTrainer` — Algorithm 1, the
+  distributed training loop with compressed communication.
+"""
+
+from repro.core.api import Compressor, Memory, CompressedTensor
+from repro.core.memory import NoneMemory, ResidualMemory, DgcMemory, make_memory
+from repro.core.registry import (
+    available_compressors,
+    compressor_info,
+    create,
+    paper_compressors,
+    register,
+    CompressorInfo,
+)
+from repro.core.trainer import DistributedTrainer, TrainingReport
+from repro.core.decentralized import DecentralizedReport, DecentralizedTrainer
+from repro.core.local_sgd import LocalSGDReport, LocalSGDTrainer
+
+__all__ = [
+    "DecentralizedReport",
+    "DecentralizedTrainer",
+    "LocalSGDReport",
+    "LocalSGDTrainer",
+    "Compressor",
+    "Memory",
+    "CompressedTensor",
+    "NoneMemory",
+    "ResidualMemory",
+    "DgcMemory",
+    "make_memory",
+    "available_compressors",
+    "compressor_info",
+    "create",
+    "paper_compressors",
+    "register",
+    "CompressorInfo",
+    "DistributedTrainer",
+    "TrainingReport",
+]

@@ -1,0 +1,144 @@
+"""The GRACE programming interface (§IV-B).
+
+A compression method is written exactly as in the paper::
+
+    compress : tensor, name -> [comp], ctx
+    decompress : [comp], ctx -> tensor
+
+``ctx`` is an opaque object carrying whatever metadata decompression needs
+that is *already known to the receiver* (original shape, dtype, tuning
+constants).  Anything the receiver cannot know — scales, norms, means,
+indices — must travel inside the payload so the accounted data volume is
+honest.
+
+``aggregate`` (the paper's Agg) combines per-worker decompressed tensors
+for Allgather/Broadcast-style methods; Allreduce-style methods sum on the
+wire and divide by ``n`` afterwards (Algorithm 1, lines 8–13).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+Payload = list[np.ndarray]
+Context = Any
+
+
+@dataclass
+class CompressedTensor:
+    """One tensor's compressed representation, as produced by ``compress``.
+
+    Attributes
+    ----------
+    payload:
+        The arrays that actually cross the network.
+    ctx:
+        Opaque decompression metadata (not transmitted).
+    """
+
+    payload: Payload
+    ctx: Context
+
+    @property
+    def nbytes(self) -> int:
+        """On-wire size of this compressed tensor."""
+        return int(sum(int(np.asarray(part).nbytes) for part in self.payload))
+
+
+class Compressor(abc.ABC):
+    """Base class for all compression operators Q.
+
+    Subclasses set the class attributes describing Table I's columns and
+    implement :meth:`compress` / :meth:`decompress`.
+
+    Class attributes
+    ----------------
+    name:
+        Registry name.
+    family:
+        One of ``"none"``, ``"quantization"``, ``"sparsification"``,
+        ``"hybrid"``, ``"low-rank"``.
+    stochastic:
+        Nature of Q: True for random operators, False for deterministic.
+    communication:
+        ``"allreduce"``, ``"allgather"`` or ``"broadcast"`` — the strategy
+        Algorithm 1 selects on.
+    default_memory:
+        Memory (error-feedback) used when the method's Table I row has
+        EF-On: ``"none"``, ``"residual"`` or ``"dgc"``.
+    """
+
+    name: str = "abstract"
+    family: str = "none"
+    stochastic: bool = False
+    communication: str = "allgather"
+    default_memory: str = "none"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    # -- the two methods every new compression method must implement --------
+
+    @abc.abstractmethod
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q to ``tensor``; returns payload + ctx."""
+
+    @abc.abstractmethod
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q⁻¹; returns a tensor with the original shape and dtype."""
+
+    # -- defaults the framework provides -------------------------------------
+
+    def aggregate(self, tensors: list[np.ndarray]) -> np.ndarray:
+        """Combine per-worker decompressed tensors (default: mean)."""
+        if not tensors:
+            raise ValueError("nothing to aggregate")
+        return np.mean(np.stack(tensors), axis=0)
+
+    def reseed(self, seed: int) -> None:
+        """Replace the compressor's random stream (per-worker seeding)."""
+        self._rng = np.random.default_rng(seed)
+
+    def clone(self, seed: int) -> "Compressor":
+        """A fresh instance with independent state, for one worker.
+
+        Subclasses with constructor parameters must override
+        :meth:`_clone_args` so the clone is configured identically.
+        """
+        instance = type(self)(**self._clone_args())
+        instance.reseed(seed)
+        return instance
+
+    def _clone_args(self) -> dict[str, Any]:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Memory(abc.ABC):
+    """Error-feedback memory: φ (compensate) and ψ (update) of Algorithm 1."""
+
+    @abc.abstractmethod
+    def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
+        """φ(mᵏ, gᵏ): combine the local gradient with the stored memory."""
+
+    @abc.abstractmethod
+    def update(
+        self,
+        compensated: np.ndarray,
+        name: str,
+        compressor: Compressor,
+        compressed: CompressedTensor,
+    ) -> None:
+        """ψ(mᵏ, gᵏ, g̃ᵏ): fold this iteration's compression error back in."""
+
+
+def flatten_with_shape(tensor: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Common preamble: view a gradient as rank-1 plus its original shape."""
+    array = np.asarray(tensor)
+    return np.ravel(array).astype(np.float32), array.shape

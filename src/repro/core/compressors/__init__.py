@@ -1,0 +1,62 @@
+"""The 16 compression methods of Table I, plus the no-compression baseline.
+
+Every module hosts one compressor class; :mod:`repro.core.registry` wires
+them to names.
+"""
+
+from repro.core.compressors.none import NoneCompressor
+from repro.core.compressors.signsgd import SignSGDCompressor
+from repro.core.compressors.signum import SignumCompressor
+from repro.core.compressors.efsignsgd import EFSignSGDCompressor
+from repro.core.compressors.onebit import OneBitCompressor
+from repro.core.compressors.qsgd import QSGDCompressor
+from repro.core.compressors.terngrad import TernGradCompressor
+from repro.core.compressors.natural import NaturalCompressor
+from repro.core.compressors.eightbit import EightBitCompressor
+from repro.core.compressors.inceptionn import InceptionnCompressor
+from repro.core.compressors.topk import TopKCompressor
+from repro.core.compressors.randomk import RandomKCompressor
+from repro.core.compressors.thresholdv import ThresholdCompressor
+from repro.core.compressors.dgc import DgcCompressor
+from repro.core.compressors.adaptive import AdaptiveThresholdCompressor
+from repro.core.compressors.sketchml import SketchMLCompressor
+from repro.core.compressors.powersgd import PowerSGDCompressor
+
+# Extensions: surveyed in Table I but not implemented in the paper's
+# release; built here on the same API.
+from repro.core.compressors.lpcsvrg import LPCSVRGCompressor
+from repro.core.compressors.variance import VarianceSparsifier
+from repro.core.compressors.sketchsgd import SketchedSGDCompressor
+from repro.core.compressors.qsparse import QsparseLocalSGDCompressor
+from repro.core.compressors.threelc import ThreeLCCompressor
+from repro.core.compressors.atomo import AtomoCompressor
+from repro.core.compressors.gradiveq import GradiVeQCompressor
+from repro.core.compressors.gradzip import GradZipCompressor
+
+__all__ = [
+    "LPCSVRGCompressor",
+    "VarianceSparsifier",
+    "SketchedSGDCompressor",
+    "QsparseLocalSGDCompressor",
+    "ThreeLCCompressor",
+    "AtomoCompressor",
+    "GradiVeQCompressor",
+    "GradZipCompressor",
+    "NoneCompressor",
+    "SignSGDCompressor",
+    "SignumCompressor",
+    "EFSignSGDCompressor",
+    "OneBitCompressor",
+    "QSGDCompressor",
+    "TernGradCompressor",
+    "NaturalCompressor",
+    "EightBitCompressor",
+    "InceptionnCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "ThresholdCompressor",
+    "DgcCompressor",
+    "AdaptiveThresholdCompressor",
+    "SketchMLCompressor",
+    "PowerSGDCompressor",
+]

@@ -1,0 +1,78 @@
+"""Spectral ATOMO (Wang et al., NeurIPS 2018).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  The gradient matrix's atomic decomposition is
+its SVD: ``M = Σ_i σ_i u_i v_iᵀ``.  Each singular triple is kept with
+probability ``p_i`` from the variance-minimizing meta-optimization
+(water-filling on the singular values with sparsity budget ``s``), and
+kept atoms are scaled by ``1/p_i`` — an unbiased low-rank estimator.
+Remark 1 of the paper notes QSGD and TernGrad are recovered from ATOMO
+under the standard basis; the SVD basis is the "spectral" variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.compressors.powersgd import _matrix_view
+from repro.core.compressors.variance import selection_probabilities
+
+
+class AtomoCompressor(Compressor):
+    """Unbiased spectral sampling with a sparsity budget."""
+
+    name = "atomo"
+    family = "low-rank"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "none"
+
+    def __init__(self, budget: int = 2, min_compress_size: int = 1024,
+                 seed: int = 0):
+        super().__init__(seed=seed)
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.budget = int(budget)
+        self.min_compress_size = int(min_compress_size)
+
+    def _clone_args(self) -> dict:
+        return {
+            "budget": self.budget,
+            "min_compress_size": self.min_compress_size,
+        }
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        if flat.size < self.min_compress_size:
+            return CompressedTensor(
+                payload=[flat.astype(np.float32)],
+                ctx=(shape, flat.size, False),
+            )
+        matrix = _matrix_view(flat, shape)
+        u, sigma, vt = np.linalg.svd(
+            matrix.astype(np.float64), full_matrices=False
+        )
+        probabilities = selection_probabilities(sigma, self.budget)
+        keep = np.flatnonzero(self._rng.random(size=sigma.size) < probabilities)
+        if keep.size == 0:
+            keep = np.array([0])
+        scaled_sigma = sigma[keep] / probabilities[keep]
+        payload = [
+            u[:, keep].astype(np.float32),
+            scaled_sigma.astype(np.float32),
+            vt[keep, :].astype(np.float32),
+        ]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size, True))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, was_compressed = compressed.ctx
+        if not was_compressed:
+            return compressed.payload[0].reshape(shape)
+        u, sigma, vt = compressed.payload
+        matrix = (u.astype(np.float64) * sigma.astype(np.float64)) @ vt.astype(
+            np.float64
+        )
+        return matrix.astype(np.float32).reshape(shape)

@@ -1,0 +1,99 @@
+"""Deep Gradient Compression (Lin et al., ICLR 2018).
+
+The momentum-correction memory (:class:`repro.core.memory.DgcMemory`)
+holds the ``u``/``v`` buffers; this compressor implements the selection:
+a sampled estimate of the top-``ratio`` magnitude threshold, then a
+refinement loop that tightens the threshold toward the target count —
+the loop the paper's §V-D profiling found expensive.  ``max_adjust_iters=1``
+reproduces the ≈2× faster single-iteration variant discussed there.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import desparsify
+
+
+class DgcCompressor(Compressor):
+    """Sampled top-ratio threshold selection with momentum-corrected memory."""
+
+    name = "dgc"
+    family = "sparsification"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "dgc"
+
+    def __init__(
+        self,
+        ratio: float = 0.01,
+        sample_fraction: float = 0.01,
+        max_adjust_iters: int = 10,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if not 0 < sample_fraction <= 1:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {sample_fraction}"
+            )
+        if max_adjust_iters < 1:
+            raise ValueError("max_adjust_iters must be >= 1")
+        self.ratio = float(ratio)
+        self.sample_fraction = float(sample_fraction)
+        self.max_adjust_iters = int(max_adjust_iters)
+
+    def _clone_args(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "sample_fraction": self.sample_fraction,
+            "max_adjust_iters": self.max_adjust_iters,
+        }
+
+    def _estimate_threshold(self, magnitudes: np.ndarray, k: int) -> float:
+        """Sampled threshold, refined until the selected count is near k."""
+        d = magnitudes.size
+        sample_size = max(1, int(self.sample_fraction * d))
+        sample = magnitudes[
+            self._rng.choice(d, size=min(sample_size, d), replace=False)
+        ]
+        quantile = 1.0 - k / d
+        threshold = float(np.quantile(sample, quantile)) if sample.size else 0.0
+        for _ in range(self.max_adjust_iters - 1):
+            selected = int(np.count_nonzero(magnitudes > threshold))
+            if 0.75 * k <= selected <= 1.5 * k:
+                break
+            if selected > 1.5 * k:
+                threshold *= 1.3
+            else:
+                threshold *= 0.7
+        return threshold
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        k = max(1, math.ceil(self.ratio * flat.size))
+        magnitudes = np.abs(flat)
+        threshold = self._estimate_threshold(magnitudes, k)
+        indices = np.flatnonzero(magnitudes > threshold)
+        if indices.size == 0:
+            indices = np.array([int(np.argmax(magnitudes))], dtype=np.int64)
+        payload = [
+            flat[indices].astype(np.float32),
+            indices.astype(np.int32),
+        ]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        values, indices = compressed.payload
+        return desparsify(values, indices.astype(np.int64), size).reshape(shape)
+
+    def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
+        """Flat indices sent on the wire (required by DgcMemory masking)."""
+        return compressed.payload[1].astype(np.int64)

@@ -1,0 +1,36 @@
+"""8-bit quantization (Dettmers, ICLR 2016).
+
+Each float32 element maps to 8 bits — 1 sign, 3 exponent and 4 mantissa
+bits — after normalizing by the tensor's max magnitude (the dynamic
+scheme).  The scale travels with the codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import dequantize_float8, quantize_float8
+
+
+class EightBitCompressor(Compressor):
+    """Dynamic 1-3-4 float8 quantization."""
+
+    name = "eightbit"
+    family = "quantization"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        codes, scale = quantize_float8(flat)
+        payload = [codes, np.array([scale], dtype=np.float32)]
+        return CompressedTensor(payload=payload, ctx=(shape,))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        (shape,) = compressed.ctx
+        codes, scale = compressed.payload
+        return dequantize_float8(codes, float(scale[0])).reshape(shape)

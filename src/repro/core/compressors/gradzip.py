@@ -1,0 +1,94 @@
+"""GradZip (Cho et al., NeurIPS 2019 workshop).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  Low-rank factorization ``M ≈ P Rᵀ`` fit by a
+few alternating-least-squares steps with a Frobenius regularizer
+``λ(‖P‖²_F + ‖R‖²_F)`` — the alternating-direction scheme the paper
+describes — warm-started from the previous iteration's factors, with
+error feedback on by default (the factorization is biased).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.compressors.powersgd import _matrix_view
+
+
+class GradZipCompressor(Compressor):
+    """Regularized alternating-least-squares low-rank factorization."""
+
+    name = "gradzip"
+    family = "low-rank"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(
+        self,
+        rank: int = 1,
+        als_iterations: int = 2,
+        regularization: float = 1e-6,
+        min_compress_size: int = 1024,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        if als_iterations < 1:
+            raise ValueError("als_iterations must be >= 1")
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.rank = int(rank)
+        self.als_iterations = int(als_iterations)
+        self.regularization = float(regularization)
+        self.min_compress_size = int(min_compress_size)
+        self._r_memory: dict[str, np.ndarray] = {}
+
+    def _clone_args(self) -> dict:
+        return {
+            "rank": self.rank,
+            "als_iterations": self.als_iterations,
+            "regularization": self.regularization,
+            "min_compress_size": self.min_compress_size,
+        }
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        if flat.size < self.min_compress_size:
+            return CompressedTensor(
+                payload=[flat.astype(np.float32)],
+                ctx=(shape, flat.size, False),
+            )
+        matrix = _matrix_view(flat, shape).astype(np.float64)
+        m, length = matrix.shape
+        rank = min(self.rank, m, length)
+        r_factor = self._r_memory.get(name)
+        if r_factor is None or r_factor.shape != (length, rank):
+            start_rng = np.random.default_rng(abs(hash(name)) % (2**32))
+            r_factor = start_rng.standard_normal((length, rank))
+        eye = self.regularization * np.eye(rank)
+        p_factor = np.zeros((m, rank))
+        for _ in range(self.als_iterations):
+            # P-step: min ||M - P R^T||^2 + lambda ||P||^2.
+            p_factor = matrix @ r_factor @ np.linalg.inv(
+                r_factor.T @ r_factor + eye
+            )
+            # R-step: symmetric update.
+            r_factor = matrix.T @ p_factor @ np.linalg.inv(
+                p_factor.T @ p_factor + eye
+            )
+        self._r_memory[name] = r_factor
+        payload = [p_factor.astype(np.float32), r_factor.astype(np.float32)]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size, True))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, was_compressed = compressed.ctx
+        if not was_compressed:
+            return compressed.payload[0].reshape(shape)
+        p_factor, r_factor = compressed.payload
+        matrix = p_factor.astype(np.float64) @ r_factor.astype(np.float64).T
+        return matrix.astype(np.float32).reshape(shape)

@@ -1,0 +1,53 @@
+"""Natural compression (Horvath et al., 2019).
+
+Stochastically rounds each element to one of the two nearest integer
+powers of two, with probabilities that make the operator unbiased.  The
+wire format is one sign bit plus an 8-bit exponent per element (a
+sentinel exponent encodes exact zero), i.e. 9 bits/element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import pack_signs, stochastic_power_of_two, unpack_signs
+
+_EXP_BIAS = 127
+_ZERO_SENTINEL = 255
+
+
+class NaturalCompressor(Compressor):
+    """Unbiased power-of-two rounding with 9-bit wire format."""
+
+    name = "natural"
+    family = "quantization"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "residual"
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        rounded = stochastic_power_of_two(flat, rng=self._rng)
+        exponents = np.full(flat.size, _ZERO_SENTINEL, dtype=np.uint8)
+        nonzero = rounded != 0
+        if np.any(nonzero):
+            raw_exp = np.log2(np.abs(rounded[nonzero]))
+            exponents[nonzero] = np.clip(
+                np.rint(raw_exp) + _EXP_BIAS, 0, _ZERO_SENTINEL - 1
+            ).astype(np.uint8)
+        payload = [pack_signs(rounded), exponents]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        packed_signs, exponents = compressed.payload
+        signs = unpack_signs(packed_signs, size)
+        values = np.zeros(size, dtype=np.float32)
+        nonzero = exponents != _ZERO_SENTINEL
+        values[nonzero] = np.exp2(
+            exponents[nonzero].astype(np.float64) - _EXP_BIAS
+        ).astype(np.float32)
+        return (signs * values).reshape(shape)

@@ -1,0 +1,27 @@
+"""No-compression baseline: the identity operator over Allreduce."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor
+
+
+class NoneCompressor(Compressor):
+    """Transmit the raw float32 gradient; aggregate by summation."""
+
+    name = "none"
+    family = "none"
+    stochastic = False
+    communication = "allreduce"
+    default_memory = "none"
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        array = np.asarray(tensor, dtype=np.float32)
+        return CompressedTensor(payload=[array], ctx=(array.shape,))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        (shape,) = compressed.ctx
+        return np.asarray(compressed.payload[0], dtype=np.float32).reshape(shape)

@@ -1,0 +1,54 @@
+"""1-bit SGD (Seide et al., INTERSPEECH 2014).
+
+Elements below a threshold τ (0 by default) are encoded as '0', the rest
+as '1'.  Decoding maps '0' to the mean of the negative values and '1' to
+the mean of the non-negative values of the local gradient — so the two
+means travel with the bit vector.  The original paper introduced the
+residual memory mechanism, which is this compressor's default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import pack_bits, unpack_bits
+
+
+class OneBitCompressor(Compressor):
+    """Threshold sign quantization with per-side mean reconstruction."""
+
+    name = "onebit"
+    family = "quantization"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(self, threshold: float = 0.0, seed: int = 0):
+        super().__init__(seed=seed)
+        self.threshold = float(threshold)
+
+    def _clone_args(self) -> dict:
+        return {"threshold": self.threshold}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        high = flat >= self.threshold
+        high_values = flat[high]
+        low_values = flat[~high]
+        mean_high = np.float32(high_values.mean()) if high_values.size else np.float32(0.0)
+        mean_low = np.float32(low_values.mean()) if low_values.size else np.float32(0.0)
+        payload = [
+            pack_bits(high.astype(np.uint8), bits=1),
+            np.array([mean_low, mean_high], dtype=np.float32),
+        ]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        packed, means = compressed.payload
+        bits = unpack_bits(packed, bits=1, count=size)
+        values = np.where(bits > 0, means[1], means[0]).astype(np.float32)
+        return values.reshape(shape)

@@ -1,0 +1,86 @@
+"""PowerSGD (Vogels et al., NeurIPS 2019).
+
+Low-rank compression by a single step of subspace (power) iteration:
+the gradient, viewed as an m×L matrix M, is factorized into P ∈ R^{m×r}
+and Q ∈ R^{L×r} with ``P = M Q_prev`` (orthonormalized) and
+``Q = Mᵀ P``.  The per-tensor Q factor is reused across iterations
+(warm start), which is what makes one iteration sufficient.  The scheme
+is biased, so error feedback is on by default (Table I).
+
+Tensors with fewer than ``min_compress_size`` elements — biases, norms —
+are sent uncompressed, as the reference implementation does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+
+
+def _orthonormalize(matrix: np.ndarray) -> np.ndarray:
+    """Gram-Schmidt orthonormalization of the columns (in float64)."""
+    q, _ = np.linalg.qr(matrix.astype(np.float64))
+    return q
+
+
+def _matrix_view(flat: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """View an arbitrary-rank gradient as a 2-D matrix (paper's Fig. 5)."""
+    if len(shape) <= 1:
+        return flat.reshape(1, -1)
+    rows = shape[0]
+    return flat.reshape(rows, -1)
+
+
+class PowerSGDCompressor(Compressor):
+    """Rank-r power-iteration factorization with warm-started Q."""
+
+    name = "powersgd"
+    family = "low-rank"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(self, rank: int = 1, min_compress_size: int = 1024, seed: int = 0):
+        super().__init__(seed=seed)
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = int(rank)
+        self.min_compress_size = int(min_compress_size)
+        self._q_memory: dict[str, np.ndarray] = {}
+
+    def _clone_args(self) -> dict:
+        return {"rank": self.rank, "min_compress_size": self.min_compress_size}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        if flat.size < self.min_compress_size:
+            return CompressedTensor(
+                payload=[flat.astype(np.float32)], ctx=(shape, flat.size, False)
+            )
+        matrix = _matrix_view(flat, shape)
+        m, length = matrix.shape
+        rank = min(self.rank, m, length)
+        q_prev = self._q_memory.get(name)
+        if q_prev is None or q_prev.shape != (length, rank):
+            # All workers construct the same deterministic start so their Q
+            # factors stay synchronized, as the reference implementation's
+            # shared seed does.
+            start_rng = np.random.default_rng(abs(hash(name)) % (2**32))
+            q_prev = _orthonormalize(start_rng.standard_normal((length, rank)))
+        p = matrix @ q_prev
+        p = _orthonormalize(p)
+        q = matrix.T @ p
+        self._q_memory[name] = _orthonormalize(q)
+        payload = [p.astype(np.float32), q.astype(np.float32)]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size, True))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, was_compressed = compressed.ctx
+        if not was_compressed:
+            return compressed.payload[0].reshape(shape)
+        p, q = compressed.payload
+        matrix = p.astype(np.float64) @ q.astype(np.float64).T
+        return matrix.astype(np.float32).reshape(shape)

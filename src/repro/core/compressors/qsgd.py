@@ -1,0 +1,67 @@
+"""QSGD (Alistarh et al., NeurIPS 2017).
+
+Codebook quantization with stochastic rounding (Fig. 3 of the paper):
+every magnitude ``|g[i]| / ‖g‖₂`` is rounded to one of ``s + 1`` levels
+``{0, 1/s, …, 1}`` such that the estimator is unbiased.  The wire format
+is the ℓ2 norm, a 1-bit sign vector and the bit-packed level code-words
+(``ceil(log2(s + 1))`` bits each).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import (
+    pack_bits,
+    pack_signs,
+    quantize_stochastic_levels,
+    unpack_bits,
+    unpack_signs,
+)
+
+
+class QSGDCompressor(Compressor):
+    """Unbiased stochastic codebook quantizer with ``levels`` bins."""
+
+    name = "qsgd"
+    family = "quantization"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "none"
+
+    def __init__(self, levels: int = 64, seed: int = 0):
+        super().__init__(seed=seed)
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = int(levels)
+        self.code_bits = max(1, math.ceil(math.log2(self.levels + 1)))
+
+    def _clone_args(self) -> dict:
+        return {"levels": self.levels}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        norm = float(np.linalg.norm(flat))
+        codes = quantize_stochastic_levels(
+            np.abs(flat), norm, self.levels, rng=self._rng
+        )
+        payload = [
+            np.array([norm], dtype=np.float32),
+            pack_signs(flat),
+            pack_bits(codes, bits=self.code_bits),
+        ]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        norm_arr, packed_signs, packed_codes = compressed.payload
+        norm = float(norm_arr[0])
+        signs = unpack_signs(packed_signs, size)
+        codes = unpack_bits(packed_codes, bits=self.code_bits, count=size)
+        values = norm * signs * codes.astype(np.float32) / self.levels
+        return values.astype(np.float32).reshape(shape)

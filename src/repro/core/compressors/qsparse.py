@@ -1,0 +1,105 @@
+"""Qsparse-local-SGD's composed operator (Basu et al., NeurIPS 2019).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  The synchronous variant composes quantization
+over sparsification with error feedback: select the top-``ratio``
+(or random-``ratio``) coordinates, then stochastically quantize the
+survivors QSGD-style.  (The "local steps" part of the original method is
+an orthogonal communication-frequency knob; GRACE's loop communicates
+every iteration, as the paper's framework does.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import (
+    desparsify,
+    pack_bits,
+    pack_signs,
+    quantize_stochastic_levels,
+    sparsify_randomk,
+    sparsify_topk,
+    unpack_bits,
+    unpack_signs,
+)
+
+
+class QsparseLocalSGDCompressor(Compressor):
+    """Top-k / random-k selection followed by stochastic quantization."""
+
+    name = "qsparse"
+    family = "hybrid"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(
+        self,
+        ratio: float = 0.01,
+        levels: int = 16,
+        selection: str = "topk",
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        if selection not in ("topk", "randomk"):
+            raise ValueError(
+                f"selection must be 'topk' or 'randomk', got {selection!r}"
+            )
+        self.ratio = float(ratio)
+        self.levels = int(levels)
+        self.selection = selection
+        self.code_bits = max(1, math.ceil(math.log2(self.levels + 1)))
+
+    def _clone_args(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "levels": self.levels,
+            "selection": self.selection,
+        }
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        k = max(1, math.ceil(self.ratio * flat.size))
+        if self.selection == "topk":
+            values, indices = sparsify_topk(flat, k)
+        else:
+            values, indices = sparsify_randomk(flat, k, rng=self._rng)
+        norm = float(np.linalg.norm(values))
+        codes = quantize_stochastic_levels(
+            np.abs(values), norm, self.levels, rng=self._rng
+        )
+        payload = [
+            np.array([norm], dtype=np.float32),
+            pack_signs(values),
+            pack_bits(codes, bits=self.code_bits),
+            indices.astype(np.int32),
+        ]
+        return CompressedTensor(
+            payload=payload, ctx=(shape, flat.size, values.size)
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, k = compressed.ctx
+        norm_arr, packed_signs, packed_codes, indices = compressed.payload
+        signs = unpack_signs(packed_signs, k)
+        codes = unpack_bits(packed_codes, bits=self.code_bits, count=k)
+        values = (
+            float(norm_arr[0]) * signs * codes.astype(np.float32) / self.levels
+        )
+        return desparsify(
+            values.astype(np.float32), indices.astype(np.int64), size
+        ).reshape(shape)
+
+    def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
+        """Flat indices sent on the wire."""
+        return compressed.payload[3].astype(np.int64)

@@ -1,0 +1,55 @@
+"""Random-k sparsification (Stich et al., NeurIPS 2018).
+
+Selects ``k = ratio·d`` uniformly random elements.  Biased by design;
+multiplying by ``d/k`` (``unbiased=True``) restores unbiasedness at the
+price of higher variance — both variants from §III-B are supported.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import desparsify, sparsify_randomk
+
+
+class RandomKCompressor(Compressor):
+    """Uniform random coordinate selection."""
+
+    name = "randomk"
+    family = "sparsification"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(self, ratio: float = 0.01, unbiased: bool = False, seed: int = 0):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+        self.unbiased = bool(unbiased)
+
+    def _clone_args(self) -> dict:
+        return {"ratio": self.ratio, "unbiased": self.unbiased}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        k = max(1, math.ceil(self.ratio * flat.size))
+        values, indices = sparsify_randomk(flat, k, rng=self._rng)
+        if self.unbiased:
+            values = values * (flat.size / k)
+        payload = [values.astype(np.float32), indices.astype(np.int32)]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        values, indices = compressed.payload
+        return desparsify(values, indices.astype(np.int64), size).reshape(shape)
+
+    def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
+        """Flat indices sent on the wire."""
+        return compressed.payload[1].astype(np.int64)

@@ -1,0 +1,49 @@
+"""SIGNUM (Bernstein et al., ICLR 2019): SignSGD with momentum.
+
+A per-tensor momentum buffer is maintained *inside* the compressor
+(``m = β m + g``) and the transmitted value is ``sign(m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import pack_signs, unpack_signs
+
+
+class SignumCompressor(Compressor):
+    """Q(g) = sign(β m + g) with a persistent momentum buffer m."""
+
+    name = "signum"
+    family = "quantization"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "none"
+
+    def __init__(self, momentum: float = 0.9, seed: int = 0):
+        super().__init__(seed=seed)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def _clone_args(self) -> dict:
+        return {"momentum": self.momentum}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        buffer = self._buffers.get(name)
+        if buffer is None:
+            buffer = np.zeros_like(flat)
+        buffer = self.momentum * buffer + flat
+        self._buffers[name] = buffer
+        return CompressedTensor(
+            payload=[pack_signs(buffer)], ctx=(shape, flat.size)
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        return unpack_signs(compressed.payload[0], size).reshape(shape)

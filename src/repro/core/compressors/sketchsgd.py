@@ -1,0 +1,87 @@
+"""Sketched-SGD (Ivkin et al., NeurIPS 2019).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  The gradient is folded into a count-sketch;
+the receiver recovers the "heavy hitters" — the approximate top-k
+coordinates — from the (mergeable) sketch.  The wire carries only the
+sketch table, so the footprint is independent of which coordinates are
+large.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import CountSketch, desparsify
+
+
+class SketchedSGDCompressor(Compressor):
+    """Count-sketch transport with heavy-hitter recovery."""
+
+    name = "sketchsgd"
+    family = "sparsification"
+    stochastic = False  # hash functions are fixed
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(
+        self,
+        ratio: float = 0.01,
+        depth: int = 5,
+        width_multiplier: float = 8.0,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if width_multiplier <= 0:
+            raise ValueError("width_multiplier must be positive")
+        self.ratio = float(ratio)
+        self.depth = int(depth)
+        self.width_multiplier = float(width_multiplier)
+        # Hash functions are a protocol constant: every worker must build
+        # the same sketch layout or the tables cannot be merged/decoded.
+        self._hash_seed = 0x5EED
+
+    def _clone_args(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "depth": self.depth,
+            "width_multiplier": self.width_multiplier,
+        }
+
+    def reseed(self, seed: int) -> None:
+        # Keep hash functions shared across workers (sketches must merge);
+        # only the compressor's private rng is reseeded.
+        """Replace the private random stream (hashes stay shared)."""
+        self._rng = np.random.default_rng(seed)
+
+    def _make_sketch(self, universe: int, k: int) -> CountSketch:
+        width = max(8, int(self.width_multiplier * k))
+        return CountSketch(
+            width=width, depth=self.depth, universe=universe,
+            seed=self._hash_seed,
+        )
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        k = max(1, math.ceil(self.ratio * flat.size))
+        sketch = self._make_sketch(flat.size, k)
+        sketch.update(np.arange(flat.size), flat.astype(np.float64))
+        payload = [sketch.table.astype(np.float32)]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size, k))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, k = compressed.ctx
+        sketch = self._make_sketch(size, k)
+        sketch.table = compressed.payload[0].astype(np.float64)
+        indices = sketch.heavy_hitters(k)
+        values = sketch.query(indices).astype(np.float32)
+        return desparsify(values, indices.astype(np.int64), size).reshape(shape)

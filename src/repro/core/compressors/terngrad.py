@@ -1,0 +1,99 @@
+"""TernGrad (Wen et al., NeurIPS 2017).
+
+Ternary quantization: a Bernoulli mask with ``P(b[i]=1) = |g[i]| / ‖g‖∞``
+selects elements, and ``g̃ = ‖g‖∞ · sign(g) ⊙ b`` — an unbiased estimator
+over the three values ``{-1, 0, 1}`` scaled by the infinity norm.  The
+original paper also clips the gradient at ``c·σ`` before quantizing to
+tighten ‖g‖∞; clipping is on by default, matching the reference code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import pack_bits, unpack_bits
+from repro.tensorlib.huffman import (
+    HuffmanEncoded,
+    huffman_decode,
+    huffman_encode,
+)
+
+_CODE_ZERO, _CODE_POS, _CODE_NEG = 0, 1, 2
+
+
+class TernGradCompressor(Compressor):
+    """Unbiased {-1, 0, +1} quantizer scaled by the clipped infinity norm.
+
+    ``entropy_coding=True`` replaces the fixed 2-bit packing with a
+    canonical Huffman code over the ternary stream (related-work §VI,
+    Gajjala et al.) — since most symbols are zero, the stream costs well
+    under 2 bits/element.
+    """
+
+    name = "terngrad"
+    family = "quantization"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "none"
+
+    def __init__(self, clip_factor: float = 2.5,
+                 entropy_coding: bool = False, seed: int = 0):
+        super().__init__(seed=seed)
+        if clip_factor <= 0:
+            raise ValueError(f"clip_factor must be positive, got {clip_factor}")
+        self.clip_factor = float(clip_factor)
+        self.entropy_coding = bool(entropy_coding)
+
+    def _clone_args(self) -> dict:
+        return {
+            "clip_factor": self.clip_factor,
+            "entropy_coding": self.entropy_coding,
+        }
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        if flat.size:
+            bound = self.clip_factor * float(np.std(flat))
+            if bound > 0:
+                flat = np.clip(flat, -bound, bound)
+        scale = float(np.max(np.abs(flat))) if flat.size else 0.0
+        if scale > 0:
+            keep = self._rng.random(size=flat.shape) < np.abs(flat) / scale
+        else:
+            keep = np.zeros(flat.shape, dtype=bool)
+        codes = np.where(
+            keep, np.where(flat >= 0, _CODE_POS, _CODE_NEG), _CODE_ZERO
+        )
+        if self.entropy_coding:
+            encoded = huffman_encode(codes, num_symbols=3)
+            payload = [
+                np.array([scale], dtype=np.float32),
+                encoded.buffer,
+                encoded.lengths,
+            ]
+            return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+        payload = [
+            np.array([scale], dtype=np.float32),
+            pack_bits(codes.astype(np.uint8), bits=2),
+        ]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        scale_arr = compressed.payload[0]
+        if self.entropy_coding:
+            encoded = HuffmanEncoded(
+                buffer=compressed.payload[1],
+                lengths=compressed.payload[2],
+                count=size,
+            )
+            codes = huffman_decode(encoded)
+        else:
+            codes = unpack_bits(compressed.payload[1], bits=2, count=size)
+        ternary = np.zeros(size, dtype=np.float32)
+        ternary[codes == _CODE_POS] = 1.0
+        ternary[codes == _CODE_NEG] = -1.0
+        return (float(scale_arr[0]) * ternary).reshape(shape)

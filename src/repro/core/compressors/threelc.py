@@ -1,0 +1,77 @@
+"""3LC (Lim, Andersen & Kaminsky, MLSys 2019).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  Three stages:
+
+1. *3-value quantization with a sparsity multiplier*: ``M = ‖g‖∞ / s``
+   for ``s ∈ [1, 2)``; the gradient is rounded to ``{-1, 0, +1}·M``
+   (larger ``s`` shrinks the zero region, lowering sparsity).
+2. The ternary stream is what error compensation acts on (EF default on).
+3. *Aggressive lossless encoding*: zero-run-length + varint encoding of
+   the ternary stream (the dominant symbols are zero runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import (
+    pack_bits,
+    rle_decode_zeros,
+    rle_encode_zeros,
+    unpack_bits,
+    varint_decode,
+    varint_encode,
+)
+
+
+class ThreeLCCompressor(Compressor):
+    """Ternary quantization + zero-RLE lossless stage."""
+
+    name = "threelc"
+    family = "hybrid"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(self, sparsity_multiplier: float = 1.0, seed: int = 0):
+        super().__init__(seed=seed)
+        if not 1.0 <= sparsity_multiplier < 2.0:
+            raise ValueError(
+                f"sparsity_multiplier must be in [1, 2), got "
+                f"{sparsity_multiplier}"
+            )
+        self.sparsity_multiplier = float(sparsity_multiplier)
+
+    def _clone_args(self) -> dict:
+        return {"sparsity_multiplier": self.sparsity_multiplier}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        max_mag = float(np.max(np.abs(flat))) if flat.size else 0.0
+        if max_mag == 0.0:
+            ternary = np.zeros(flat.size, dtype=np.int64)
+            scale = 0.0
+        else:
+            scale = max_mag / self.sparsity_multiplier
+            ternary = np.clip(np.rint(flat / scale), -1, 1).astype(np.int64)
+        symbols, runs, n_symbols = rle_encode_zeros(ternary)
+        payload = [
+            pack_bits(symbols, bits=2),
+            varint_encode(runs),
+            np.array([scale], dtype=np.float32),
+        ]
+        return CompressedTensor(
+            payload=payload, ctx=(shape, flat.size, n_symbols, runs.size)
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, n_symbols, n_runs = compressed.ctx
+        packed_symbols, packed_runs, scale = compressed.payload
+        symbols = unpack_bits(packed_symbols, bits=2, count=n_symbols)
+        runs = varint_decode(packed_runs, n_runs)
+        ternary = rle_decode_zeros(symbols, runs, size)
+        return (float(scale[0]) * ternary).reshape(shape)

@@ -1,0 +1,81 @@
+"""Top-k sparsification (Aji & Heafield, EMNLP 2017; Fig. 4 of the paper).
+
+Transmits the ``k = ratio·d`` largest-magnitude elements with their
+indices.  The default wire format matches the paper's accounting
+(float32 value + int32 index per selected element); the optional
+``index_encoding`` knob switches the index vector to a bitmap or
+delta-varint representation (the DeepReduce direction of related-work
+§VI) — see ``benchmarks/test_ablation_index_encoding.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import desparsify, sparsify_topk
+from repro.tensorlib.indices import decode_indices, encode_indices
+
+
+class TopKCompressor(Compressor):
+    """Deterministic largest-magnitude selection."""
+
+    name = "topk"
+    family = "sparsification"
+    stochastic = False
+    communication = "allgather"
+    default_memory = "residual"
+
+    def __init__(
+        self, ratio: float = 0.01, index_encoding: str = "int32",
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if index_encoding not in ("int32", "bitmap", "delta", "auto"):
+            raise ValueError(
+                f"unknown index_encoding {index_encoding!r}"
+            )
+        self.ratio = float(ratio)
+        self.index_encoding = index_encoding
+
+    def _clone_args(self) -> dict:
+        return {"ratio": self.ratio, "index_encoding": self.index_encoding}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        k = max(1, math.ceil(self.ratio * flat.size))
+        values, indices = sparsify_topk(flat, k)
+        if self.index_encoding == "int32":
+            payload = [values.astype(np.float32), indices.astype(np.int32)]
+            return CompressedTensor(
+                payload=payload, ctx=(shape, flat.size, "int32", k)
+            )
+        buffer, mode = encode_indices(
+            indices, flat.size, mode=self.index_encoding
+        )
+        payload = [values.astype(np.float32), buffer]
+        return CompressedTensor(
+            payload=payload, ctx=(shape, flat.size, mode, k)
+        )
+
+    def _indices(self, compressed: CompressedTensor) -> np.ndarray:
+        shape, size, mode, k = compressed.ctx
+        if mode == "int32":
+            return compressed.payload[1].astype(np.int64)
+        return decode_indices(compressed.payload[1], mode, size, k)
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size, mode, k = compressed.ctx
+        values = compressed.payload[0]
+        indices = self._indices(compressed)
+        return desparsify(values, indices, size).reshape(shape)
+
+    def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
+        """Flat indices sent on the wire (consumed by DGC-style memories)."""
+        return self._indices(compressed)

@@ -1,0 +1,83 @@
+"""Variance-based (importance) sparsification (Wangni et al., NeurIPS 2018).
+
+Surveyed in Table I but not implemented in the paper's release; included
+as a framework extension.  Each coordinate is kept with probability
+``p_i = min(1, c·|g_i|)`` where ``c`` solves ``Σ p_i = k`` (water-filling),
+and kept values are scaled by ``1/p_i`` — an unbiased sparsifier whose
+variance is minimized for the given expected budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.tensorlib import desparsify
+
+
+def selection_probabilities(
+    magnitudes: np.ndarray, budget: int, iterations: int = 20
+) -> np.ndarray:
+    """Water-filling probabilities with expected count ``budget``."""
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    d = magnitudes.size
+    budget = min(max(budget, 1), d)
+    total = magnitudes.sum()
+    if total == 0:
+        return np.full(d, budget / d)
+    scale = budget / total
+    probabilities = np.minimum(1.0, scale * magnitudes)
+    for _ in range(iterations):
+        saturated = probabilities >= 1.0
+        remaining = budget - saturated.sum()
+        free_mass = magnitudes[~saturated].sum()
+        if remaining <= 0 or free_mass == 0:
+            break
+        probabilities = np.where(
+            saturated, 1.0, np.minimum(1.0, remaining * magnitudes / free_mass)
+        )
+        if np.all((probabilities >= 1.0) == saturated):
+            break
+    return probabilities
+
+
+class VarianceSparsifier(Compressor):
+    """Unbiased importance sampling of gradient coordinates."""
+
+    name = "variance"
+    family = "sparsification"
+    stochastic = True
+    communication = "allgather"
+    default_memory = "none"
+
+    def __init__(self, ratio: float = 0.01, seed: int = 0):
+        super().__init__(seed=seed)
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+
+    def _clone_args(self) -> dict:
+        return {"ratio": self.ratio}
+
+    def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
+        """Apply Q: returns the wire payload plus decompression ctx."""
+        flat, shape = flatten_with_shape(tensor)
+        budget = max(1, math.ceil(self.ratio * flat.size))
+        probabilities = selection_probabilities(np.abs(flat), budget)
+        keep = self._rng.random(size=flat.size) < probabilities
+        indices = np.flatnonzero(keep)
+        values = flat[indices] / probabilities[indices].astype(np.float32)
+        payload = [values.astype(np.float32), indices.astype(np.int32)]
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Apply Q^-1: rebuild a dense tensor of the original shape."""
+        shape, size = compressed.ctx
+        values, indices = compressed.payload
+        return desparsify(values, indices.astype(np.int64), size).reshape(shape)
+
+    def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
+        """Flat indices sent on the wire."""
+        return compressed.payload[1].astype(np.int64)

@@ -1,0 +1,138 @@
+"""Memory (error-feedback) implementations.
+
+The paper's Eq. 4 default::
+
+    φ(mᵏ, gᵏ)        = β mᵏ + γ gᵏ
+    ψ(mᵏ, gᵏ, g̃ᵏ)   = φ(mᵏ, gᵏ) − g̃ᵏ
+
+with β = γ = 1 unless noted (EFsignSGD sets γ to the initial learning
+rate).  DGC's "momentum correction" is the special memory of §IV-C that
+keeps a momentum buffer *and* an accumulation buffer and clears both at
+the indices that were transmitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Compressor, Memory
+
+
+class NoneMemory(Memory):
+    """No error feedback: φ is the identity, ψ discards the error."""
+
+    def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
+        """phi(m, g) of Eq. 4."""
+        return tensor
+
+    def update(
+        self,
+        compensated: np.ndarray,
+        name: str,
+        compressor: Compressor,
+        compressed: CompressedTensor,
+    ) -> None:
+        """psi(m, g, g~) of Eq. 4."""
+        return None
+
+
+class ResidualMemory(Memory):
+    """Eq. 4 residual error feedback, keyed by tensor name."""
+
+    def __init__(self, beta: float = 1.0, gamma: float = 1.0):
+        if beta <= 0 or gamma <= 0:
+            raise ValueError("beta and gamma must be positive")
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self._residuals: dict[str, np.ndarray] = {}
+
+    def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
+        """phi(m, g) of Eq. 4."""
+        residual = self._residuals.get(name)
+        if residual is None:
+            return self.gamma * np.asarray(tensor, dtype=np.float32)
+        return self.beta * residual + self.gamma * np.asarray(
+            tensor, dtype=np.float32
+        )
+
+    def update(
+        self,
+        compensated: np.ndarray,
+        name: str,
+        compressor: Compressor,
+        compressed: CompressedTensor,
+    ) -> None:
+        """psi(m, g, g~) of Eq. 4."""
+        transmitted = compressor.decompress(compressed)
+        self._residuals[name] = np.asarray(compensated, dtype=np.float32) - np.asarray(
+            transmitted, dtype=np.float32
+        )
+
+    def residual(self, name: str) -> np.ndarray | None:
+        """Expose the stored residual (used by tests and diagnostics)."""
+        return self._residuals.get(name)
+
+
+class DgcMemory(Memory):
+    """Deep-Gradient-Compression momentum correction (§III-B, §IV-C).
+
+    Per tensor: ``u = β u + g`` (momentum), ``v = v + u`` (accumulation);
+    ``v`` is what gets compressed.  After compression, both buffers are
+    zeroed at the transmitted indices, which is the paper's masking rule.
+    The compressor must expose the transmitted flat indices on its ctx via
+    :meth:`transmitted_indices`.
+    """
+
+    def __init__(self, momentum: float = 0.9):
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: dict[str, np.ndarray] = {}
+        self._accumulated: dict[str, np.ndarray] = {}
+
+    def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
+        """phi(m, g) of Eq. 4."""
+        flat = np.ravel(np.asarray(tensor, dtype=np.float32))
+        velocity = self._velocity.get(name)
+        if velocity is None:
+            velocity = np.zeros_like(flat)
+            accumulated = np.zeros_like(flat)
+        else:
+            accumulated = self._accumulated[name]
+        velocity = self.momentum * velocity + flat
+        accumulated = accumulated + velocity
+        self._velocity[name] = velocity
+        self._accumulated[name] = accumulated
+        return accumulated.reshape(np.asarray(tensor).shape)
+
+    def update(
+        self,
+        compensated: np.ndarray,
+        name: str,
+        compressor: Compressor,
+        compressed: CompressedTensor,
+    ) -> None:
+        """psi(m, g, g~) of Eq. 4."""
+        indices = getattr(compressor, "transmitted_indices", lambda c: None)(
+            compressed
+        )
+        if indices is None:
+            raise ValueError(
+                "DgcMemory requires a compressor exposing transmitted_indices"
+            )
+        self._velocity[name][indices] = 0.0
+        self._accumulated[name][indices] = 0.0
+
+
+def make_memory(kind: str, **params) -> Memory:
+    """Build a memory by name: ``"none"``, ``"residual"`` or ``"dgc"``."""
+    factories = {
+        "none": NoneMemory,
+        "residual": ResidualMemory,
+        "dgc": DgcMemory,
+    }
+    if kind not in factories:
+        raise ValueError(
+            f"unknown memory {kind!r}; expected one of {sorted(factories)}"
+        )
+    return factories[kind](**params)

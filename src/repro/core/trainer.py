@@ -1,0 +1,301 @@
+"""Algorithm 1: the distributed training loop with compressed communication.
+
+The trainer owns ``n`` simulated workers.  Model replicas are kept
+implicitly: because every worker starts from the same parameters and
+applies the same aggregated update, a single parameter set is exact —
+what differs per worker is the data shard, the compressor state and the
+error-feedback memory, all of which are held per rank.
+
+Per iteration (paper's Algorithm 1):
+
+1. every rank computes a stochastic gradient on its own mini-batch;
+2. g̃ᵏᵢ = Q(φ(mᵏᵢ, gᵏᵢ)) and mᵏ⁺¹ᵢ = ψ(·)  (lines 5–6);
+3. Allreduce path: payload parts are summed on the wire and the
+   decompressed sum is divided by n (lines 8–9); Allgather path: payloads
+   are gathered, decompressed per rank and combined with Agg (lines
+   11–13);
+4. the optimizer applies the aggregated gradient (line 15).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Protocol
+
+import numpy as np
+
+from repro.comm.collectives import Communicator
+from repro.core.api import CompressedTensor, Compressor
+from repro.core.memory import Memory, make_memory
+
+
+class DistributedTask(Protocol):
+    """What the trainer needs from a model + optimizer pair."""
+
+    def forward_backward(
+        self, inputs: Any, targets: Any
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Run one mini-batch; return (loss, per-tensor gradients)."""
+
+    def apply_update(self, gradients: dict[str, np.ndarray]) -> None:
+        """Apply the aggregated gradient through the optimizer."""
+
+
+class PerfModel(Protocol):
+    """Optional analytical performance model (see repro.bench.perf)."""
+
+    def compute_seconds(self, n_samples: int) -> float:
+        """Simulated forward+backward time for a mini-batch."""
+
+    def compression_seconds(self, compressor_name: str, n_elements: int) -> float:
+        """Simulated compress+decompress kernel time for one tensor."""
+
+
+@dataclass
+class TrainingReport:
+    """Everything the paper's evaluation plots are derived from."""
+
+    losses: list[float] = field(default_factory=list)  # per iteration
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_quality: list[float] = field(default_factory=list)
+    epoch_sim_seconds: list[float] = field(default_factory=list)  # cumulative
+    iterations: int = 0
+    samples_processed: int = 0
+    sim_comm_seconds: float = 0.0
+    sim_compute_seconds: float = 0.0
+    sim_compression_seconds: float = 0.0
+    measured_compression_seconds: float = 0.0
+    bytes_per_worker: float = 0.0
+
+    @property
+    def sim_total_seconds(self) -> float:
+        """Simulated wall-clock: compute + communication + compression."""
+        return (
+            self.sim_comm_seconds
+            + self.sim_compute_seconds
+            + self.sim_compression_seconds
+        )
+
+    @property
+    def bytes_per_worker_per_iteration(self) -> float:
+        """Mean per-iteration bytes each worker transmitted."""
+        if self.iterations == 0:
+            return 0.0
+        return self.bytes_per_worker / self.iterations
+
+    @property
+    def throughput_samples_per_second(self) -> float:
+        """Training throughput under the simulated clock."""
+        total = self.sim_total_seconds
+        if total <= 0:
+            return float("inf")
+        return self.samples_processed / total
+
+    @property
+    def best_quality(self) -> float:
+        """Best model quality witnessed during training (paper §V-A)."""
+        if not self.epoch_quality:
+            raise ValueError("no quality evaluations were recorded")
+        return max(self.epoch_quality)
+
+
+class DistributedTrainer:
+    """Runs Algorithm 1 over a :class:`DistributedTask`.
+
+    Parameters
+    ----------
+    task:
+        Model + optimizer adapter (see :class:`DistributedTask`).
+    compressor:
+        A prototype compressor; it is cloned per rank with distinct seeds
+        so stochastic methods draw independent randomness per worker.
+    n_workers:
+        Number of simulated ranks.
+    memory:
+        ``None`` uses the compressor's Table I default; otherwise a memory
+        kind name (``"none"`` / ``"residual"`` / ``"dgc"``).
+    memory_params:
+        Keyword arguments for the memory constructor (e.g. β, γ of Eq. 4).
+    communicator:
+        Simulated collective backend; defaults to 8-rank-style OpenMPI/TCP
+        over a 10 Gbps link.
+    perf_model:
+        Optional analytical clock for compute and kernel time.
+    check_finite:
+        When True, raise immediately if any worker produces a non-finite
+        gradient or the aggregated gradient is non-finite — fault
+        isolation for debugging diverging runs (off by default; the
+        check costs one pass over every tensor).
+    """
+
+    def __init__(
+        self,
+        task: DistributedTask,
+        compressor: Compressor,
+        n_workers: int = 4,
+        memory: str | None = None,
+        memory_params: dict | None = None,
+        communicator: Communicator | None = None,
+        perf_model: PerfModel | None = None,
+        check_finite: bool = False,
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.task = task
+        self.n_workers = int(n_workers)
+        self.comm = (
+            communicator
+            if communicator is not None
+            else Communicator(n_workers=self.n_workers)
+        )
+        if self.comm.n_workers != self.n_workers:
+            raise ValueError(
+                f"communicator has {self.comm.n_workers} ranks, trainer has "
+                f"{self.n_workers}"
+            )
+        self.perf_model = perf_model
+        self.check_finite = bool(check_finite)
+        self.compressors = [
+            compressor.clone(seed=seed + rank) for rank in range(self.n_workers)
+        ]
+        memory_kind = memory if memory is not None else compressor.default_memory
+        params = dict(memory_params or {})
+        self.memories: list[Memory] = [
+            make_memory(memory_kind, **params) for _ in range(self.n_workers)
+        ]
+        self.report = TrainingReport()
+
+    # ------------------------------------------------------------------
+
+    def step(self, batches: list[tuple[Any, Any]]) -> float:
+        """One synchronous iteration over per-rank mini-batches."""
+        if len(batches) != self.n_workers:
+            raise ValueError(
+                f"need {self.n_workers} per-rank batches, got {len(batches)}"
+            )
+        losses = []
+        grads_per_rank: list[dict[str, np.ndarray]] = []
+        n_samples = 0
+        for rank, (inputs, targets) in enumerate(batches):
+            loss, grads = self.task.forward_backward(inputs, targets)
+            if self.check_finite:
+                for name, grad in grads.items():
+                    if not np.all(np.isfinite(grad)):
+                        raise FloatingPointError(
+                            f"non-finite gradient for {name!r} on rank {rank}"
+                        )
+            losses.append(loss)
+            grads_per_rank.append(grads)
+            n_samples += _batch_size(inputs)
+        aggregated = self._exchange(grads_per_rank)
+        if self.check_finite:
+            for name, grad in aggregated.items():
+                if not np.all(np.isfinite(grad)):
+                    raise FloatingPointError(
+                        f"non-finite aggregated gradient for {name!r}"
+                    )
+        self.task.apply_update(aggregated)
+
+        mean_loss = float(np.mean(losses))
+        self.report.losses.append(mean_loss)
+        self.report.iterations += 1
+        self.report.samples_processed += n_samples
+        if self.perf_model is not None:
+            self.report.sim_compute_seconds += self.perf_model.compute_seconds(
+                n_samples // self.n_workers
+            ) # ranks compute in parallel: charge one rank's batch
+        return mean_loss
+
+    def _exchange(
+        self, grads_per_rank: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        """Compress, communicate and aggregate every gradient tensor."""
+        names = list(grads_per_rank[0])
+        aggregated: dict[str, np.ndarray] = {}
+        comm_before = self.comm.record.simulated_seconds
+        bytes_before = self.comm.record.bytes_sent_per_worker
+        for name in names:
+            compressed: list[CompressedTensor] = []
+            kernel_start = time.perf_counter()
+            for rank in range(self.n_workers):
+                memory = self.memories[rank]
+                compensated = memory.compensate(grads_per_rank[rank][name], name)
+                packed = self.compressors[rank].compress(compensated, name)
+                memory.update(compensated, name, self.compressors[rank], packed)
+                compressed.append(packed)
+            aggregated[name] = self._communicate(name, compressed)
+            self.report.measured_compression_seconds += (
+                time.perf_counter() - kernel_start
+            )
+            if self.perf_model is not None:
+                n_elements = int(np.prod(grads_per_rank[0][name].shape))
+                self.report.sim_compression_seconds += (
+                    self.perf_model.compression_seconds(
+                        self.compressors[0].name, n_elements
+                    )
+                )
+        self.report.sim_comm_seconds += (
+            self.comm.record.simulated_seconds - comm_before
+        )
+        self.report.bytes_per_worker += (
+            self.comm.record.bytes_sent_per_worker - bytes_before
+        )
+        return aggregated
+
+    def _communicate(
+        self, name: str, compressed: list[CompressedTensor]
+    ) -> np.ndarray:
+        strategy = self.compressors[0].communication
+        decoder = self.compressors[0]
+        if strategy == "allreduce":
+            summed_parts = [
+                self.comm.allreduce([c.payload[part] for c in compressed])
+                for part in range(len(compressed[0].payload))
+            ]
+            summed = CompressedTensor(payload=summed_parts, ctx=compressed[0].ctx)
+            return decoder.decompress(summed) / self.n_workers
+        if strategy in ("allgather", "broadcast"):
+            self.comm.allgather([c.payload for c in compressed])
+            decompressed = [decoder.decompress(c) for c in compressed]
+            return decoder.aggregate(decompressed)
+        raise ValueError(f"unknown communication strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        loader: Iterable[list[tuple[Any, Any]]],
+        epochs: int = 1,
+        eval_fn: Callable[[], float] | None = None,
+    ) -> TrainingReport:
+        """Run ``epochs`` passes over a sharded loader.
+
+        ``loader`` yields, per iteration, a list of ``n_workers``
+        mini-batches (one per rank).  ``eval_fn`` is called after every
+        epoch and its value recorded as the epoch's model quality.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        for _ in range(epochs):
+            epoch_losses = []
+            for batches in loader:
+                epoch_losses.append(self.step(batches))
+            if not epoch_losses:
+                raise ValueError("loader yielded no iterations")
+            self.report.epoch_losses.append(float(np.mean(epoch_losses)))
+            if eval_fn is not None:
+                self.report.epoch_quality.append(float(eval_fn()))
+            self.report.epoch_sim_seconds.append(self.report.sim_total_seconds)
+        return self.report
+
+
+def _batch_size(inputs: Any) -> int:
+    """Best-effort mini-batch size of an input batch."""
+    if hasattr(inputs, "shape") and getattr(inputs, "shape"):
+        return int(np.asarray(inputs).shape[0])
+    try:
+        return len(inputs)
+    except TypeError:
+        return 1

@@ -1,0 +1,111 @@
+"""On-wire framing of compressed payloads.
+
+The simulator moves payloads as lists of arrays; a real transport moves
+bytes.  This module defines the byte format — a small header per part
+(dtype code, rank, dims) followed by the raw data — so any compressor's
+output can be serialized to one buffer and parsed back, and so framing
+overhead is measurable (`framing_overhead_bytes`).
+
+Format (little-endian)::
+
+    u8   part count
+    per part:
+      u8   dtype code          (see _DTYPES)
+      u8   rank
+      u32  dim[rank]
+      raw  data (C order)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.api import CompressedTensor, Payload
+
+_DTYPES: list[np.dtype] = [
+    np.dtype(np.uint8),
+    np.dtype(np.int8),
+    np.dtype(np.int16),
+    np.dtype(np.int32),
+    np.dtype(np.int64),
+    np.dtype(np.float16),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+]
+_DTYPE_CODE = {dtype: code for code, dtype in enumerate(_DTYPES)}
+
+_MAX_PARTS = 255
+_MAX_RANK = 255
+
+
+def serialize_payload(payload: Payload) -> bytes:
+    """Frame a payload (list of arrays) into one byte buffer."""
+    if len(payload) > _MAX_PARTS:
+        raise ValueError(f"payload has too many parts ({len(payload)})")
+    chunks = [struct.pack("<B", len(payload))]
+    for part in payload:
+        original = np.asarray(part)
+        # ascontiguousarray promotes 0-d to 1-d; restore the true shape.
+        array = np.ascontiguousarray(original).reshape(original.shape)
+        if array.dtype not in _DTYPE_CODE:
+            raise ValueError(f"unsupported wire dtype {array.dtype}")
+        if array.ndim > _MAX_RANK:
+            raise ValueError(f"rank {array.ndim} exceeds wire limit")
+        chunks.append(
+            struct.pack(
+                f"<BB{array.ndim}I",
+                _DTYPE_CODE[array.dtype],
+                array.ndim,
+                *array.shape,
+            )
+        )
+        chunks.append(array.tobytes())
+    return b"".join(chunks)
+
+
+def deserialize_payload(buffer: bytes) -> Payload:
+    """Inverse of :func:`serialize_payload`."""
+    if len(buffer) < 1:
+        raise ValueError("empty wire buffer")
+    (n_parts,) = struct.unpack_from("<B", buffer, 0)
+    offset = 1
+    payload: Payload = []
+    for _ in range(n_parts):
+        if offset + 2 > len(buffer):
+            raise ValueError("truncated wire buffer (header)")
+        dtype_code, rank = struct.unpack_from("<BB", buffer, offset)
+        offset += 2
+        if dtype_code >= len(_DTYPES):
+            raise ValueError(f"unknown wire dtype code {dtype_code}")
+        if offset + 4 * rank > len(buffer):
+            raise ValueError("truncated wire buffer (dims)")
+        dims = struct.unpack_from(f"<{rank}I", buffer, offset)
+        offset += 4 * rank
+        dtype = _DTYPES[dtype_code]
+        count = int(np.prod(dims, dtype=np.int64)) if rank else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(buffer):
+            raise ValueError("truncated wire buffer (data)")
+        array = np.frombuffer(
+            buffer, dtype=dtype, count=count, offset=offset
+        ).reshape(tuple(dims))
+        payload.append(array.copy())
+        offset += nbytes
+    if offset != len(buffer):
+        raise ValueError(
+            f"wire buffer has {len(buffer) - offset} trailing bytes"
+        )
+    return payload
+
+
+def serialize_compressed(compressed: CompressedTensor) -> bytes:
+    """Frame one compressed tensor's payload (ctx stays receiver-side)."""
+    return serialize_payload(compressed.payload)
+
+
+def framing_overhead_bytes(payload: Payload) -> int:
+    """Header bytes the wire format adds on top of the raw data."""
+    raw = sum(int(np.asarray(part).nbytes) for part in payload)
+    return len(serialize_payload(payload)) - raw

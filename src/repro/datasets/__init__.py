@@ -1,0 +1,23 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+Offline substitutes with controlled learnable structure (see DESIGN.md):
+cluster-structured images for CIFAR-10/ImageNet, blob-defect masks for
+DAGM2007, a low-rank user×item preference matrix for MovieLens-20M and a
+Markov-chain corpus for PTB.  Each generator is deterministic given its
+seed and returns plain NumPy arrays.
+"""
+
+from repro.datasets.synthetic_images import (
+    make_image_classification,
+    make_segmentation,
+)
+from repro.datasets.synthetic_reco import make_implicit_feedback, RecoData
+from repro.datasets.synthetic_text import make_language_corpus
+
+__all__ = [
+    "make_image_classification",
+    "make_segmentation",
+    "make_implicit_feedback",
+    "RecoData",
+    "make_language_corpus",
+]

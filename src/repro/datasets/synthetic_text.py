@@ -1,0 +1,51 @@
+"""Synthetic language-modeling corpus (PTB stand-in).
+
+Tokens are drawn from a sparse first-order Markov chain, so a model
+that learns the transition structure achieves a perplexity far below
+the vocabulary size — leaving room for compression-induced quality loss
+to show, as in the paper's LSTM/PTB rows of Figs. 6e and 7b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_language_corpus(
+    vocab_size: int = 64,
+    corpus_length: int = 8192,
+    sequence_length: int = 16,
+    branching: int = 4,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (inputs, targets): (N, T) windows and their next tokens.
+
+    ``branching`` is the number of likely successors per token; smaller
+    values make the chain more predictable (lower achievable perplexity).
+    """
+    if vocab_size < 4 or corpus_length < sequence_length + 2:
+        raise ValueError("corpus too small for the requested windows")
+    if not 1 <= branching <= vocab_size:
+        raise ValueError(f"branching must be in [1, {vocab_size}]")
+    rng = np.random.default_rng(seed)
+    # Sparse transition matrix: each token transitions to `branching`
+    # successors with high probability, everything else with low.
+    transition = np.full((vocab_size, vocab_size), 0.02 / vocab_size)
+    for token in range(vocab_size):
+        successors = rng.choice(vocab_size, size=branching, replace=False)
+        transition[token, successors] += 0.98 / branching
+    transition /= transition.sum(axis=1, keepdims=True)
+
+    corpus = np.empty(corpus_length, dtype=np.int64)
+    corpus[0] = rng.integers(vocab_size)
+    for position in range(1, corpus_length):
+        corpus[position] = rng.choice(vocab_size, p=transition[corpus[position - 1]])
+
+    n_windows = (corpus_length - 1) // sequence_length
+    inputs = np.empty((n_windows, sequence_length), dtype=np.int64)
+    targets = np.empty((n_windows, sequence_length), dtype=np.int64)
+    for window in range(n_windows):
+        start = window * sequence_length
+        inputs[window] = corpus[start : start + sequence_length]
+        targets[window] = corpus[start + 1 : start + sequence_length + 1]
+    return inputs, targets

@@ -1,0 +1,18 @@
+"""Quality metrics (Table II's per-task metrics) and volume helpers."""
+
+from repro.metrics.quality import (
+    top1_accuracy,
+    hit_rate_at_k,
+    perplexity,
+    intersection_over_union,
+)
+from repro.metrics.volume import compressed_volume_bytes, compression_ratio
+
+__all__ = [
+    "top1_accuracy",
+    "hit_rate_at_k",
+    "perplexity",
+    "intersection_over_union",
+    "compressed_volume_bytes",
+    "compression_ratio",
+]

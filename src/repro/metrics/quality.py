@@ -1,0 +1,65 @@
+"""Model-quality metrics matching Table II's "Quality metric" column."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.tensor import no_grad
+
+
+def top1_accuracy(
+    model, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy of a classifier over a held-out set."""
+    labels = np.asarray(labels)
+    if len(inputs) != len(labels):
+        raise ValueError("inputs and labels disagree in length")
+    correct = 0
+    with no_grad():
+        for start in range(0, len(inputs), batch_size):
+            batch = inputs[start : start + batch_size]
+            logits = model(batch).data
+            correct += int(
+                (logits.argmax(axis=1) == labels[start : start + batch_size]).sum()
+            )
+    return correct / len(labels)
+
+
+def hit_rate_at_k(
+    model, eval_users: np.ndarray, eval_candidates: np.ndarray, k: int = 10
+) -> float:
+    """Leave-one-out hit rate: fraction of users whose held-out positive
+    (column 0 of ``eval_candidates``) ranks in the model's top-k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    hits = 0
+    with no_grad():
+        for user, candidates in zip(eval_users, eval_candidates):
+            pairs = np.stack(
+                [np.full(candidates.shape, user), candidates], axis=1
+            )
+            scores = model.score(pairs)
+            top = np.argsort(scores)[::-1][:k]
+            if 0 in top:  # position 0 holds the held-out positive
+                hits += 1
+    return hits / len(eval_users)
+
+
+def perplexity(model, tokens: np.ndarray, targets: np.ndarray) -> float:
+    """exp(mean next-token cross-entropy); lower is better."""
+    return model.perplexity(tokens, targets)
+
+
+def intersection_over_union(
+    predicted: np.ndarray, target: np.ndarray, eps: float = 1e-7
+) -> float:
+    """Binary IoU between predicted and target masks."""
+    predicted = np.asarray(predicted).astype(bool)
+    target = np.asarray(target).astype(bool)
+    if predicted.shape != target.shape:
+        raise ValueError(
+            f"mask shapes disagree: {predicted.shape} vs {target.shape}"
+        )
+    intersection = np.logical_and(predicted, target).sum()
+    union = np.logical_or(predicted, target).sum()
+    return float((intersection + eps) / (union + eps))

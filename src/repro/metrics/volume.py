@@ -1,0 +1,27 @@
+"""Data-volume accounting helpers (§V-C of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Compressor
+
+
+def compressed_volume_bytes(
+    compressor: Compressor, tensors: dict[str, np.ndarray]
+) -> int:
+    """Total on-wire bytes to transmit ``tensors`` with ``compressor``."""
+    return sum(
+        compressor.compress(tensor, name).nbytes
+        for name, tensor in tensors.items()
+    )
+
+
+def compression_ratio(
+    compressor: Compressor, tensors: dict[str, np.ndarray]
+) -> float:
+    """Compressed / uncompressed volume (1.0 = no reduction)."""
+    raw = sum(np.asarray(t).astype(np.float32).nbytes for t in tensors.values())
+    if raw == 0:
+        raise ValueError("no data to compress")
+    return compressed_volume_bytes(compressor, tensors) / raw

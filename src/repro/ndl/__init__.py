@@ -1,0 +1,72 @@
+"""``ndl`` — a NumPy deep-learning toolkit.
+
+This is the substrate standing in for TensorFlow/PyTorch: a reverse-mode
+autograd engine (:mod:`repro.ndl.tensor`), functional ops including
+``conv2d`` / pooling / embedding (:mod:`repro.ndl.functional`), a module
+system with layers (:mod:`repro.ndl.layers`), optimizers
+(:mod:`repro.ndl.optim`), losses, data loading with worker sharding
+(:mod:`repro.ndl.data`), the model zoo used by the paper's benchmarks
+(:mod:`repro.ndl.models`) and the :class:`~repro.ndl.task.ModelTask`
+adapter that plugs any (model, optimizer, loss) triple into the GRACE
+distributed trainer.
+"""
+
+from repro.ndl.tensor import Tensor, no_grad
+from repro.ndl import functional
+from repro.ndl.layers import (
+    Module,
+    Parameter,
+    Sequential,
+    Linear,
+    Conv2d,
+    BatchNorm2d,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Dropout,
+    Embedding,
+    LSTM,
+    ReLU,
+    Flatten,
+    Upsample2d,
+)
+from repro.ndl.losses import (
+    softmax_cross_entropy,
+    binary_cross_entropy_with_logits,
+    mse_loss,
+)
+from repro.ndl.optim import SGD, Adam, RMSProp, AdaGrad
+from repro.ndl.data import ArrayDataset, DataLoader, ShardedLoader
+from repro.ndl.task import ModelTask
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+    "ReLU",
+    "Flatten",
+    "Upsample2d",
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "AdaGrad",
+    "ArrayDataset",
+    "DataLoader",
+    "ShardedLoader",
+    "ModelTask",
+]

@@ -1,0 +1,120 @@
+"""Datasets, mini-batching and worker sharding.
+
+:class:`ShardedLoader` is what the GRACE trainer iterates: each iteration
+yields one mini-batch per worker, drawn from that worker's partition of
+the data (the paper's ``D_i``), reshuffled every epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class ArrayDataset:
+    """In-memory (inputs, targets) pairs."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) disagree"
+            )
+        if len(inputs) == 0:
+            raise ValueError("dataset is empty")
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Dataset restricted to the given indices."""
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+
+class DataLoader:
+    """Shuffled mini-batches over one dataset."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = True,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return max(1, n // self.batch_size) if n >= self.batch_size else 0
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        if stop == 0:
+            stop = n  # tiny datasets: emit one short batch rather than none
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.inputs[idx], self.dataset.targets[idx]
+
+
+class ShardedLoader:
+    """Per-worker mini-batches for data-parallel training.
+
+    Splits the dataset into ``n_workers`` disjoint partitions and yields,
+    per iteration, a list of one ``(inputs, targets)`` batch per worker.
+    The iteration count per epoch is the minimum across shards so every
+    rank participates in every synchronous step.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        n_workers: int,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if len(dataset) < n_workers:
+            raise ValueError(
+                f"dataset of {len(dataset)} samples cannot shard over "
+                f"{n_workers} workers"
+            )
+        self.n_workers = int(n_workers)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(dataset))
+        shards = np.array_split(order, n_workers)
+        self.loaders = [
+            DataLoader(
+                dataset.subset(shard),
+                batch_size=batch_size,
+                shuffle=shuffle,
+                seed=seed + 1 + rank,
+            )
+            for rank, shard in enumerate(shards)
+        ]
+
+    def __len__(self) -> int:
+        return min(len(loader) for loader in self.loaders)
+
+    def __iter__(self) -> Iterator[list[tuple[np.ndarray, np.ndarray]]]:
+        iterators = [iter(loader) for loader in self.loaders]
+        for _ in range(len(self)):
+            yield [next(it) for it in iterators]

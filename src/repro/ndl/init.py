@@ -1,0 +1,24 @@
+"""Parameter initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform: U(-b, b) with b = sqrt(6 / fan_in)."""
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(
+    shape: tuple[int, ...], std: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)

@@ -1,0 +1,33 @@
+"""Neural-network layers and the module system."""
+
+from repro.ndl.layers.base import Module, Parameter, Sequential, ReLU, Flatten
+from repro.ndl.layers.linear import Linear
+from repro.ndl.layers.conv import (
+    Conv2d,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Upsample2d,
+)
+from repro.ndl.layers.norm import BatchNorm2d, Dropout
+from repro.ndl.layers.embedding import Embedding
+from repro.ndl.layers.recurrent import LSTM, LSTMCell
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ReLU",
+    "Flatten",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Upsample2d",
+    "BatchNorm2d",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+]

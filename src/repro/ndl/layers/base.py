@@ -1,0 +1,148 @@
+"""Module system: parameter registration, traversal, train/eval mode.
+
+Mirrors the ``torch.nn.Module`` contract at the scale this toolkit needs:
+attributes that are :class:`Parameter`, :class:`Module` or lists thereof
+are discovered automatically, and ``named_parameters`` yields
+dotted-path names — the per-layer tensor names GRACE keys its memory and
+compressor state on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.ndl.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- forward --------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        """Forward pass."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal -----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield (dotted-name, parameter) pairs in deterministic order."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, in traversal order."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and every sub-module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- state ------------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch self and all sub-modules to training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch self and all sub-modules to evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count (Table II's 'Training parameters')."""
+        return sum(p.data.size for p in self.parameters())
+
+    def num_gradient_vectors(self) -> int:
+        """Number of communicated gradient tensors (Table II's column)."""
+        return sum(1 for _ in self.named_parameters())
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters from a state dict (shapes must match)."""
+        own = dict(self.named_parameters())
+        if set(own) != set(state):
+            missing = set(own) ^ set(state)
+            raise ValueError(f"state dict mismatch on keys: {sorted(missing)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs "
+                    f"{state[name].shape}"
+                )
+            param.data = state[name].astype(np.float32).copy()
+
+
+class Sequential(Module):
+    """Feed each input through a list of layers in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        """Forward pass."""
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class ReLU(Module):
+    """Elementwise rectifier."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return x.relu()
+
+
+class Flatten(Module):
+    """Collapse all but the leading (batch) axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,88 @@
+"""Convolution, pooling and upsampling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.init import kaiming_uniform
+from repro.ndl.layers.base import Module, Parameter
+from repro.ndl.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return F.global_avg_pool2d(x)
+
+
+class Upsample2d(Module):
+    """Nearest-neighbour upsampling by an integer scale."""
+
+    def __init__(self, scale: int = 2):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return F.upsample_nearest2d(x, self.scale)

@@ -1,0 +1,39 @@
+"""Embedding layer — the large lookup tables of NCF and the LSTM LM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.init import normal
+from repro.ndl.layers.base import Module, Parameter
+from repro.ndl.tensor import Tensor
+
+
+class Embedding(Module):
+    """Dense lookup table of shape (num_embeddings, embedding_dim)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_embeddings < 1 or embedding_dim < 1:
+            raise ValueError("embedding sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            normal((num_embeddings, embedding_dim), std=0.01, rng=rng)
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Forward pass."""
+        indices = np.asarray(indices)
+        if indices.size and (
+            indices.max() >= self.num_embeddings or indices.min() < 0
+        ):
+            raise IndexError("embedding index out of range")
+        return F.embedding(self.weight, indices)

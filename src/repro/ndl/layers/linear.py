@@ -1,0 +1,38 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.init import kaiming_uniform
+from repro.ndl.layers.base import Module, Parameter
+from repro.ndl.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Kaiming-uniform initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_uniform((in_features, out_features), fan_in=in_features, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

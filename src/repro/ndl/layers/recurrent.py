@@ -1,0 +1,96 @@
+"""Recurrent layers: LSTM cell and multi-step LSTM.
+
+The language-modeling benchmark (Table II's LSTM/PTB row) trains a
+word-level LSTM; this is a straightforward gate implementation built on
+autograd ops, unrolled over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.init import kaiming_uniform
+from repro.ndl.layers.base import Module, Parameter
+from repro.ndl.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate weights.
+
+    The four gates (input, forget, cell, output) share one weight matrix
+    ``W ∈ R^{(I+H) × 4H}`` applied to ``[x, h]``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        fan_in = input_size + hidden_size
+        self.weight = Parameter(
+            kaiming_uniform((fan_in, 4 * hidden_size), fan_in=fan_in, rng=rng)
+        )
+        # Forget-gate bias starts at 1 (standard trick for gradient flow).
+        bias = np.zeros(4 * hidden_size, dtype=np.float32)
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
+        """Forward pass."""
+        h_prev, c_prev = state
+        combined = F.concat([x, h_prev], axis=1)
+        gates = combined @ self.weight + self.bias
+        hidden = self.hidden_size
+        i_gate = gates[:, 0 * hidden : 1 * hidden].sigmoid()
+        f_gate = gates[:, 1 * hidden : 2 * hidden].sigmoid()
+        g_gate = gates[:, 2 * hidden : 3 * hidden].tanh()
+        o_gate = gates[:, 3 * hidden : 4 * hidden].sigmoid()
+        c_next = f_gate * c_prev + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def zero_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        """Zero-initialized (h, c) state for a batch."""
+        zeros = np.zeros((batch_size, self.hidden_size), dtype=np.float32)
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unrolled single-layer LSTM over (N, T, I) inputs.
+
+    Returns the stacked hidden states with shape (N, T, H).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> Tensor:
+        """Forward pass."""
+        n, t, _ = x.shape
+        if state is None:
+            state = self.cell.zero_state(n)
+        outputs = []
+        for step in range(t):
+            h, c = self.cell(x[:, step, :], state)
+            state = (h, c)
+            outputs.append(h)
+        # (T, N, H) -> (N, T, H)
+        return F.stack_rows(outputs).transpose(1, 0, 2)

@@ -1,0 +1,68 @@
+"""Loss functions (fused, numerically stable primitives)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.tensor import Tensor, _bw_add
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (N, C) logits against integer labels."""
+    labels = np.asarray(labels)
+    if logits.data.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got {logits.data.shape}")
+    n, c = logits.data.shape
+    if labels.shape != (n,):
+        raise ValueError(f"expected {n} labels, got shape {labels.shape}")
+    if labels.size and (labels.max() >= c or labels.min() < 0):
+        raise ValueError("label out of range")
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_norm
+    loss = -log_probs[np.arange(n), labels].mean()
+    softmax = np.exp(log_probs)
+
+    def backward(grad: np.ndarray) -> None:
+        delta = softmax.copy()
+        delta[np.arange(n), labels] -= 1.0
+        _bw_add(logits, grad * delta / n)
+
+    return Tensor._make(np.float32(loss), (logits,), backward)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean sigmoid-BCE, stable for large |logits| (NCF / segmentation)."""
+    targets = np.asarray(targets, dtype=np.float32)
+    if targets.shape != logits.data.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} != logits shape {logits.data.shape}"
+        )
+    z = logits.data
+    # log(1 + e^-|z|) formulation avoids overflow.
+    loss = np.maximum(z, 0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    mean_loss = loss.mean()
+    sigmoid = 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+    count = z.size
+
+    def backward(grad: np.ndarray) -> None:
+        _bw_add(logits, grad * (sigmoid - targets) / count)
+
+    return Tensor._make(np.float32(mean_loss), (logits,), backward)
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    targets = np.asarray(targets, dtype=np.float32)
+    if targets.shape != predictions.data.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} != predictions shape "
+            f"{predictions.data.shape}"
+        )
+    diff = predictions.data - targets
+    count = diff.size
+
+    def backward(grad: np.ndarray) -> None:
+        _bw_add(predictions, grad * 2.0 * diff / count)
+
+    return Tensor._make(np.float32((diff**2).mean()), (predictions,), backward)

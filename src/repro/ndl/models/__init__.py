@@ -1,0 +1,27 @@
+"""Model zoo: reduced-scale versions of the paper's 7 architectures.
+
+Table II's models, proportionately shrunk so they train on a laptop-scale
+NumPy substrate while keeping their architectural character (residual
+blocks, dense connectivity, VGG-style plain stacks, GMF+MLP NCF, LSTM LM,
+U-Net encoder-decoder).
+"""
+
+from repro.ndl.models.mlp import MLP
+from repro.ndl.models.resnet import ResNetCIFAR, ResNet9, ResNet50Lite
+from repro.ndl.models.vgg import VGG
+from repro.ndl.models.densenet import DenseNet
+from repro.ndl.models.ncf import NCF
+from repro.ndl.models.lstm_lm import LSTMLanguageModel
+from repro.ndl.models.unet import UNet
+
+__all__ = [
+    "MLP",
+    "ResNetCIFAR",
+    "ResNet9",
+    "ResNet50Lite",
+    "VGG",
+    "DenseNet",
+    "NCF",
+    "LSTMLanguageModel",
+    "UNet",
+]

@@ -1,0 +1,94 @@
+"""DenseNet (Huang et al., CVPR 2017), the DenseNet40-K12 shape reduced.
+
+Three dense blocks of ``n`` layers each; every layer concatenates its
+``growth_rate`` new channels onto the running feature map, and 1x1
+transition convs + pooling sit between blocks.  DenseNet's many small
+tensors (158 gradient vectors in Table II) are the property that matters
+for compression behaviour, and the block structure preserves it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+)
+from repro.ndl.tensor import Tensor
+
+
+class DenseLayer(Module):
+    """BN-ReLU-Conv producing ``growth_rate`` channels to concatenate."""
+
+    def __init__(self, in_ch: int, growth_rate: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = BatchNorm2d(in_ch)
+        self.conv = Conv2d(in_ch, growth_rate, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        new = self.conv(self.bn(x).relu())
+        return F.concat([x, new], axis=1)
+
+
+class Transition(Module):
+    """1x1 conv + 2x2 average pool between dense blocks."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = BatchNorm2d(in_ch)
+        self.conv = Conv2d(in_ch, out_ch, 1, bias=False, rng=rng)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(Module):
+    """DenseNet-BC style network: depth = 3n + 4 with 3 dense blocks."""
+
+    def __init__(
+        self,
+        depth: int = 40,
+        growth_rate: int = 4,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if (depth - 4) % 3:
+            raise ValueError(f"depth must be 3n+4, got {depth}")
+        n = (depth - 4) // 3
+        rng = np.random.default_rng(seed)
+        channels = 2 * growth_rate
+        self.stem = Conv2d(in_channels, channels, 3, padding=1, bias=False,
+                           rng=rng)
+        stages: list[Module] = []
+        for stage in range(3):
+            for _ in range(n):
+                stages.append(DenseLayer(channels, growth_rate, rng))
+                channels += growth_rate
+            if stage < 2:
+                stages.append(Transition(channels, channels // 2, rng))
+                channels //= 2
+        self.stages = stages
+        self.final_bn = BatchNorm2d(channels)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.stem(x)
+        for stage in self.stages:
+            out = stage(out)
+        out = self.final_bn(out).relu()
+        return self.fc(self.pool(out))

@@ -1,0 +1,51 @@
+"""Word-level LSTM language model (Table II's LSTM/PTB row).
+
+Embedding → LSTM → tied-size projection to the vocabulary.  Like the
+PTB reference model, the embedding and softmax matrices dominate the
+parameter count (few, large gradient tensors: 7 in Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.layers import LSTM, Embedding, Linear, Module
+from repro.ndl.tensor import Tensor
+
+
+class LSTMLanguageModel(Module):
+    """Next-token predictor over integer sequences of shape (N, T)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 16,
+        hidden_dim: int = 32,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng)
+        self.lstm = LSTM(embed_dim, hidden_dim, rng=rng)
+        self.proj = Linear(hidden_dim, vocab_size, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Forward pass."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"expected (N, T) token ids, got {tokens.shape}")
+        embedded = self.embedding(tokens)  # (N, T, E)
+        hidden = self.lstm(embedded)  # (N, T, H)
+        n, t, h = hidden.shape
+        return self.proj(hidden.reshape(n * t, h))  # (N*T, V)
+
+    def perplexity(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Test perplexity = exp(mean cross-entropy)."""
+        from repro.ndl.losses import softmax_cross_entropy
+        from repro.ndl.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(tokens)
+            loss = softmax_cross_entropy(logits, np.ravel(targets))
+        return float(np.exp(loss.data))

@@ -1,0 +1,36 @@
+"""Plain multi-layer perceptron (used by tests and the quickstart)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.layers import Flatten, Linear, Module, ReLU, Sequential
+from repro.ndl.tensor import Tensor
+
+
+class MLP(Module):
+    """Fully-connected classifier with ReLU hidden layers."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: list[int],
+        num_classes: int,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = [Flatten()]
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.net(x)

@@ -1,0 +1,65 @@
+"""Neural Collaborative Filtering (He et al., WWW 2017).
+
+The recommendation benchmark (Table II's NCF/MovieLens row).  Two
+embedding pairs feed a GMF branch (elementwise product) and an MLP
+branch (concatenation through ReLU layers); their outputs concatenate
+into a single logit.  Embedding tables dominate the parameter count —
+the property that makes this benchmark communication-bound and its
+gradients embedding-sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.layers import Embedding, Linear, Module
+from repro.ndl.tensor import Tensor
+
+
+class NCF(Module):
+    """GMF + MLP neural collaborative filtering with a single logit head.
+
+    ``forward`` takes an integer array of shape (N, 2): user and item ids.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        gmf_dim: int = 8,
+        mlp_dim: int = 8,
+        mlp_hidden: tuple[int, ...] = (16, 8),
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.gmf_user = Embedding(num_users, gmf_dim, rng=rng)
+        self.gmf_item = Embedding(num_items, gmf_dim, rng=rng)
+        self.mlp_user = Embedding(num_users, mlp_dim, rng=rng)
+        self.mlp_item = Embedding(num_items, mlp_dim, rng=rng)
+        mlp_layers: list[Module] = []
+        previous = 2 * mlp_dim
+        for width in mlp_hidden:
+            mlp_layers.append(Linear(previous, width, rng=rng))
+            previous = width
+        self.mlp_layers = mlp_layers
+        self.head = Linear(gmf_dim + previous, 1, rng=rng)
+
+    def forward(self, pairs: np.ndarray) -> Tensor:
+        """Forward pass."""
+        pairs = np.asarray(pairs)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"expected (N, 2) user/item ids, got {pairs.shape}")
+        users, items = pairs[:, 0], pairs[:, 1]
+        gmf = self.gmf_user(users) * self.gmf_item(items)
+        mlp = F.concat([self.mlp_user(users), self.mlp_item(items)], axis=1)
+        for layer in self.mlp_layers:
+            mlp = layer(mlp).relu()
+        logits = self.head(F.concat([gmf, mlp], axis=1))
+        return logits.reshape(-1)
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        """Sigmoid interaction scores (for hit-rate evaluation)."""
+        logits = self.forward(pairs)
+        return 1.0 / (1.0 + np.exp(-logits.data))

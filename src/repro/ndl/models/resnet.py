@@ -1,0 +1,214 @@
+"""Residual networks: CIFAR-style ResNet-20, the custom ResNet-9 of
+`cifar10-fast`, and a bottleneck ResNet-50-style network.
+
+Widths default to a fraction of the originals so the NumPy substrate
+trains them quickly; depth/stage structure is preserved, which is what
+determines the number of communicated gradient tensors (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+)
+from repro.ndl.tensor import Tensor
+
+
+def _ensure_tensor(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity (or 1x1 projection) skip."""
+
+    def __init__(
+        self, in_ch: int, out_ch: int, stride: int, rng: np.random.Generator
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Conv2d(in_ch, out_ch, 1, stride=stride,
+                                   bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_ch)
+        else:
+            self.shortcut = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.shortcut is not None:
+            x = self.shortcut_bn(self.shortcut(x))
+        return (out + x).relu()
+
+
+class Bottleneck(Module):
+    """1x1 → 3x3 → 1x1 bottleneck block (ResNet-50 family)."""
+
+    expansion = 4
+
+    def __init__(
+        self, in_ch: int, mid_ch: int, stride: int, rng: np.random.Generator
+    ):
+        super().__init__()
+        out_ch = mid_ch * self.expansion
+        self.conv1 = Conv2d(in_ch, mid_ch, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(mid_ch)
+        self.conv2 = Conv2d(mid_ch, mid_ch, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(mid_ch)
+        self.conv3 = Conv2d(mid_ch, out_ch, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Conv2d(in_ch, out_ch, 1, stride=stride,
+                                   bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_ch)
+        else:
+            self.shortcut = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        if self.shortcut is not None:
+            x = self.shortcut_bn(self.shortcut(x))
+        return (out + x).relu()
+
+
+class ResNetCIFAR(Module):
+    """CIFAR-style ResNet: depth = 6n+2 with three stages of n blocks.
+
+    ``depth=20`` gives the paper's ResNet-20 (n=3).
+    """
+
+    def __init__(
+        self,
+        depth: int = 20,
+        num_classes: int = 10,
+        base_width: int = 4,
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if (depth - 2) % 6:
+            raise ValueError(f"depth must be 6n+2, got {depth}")
+        n = (depth - 2) // 6
+        rng = np.random.default_rng(seed)
+        widths = [base_width, 2 * base_width, 4 * base_width]
+        self.stem = Conv2d(in_channels, widths[0], 3, padding=1, bias=False,
+                           rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        blocks: list[Module] = []
+        in_ch = widths[0]
+        for stage, width in enumerate(widths):
+            for block in range(n):
+                stride = 2 if stage > 0 and block == 0 else 1
+                blocks.append(BasicBlock(in_ch, width, stride, rng))
+                in_ch = width
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        x = _ensure_tensor(x)
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.fc(self.pool(out))
+
+
+class ResNet9(Module):
+    """The custom ResNet-9 of `cifar10-fast` (Table II row 3).
+
+    conv-bn / conv-bn-pool stem, one residual block, widen, pool, one
+    more residual block, classifier — 9 parameterized conv/fc layers.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = base_width
+        self.prep = Conv2d(in_channels, w, 3, padding=1, bias=False, rng=rng)
+        self.prep_bn = BatchNorm2d(w)
+        self.layer1 = Conv2d(w, 2 * w, 3, padding=1, bias=False, rng=rng)
+        self.layer1_bn = BatchNorm2d(2 * w)
+        self.res1 = BasicBlock(2 * w, 2 * w, 1, rng)
+        self.layer2 = Conv2d(2 * w, 4 * w, 3, padding=1, bias=False, rng=rng)
+        self.layer2_bn = BatchNorm2d(4 * w)
+        self.res2 = BasicBlock(4 * w, 4 * w, 1, rng)
+        self.pool = MaxPool2d(2)
+        self.head = GlobalAvgPool2d()
+        self.fc = Linear(4 * w, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        x = _ensure_tensor(x)
+        out = self.prep_bn(self.prep(x)).relu()
+        out = self.pool(self.layer1_bn(self.layer1(out)).relu())
+        out = self.res1(out)
+        out = self.pool(self.layer2_bn(self.layer2(out)).relu())
+        out = self.res2(out)
+        return self.fc(self.head(out))
+
+
+class ResNet50Lite(Module):
+    """Bottleneck ResNet with the 4-stage [3,4,6,3]-style layout, shrunk.
+
+    ``blocks_per_stage=(1, 1, 1, 1)`` keeps the bottleneck/projection
+    structure (and hence the gradient-tensor mix) at tractable size.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 4,
+        blocks_per_stage: tuple[int, int, int, int] = (1, 1, 1, 1),
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = base_width
+        self.stem = Conv2d(in_channels, w, 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(w)
+        blocks: list[Module] = []
+        in_ch = w
+        for stage, count in enumerate(blocks_per_stage):
+            mid = w * (2**stage)
+            for block in range(count):
+                stride = 2 if stage > 0 and block == 0 else 1
+                blocks.append(Bottleneck(in_ch, mid, stride, rng))
+                in_ch = mid * Bottleneck.expansion
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        x = _ensure_tensor(x)
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.fc(self.pool(out))

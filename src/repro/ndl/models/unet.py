@@ -1,0 +1,79 @@
+"""U-Net (Ronneberger et al., MICCAI 2015) for the DAGM segmentation task.
+
+Encoder-decoder with skip connections: two down levels, a bottleneck and
+two up levels; the decoder concatenates the matching encoder features
+(the defining U-Net property) and a 1x1 conv emits per-pixel logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl import functional as F
+from repro.ndl.layers import (
+    BatchNorm2d,
+    Conv2d,
+    MaxPool2d,
+    Module,
+    Upsample2d,
+)
+from repro.ndl.tensor import Tensor
+
+
+class DoubleConv(Module):
+    """Conv-BN-ReLU twice — U-Net's basic unit."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        x = self.bn1(self.conv1(x)).relu()
+        return self.bn2(self.conv2(x)).relu()
+
+
+class UNet(Module):
+    """Two-level U-Net emitting (N, out_channels, H, W) logits."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        out_channels: int = 1,
+        base_width: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = base_width
+        self.enc1 = DoubleConv(in_channels, w, rng)
+        self.enc2 = DoubleConv(w, 2 * w, rng)
+        self.bottleneck = DoubleConv(2 * w, 4 * w, rng)
+        self.pool = MaxPool2d(2)
+        self.up = Upsample2d(2)
+        self.dec2 = DoubleConv(4 * w + 2 * w, 2 * w, rng)
+        self.dec1 = DoubleConv(2 * w + w, w, rng)
+        self.head = Conv2d(w, out_channels, 1, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        skip1 = self.enc1(x)
+        skip2 = self.enc2(self.pool(skip1))
+        bottom = self.bottleneck(self.pool(skip2))
+        up2 = self.dec2(F.concat([self.up(bottom), skip2], axis=1))
+        up1 = self.dec1(F.concat([self.up(up2), skip1], axis=1))
+        return self.head(up1)
+
+    def predict_mask(self, x, threshold: float = 0.5) -> np.ndarray:
+        """Binary segmentation mask from sigmoid(logits)."""
+        from repro.ndl.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(x)
+        probs = 1.0 / (1.0 + np.exp(-logits.data))
+        return (probs >= threshold).astype(np.float32)

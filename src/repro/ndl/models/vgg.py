@@ -1,0 +1,88 @@
+"""VGG (Simonyan & Zisserman, ICLR 2015), width-reduced.
+
+VGG's plain conv stacks end in very large fully-connected layers, which
+is why the paper finds it communication-bound (Fig. 1): most parameters
+sit in few huge tensors.  The lite configs keep that property — the
+classifier dominates the parameter count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ndl.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+)
+from repro.ndl.tensor import Tensor
+
+#: Stage specs: ints are conv widths (in units of base_width), "M" pools.
+_CONFIGS = {
+    "vgg11": [1, "M", 2, "M", 4, 4, "M", 8, 8, "M"],
+    "vgg16": [1, 1, "M", 2, 2, "M", 4, 4, 4, "M", 8, 8, 8, "M"],
+    "vgg19": [1, 1, "M", 2, 2, "M", 4, 4, 4, 4, "M", 8, 8, 8, 8, "M"],
+}
+
+
+class VGG(Module):
+    """Plain convolutional stack + large FC classifier."""
+
+    def __init__(
+        self,
+        config: str = "vgg16",
+        num_classes: int = 10,
+        base_width: int = 4,
+        classifier_width: int = 64,
+        in_channels: int = 3,
+        image_size: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if config not in _CONFIGS:
+            raise ValueError(f"unknown config {config!r}; options: {sorted(_CONFIGS)}")
+        rng = np.random.default_rng(seed)
+        self.config = config
+        convs: list[Module] = []
+        bns: list[Module] = []
+        plan: list[tuple[str, int]] = []
+        in_ch = in_channels
+        spatial = image_size
+        for item in _CONFIGS[config]:
+            if item == "M":
+                if spatial >= 2:
+                    plan.append(("pool", 0))
+                    spatial //= 2
+                continue
+            width = item * base_width
+            convs.append(Conv2d(in_ch, width, 3, padding=1, bias=False, rng=rng))
+            bns.append(BatchNorm2d(width))
+            plan.append(("conv", len(convs) - 1))
+            in_ch = width
+        self.convs = convs
+        self.bns = bns
+        self._plan = plan
+        self.pool = MaxPool2d(2)
+        self.flatten = Flatten()
+        flat = in_ch * spatial * spatial
+        self.fc1 = Linear(flat, classifier_width, rng=rng)
+        self.fc2 = Linear(classifier_width, classifier_width, rng=rng)
+        self.fc3 = Linear(classifier_width, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        """Forward pass."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = x
+        for kind, index in self._plan:
+            if kind == "pool":
+                out = self.pool(out)
+            else:
+                out = self.bns[index](self.convs[index](out)).relu()
+        out = self.flatten(out)
+        out = self.fc1(out).relu()
+        out = self.fc2(out).relu()
+        return self.fc3(out)

@@ -1,0 +1,186 @@
+"""Optimizers used by the paper's benchmarks (§V-A).
+
+SGD (with optional momentum / Nesterov) for image classification and
+language modeling, RMSProp for segmentation, Adam for recommendation,
+AdaGrad for completeness.  ``step`` takes an explicit gradient dict —
+that is how the GRACE trainer applies the *aggregated* gradient — or
+falls back to each parameter's own ``.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.ndl.layers.base import Parameter
+
+
+class Optimizer:
+    """Base optimizer over named parameters."""
+
+    def __init__(self, named_params: Iterable[tuple[str, Parameter]], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: dict[str, Parameter] = dict(named_params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def _gradient(
+        self, name: str, grads: dict[str, np.ndarray] | None
+    ) -> np.ndarray | None:
+        if grads is not None:
+            grad = grads.get(name)
+        else:
+            grad = self.params[name].grad
+        if grad is None:
+            return None
+        return np.asarray(grad, dtype=np.float32).reshape(
+            self.params[name].data.shape
+        )
+
+    def step(self, grads: dict[str, np.ndarray] | None = None) -> None:
+        """Apply one update from ``grads`` (or each parameter's .grad)."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's accumulated gradient."""
+        for param in self.params.values():
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """SGD with optional (Nesterov) momentum and weight decay."""
+
+    def __init__(
+        self,
+        named_params: Iterable[tuple[str, Parameter]],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(named_params, lr)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov requires momentum > 0")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, grads: dict[str, np.ndarray] | None = None) -> None:
+        """One (Nesterov-)momentum SGD update."""
+        for name, param in self.params.items():
+            grad = self._gradient(name, grads)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[name] = velocity
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        named_params: Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(named_params, lr)
+        beta1, beta2 = betas
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray] | None = None) -> None:
+        """One bias-corrected Adam update."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, param in self.params.items():
+            grad = self._gradient(name, grads)
+            if grad is None:
+                continue
+            m = self._m.get(name, np.zeros_like(param.data))
+            v = self._v.get(name, np.zeros_like(param.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[name], self._v[name] = m, v
+            param.data = param.data - self.lr * (m / bias1) / (
+                np.sqrt(v / bias2) + self.eps
+            )
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton)."""
+
+    def __init__(
+        self,
+        named_params: Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        decay: float = 0.9,
+        eps: float = 1e-8,
+    ):
+        super().__init__(named_params, lr)
+        if not 0 <= decay < 1:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.decay = float(decay)
+        self.eps = float(eps)
+        self._avg_sq: dict[str, np.ndarray] = {}
+
+    def step(self, grads: dict[str, np.ndarray] | None = None) -> None:
+        """One RMSProp update."""
+        for name, param in self.params.items():
+            grad = self._gradient(name, grads)
+            if grad is None:
+                continue
+            avg = self._avg_sq.get(name, np.zeros_like(param.data))
+            avg = self.decay * avg + (1 - self.decay) * grad**2
+            self._avg_sq[name] = avg
+            param.data = param.data - self.lr * grad / (np.sqrt(avg) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al., 2011)."""
+
+    def __init__(
+        self,
+        named_params: Iterable[tuple[str, Parameter]],
+        lr: float = 1e-2,
+        eps: float = 1e-8,
+    ):
+        super().__init__(named_params, lr)
+        self.eps = float(eps)
+        self._sum_sq: dict[str, np.ndarray] = {}
+
+    def step(self, grads: dict[str, np.ndarray] | None = None) -> None:
+        """One AdaGrad update."""
+        for name, param in self.params.items():
+            grad = self._gradient(name, grads)
+            if grad is None:
+                continue
+            total = self._sum_sq.get(name, np.zeros_like(param.data))
+            total = total + grad**2
+            self._sum_sq[name] = total
+            param.data = param.data - self.lr * grad / (np.sqrt(total) + self.eps)

@@ -1,0 +1,99 @@
+"""Learning-rate schedules.
+
+The paper's benchmarks use their upstream recipes' schedules (step decay
+for the CIFAR/ImageNet models, constant for the rest); these utilities
+let lite runs do the same.  A schedule wraps an optimizer and rewrites
+its ``lr`` when :meth:`step` advances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ndl.optim import Optimizer
+
+
+class Schedule:
+    """Base schedule: owns the optimizer's ``lr`` from now on."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+        self._apply()
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate at the given epoch."""
+        raise NotImplementedError
+
+    def _apply(self) -> None:
+        self.optimizer.lr = float(self.lr_at(self.epoch))
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self._apply()
+        return self.optimizer.lr
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``gamma`` every ``period`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, period: int = 10,
+                 gamma: float = 0.1):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.period = int(period)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate at the given epoch."""
+        return self.base_lr * self.gamma ** (epoch // self.period)
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from the base rate to ``min_lr`` over ``total`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, total: int,
+                 min_lr: float = 0.0):
+        if total < 1:
+            raise ValueError(f"total must be >= 1, got {total}")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.total = int(total)
+        self.min_lr = float(min_lr)
+        super().__init__(optimizer)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate at the given epoch."""
+        progress = min(epoch, self.total) / self.total
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress)
+        )
+
+
+class LinearWarmup(Schedule):
+    """Linear ramp over ``warmup`` epochs, then delegate to ``after``.
+
+    ``after`` is constructed lazily around the same optimizer once the
+    ramp finishes (its base rate is the fully warmed rate).
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup: int,
+                 after: "Schedule | None" = None):
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.warmup = int(warmup)
+        self.after = after
+        super().__init__(optimizer)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate at the given epoch."""
+        if epoch < self.warmup:
+            return self.base_lr * (epoch + 1) / self.warmup
+        if self.after is not None:
+            return self.after.lr_at(epoch - self.warmup)
+        return self.base_lr

@@ -1,0 +1,64 @@
+"""Adapter between an ``ndl`` model and the GRACE distributed trainer.
+
+:class:`ModelTask` implements the :class:`repro.core.trainer.DistributedTask`
+protocol: ``forward_backward`` runs one mini-batch through the model and
+returns the per-tensor gradients; ``apply_update`` pushes the aggregated
+gradient through the optimizer (Algorithm 1 line 15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ndl.layers.base import Module
+from repro.ndl.optim import Optimizer
+from repro.ndl.tensor import Tensor
+
+
+class ModelTask:
+    """Wrap (model, optimizer, loss_fn) for the distributed trainer.
+
+    ``loss_fn(outputs, targets)`` must return a scalar :class:`Tensor`.
+    ``forward_fn`` customizes how a batch flows through the model
+    (defaults to ``model(inputs)``), which models with multiple inputs
+    (e.g. NCF's user/item pairs) override.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+        forward_fn: Callable[[Module, np.ndarray], Tensor] | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.forward_fn = forward_fn
+
+    def forward_backward(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Run one mini-batch and return (loss, per-tensor gradients)."""
+        self.model.zero_grad()
+        if self.forward_fn is not None:
+            outputs = self.forward_fn(self.model, inputs)
+        else:
+            outputs = self.model(inputs)
+        loss = self.loss_fn(outputs, targets)
+        loss.backward()
+        grads = {
+            name: (
+                param.grad.copy()
+                if param.grad is not None
+                else np.zeros_like(param.data)
+            )
+            for name, param in self.model.named_parameters()
+        }
+        return float(loss.item()), grads
+
+    def apply_update(self, gradients: dict[str, np.ndarray]) -> None:
+        """Push the aggregated gradient through the optimizer."""
+        self.optimizer.step(gradients)

@@ -1,0 +1,120 @@
+"""Lossless encodings.
+
+3LC's third stage is "aggressive lossless encoding" of the quantized
+stream; its reference design uses zero-run-length encoding, which is what
+:func:`rle_encode_zeros` implements (ternary symbols, with runs of zeros
+collapsed into a length counter).  Varint encoding serves as the compact
+integer representation for the run lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def varint_encode(values: np.ndarray) -> np.ndarray:
+    """LEB128-style varint encoding of non-negative integers."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("varint encoding requires non-negative integers")
+    out = bytearray()
+    for value in values.tolist():
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return np.frombuffer(bytes(out), dtype=np.uint8)
+
+
+def varint_decode(buffer: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`varint_encode`; reads ``count`` integers."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    data = bytes(np.asarray(buffer, dtype=np.uint8))
+    values = np.empty(count, dtype=np.int64)
+    position = 0
+    for index in range(count):
+        result = 0
+        shift = 0
+        while True:
+            if position >= len(data):
+                raise ValueError("varint buffer exhausted")
+            byte = data[position]
+            position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        values[index] = result
+    return values
+
+
+# Symbols of the zero-RLE ternary stream: literal -1 / +1, or a zero-run.
+_SYMBOL_NEG, _SYMBOL_POS, _SYMBOL_RUN = 0, 1, 2
+
+
+def rle_encode_zeros(ternary: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Zero-run-length encode a {-1, 0, +1} stream (3LC's lossless stage).
+
+    Returns ``(symbols, run_lengths, n_symbols)``: a 2-bit symbol stream
+    (packed by the caller) where each ``RUN`` symbol consumes the next
+    varint run length.
+    """
+    ternary = np.asarray(ternary)
+    if ternary.size and not set(np.unique(ternary)).issubset({-1, 0, 1}):
+        raise ValueError("input must be ternary (-1, 0, +1)")
+    symbols: list[int] = []
+    runs: list[int] = []
+    index = 0
+    values = ternary.astype(np.int64)
+    n = values.size
+    while index < n:
+        value = values[index]
+        if value == 0:
+            run_start = index
+            while index < n and values[index] == 0:
+                index += 1
+            symbols.append(_SYMBOL_RUN)
+            runs.append(index - run_start)
+        else:
+            symbols.append(_SYMBOL_POS if value > 0 else _SYMBOL_NEG)
+            index += 1
+    return (
+        np.asarray(symbols, dtype=np.uint8),
+        np.asarray(runs, dtype=np.int64),
+        len(symbols),
+    )
+
+
+def rle_decode_zeros(
+    symbols: np.ndarray, run_lengths: np.ndarray, size: int
+) -> np.ndarray:
+    """Inverse of :func:`rle_encode_zeros`; returns a float32 ternary array."""
+    out = np.zeros(size, dtype=np.float32)
+    position = 0
+    run_index = 0
+    for symbol in np.asarray(symbols).tolist():
+        if symbol == _SYMBOL_RUN:
+            if run_index >= len(run_lengths):
+                raise ValueError("run-length stream exhausted")
+            position += int(run_lengths[run_index])
+            run_index += 1
+        elif symbol == _SYMBOL_POS:
+            out[position] = 1.0
+            position += 1
+        elif symbol == _SYMBOL_NEG:
+            out[position] = -1.0
+            position += 1
+        else:
+            raise ValueError(f"unknown RLE symbol {symbol}")
+        if position > size:
+            raise ValueError("RLE stream overruns the declared size")
+    if position != size:
+        raise ValueError(
+            f"RLE stream decodes {position} elements, expected {size}"
+        )
+    return out

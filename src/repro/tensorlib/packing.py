@@ -1,0 +1,82 @@
+"""Bit-packing helpers.
+
+Several compressors produce elements that need far fewer than 32 bits
+(signs need 1 bit, ternary values 2 bits, QSGD code-words ``ceil(log2 s)``
+bits).  The GRACE paper's ``pack``/``unpack`` helpers encode several
+lower-bit values into one higher-bit word so that the transmitted volume
+reflects the true entropy of the compressed representation.
+
+All functions operate on flat ``numpy`` arrays of non-negative integer
+code-words and round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD_BITS = 8  # we pack into uint8 words, the natural unit for bytes-on-wire
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+
+
+def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an array of integer code-words into a dense ``uint8`` buffer.
+
+    Each code-word must fit in ``bits`` bits.  The output buffer holds
+    ``ceil(n * bits / 8)`` bytes.
+
+    >>> pack_bits(np.array([1, 0, 1, 1]), bits=1)
+    array([13], dtype=uint8)
+    """
+    _check_bits(bits)
+    codes = np.ascontiguousarray(codes).astype(np.uint64).ravel()
+    if codes.size and int(codes.max()) >= (1 << bits):
+        raise ValueError(f"code-word {int(codes.max())} does not fit in {bits} bits")
+    # Expand every code into its bit representation (LSB first), then pack.
+    n = codes.size
+    bit_matrix = ((codes[:, None] >> np.arange(bits, dtype=np.uint64)) & 1).astype(
+        np.uint8
+    )
+    flat_bits = bit_matrix.ravel()
+    pad = (-flat_bits.size) % _WORD_BITS
+    if pad:
+        flat_bits = np.concatenate([flat_bits, np.zeros(pad, dtype=np.uint8)])
+    return np.packbits(flat_bits.reshape(-1, _WORD_BITS), axis=1, bitorder="little").ravel()
+
+
+def unpack_bits(buffer: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns ``count`` code-words as int64."""
+    _check_bits(bits)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    flat_bits = np.unpackbits(buffer.astype(np.uint8), bitorder="little")
+    needed = count * bits
+    if flat_bits.size < needed:
+        raise ValueError(
+            f"buffer holds {flat_bits.size} bits but {needed} are required"
+        )
+    bit_matrix = flat_bits[:needed].reshape(count, bits).astype(np.int64)
+    weights = (1 << np.arange(bits, dtype=np.int64))
+    return bit_matrix @ weights
+
+
+def pack_signs(values: np.ndarray) -> np.ndarray:
+    """Pack the signs of ``values`` (non-negative -> 1, negative -> 0)."""
+    return pack_bits((np.ravel(values) >= 0).astype(np.uint8), bits=1)
+
+
+def unpack_signs(buffer: np.ndarray, count: int) -> np.ndarray:
+    """Unpack a sign buffer into a float ±1 vector of length ``count``."""
+    bits = unpack_bits(buffer, bits=1, count=count)
+    return np.where(bits > 0, 1.0, -1.0).astype(np.float32)
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Number of bytes :func:`pack_bits` uses for ``count`` ``bits``-wide codes."""
+    _check_bits(bits)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return (count * bits + _WORD_BITS - 1) // _WORD_BITS

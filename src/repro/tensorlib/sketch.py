@@ -1,0 +1,142 @@
+"""Sketch data structures.
+
+``CountSketch`` supports heavy-hitter recovery (the mechanism behind
+Sketched-SGD) and ``QuantileSketch`` is the non-uniform quantile summary
+that SketchML builds its bucket codebook from (Greenwald-Khanna style,
+approximated here with a bounded merge-and-prune summary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CountSketch:
+    """A count-sketch over a fixed index universe.
+
+    Parameters
+    ----------
+    width:
+        Number of buckets per row; larger width lowers collision noise.
+    depth:
+        Number of independent rows; the median over rows rejects outliers.
+    universe:
+        Size of the index domain being sketched.
+    seed:
+        Seed for the (fixed) hash functions.
+    """
+
+    def __init__(self, width: int, depth: int, universe: int, seed: int = 0):
+        if width < 1 or depth < 1 or universe < 1:
+            raise ValueError("width, depth and universe must all be >= 1")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.universe = int(universe)
+        rng = np.random.default_rng(seed)
+        # Fixed random hash functions: bucket assignment and sign per row.
+        self._buckets = rng.integers(0, width, size=(depth, universe))
+        self._signs = rng.choice(np.array([-1.0, 1.0]), size=(depth, universe))
+        self.table = np.zeros((depth, width), dtype=np.float64)
+
+    def update(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Add ``values`` at ``indices`` into the sketch."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.shape != values.shape:
+            raise ValueError("indices and values must have the same shape")
+        if indices.size and (indices.max() >= self.universe or indices.min() < 0):
+            raise ValueError("index outside sketch universe")
+        for row in range(self.depth):
+            np.add.at(
+                self.table[row],
+                self._buckets[row, indices],
+                self._signs[row, indices] * values,
+            )
+
+    def query(self, indices: np.ndarray) -> np.ndarray:
+        """Estimate the values at ``indices`` (median over rows)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        estimates = np.empty((self.depth, indices.size), dtype=np.float64)
+        for row in range(self.depth):
+            estimates[row] = (
+                self._signs[row, indices] * self.table[row, self._buckets[row, indices]]
+            )
+        return np.median(estimates, axis=0)
+
+    def heavy_hitters(self, k: int) -> np.ndarray:
+        """Return the ``k`` indices with the largest estimated magnitude."""
+        estimates = np.abs(self.query(np.arange(self.universe)))
+        k = int(min(max(k, 1), self.universe))
+        idx = np.argpartition(estimates, self.universe - k)[-k:]
+        return np.sort(idx)
+
+    def merge(self, other: "CountSketch") -> None:
+        """Merge another sketch built with identical parameters and seed."""
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self.universe != other.universe
+        ):
+            raise ValueError("cannot merge sketches with different shapes")
+        self.table += other.table
+
+    @property
+    def nbytes(self) -> int:
+        """On-wire size of the sketch table (float32 per cell)."""
+        return self.depth * self.width * 4
+
+
+class QuantileSketch:
+    """Bounded-size quantile summary for non-uniform bucketization.
+
+    SketchML maps each gradient value to the index of its quantile bucket;
+    the receiver decodes a bucket index to the bucket's representative
+    value.  We keep a sorted reservoir of at most ``max_size`` samples
+    (merge-and-prune), which gives the same bucket semantics as a
+    Greenwald-Khanna summary at the scales this simulator runs at.
+    """
+
+    def __init__(self, num_buckets: int, max_size: int = 4096):
+        if num_buckets < 2:
+            raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
+        self.num_buckets = int(num_buckets)
+        self.max_size = int(max_size)
+        self._samples = np.empty(0, dtype=np.float64)
+
+    def insert(self, values: np.ndarray) -> None:
+        """Fold a batch of values into the summary, pruning to max_size."""
+        merged = np.sort(
+            np.concatenate([self._samples, np.ravel(values).astype(np.float64)])
+        )
+        if merged.size > self.max_size:
+            # Keep evenly spaced order statistics: preserves quantiles.
+            keep = np.linspace(0, merged.size - 1, self.max_size).astype(np.int64)
+            merged = merged[keep]
+        self._samples = merged
+
+    def boundaries(self) -> np.ndarray:
+        """Bucket boundary values (length ``num_buckets - 1``)."""
+        if self._samples.size == 0:
+            raise ValueError("sketch is empty")
+        quantiles = np.linspace(0, 1, self.num_buckets + 1)[1:-1]
+        return np.quantile(self._samples, quantiles)
+
+    def representatives(self) -> np.ndarray:
+        """Representative (median) value of each bucket."""
+        if self._samples.size == 0:
+            raise ValueError("sketch is empty")
+        centers = (np.linspace(0, 1, self.num_buckets + 1)[:-1]
+                   + 0.5 / self.num_buckets)
+        return np.quantile(self._samples, centers)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map values to bucket indices in ``[0, num_buckets)``."""
+        return np.searchsorted(self.boundaries(), np.ravel(values), side="right")
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map bucket indices back to representative values."""
+        reps = self.representatives()
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.max() >= self.num_buckets or codes.min() < 0):
+            raise ValueError("bucket code out of range")
+        return reps[codes]

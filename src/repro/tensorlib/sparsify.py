@@ -1,0 +1,65 @@
+"""Sparsification helper kernels (§III-B of the paper).
+
+``sparsify_*`` flatten a gradient into a rank-1 tensor and return the
+selected ``(values, indices)`` pair; :func:`desparsify` restores a dense
+rank-1 tensor of the original size by filling zeros — exactly the helper
+semantics the GRACE API documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_flat(tensor: np.ndarray) -> np.ndarray:
+    return np.ravel(np.asarray(tensor))
+
+
+def sparsify_topk(tensor: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Select the ``k`` largest-magnitude elements.
+
+    Returns ``(values, indices)`` with indices sorted ascending so the
+    representation is deterministic.
+    """
+    flat = _as_flat(tensor)
+    k = int(min(max(k, 1), flat.size))
+    # argpartition gives the top-k set in O(d); sort the k indices for a
+    # canonical on-wire layout.
+    idx = np.argpartition(np.abs(flat), flat.size - k)[-k:]
+    idx = np.sort(idx)
+    return flat[idx], idx.astype(np.int64)
+
+
+def sparsify_randomk(
+    tensor: np.ndarray, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select ``k`` uniformly random elements (Random-k)."""
+    flat = _as_flat(tensor)
+    k = int(min(max(k, 1), flat.size))
+    idx = np.sort(rng.choice(flat.size, size=k, replace=False)).astype(np.int64)
+    return flat[idx], idx
+
+
+def sparsify_threshold(
+    tensor: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select all elements with ``|g[i]| >= threshold`` (Threshold-v)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    flat = _as_flat(tensor)
+    idx = np.flatnonzero(np.abs(flat) >= threshold).astype(np.int64)
+    return flat[idx], idx
+
+
+def desparsify(
+    values: np.ndarray, indices: np.ndarray, size: int
+) -> np.ndarray:
+    """Restore a dense rank-1 float32 tensor of length ``size``."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    dense = np.zeros(size, dtype=np.float32)
+    if indices.size:
+        if int(indices.max()) >= size or int(indices.min()) < 0:
+            raise ValueError("index out of range for desparsify")
+        dense[indices] = values
+    return dense

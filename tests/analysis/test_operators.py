@@ -1,0 +1,110 @@
+"""Empirical §III operator analysis."""
+
+import pytest
+
+from repro.analysis import (
+    estimate_bias,
+    estimate_omega,
+    is_delta_compressor,
+    profile_compressor,
+)
+from repro.core import create
+
+
+class TestOmega:
+    def test_identity_has_zero_omega(self):
+        assert estimate_omega(create("none")) == pytest.approx(0.0)
+
+    def test_topk_omega_matches_theory(self):
+        # For Gaussian x, Top-k removes exactly the smallest (d-k)
+        # magnitudes: Omega = E[tail energy] / E[total energy] < 1 - k/d.
+        omega = estimate_omega(create("topk", ratio=0.25), dim=1024,
+                               trials=32)
+        assert omega < 1 - 0.25
+        assert omega > 0.0
+
+    def test_randomk_biased_omega_is_one_minus_ratio(self):
+        # Random-k keeps a uniformly random k/d fraction of the energy.
+        omega = estimate_omega(create("randomk", ratio=0.25), dim=2048,
+                               trials=48)
+        assert omega == pytest.approx(0.75, abs=0.05)
+
+    def test_eightbit_omega_small(self):
+        assert estimate_omega(create("eightbit")) < 0.02
+
+    def test_unbiased_scaling_raises_omega_above_one(self):
+        # Unbiased Random-k multiplies by d/k: variance blows past ||x||^2
+        # (the price of unbiasedness the paper's §III-B notes).
+        omega = estimate_omega(
+            create("randomk", ratio=0.25, unbiased=True), dim=1024, trials=32
+        )
+        assert omega > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dim"):
+            estimate_omega(create("none"), dim=1)
+
+
+class TestDeltaCompressor:
+    def test_sparsifiers_are_delta_compressors(self):
+        # "many sparsifiers belong to this category" (§III).
+        for name, params in (
+            ("topk", {"ratio": 0.1}),
+            ("randomk", {"ratio": 0.1}),
+            ("dgc", {"ratio": 0.1}),
+        ):
+            assert is_delta_compressor(
+                create(name, **params), dim=1024, trials=16
+            ), name
+
+    def test_unbiased_quantizers_are_not(self):
+        # QSGD with few levels adds variance: Omega >= 1 territory.
+        assert not is_delta_compressor(
+            create("qsgd", levels=1), dim=1024, trials=16
+        )
+
+
+class TestBias:
+    def test_unbiased_operators_have_small_bias(self):
+        for name, params in (
+            ("qsgd", {"levels": 16}),
+            ("natural", {}),
+            ("randomk", {"ratio": 0.5, "unbiased": True}),
+        ):
+            bias = estimate_bias(create(name, **params), trials=400)
+            assert bias < 0.12, name
+
+    def test_biased_operators_have_large_bias(self):
+        for name, params in (
+            ("topk", {"ratio": 0.1}),
+            ("signsgd", {}),
+            ("randomk", {"ratio": 0.1}),  # biased variant
+        ):
+            bias = estimate_bias(create(name, **params), trials=100)
+            assert bias > 0.2, name
+
+    def test_identity_bias_zero(self):
+        assert estimate_bias(create("none"), trials=3) == pytest.approx(0.0)
+
+
+class TestProfile:
+    def test_profile_fields_consistent(self):
+        profile = profile_compressor(create("topk", ratio=0.2),
+                                     omega_trials=16, bias_trials=60)
+        assert profile.name == "topk"
+        assert profile.delta == pytest.approx(1 - profile.omega)
+        assert profile.delta_compressor == (profile.omega < 1.0)
+        assert not profile.unbiased
+
+    def test_profile_flags_unbiased_method(self):
+        profile = profile_compressor(create("qsgd", levels=16),
+                                     omega_trials=16, bias_trials=300)
+        assert profile.unbiased
+
+    def test_table1_nature_agrees_with_measured_bias(self):
+        # Rand operators marked unbiased in the survey measure as such.
+        for name in ("qsgd", "natural", "terngrad"):
+            profile = profile_compressor(
+                create(name), omega_trials=8, bias_trials=300
+            )
+            assert profile.unbiased, name

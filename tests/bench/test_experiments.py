@@ -1,0 +1,179 @@
+"""Each experiment module runs and produces sensible rows (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    bandwidth,
+    ef_ablation,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+)
+
+TINY = ["none", "topk", "qsgd"]
+
+
+class TestTable1:
+    def test_paper_rows_plus_extensions(self):
+        rows = table1.run()
+        paper_rows = [r for r in rows if r["in_paper"]]
+        assert len(paper_rows) == 17
+        assert len(rows) == 25
+
+    def test_baseline_ratio_is_one(self):
+        rows = {r["compressor"]: r for r in table1.run()}
+        assert rows["none"]["measured_ratio"] == pytest.approx(1.0)
+
+    def test_format_renders(self):
+        assert "Compressor" in table1.format(table1.run())
+
+
+class TestTable2:
+    def test_metadata_without_training(self):
+        rows = table2.run(train_baselines=False)
+        assert len(rows) == 9
+        assert all(r["lite_baseline"] is None for r in rows)
+        assert all(r["lite_params"] > 0 for r in rows)
+
+    def test_one_trained_row(self):
+        rows = table2.run(keys=["ncf-movielens"], train_baselines=True)
+        assert rows[0]["lite_baseline"] > 0.3
+
+    def test_format_renders(self):
+        text = table2.format(table2.run(train_baselines=False))
+        assert "Paper baseline" in text
+
+
+class TestFig1:
+    def test_three_methods_with_series(self):
+        rows = fig1.run(n_workers=2, epochs=2)
+        assert {r["compressor"] for r in rows} == {"none", "randomk",
+                                                   "eightbit"}
+        for row in rows:
+            assert len(row["epoch_accuracy"]) == 2
+            assert len(row["wall_time_axis"]) == 2
+            assert row["wall_time_axis"][1] > row["wall_time_axis"][0]
+
+    def test_wall_time_ordering_matches_paper(self):
+        rows = {r["compressor"]: r for r in fig1.run(n_workers=2, epochs=2)}
+        # Randk per-epoch faster than baseline, 8-bit slower (Fig. 1b).
+        assert rows["randomk"]["seconds_per_epoch"] < (
+            rows["none"]["seconds_per_epoch"]
+        )
+        assert rows["eightbit"]["seconds_per_epoch"] > (
+            rows["none"]["seconds_per_epoch"]
+        )
+
+    def test_format_renders(self):
+        assert "ranking" in fig1.format(fig1.run(n_workers=2, epochs=2))
+
+
+class TestFig6:
+    def test_panel_rows(self):
+        rows = fig6.run_panel("ncf-movielens", compressors=TINY,
+                              n_workers=2, epochs=2)
+        assert len(rows) == 3
+        baseline = next(r for r in rows if r["compressor"] == "none")
+        assert baseline["relative_throughput"] == pytest.approx(1.0)
+        assert all(0 <= r["quality"] <= 1 for r in rows)
+
+    def test_multiple_panels(self):
+        rows = fig6.run(panels=["d", "e"], compressors=["none"],
+                        n_workers=2, epochs=1)
+        assert {r["benchmark"] for r in rows} == {"ncf-movielens",
+                                                  "lstm-ptb"}
+
+    def test_format_renders(self):
+        rows = fig6.run_panel("ncf-movielens", compressors=["none"],
+                              n_workers=2, epochs=1)
+        assert "Rel. throughput" in fig6.format(rows)
+
+
+class TestFig7:
+    def test_ncf_panel_includes_topk_ef_split(self):
+        rows = fig7.run_panel("ncf-movielens", compressors=TINY,
+                              n_workers=2, epochs=2)
+        names = {r["compressor"] for r in rows}
+        assert {"topk-ef", "topk-no-ef"} <= names
+
+    def test_volume_of_baseline_is_one(self):
+        rows = fig7.run_panel(
+            "lstm-ptb", compressors=["none"], n_workers=2, epochs=1,
+            include_topk_ef_split=False,
+        )
+        assert rows[0]["relative_volume"] == pytest.approx(1.0)
+
+
+class TestFig8:
+    def test_simulated_and_measured_columns(self):
+        rows = fig8.run(compressors=["topk", "randomk"], repetitions=2,
+                        measure_mb=0.25)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["simulated_100mb"] > row["simulated_1mb"]
+            assert row["measured_mean_s"] > 0
+
+    def test_cpu_bound_methods_rank_last(self):
+        rows = fig8.run(repetitions=1, measure_mb=0.25)
+        order = [r["compressor"] for r in rows]
+        assert order.index("randomk") > order.index("signsgd")
+        assert order.index("eightbit") > order.index("topk")
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            fig8.run(repetitions=0)
+
+
+class TestFig9:
+    def test_rdma_beats_tcp_for_all(self):
+        rows = fig9.run(compressors=["none", "topk", "powersgd"])
+        for row in rows:
+            assert row["throughput_rdma"] > row["throughput_tcp"], row
+
+    def test_format_renders(self):
+        assert "RDMA" in fig9.format(fig9.run(compressors=["none"]))
+
+
+class TestFig10:
+    def test_slow_network_rows(self):
+        rows = fig10.run(compressors=TINY, n_workers=2, epochs=1)
+        topk = next(r for r in rows if r["compressor"] == "topk")
+        assert topk["relative_throughput"] > 2.0
+
+
+class TestBandwidth:
+    def test_mean_gain_is_mild(self):
+        rows = bandwidth.run(
+            benchmark_keys=["resnet20-cifar10", "unet-dagm"],
+            compressors=["none", "topk", "signsgd", "qsgd"],
+        )
+        gain = bandwidth.mean_compressed_speedup(rows)
+        assert 1.0 <= gain < 1.15  # paper reports ~1.3% on average
+
+    def test_requires_compressed_rows(self):
+        with pytest.raises(ValueError, match="compressed"):
+            bandwidth.mean_compressed_speedup(
+                [{"compressor": "none", "speedup_25g_over_10g": 1.0}]
+            )
+
+
+class TestEfAblation:
+    def test_cells_produce_on_off_pairs(self):
+        rows = ef_ablation.run(
+            cells=[("ncf-movielens", "topk")], n_workers=2, epochs=2
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert np.isfinite(row["quality_ef_on"])
+        assert np.isfinite(row["quality_ef_off"])
+
+    def test_format_renders(self):
+        rows = ef_ablation.run(cells=[("ncf-movielens", "topk")],
+                               n_workers=2, epochs=1)
+        assert "EF on" in ef_ablation.format(rows)

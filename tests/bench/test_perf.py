@@ -1,0 +1,102 @@
+"""Device and kernel cost models."""
+
+import pytest
+
+from repro.bench.perf import (
+    KernelCostModel,
+    PerfModel,
+    V100,
+    synthesize_tensor_sizes,
+)
+from repro.core import available_compressors
+
+
+class TestKernelCostModel:
+    def test_every_compressor_has_a_recipe(self):
+        model = KernelCostModel()
+        for name in available_compressors():
+            assert model.latency_seconds(name, 1 << 20) >= 0
+
+    def test_unknown_compressor_rejected(self):
+        with pytest.raises(KeyError, match="recipe"):
+            KernelCostModel().latency_seconds("gzip", 100)
+
+    def test_latency_monotone_in_size(self):
+        model = KernelCostModel()
+        for name in available_compressors():
+            if name == "none":
+                continue
+            small = model.latency_seconds(name, 1 << 16)
+            large = model.latency_seconds(name, 1 << 22)
+            assert large > small, name
+
+    def test_cpu_bound_methods_are_slowest_at_scale(self):
+        # §V-D: Random-k (shuffle), 8-bit (find_bins) and SketchML pay
+        # CPU fallbacks; at 100 MB they dominate the sign methods.
+        model = KernelCostModel()
+        n = 100 * 1024 * 1024 // 4
+        for slow in ("randomk", "eightbit", "sketchml"):
+            for fast in ("signsgd", "efsignsgd", "topk", "powersgd"):
+                assert model.latency_seconds(slow, n) > model.latency_seconds(
+                    fast, n
+                ), (slow, fast)
+
+    def test_loop_methods_cost_more_than_plain_selection(self):
+        model = KernelCostModel()
+        n = 1 << 22
+        assert model.latency_seconds("dgc", n) > model.latency_seconds(
+            "topk", n
+        )
+        assert model.latency_seconds("adaptive", n) > model.latency_seconds(
+            "thresholdv", n
+        )
+
+    def test_baseline_is_free(self):
+        assert KernelCostModel().latency_seconds("none", 1 << 20) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KernelCostModel().latency_seconds("topk", -1)
+
+
+class TestPerfModel:
+    def test_compute_scales_with_samples(self):
+        model = PerfModel(seconds_per_iteration=0.1, batch_per_worker=10)
+        assert model.compute_seconds(10) == pytest.approx(0.1)
+        assert model.compute_seconds(5) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerfModel(seconds_per_iteration=-1, batch_per_worker=10)
+        with pytest.raises(ValueError):
+            PerfModel(seconds_per_iteration=0.1, batch_per_worker=0)
+
+    def test_compression_seconds_delegates_to_kernels(self):
+        model = PerfModel(seconds_per_iteration=0.1, batch_per_worker=10)
+        assert model.compression_seconds("topk", 1 << 20) == (
+            KernelCostModel(V100).latency_seconds("topk", 1 << 20)
+        )
+
+
+class TestSynthesizeTensorSizes:
+    def test_sums_to_total(self):
+        sizes = synthesize_tensor_sizes(1_000_000, 50, dominance=0.5)
+        assert sum(sizes) == 1_000_000
+        assert len(sizes) == 50
+
+    def test_dominance_controls_head(self):
+        sizes = synthesize_tensor_sizes(1_000_000, 20, dominance=0.8)
+        assert sizes[0] >= 0.8 * 1_000_000
+
+    def test_all_positive(self):
+        sizes = synthesize_tensor_sizes(10_000, 100, dominance=0.1)
+        assert min(sizes) >= 1
+
+    def test_single_tensor(self):
+        assert synthesize_tensor_sizes(500, 1, dominance=0.0) == [500]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="element"):
+            synthesize_tensor_sizes(5, 10, dominance=0.1)
+        with pytest.raises(ValueError, match="dominance"):
+            synthesize_tensor_sizes(100, 10, dominance=1.0)

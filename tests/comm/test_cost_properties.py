@@ -1,0 +1,87 @@
+"""Property-based checks on the collective cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    GLOO,
+    NCCL,
+    OPENMPI_RDMA,
+    OPENMPI_TCP,
+    allgather_time,
+    broadcast_time,
+    ethernet,
+    ring_allreduce_time,
+    sparse_allreduce_time,
+)
+from repro.comm.network import Transport
+
+BACKENDS = [OPENMPI_TCP, OPENMPI_RDMA, NCCL, GLOO]
+
+
+@given(
+    st.floats(1e3, 1e9),
+    st.floats(1e3, 1e9),
+    st.integers(2, 64),
+    st.sampled_from(BACKENDS),
+)
+@settings(max_examples=60, deadline=None)
+def test_allreduce_monotone_in_bytes(small, large, n_workers, backend):
+    net = ethernet(10.0)
+    lo, hi = sorted((small, large))
+    assert ring_allreduce_time(lo, n_workers, net, backend) <= (
+        ring_allreduce_time(hi, n_workers, net, backend)
+    )
+
+
+@given(st.floats(0, 1e8), st.integers(2, 64), st.sampled_from(BACKENDS))
+@settings(max_examples=60, deadline=None)
+def test_all_primitives_positive(nbytes, n_workers, backend):
+    net = ethernet(10.0)
+    assert ring_allreduce_time(nbytes, n_workers, net, backend) > 0
+    assert broadcast_time(nbytes, n_workers, net, backend) > 0
+    assert allgather_time([nbytes] * n_workers, net, backend) > 0
+    assert sparse_allreduce_time(nbytes, 16, n_workers, net, backend) > 0
+
+
+@given(st.floats(1e4, 1e8), st.integers(2, 32))
+@settings(max_examples=40, deadline=None)
+def test_sparse_allreduce_never_beats_itself_dense(nbytes, n_workers):
+    # With union == full tensor, sparse AR equals dense AR + bitmap.
+    net = ethernet(10.0)
+    dense = ring_allreduce_time(nbytes, n_workers, net, OPENMPI_TCP)
+    sparse_full = sparse_allreduce_time(
+        nbytes, n_workers * 16, n_workers, net, OPENMPI_TCP
+    )
+    assert sparse_full >= dense - 1e-12
+
+
+@given(st.floats(1e4, 1e8), st.integers(2, 32))
+@settings(max_examples=40, deadline=None)
+def test_faster_transport_never_slower(nbytes, n_workers):
+    tcp = ethernet(10.0, Transport.TCP)
+    rdma = ethernet(10.0, Transport.RDMA)
+    assert ring_allreduce_time(nbytes, n_workers, rdma, OPENMPI_TCP) <= (
+        ring_allreduce_time(nbytes, n_workers, tcp, OPENMPI_TCP)
+    )
+
+
+@given(st.floats(1e4, 1e8), st.integers(2, 16), st.integers(17, 64))
+@settings(max_examples=40, deadline=None)
+def test_allgather_monotone_in_workers(nbytes, few, many):
+    net = ethernet(10.0)
+    assert allgather_time([nbytes] * few, net, OPENMPI_TCP) <= (
+        allgather_time([nbytes] * many, net, OPENMPI_TCP)
+    )
+
+
+@given(st.floats(1, 40))
+@settings(max_examples=30, deadline=None)
+def test_more_bandwidth_never_slower(gbps):
+    slower = ethernet(gbps)
+    faster = ethernet(gbps * 2)
+    nbytes = 50e6
+    assert ring_allreduce_time(nbytes, 8, faster, OPENMPI_TCP) <= (
+        ring_allreduce_time(nbytes, 8, slower, OPENMPI_TCP)
+    )

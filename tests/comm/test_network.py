@@ -1,0 +1,52 @@
+"""Network model arithmetic and transport ordering."""
+
+import pytest
+
+from repro.comm import NetworkModel, Transport, ethernet
+
+
+class TestNetworkModel:
+    def test_transfer_time_scales_with_bytes(self):
+        net = ethernet(10.0)
+        t1 = net.transfer_time(1_000_000)
+        t2 = net.transfer_time(2_000_000)
+        assert t2 > t1
+        # Subtracting latency, time should double with bytes.
+        latency = net.message_latency_s
+        assert (t2 - latency) == pytest.approx(2 * (t1 - latency))
+
+    def test_faster_link_is_faster(self):
+        slow = ethernet(1.0).transfer_time(10_000_000)
+        fast = ethernet(25.0).transfer_time(10_000_000)
+        assert fast < slow
+
+    def test_rdma_beats_tcp(self):
+        tcp = ethernet(10.0, Transport.TCP)
+        rdma = ethernet(10.0, Transport.RDMA)
+        assert rdma.transfer_time(1_000_000) < tcp.transfer_time(1_000_000)
+        assert rdma.message_latency_s < tcp.message_latency_s
+
+    def test_effective_bandwidth_below_nominal(self):
+        net = ethernet(10.0)
+        assert net.effective_bytes_per_second < 10e9 / 8
+
+    def test_zero_bytes_costs_latency_only(self):
+        net = ethernet(10.0)
+        assert net.transfer_time(0) == net.message_latency_s
+
+    def test_extra_latency_added(self):
+        base = NetworkModel(10.0)
+        slow = NetworkModel(10.0, extra_latency_s=1e-3)
+        assert slow.message_latency_s == pytest.approx(
+            base.message_latency_s + 1e-3
+        )
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetworkModel(0.0)
+        with pytest.raises(ValueError, match="latency"):
+            NetworkModel(1.0, extra_latency_s=-1)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ethernet(10.0).transfer_time(-1)

@@ -1,0 +1,127 @@
+"""Parameter-server topology: semantics match collectives, costs differ."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    Communicator,
+    OPENMPI_TCP,
+    ParameterServerCommunicator,
+    ethernet,
+    ps_round_trip_time,
+)
+
+NET = ethernet(10.0)
+
+
+def make_ps(n=4):
+    return ParameterServerCommunicator(n, NET, OPENMPI_TCP)
+
+
+class TestCostModel:
+    def test_uploads_serialize_on_server_link(self):
+        few = ps_round_trip_time([1e6] * 2, [0.0] * 2, NET, OPENMPI_TCP)
+        many = ps_round_trip_time([1e6] * 8, [0.0] * 8, NET, OPENMPI_TCP)
+        # 8 workers push 4x the bytes of 2 workers: near-linear growth.
+        assert many > 3 * few
+
+    def test_ring_allreduce_beats_ps_at_scale(self):
+        # The reason Horovod (and GRACE) prefer collectives: ring
+        # bandwidth cost is ~constant in n, PS ingress is linear in n.
+        from repro.comm import ring_allreduce_time
+
+        nbytes = 50e6
+        n = 16
+        ring = ring_allreduce_time(nbytes, n, NET, OPENMPI_TCP)
+        ps = ps_round_trip_time(
+            [nbytes] * n, [nbytes] * n, NET, OPENMPI_TCP
+        )
+        assert ps > 2 * ring
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="align"):
+            ps_round_trip_time([1.0], [1.0, 2.0], NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            ps_round_trip_time([-1.0], [1.0], NET, OPENMPI_TCP)
+
+
+class TestSemantics:
+    def test_allreduce_sums_like_collective(self):
+        tensors = [np.full(8, float(i), dtype=np.float32) for i in range(4)]
+        ps_sum = make_ps(4).allreduce([t.copy() for t in tensors])
+        ring_sum = Communicator(4, NET, OPENMPI_TCP).allreduce(tensors)
+        np.testing.assert_array_equal(ps_sum, ring_sum)
+
+    def test_allgather_relays_all_payloads(self):
+        payloads = [[np.array([1.0])], [np.array([2.0])]]
+        gathered = make_ps(2).allgather(payloads)
+        assert gathered[0][0][0] == 1.0 and gathered[1][0][0] == 2.0
+
+    def test_allreduce_rejects_mismatched_inputs(self):
+        with pytest.raises(ValueError, match="uniform"):
+            make_ps(2).allreduce(
+                [np.zeros(3, np.float32), np.zeros(4, np.float32)]
+            )
+
+    def test_broadcast(self):
+        results = make_ps(3).broadcast([np.array([7.0])], root=1)
+        assert len(results) == 3 and all(r[0][0] == 7.0 for r in results)
+        with pytest.raises(ValueError, match="root"):
+            make_ps(3).broadcast([np.zeros(1)], root=5)
+
+    def test_charges_costs(self):
+        comm = make_ps(2)
+        comm.allreduce([np.zeros(64, np.float32)] * 2)
+        assert comm.record.simulated_seconds > 0
+        assert comm.record.bytes_sent_per_worker == 256
+
+
+class TestTrainerIntegration:
+    def test_training_through_parameter_server(self):
+        from repro.core import DistributedTrainer, create
+
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal(32).astype(np.float32)
+
+        class Quadratic:
+            def __init__(self):
+                self.x = np.zeros(32, dtype=np.float32)
+
+            def forward_backward(self, inputs, targets):
+                grad = 2 * (self.x - target)
+                return float(np.sum((self.x - target) ** 2)), {"x": grad}
+
+            def apply_update(self, grads):
+                self.x -= 0.1 * grads["x"]
+
+        task = Quadratic()
+        trainer = DistributedTrainer(
+            task, create("topk", ratio=0.25), n_workers=2,
+            communicator=make_ps(2),
+        )
+        for _ in range(100):
+            trainer.step([(np.zeros(1), None)] * 2)
+        assert np.linalg.norm(task.x - target) < 0.5 * np.linalg.norm(target)
+
+    def test_ps_slower_than_collective_for_same_training(self):
+        from repro.core import DistributedTrainer, create
+
+        def run(communicator):
+            class Task:
+                x = np.zeros(4096, dtype=np.float32)
+
+                def forward_backward(self, inputs, targets):
+                    return 0.0, {"x": np.ones(4096, dtype=np.float32)}
+
+                def apply_update(self, grads):
+                    pass
+
+            trainer = DistributedTrainer(
+                Task(), create("none"), n_workers=8, communicator=communicator
+            )
+            trainer.step([(np.zeros(1), None)] * 8)
+            return trainer.report.sim_comm_seconds
+
+        collective = run(Communicator(8, NET, OPENMPI_TCP))
+        ps = run(ParameterServerCommunicator(8, NET, OPENMPI_TCP))
+        assert ps > collective

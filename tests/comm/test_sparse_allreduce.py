@@ -1,0 +1,120 @@
+"""Block-sparse Allreduce (the OmniReduce design of related-work §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, OPENMPI_TCP, ethernet
+from repro.comm.cost import sparse_allreduce_time
+
+NET = ethernet(10.0)
+
+
+def make_comm(n=4):
+    return Communicator(n, NET, OPENMPI_TCP)
+
+
+def sparse_tensor(size, nonzero_fraction, seed, block=256):
+    """Block-structured sparse tensor (nonzeros cluster into blocks)."""
+    rng = np.random.default_rng(seed)
+    tensor = np.zeros(size, dtype=np.float32)
+    n_blocks = size // block
+    active = rng.choice(
+        n_blocks, size=max(1, int(nonzero_fraction * n_blocks)),
+        replace=False,
+    )
+    for b in active:
+        tensor[b * block : (b + 1) * block] = rng.standard_normal(block)
+    return tensor
+
+
+class TestSemantics:
+    def test_sum_matches_dense_allreduce(self):
+        comm = make_comm(3)
+        tensors = [sparse_tensor(2048, 0.1, seed) for seed in range(3)]
+        sparse_sum = comm.sparse_allreduce([t.copy() for t in tensors])
+        dense_sum = make_comm(3).allreduce(tensors)
+        np.testing.assert_allclose(sparse_sum, dense_sum)
+
+    def test_dense_inputs_still_correct(self):
+        comm = make_comm(2)
+        tensors = [np.ones(512, np.float32), 2 * np.ones(512, np.float32)]
+        np.testing.assert_array_equal(
+            comm.sparse_allreduce(tensors), 3 * np.ones(512)
+        )
+
+    def test_all_zero_inputs(self):
+        comm = make_comm(2)
+        out = comm.sparse_allreduce([np.zeros(100, np.float32)] * 2)
+        assert np.array_equal(out, np.zeros(100))
+
+    def test_validates_inputs(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="uniform"):
+            comm.sparse_allreduce(
+                [np.zeros(4, np.float32), np.zeros(5, np.float32)]
+            )
+        with pytest.raises(ValueError, match="block_size"):
+            comm.sparse_allreduce([np.zeros(4, np.float32)] * 2,
+                                  block_size=0)
+
+    def test_non_block_aligned_sizes(self):
+        comm = make_comm(2)
+        tensors = [np.ones(1000, np.float32)] * 2  # 1000 % 256 != 0
+        out = comm.sparse_allreduce(tensors)
+        np.testing.assert_array_equal(out, 2 * np.ones(1000))
+
+
+class TestCosts:
+    def test_sparse_cheaper_than_dense_for_sparse_inputs(self):
+        tensors = [sparse_tensor(1 << 20, 0.02, seed) for seed in range(4)]
+        sparse_comm = make_comm(4)
+        sparse_comm.sparse_allreduce(tensors)
+        dense_comm = make_comm(4)
+        dense_comm.allreduce(tensors)
+        assert (
+            sparse_comm.record.simulated_seconds
+            < 0.25 * dense_comm.record.simulated_seconds
+        )
+        assert (
+            sparse_comm.record.bytes_sent_per_worker
+            < 0.25 * dense_comm.record.bytes_sent_per_worker
+        )
+
+    def test_cost_approaches_dense_when_input_dense(self):
+        tensors = [
+            np.random.default_rng(s).standard_normal(1 << 18).astype(
+                np.float32
+            )
+            for s in range(4)
+        ]
+        sparse_comm = make_comm(4)
+        sparse_comm.sparse_allreduce(tensors)
+        dense_comm = make_comm(4)
+        dense_comm.allreduce(tensors)
+        ratio = (
+            sparse_comm.record.simulated_seconds
+            / dense_comm.record.simulated_seconds
+        )
+        assert 0.9 < ratio < 1.2  # bitmap overhead only
+
+    def test_cost_scales_with_union_not_sum(self):
+        # All workers share the same nonzero blocks: union == one worker's
+        # footprint, so cost is far below the sum of contributions.
+        shared = sparse_tensor(1 << 20, 0.05, seed=0)
+        overlapping = make_comm(8)
+        overlapping.sparse_allreduce([shared.copy() for _ in range(8)])
+        disjoint_tensors = [
+            sparse_tensor(1 << 20, 0.05, seed=s) for s in range(8)
+        ]
+        disjoint = make_comm(8)
+        disjoint.sparse_allreduce(disjoint_tensors)
+        assert (
+            overlapping.record.simulated_seconds
+            < disjoint.record.simulated_seconds
+        )
+
+    def test_cost_function_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            sparse_allreduce_time(10, 1, 0, NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            sparse_allreduce_time(-1, 1, 2, NET, OPENMPI_TCP)

@@ -1,0 +1,48 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gradient(rng) -> np.ndarray:
+    """A gradient-like float32 matrix with small magnitudes."""
+    return (1e-2 * rng.standard_normal((48, 32))).astype(np.float32)
+
+
+@pytest.fixture
+def flat_gradient(rng) -> np.ndarray:
+    """A gradient-like float32 vector."""
+    return (1e-2 * rng.standard_normal(1024)).astype(np.float32)
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array``.
+
+    ``fn`` must read ``array`` by reference (it is mutated in place).
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+@pytest.fixture
+def numgrad():
+    return numerical_gradient

@@ -1,0 +1,79 @@
+"""Core API objects: CompressedTensor, clone/reseed, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.core.api import CompressedTensor, flatten_with_shape
+
+
+class TestCompressedTensor:
+    def test_nbytes_sums_payload_parts(self):
+        compressed = CompressedTensor(
+            payload=[np.zeros(10, np.float32), np.zeros(3, np.uint8)],
+            ctx=None,
+        )
+        assert compressed.nbytes == 43
+
+    def test_empty_payload(self):
+        assert CompressedTensor(payload=[], ctx=None).nbytes == 0
+
+
+class TestFlattenWithShape:
+    def test_returns_rank1_float32(self):
+        flat, shape = flatten_with_shape(np.ones((2, 3, 4)))
+        assert flat.shape == (24,)
+        assert flat.dtype == np.float32
+        assert shape == (2, 3, 4)
+
+    def test_scalar_input(self):
+        flat, shape = flatten_with_shape(np.float64(3.5))
+        assert flat.shape == (1,)
+        assert shape == ()
+
+
+class TestCloneSemantics:
+    def test_clone_does_not_share_stateful_buffers(self):
+        # SIGNUM keeps per-tensor momentum; clones must not alias it.
+        original = create("signum", momentum=0.9, seed=0)
+        clone = original.clone(seed=1)
+        original.compress(np.ones(8, dtype=np.float32), "t")
+        assert "t" in original._buffers
+        assert "t" not in clone._buffers
+
+    def test_clone_does_not_share_powersgd_q_memory(self):
+        original = create("powersgd", min_compress_size=4, seed=0)
+        clone = original.clone(seed=1)
+        original.compress(np.ones((4, 4), dtype=np.float32), "t")
+        assert "t" in original._q_memory
+        assert "t" not in clone._q_memory
+
+    def test_reseed_changes_stochastic_stream(self):
+        compressor = create("qsgd", seed=0)
+        grad = np.random.default_rng(0).standard_normal(500).astype(
+            np.float32
+        )
+        first = compressor.decompress(compressor.compress(grad, "t"))
+        compressor.reseed(0)
+        replay = compressor.decompress(compressor.compress(grad, "t"))
+        np.testing.assert_array_equal(first, replay)
+
+    def test_clone_keeps_tuned_parameters(self):
+        clone = create("qsgd", levels=32, seed=0).clone(seed=5)
+        assert clone.levels == 32
+        clone = create("dgc", ratio=0.2, max_adjust_iters=3).clone(seed=5)
+        assert clone.ratio == 0.2 and clone.max_adjust_iters == 3
+
+
+class TestAggregateOverride:
+    def test_custom_aggregate_function(self):
+        # The Agg hook of Algorithm 1 line 13 is just a method override.
+        class MaxAggregating(type(create("signsgd"))):
+            def aggregate(self, tensors):
+                return np.max(np.stack(tensors), axis=0)
+
+        compressor = MaxAggregating()
+        out = compressor.aggregate(
+            [np.array([1.0, -2.0]), np.array([0.5, 2.0])]
+        )
+        np.testing.assert_array_equal(out, [1.0, 2.0])

@@ -1,0 +1,97 @@
+"""Property-based tests over arbitrary gradient shapes and values."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import create
+
+shapes = st.one_of(
+    st.tuples(st.integers(1, 400)),
+    st.tuples(st.integers(1, 24), st.integers(1, 24)),
+    st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)),
+)
+
+gradients = hnp.arrays(
+    dtype=np.float32,
+    shape=shapes,
+    elements=st.floats(-100, 100, allow_nan=False, width=32),
+)
+
+
+@given(gradients)
+@settings(max_examples=40, deadline=None)
+def test_every_paper_method_roundtrips_any_shape(tensor):
+    from repro.core import paper_compressors
+
+    for name in paper_compressors():
+        compressor = create(name, seed=0)
+        out = compressor.decompress(compressor.compress(tensor, "t"))
+        assert out.shape == tensor.shape, name
+        assert out.dtype == np.float32, name
+        assert np.all(np.isfinite(out)), name
+
+
+@given(gradients)
+@settings(max_examples=40, deadline=None)
+def test_signsgd_error_bounded_by_unit_ball(tensor):
+    compressor = create("signsgd", seed=0)
+    out = compressor.decompress(compressor.compress(tensor, "t"))
+    assert np.all(np.abs(out) == 1.0)
+
+
+@given(gradients, st.integers(1, 99))
+@settings(max_examples=40, deadline=None)
+def test_topk_never_selects_more_than_requested(tensor, percent):
+    ratio = percent / 100
+    compressor = create("topk", ratio=ratio, seed=0)
+    out = compressor.decompress(compressor.compress(tensor, "t"))
+    limit = int(np.ceil(ratio * tensor.size)) + 1
+    assert np.count_nonzero(out) <= limit
+
+
+@given(gradients)
+@settings(max_examples=40, deadline=None)
+def test_eightbit_error_relative_to_scale(tensor):
+    compressor = create("eightbit", seed=0)
+    out = compressor.decompress(compressor.compress(tensor, "t"))
+    scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    # Two error regimes of the 1-3-4 float8 format: mantissa rounding
+    # (~2^-4 relative) for representable magnitudes, and flush-to-zero
+    # for values below the smallest binade (scale * 2^-4.5).
+    tolerance = np.maximum(np.abs(tensor) * 0.08, scale * 2.0**-4.4 + 1e-9)
+    assert np.all(np.abs(out - tensor) <= tolerance)
+
+
+@given(gradients)
+@settings(max_examples=30, deadline=None)
+def test_qsgd_norm_preserved_in_payload(tensor):
+    compressor = create("qsgd", seed=0)
+    compressed = compressor.compress(tensor, "t")
+    assert float(compressed.payload[0][0]) == (
+        np.float32(np.linalg.norm(np.ravel(tensor)))
+    )
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=st.tuples(st.integers(2, 200)),
+        elements=st.floats(-10, 10, allow_nan=False, width=32),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_residual_memory_identity(tensor):
+    # psi = phi - Q^-1(Q(phi)) exactly (Eq. 4), for any input.
+    from repro.core.memory import ResidualMemory
+
+    memory = ResidualMemory()
+    compressor = create("topk", ratio=0.5, seed=0)
+    compensated = memory.compensate(tensor, "t")
+    compressed = compressor.compress(compensated, "t")
+    memory.update(compensated, "t", compressor, compressed)
+    transmitted = compressor.decompress(compressed)
+    np.testing.assert_allclose(
+        memory.residual("t"), compensated - transmitted, atol=1e-6
+    )

@@ -1,0 +1,317 @@
+"""Statistical and structural properties of individual compressors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import create
+
+float_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=st.integers(4, 200),
+    elements=st.floats(-10, 10, allow_nan=False, width=32),
+)
+
+
+def roundtrip(name, tensor, seed=0, **params):
+    compressor = create(name, seed=seed, **params)
+    return compressor.decompress(compressor.compress(tensor, "t"))
+
+
+class TestUnbiasedness:
+    """Rand-operator compressors advertised as unbiased estimators."""
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("qsgd", {"levels": 8}),
+            ("terngrad", {"clip_factor": 1e9}),  # disable clipping
+            ("natural", {}),
+            ("randomk", {"ratio": 0.25, "unbiased": True}),
+        ],
+    )
+    def test_mean_estimate_close_to_input(self, name, params):
+        rng = np.random.default_rng(0)
+        tensor = (0.1 * rng.standard_normal(64)).astype(np.float32)
+        total = np.zeros_like(tensor, dtype=np.float64)
+        n_trials = 600
+        for trial in range(n_trials):
+            total += roundtrip(name, tensor, seed=trial, **params)
+        mean = total / n_trials
+        error = np.linalg.norm(mean - tensor) / np.linalg.norm(tensor)
+        assert error < 0.15, f"{name} biased: relative error {error:.3f}"
+
+
+class TestSignSGD:
+    def test_output_is_plus_minus_one(self):
+        rng = np.random.default_rng(1)
+        out = roundtrip("signsgd", rng.standard_normal(100).astype(np.float32))
+        assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_signs_match_input(self, tensor):
+        out = roundtrip("signsgd", tensor)
+        expected = np.where(tensor >= 0, 1.0, -1.0)
+        assert np.array_equal(out, expected)
+
+
+class TestSignum:
+    def test_momentum_accumulates_across_calls(self):
+        compressor = create("signum", momentum=0.9, seed=0)
+        up = np.ones(10, dtype=np.float32)
+        down = -0.5 * np.ones(10, dtype=np.float32)
+        compressor.compress(up, "t")
+        # Momentum (0.9 * 1.0) outweighs the new -0.5 gradient.
+        out = compressor.decompress(compressor.compress(down, "t"))
+        assert np.all(out == 1.0)
+
+    def test_separate_state_per_tensor_name(self):
+        compressor = create("signum", momentum=0.9, seed=0)
+        compressor.compress(np.ones(4, np.float32), "a")
+        out_b = compressor.decompress(
+            compressor.compress(-np.ones(4, np.float32), "b")
+        )
+        assert np.all(out_b == -1.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            create("signum", momentum=1.5)
+
+
+class TestEFSignSGD:
+    def test_scale_is_l1_mean(self):
+        tensor = np.array([1.0, -3.0, 2.0, -2.0], dtype=np.float32)
+        out = roundtrip("efsignsgd", tensor)
+        np.testing.assert_allclose(np.abs(out), 2.0)
+
+    def test_defaults_to_residual_memory(self):
+        assert create("efsignsgd").default_memory == "residual"
+
+
+class TestOneBit:
+    def test_decodes_to_per_side_means(self):
+        tensor = np.array([1.0, 3.0, -2.0, -4.0], dtype=np.float32)
+        out = roundtrip("onebit", tensor)
+        np.testing.assert_allclose(out, [2.0, 2.0, -3.0, -3.0])
+
+    def test_custom_threshold(self):
+        tensor = np.array([0.5, 2.0], dtype=np.float32)
+        compressor = create("onebit", threshold=1.0)
+        out = compressor.decompress(compressor.compress(tensor, "t"))
+        # 0.5 < tau -> low bucket (its mean is 0.5); 2.0 -> high bucket.
+        np.testing.assert_allclose(out, [0.5, 2.0])
+
+
+class TestQSGD:
+    def test_code_bits_scale_with_levels(self):
+        assert create("qsgd", levels=4).code_bits == 3
+        assert create("qsgd", levels=64).code_bits == 7
+
+    def test_higher_levels_lower_error(self):
+        rng = np.random.default_rng(2)
+        tensor = rng.standard_normal(2000).astype(np.float32)
+        err_few = np.linalg.norm(
+            roundtrip("qsgd", tensor, levels=2) - tensor
+        )
+        err_many = np.linalg.norm(
+            roundtrip("qsgd", tensor, levels=256) - tensor
+        )
+        assert err_many < err_few
+
+    def test_reconstruction_within_one_level(self):
+        rng = np.random.default_rng(3)
+        tensor = rng.standard_normal(100).astype(np.float32)
+        out = roundtrip("qsgd", tensor, levels=64)
+        norm = np.linalg.norm(tensor)
+        assert np.max(np.abs(np.abs(out) - np.abs(tensor))) <= norm / 64 + 1e-5
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            create("qsgd", levels=0)
+
+
+class TestTernGrad:
+    def test_output_is_ternary_times_scale(self):
+        rng = np.random.default_rng(4)
+        tensor = rng.standard_normal(500).astype(np.float32)
+        out = roundtrip("terngrad", tensor)
+        scale = np.max(np.abs(out))
+        unique = np.unique(np.round(out / scale, 6)) if scale else [0]
+        assert set(unique).issubset({-1.0, 0.0, 1.0})
+
+    def test_clipping_bounds_scale(self):
+        tensor = np.zeros(1000, dtype=np.float32)
+        tensor[0] = 100.0  # outlier
+        compressor = create("terngrad", clip_factor=2.5, seed=0)
+        compressed = compressor.compress(tensor, "t")
+        scale = float(compressed.payload[0][0])
+        assert scale < 100.0  # outlier clipped at 2.5 sigma
+
+
+class TestNatural:
+    def test_outputs_are_signed_powers_of_two_or_zero(self):
+        rng = np.random.default_rng(5)
+        out = roundtrip("natural", rng.standard_normal(300).astype(np.float32))
+        nonzero = out[out != 0]
+        log2 = np.log2(np.abs(nonzero))
+        np.testing.assert_allclose(log2, np.round(log2), atol=1e-6)
+
+    def test_wire_format_is_nine_bits_per_element(self):
+        compressed = create("natural").compress(
+            np.ones(800, dtype=np.float32), "t"
+        )
+        assert compressed.nbytes == 100 + 800  # sign bits + exponent bytes
+
+
+class TestEightBit:
+    def test_one_byte_per_element_plus_scale(self):
+        compressed = create("eightbit").compress(
+            np.ones(100, dtype=np.float32), "t"
+        )
+        assert compressed.nbytes == 100 + 4
+
+
+class TestInceptionn:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="fractions"):
+            create("inceptionn", drop_fraction=0.5, f8_fraction=0.1)
+
+    def test_small_values_dropped(self):
+        tensor = np.array([1.0, 1e-6], dtype=np.float32)
+        out = roundtrip("inceptionn", tensor)
+        assert out[1] == 0.0 and out[0] == pytest.approx(1.0)
+
+    def test_large_values_exact(self):
+        rng = np.random.default_rng(6)
+        tensor = rng.standard_normal(100).astype(np.float32)
+        out = roundtrip("inceptionn", tensor)
+        top = np.argmax(np.abs(tensor))
+        assert out[top] == tensor[top]  # top tier stays float32
+
+
+class TestSparsifiers:
+    @pytest.mark.parametrize("name", ["topk", "randomk"])
+    def test_ratio_controls_nonzeros(self, name):
+        rng = np.random.default_rng(7)
+        tensor = rng.standard_normal(1000).astype(np.float32)
+        out = roundtrip(name, tensor, ratio=0.05)
+        assert np.count_nonzero(out) <= 50 + 1
+
+    def test_topk_keeps_largest(self):
+        tensor = np.arange(100, dtype=np.float32)
+        out = roundtrip("topk", tensor, ratio=0.1)
+        assert np.count_nonzero(out[:90]) == 0
+        np.testing.assert_array_equal(out[90:], tensor[90:])
+
+    def test_topk_transmitted_values_exact(self):
+        rng = np.random.default_rng(8)
+        tensor = rng.standard_normal(200).astype(np.float32)
+        out = roundtrip("topk", tensor, ratio=0.2)
+        selected = out != 0
+        np.testing.assert_array_equal(out[selected], tensor[selected])
+
+    def test_thresholdv_selects_by_magnitude(self):
+        tensor = np.array([0.005, 0.5, -0.02, -0.004], dtype=np.float32)
+        out = roundtrip("thresholdv", tensor, threshold=0.01)
+        np.testing.assert_allclose(out, [0, 0.5, -0.02, 0], atol=1e-7)
+
+    def test_ratio_validation(self):
+        for name in ("topk", "randomk", "dgc"):
+            with pytest.raises(ValueError, match="ratio"):
+                create(name, ratio=0.0)
+            with pytest.raises(ValueError, match="ratio"):
+                create(name, ratio=1.5)
+
+
+class TestDGC:
+    def test_selection_near_target_ratio(self):
+        rng = np.random.default_rng(9)
+        tensor = rng.standard_normal(20000).astype(np.float32)
+        out = roundtrip("dgc", tensor, ratio=0.01)
+        nnz = np.count_nonzero(out)
+        assert 50 <= nnz <= 800  # target 200, sampled threshold is loose
+
+    def test_transmitted_indices_match_payload(self):
+        compressor = create("dgc", ratio=0.05, seed=0)
+        rng = np.random.default_rng(10)
+        compressed = compressor.compress(
+            rng.standard_normal(500).astype(np.float32), "t"
+        )
+        indices = compressor.transmitted_indices(compressed)
+        assert np.array_equal(indices, compressed.payload[1].astype(np.int64))
+
+
+class TestAdaptive:
+    def test_two_level_output(self):
+        rng = np.random.default_rng(11)
+        tensor = rng.standard_normal(2000).astype(np.float32)
+        out = roundtrip("adaptive", tensor, ratio=0.05)
+        values = np.unique(out)
+        assert len(values) <= 3  # {mean-, 0, mean+}
+
+    def test_positive_and_negative_sides_kept(self):
+        rng = np.random.default_rng(12)
+        tensor = rng.standard_normal(2000).astype(np.float32)
+        out = roundtrip("adaptive", tensor, ratio=0.05)
+        assert (out > 0).any() and (out < 0).any()
+
+
+class TestSketchML:
+    def test_bucket_count_bounds_distinct_values(self):
+        rng = np.random.default_rng(13)
+        tensor = rng.standard_normal(4000).astype(np.float32)
+        out = roundtrip("sketchml", tensor, num_buckets=16)
+        assert len(np.unique(out)) <= 16
+
+    def test_sparse_input_keeps_zeros(self):
+        tensor = np.zeros(100, dtype=np.float32)
+        tensor[[3, 50]] = [1.0, -1.0]
+        out = roundtrip("sketchml", tensor)
+        assert np.count_nonzero(out) == 2
+
+    def test_all_zero_tensor(self):
+        out = roundtrip("sketchml", np.zeros(64, dtype=np.float32))
+        assert np.array_equal(out, np.zeros(64))
+
+
+class TestPowerSGD:
+    def test_reconstruction_is_low_rank(self):
+        rng = np.random.default_rng(14)
+        tensor = rng.standard_normal((64, 48)).astype(np.float32)
+        compressor = create("powersgd", rank=2, min_compress_size=16, seed=0)
+        out = compressor.decompress(compressor.compress(tensor, "t"))
+        assert np.linalg.matrix_rank(out) <= 2
+
+    def test_small_tensors_sent_uncompressed(self):
+        tensor = np.arange(10, dtype=np.float32)
+        compressor = create("powersgd", min_compress_size=1024)
+        out = compressor.decompress(compressor.compress(tensor, "t"))
+        np.testing.assert_array_equal(out, tensor)
+
+    def test_warm_start_improves_approximation(self):
+        # Power iteration converges to the dominant subspace across steps.
+        rng = np.random.default_rng(15)
+        base = rng.standard_normal((40, 30)).astype(np.float32)
+        compressor = create("powersgd", rank=1, min_compress_size=16, seed=0)
+        errors = []
+        for _ in range(6):
+            out = compressor.decompress(compressor.compress(base, "t"))
+            errors.append(np.linalg.norm(out - base))
+        assert errors[-1] <= errors[0] + 1e-5
+
+    def test_rank_one_exact_on_rank_one_matrix(self):
+        u = np.arange(1, 9, dtype=np.float32).reshape(-1, 1)
+        v = np.arange(1, 7, dtype=np.float32).reshape(1, -1)
+        matrix = u @ v
+        compressor = create("powersgd", rank=1, min_compress_size=4, seed=0)
+        out = compressor.decompress(compressor.compress(matrix, "t"))
+        # One warm-started power iteration on an exactly rank-1 matrix.
+        out = compressor.decompress(compressor.compress(matrix, "t"))
+        np.testing.assert_allclose(out, matrix, rtol=1e-3)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            create("powersgd", rank=0)

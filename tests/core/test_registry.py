@@ -1,0 +1,105 @@
+"""Registry contents against Table I."""
+
+import pytest
+
+from repro.core import (
+    CompressorInfo,
+    available_compressors,
+    compressor_info,
+    create,
+    paper_compressors,
+    register,
+)
+from repro.core.compressors import NoneCompressor
+
+
+class TestRegistryContents:
+    def test_sixteen_paper_methods_plus_baseline(self):
+        names = paper_compressors()
+        assert len(names) == 17
+        assert names[0] == "none"
+
+    def test_extensions_registered_separately(self):
+        extensions = set(available_compressors()) - set(paper_compressors())
+        assert extensions == {
+            "lpcsvrg", "variance", "sketchsgd", "qsparse", "threelc",
+            "atomo", "gradiveq", "gradzip",
+        }
+        for name in extensions:
+            assert not compressor_info(name).in_paper
+
+    def test_table1_families(self):
+        by_family = {}
+        for name in paper_compressors():
+            by_family.setdefault(compressor_info(name).family, []).append(name)
+        assert sorted(by_family["quantization"]) == [
+            "efsignsgd", "eightbit", "inceptionn", "natural", "onebit",
+            "qsgd", "signsgd", "signum", "terngrad",
+        ]
+        assert sorted(by_family["sparsification"]) == [
+            "dgc", "randomk", "thresholdv", "topk",
+        ]
+        assert sorted(by_family["hybrid"]) == ["adaptive", "sketchml"]
+        assert by_family["low-rank"] == ["powersgd"]
+
+    def test_extension_families_match_table1(self):
+        assert compressor_info("lpcsvrg").family == "quantization"
+        assert compressor_info("variance").family == "sparsification"
+        assert compressor_info("sketchsgd").family == "sparsification"
+        assert compressor_info("qsparse").family == "hybrid"
+        assert compressor_info("threelc").family == "hybrid"
+        for name in ("atomo", "gradiveq", "gradzip"):
+            assert compressor_info(name).family == "low-rank"
+
+    def test_ef_defaults_match_table1(self):
+        ef_on = {
+            name
+            for name in paper_compressors()
+            if compressor_info(name).error_feedback
+        }
+        assert ef_on == {
+            "eightbit", "onebit", "natural", "efsignsgd", "randomk", "topk",
+            "thresholdv", "dgc", "adaptive", "sketchml", "powersgd",
+        }
+
+    def test_nature_matches_table1(self):
+        random_ones = {
+            name
+            for name in paper_compressors()
+            if compressor_info(name).nature == "Rand"
+        }
+        assert random_ones == {
+            "qsgd", "natural", "terngrad", "randomk", "sketchml",
+        }
+
+    def test_default_memory_consistent_with_ef_flag(self):
+        for name in available_compressors():
+            info = compressor_info(name)
+            compressor = create(name)
+            if info.error_feedback:
+                assert compressor.default_memory in ("residual", "dgc"), name
+            else:
+                assert compressor.default_memory == "none", name
+
+
+class TestCreate:
+    def test_passes_parameters(self):
+        assert create("topk", ratio=0.2).ratio == 0.2
+        assert create("qsgd", levels=16).levels == 16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown compressor"):
+            create("gzip")
+
+    def test_info_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown compressor"):
+            compressor_info("gzip")
+
+    def test_register_rejects_duplicates(self):
+        info = CompressorInfo(
+            name="none", reference="x", family="none",
+            compressed_size="d", nature="Det", error_feedback=False,
+            cls=NoneCompressor,
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register(info)

@@ -1,0 +1,99 @@
+"""Wire framing of compressed payloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import available_compressors, create
+from repro.core.wire import (
+    deserialize_payload,
+    framing_overhead_bytes,
+    serialize_compressed,
+    serialize_payload,
+)
+
+
+class TestRoundTrip:
+    def test_mixed_dtype_payload(self):
+        payload = [
+            np.arange(6, dtype=np.float32).reshape(2, 3),
+            np.array([1, 2, 3], dtype=np.int32),
+            np.array([255], dtype=np.uint8),
+            np.array(7.5, dtype=np.float64),
+        ]
+        restored = deserialize_payload(serialize_payload(payload))
+        assert len(restored) == 4
+        for original, copy in zip(payload, restored):
+            np.testing.assert_array_equal(copy, np.asarray(original))
+            assert copy.dtype == np.asarray(original).dtype
+            assert copy.shape == np.asarray(original).shape
+
+    def test_empty_payload(self):
+        assert deserialize_payload(serialize_payload([])) == []
+
+    def test_empty_arrays_survive(self):
+        payload = [np.zeros(0, dtype=np.float32)]
+        restored = deserialize_payload(serialize_payload(payload))
+        assert restored[0].size == 0
+
+    @pytest.mark.parametrize("name", available_compressors())
+    def test_every_compressor_payload_is_wire_serializable(self, name):
+        rng = np.random.default_rng(0)
+        tensor = (1e-2 * rng.standard_normal((32, 32))).astype(np.float32)
+        compressor = create(name, seed=1)
+        compressed = compressor.compress(tensor, "t")
+        restored_payload = deserialize_payload(
+            serialize_compressed(compressed)
+        )
+        compressed.payload = restored_payload
+        out = compressor.decompress(compressed)
+        assert out.shape == tensor.shape
+
+    def test_decompression_identical_after_wire_trip(self):
+        rng = np.random.default_rng(1)
+        tensor = (1e-2 * rng.standard_normal(2048)).astype(np.float32)
+        compressor = create("qsgd", seed=2)
+        compressed = compressor.compress(tensor, "t")
+        direct = compressor.decompress(compressed)
+        compressed.payload = deserialize_payload(
+            serialize_compressed(compressed)
+        )
+        via_wire = compressor.decompress(compressed)
+        np.testing.assert_array_equal(direct, via_wire)
+
+
+class TestFramingOverhead:
+    def test_overhead_is_small_and_predictable(self):
+        payload = [np.zeros(1000, np.float32), np.zeros(10, np.int32)]
+        overhead = framing_overhead_bytes(payload)
+        # 1 count byte + 2 * (2 header + 4 dim) bytes.
+        assert overhead == 1 + 2 * 6
+
+    def test_overhead_negligible_vs_data(self):
+        payload = [np.zeros(1 << 18, np.float32)]
+        assert framing_overhead_bytes(payload) < 16
+
+
+class TestValidation:
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            serialize_payload([np.zeros(2, dtype=np.complex64)])
+
+    def test_rejects_truncated_buffer(self):
+        buffer = serialize_payload([np.arange(10, dtype=np.float32)])
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_payload(buffer[:-4])
+
+    def test_rejects_trailing_garbage(self):
+        buffer = serialize_payload([np.arange(4, dtype=np.float32)])
+        with pytest.raises(ValueError, match="trailing"):
+            deserialize_payload(buffer + b"xx")
+
+    def test_rejects_empty_buffer(self):
+        with pytest.raises(ValueError, match="empty"):
+            deserialize_payload(b"")
+
+    def test_rejects_unknown_dtype_code(self):
+        buffer = bytearray(serialize_payload([np.zeros(1, np.uint8)]))
+        buffer[1] = 99  # corrupt the dtype code
+        with pytest.raises(ValueError, match="dtype code"):
+            deserialize_payload(bytes(buffer))

@@ -1,0 +1,169 @@
+"""Synthetic dataset generators: shapes, determinism, learnable structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_image_classification,
+    make_implicit_feedback,
+    make_language_corpus,
+    make_segmentation,
+)
+
+
+class TestImageClassification:
+    def test_shapes_and_dtypes(self):
+        x, y = make_image_classification(20, image_size=8, channels=3,
+                                         num_classes=4)
+        assert x.shape == (20, 3, 8, 8) and x.dtype == np.float32
+        assert y.shape == (20,) and y.dtype == np.int64
+
+    def test_labels_in_range(self):
+        _, y = make_image_classification(100, num_classes=5)
+        assert y.min() >= 0 and y.max() < 5
+
+    def test_deterministic_for_seed(self):
+        a = make_image_classification(10, seed=3)
+        b = make_image_classification(10, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a, _ = make_image_classification(10, seed=1)
+        b, _ = make_image_classification(10, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_class_signal_exists(self):
+        # Same-class samples must correlate more than cross-class ones.
+        x, y = make_image_classification(
+            200, image_size=8, num_classes=2, noise=0.3, seed=0
+        )
+        flat = x.reshape(len(x), -1)
+        same = np.mean([
+            np.dot(flat[i], flat[j])
+            for i in range(50) for j in range(50)
+            if i < j and y[i] == y[j]
+        ])
+        cross = np.mean([
+            np.dot(flat[i], flat[j])
+            for i in range(50) for j in range(50)
+            if i < j and y[i] != y[j]
+        ])
+        assert same > cross
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_classification(0)
+        with pytest.raises(ValueError):
+            make_image_classification(5, num_classes=1)
+
+
+class TestSegmentation:
+    def test_shapes(self):
+        x, masks = make_segmentation(12, image_size=16)
+        assert x.shape == (12, 1, 16, 16)
+        assert masks.shape == (12, 1, 16, 16)
+
+    def test_masks_are_binary(self):
+        _, masks = make_segmentation(20, image_size=16)
+        assert set(np.unique(masks)).issubset({0.0, 1.0})
+
+    def test_defect_probability(self):
+        _, none = make_segmentation(30, defect_probability=0.0, seed=0)
+        _, all_ = make_segmentation(30, defect_probability=1.0, seed=0)
+        assert none.sum() == 0
+        assert all(mask.sum() > 0 for mask in all_)
+
+    def test_defect_pixels_are_brighter(self):
+        x, masks = make_segmentation(30, image_size=16, seed=1)
+        defect = x[masks > 0]
+        background = x[masks == 0]
+        assert defect.mean() > background.mean() + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_segmentation(5, image_size=4)
+        with pytest.raises(ValueError):
+            make_segmentation(5, defect_probability=1.5)
+
+
+class TestImplicitFeedback:
+    def test_structure(self):
+        data = make_implicit_feedback(num_users=10, num_items=30,
+                                      positives_per_user=5)
+        assert data.train_pairs.shape[1] == 2
+        assert data.train_pairs.shape[0] == data.train_labels.shape[0]
+        assert data.eval_users.shape == (10,)
+        assert data.eval_candidates.shape[0] == 10
+
+    def test_negative_sampling_ratio(self):
+        data = make_implicit_feedback(
+            num_users=10, num_items=40, positives_per_user=5,
+            negatives_per_positive=4,
+        )
+        positives = data.train_labels.sum()
+        negatives = (data.train_labels == 0).sum()
+        assert negatives == 4 * positives
+
+    def test_held_out_positive_not_in_training(self):
+        data = make_implicit_feedback(num_users=6, num_items=30, seed=2)
+        for user, candidates in zip(data.eval_users, data.eval_candidates):
+            held_out = candidates[0]
+            user_training_items = data.train_pairs[
+                data.train_pairs[:, 0] == user, 1
+            ]
+            assert held_out not in user_training_items
+
+    def test_deterministic(self):
+        a = make_implicit_feedback(seed=4)
+        b = make_implicit_feedback(seed=4)
+        np.testing.assert_array_equal(a.train_pairs, b.train_pairs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_implicit_feedback(num_users=1)
+        with pytest.raises(ValueError):
+            make_implicit_feedback(num_items=8, positives_per_user=8)
+
+
+class TestLanguageCorpus:
+    def test_shapes(self):
+        inputs, targets = make_language_corpus(
+            vocab_size=16, corpus_length=1000, sequence_length=10
+        )
+        assert inputs.shape == targets.shape
+        assert inputs.shape[1] == 10
+
+    def test_targets_are_shifted_inputs(self):
+        inputs, targets = make_language_corpus(
+            vocab_size=16, corpus_length=500, sequence_length=8, seed=1
+        )
+        np.testing.assert_array_equal(inputs[0, 1:], targets[0, :-1])
+
+    def test_tokens_in_vocab(self):
+        inputs, targets = make_language_corpus(vocab_size=16,
+                                               corpus_length=500)
+        assert inputs.max() < 16 and targets.max() < 16
+        assert inputs.min() >= 0
+
+    def test_markov_structure_is_predictable(self):
+        # With branching 2, the bigram distribution must be concentrated:
+        # the two most likely successors carry most of the mass.
+        inputs, targets = make_language_corpus(
+            vocab_size=16, corpus_length=8000, sequence_length=8,
+            branching=2, seed=0,
+        )
+        stream = np.concatenate([inputs.ravel(), targets[-1, -1:]])
+        counts = np.zeros((16, 16))
+        for a, b in zip(stream[:-1], stream[1:]):
+            counts[a, b] += 1
+        top2_share = (
+            np.sort(counts, axis=1)[:, -2:].sum() / max(counts.sum(), 1)
+        )
+        assert top2_share > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_language_corpus(vocab_size=2)
+        with pytest.raises(ValueError):
+            make_language_corpus(vocab_size=16, branching=20)

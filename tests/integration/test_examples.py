@@ -1,0 +1,49 @@
+"""The fast examples run end-to-end (the slower ones are exercised by
+the benchmark suite's equivalent paths)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.part_one_compress_a_gradient()
+        module.part_two_distributed_training()
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "powersgd" in out
+
+    def test_custom_compressor_registers_and_trains(self, capsys):
+        module = load_example("custom_compressor")
+        try:
+            module.main()
+        finally:
+            # The example registers 'topk-f8' globally; later create()
+            # calls in other tests must not collide with a re-register.
+            from repro.core.registry import _REGISTRY
+
+            _REGISTRY.pop("topk-f8", None)
+        out = capsys.readouterr().out
+        assert "trained with topk-f8" in out
+
+    def test_example_files_all_present(self):
+        expected = {
+            "quickstart.py", "image_classification.py", "recommendation.py",
+            "language_model.py", "custom_compressor.py", "decentralized.py",
+            "operator_analysis.py",
+        }
+        assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

@@ -1,0 +1,111 @@
+"""Quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    hit_rate_at_k,
+    intersection_over_union,
+    top1_accuracy,
+)
+from repro.ndl import Tensor
+
+
+class ConstantClassifier:
+    """Always predicts class ``winner``."""
+
+    def __init__(self, winner: int, n_classes: int = 4):
+        self.winner = winner
+        self.n_classes = n_classes
+
+    def __call__(self, x):
+        logits = np.zeros((len(x), self.n_classes), dtype=np.float32)
+        logits[:, self.winner] = 1.0
+        return Tensor(logits)
+
+
+class TestTop1Accuracy:
+    def test_perfect_and_zero(self):
+        x = np.zeros((10, 3), np.float32)
+        y = np.full(10, 2)
+        assert top1_accuracy(ConstantClassifier(2), x, y) == 1.0
+        assert top1_accuracy(ConstantClassifier(0), x, y) == 0.0
+
+    def test_partial(self):
+        x = np.zeros((4, 3), np.float32)
+        y = np.array([1, 1, 0, 2])
+        assert top1_accuracy(ConstantClassifier(1), x, y) == 0.5
+
+    def test_batching_consistent(self):
+        x = np.zeros((100, 3), np.float32)
+        y = np.random.default_rng(0).integers(0, 4, 100)
+        model = ConstantClassifier(1)
+        assert top1_accuracy(model, x, y, batch_size=7) == top1_accuracy(
+            model, x, y, batch_size=100
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            top1_accuracy(ConstantClassifier(0), np.zeros((3, 2)), np.zeros(4))
+
+
+class FixedScorer:
+    """Scores items by a fixed preference table."""
+
+    def __init__(self, preferences):
+        self.preferences = preferences
+
+    def score(self, pairs):
+        return np.array(
+            [self.preferences[u].get(i, 0.0) for u, i in pairs]
+        )
+
+
+class TestHitRate:
+    def test_hit_when_positive_ranks_first(self):
+        model = FixedScorer({0: {5: 1.0, 6: 0.1, 7: 0.1}})
+        hit = hit_rate_at_k(
+            model, np.array([0]), np.array([[5, 6, 7]]), k=1
+        )
+        assert hit == 1.0
+
+    def test_miss_when_positive_ranks_last(self):
+        model = FixedScorer({0: {5: 0.0, 6: 0.5, 7: 0.9}})
+        assert hit_rate_at_k(
+            model, np.array([0]), np.array([[5, 6, 7]]), k=1
+        ) == 0.0
+
+    def test_k_widens_the_window(self):
+        model = FixedScorer({0: {5: 0.4, 6: 0.5, 7: 0.9}})
+        users, candidates = np.array([0]), np.array([[5, 6, 7]])
+        assert hit_rate_at_k(model, users, candidates, k=2) == 0.0
+        assert hit_rate_at_k(model, users, candidates, k=3) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k"):
+            hit_rate_at_k(FixedScorer({}), np.array([0]),
+                          np.array([[1, 2]]), k=0)
+
+
+class TestIoU:
+    def test_identical_masks(self):
+        mask = np.array([[1, 0], [0, 1]])
+        assert intersection_over_union(mask, mask) == pytest.approx(1.0)
+
+    def test_disjoint_masks(self):
+        a = np.array([[1, 0], [0, 0]])
+        b = np.array([[0, 0], [0, 1]])
+        assert intersection_over_union(a, b) == pytest.approx(0.0, abs=1e-5)
+
+    def test_half_overlap(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([1, 0, 1, 0])
+        assert intersection_over_union(a, b) == pytest.approx(1 / 3, rel=1e-3)
+
+    def test_empty_masks_count_as_match(self):
+        empty = np.zeros((3, 3))
+        assert intersection_over_union(empty, empty) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            intersection_over_union(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,38 @@
+"""Volume accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import compressed_volume_bytes, compression_ratio
+
+
+def tensors():
+    rng = np.random.default_rng(0)
+    return {
+        "a": rng.standard_normal(256).astype(np.float32),
+        "b": rng.standard_normal((16, 16)).astype(np.float32),
+    }
+
+
+class TestVolume:
+    def test_baseline_ratio_is_one(self):
+        assert compression_ratio(create("none"), tensors()) == pytest.approx(1.0)
+
+    def test_topk_ratio_near_two_x_ratio(self):
+        # values + int32 indices: 2 * ratio of the float32 volume.
+        ratio = compression_ratio(create("topk", ratio=0.01), tensors())
+        assert ratio == pytest.approx(0.02, rel=0.6)
+
+    def test_signsgd_ratio_near_one_thirty_second(self):
+        ratio = compression_ratio(create("signsgd"), tensors())
+        assert ratio == pytest.approx(1 / 32, rel=0.2)
+
+    def test_volume_bytes_sum_over_tensors(self):
+        compressor = create("none")
+        total = compressed_volume_bytes(compressor, tensors())
+        assert total == 256 * 4 + 256 * 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            compression_ratio(create("none"), {})

@@ -1,0 +1,111 @@
+"""Datasets, loaders and worker sharding."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import ArrayDataset, DataLoader, ShardedLoader
+
+
+def dataset(n=64):
+    return ArrayDataset(np.arange(n, dtype=np.float32), np.arange(n))
+
+
+class TestArrayDataset:
+    def test_length(self):
+        assert len(dataset(10)) == 10
+
+    def test_subset(self):
+        sub = dataset(10).subset(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.inputs, [1.0, 3.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            ArrayDataset(np.zeros(3), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            ArrayDataset(np.zeros(0), np.zeros(0))
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(dataset(64), batch_size=16, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(x.shape == (16,) for x, _ in batches)
+
+    def test_drop_last(self):
+        loader = DataLoader(dataset(10), batch_size=4, drop_last=True)
+        assert len(list(loader)) == 2
+
+    def test_keep_last(self):
+        loader = DataLoader(dataset(10), batch_size=4, drop_last=False)
+        batches = list(loader)
+        assert len(batches) == 3 and batches[-1][0].shape == (2,)
+
+    def test_shuffle_changes_order_between_epochs(self):
+        loader = DataLoader(dataset(64), batch_size=64, seed=0)
+        first = next(iter(loader))[0].copy()
+        second = next(iter(loader))[0].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_ordered(self):
+        loader = DataLoader(dataset(8), batch_size=8, shuffle=False)
+        x, _ = next(iter(loader))
+        np.testing.assert_array_equal(x, np.arange(8, dtype=np.float32))
+
+    def test_epoch_covers_all_samples(self):
+        loader = DataLoader(dataset(32), batch_size=8)
+        seen = np.concatenate([x for x, _ in loader])
+        assert sorted(seen.tolist()) == list(range(32))
+
+    def test_inputs_match_targets(self):
+        loader = DataLoader(dataset(32), batch_size=8)
+        for x, y in loader:
+            np.testing.assert_array_equal(x, y.astype(np.float32))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DataLoader(dataset(8), batch_size=0)
+
+    def test_tiny_dataset_emits_one_short_batch(self):
+        loader = DataLoader(dataset(3), batch_size=8, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 1 and batches[0][0].shape == (3,)
+
+
+class TestShardedLoader:
+    def test_yields_one_batch_per_worker(self):
+        loader = ShardedLoader(dataset(64), n_workers=4, batch_size=4)
+        batches = next(iter(loader))
+        assert len(batches) == 4
+
+    def test_shards_are_disjoint(self):
+        loader = ShardedLoader(dataset(64), n_workers=4, batch_size=16,
+                               shuffle=False)
+        seen = [set() for _ in range(4)]
+        for batches in loader:
+            for worker, (x, _) in enumerate(batches):
+                seen[worker].update(x.tolist())
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not (seen[a] & seen[b])
+
+    def test_iteration_count_is_min_over_shards(self):
+        loader = ShardedLoader(dataset(65), n_workers=4, batch_size=4)
+        assert len(loader) == 4  # 17,16,16,16 samples -> min 4 batches
+
+    def test_rejects_too_many_workers(self):
+        with pytest.raises(ValueError, match="shard"):
+            ShardedLoader(dataset(3), n_workers=4, batch_size=1)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedLoader(dataset(8), n_workers=0, batch_size=2)
+
+    def test_deterministic_given_seed(self):
+        a = ShardedLoader(dataset(32), 2, 8, seed=5)
+        b = ShardedLoader(dataset(32), 2, 8, seed=5)
+        xa = next(iter(a))[0][0]
+        xb = next(iter(b))[0][0]
+        np.testing.assert_array_equal(xa, xb)

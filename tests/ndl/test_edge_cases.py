@@ -1,0 +1,133 @@
+"""Edge cases across the DL substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import (
+    BatchNorm2d,
+    Conv2d,
+    LSTM,
+    Linear,
+    MaxPool2d,
+    Tensor,
+    no_grad,
+)
+from repro.ndl import functional as F
+from repro.ndl.losses import softmax_cross_entropy
+
+
+class TestAutogradEdges:
+    def test_no_grad_training_then_backward_works(self):
+        layer = Linear(4, 2)
+        with no_grad():
+            layer(Tensor(np.ones((1, 4), np.float32)))
+        out = layer(Tensor(np.ones((1, 4), np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_tensor_created_inside_no_grad_stays_dead(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_second_backward_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * 3).backward()
+        (a * 3).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_mixed_grad_and_nograd_parents(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0))  # constant
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0)
+        assert b.grad is None
+
+    def test_batch_size_one(self):
+        model = Linear(4, 3)
+        loss = softmax_cross_entropy(
+            model(Tensor(np.ones((1, 4), np.float32))), np.array([2])
+        )
+        loss.backward()
+        assert model.weight.grad is not None
+
+
+class TestConvEdges:
+    def test_one_by_one_spatial_output(self):
+        conv = Conv2d(2, 4, 3, stride=1, padding=0)
+        out = conv(Tensor(np.ones((1, 2, 3, 3), np.float32)))
+        assert out.shape == (1, 4, 1, 1)
+
+    def test_kernel_equals_input(self):
+        conv = Conv2d(1, 1, 4, stride=1, padding=0)
+        out = conv(Tensor(np.ones((1, 1, 4, 4), np.float32)))
+        assert out.shape == (1, 1, 1, 1)
+
+    def test_large_pool_kernel(self):
+        pool = MaxPool2d(4)
+        out = pool(Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4,
+                                                                  4)))
+        assert out.data.reshape(()) == 15.0
+
+    def test_conv_then_pool_odd_combination(self):
+        conv = Conv2d(1, 2, 3, stride=1, padding=1)
+        pool = MaxPool2d(2)
+        out = pool(conv(Tensor(np.ones((2, 1, 6, 6), np.float32))))
+        assert out.shape == (2, 2, 3, 3)
+
+
+class TestLSTMEdges:
+    def test_single_timestep(self):
+        lstm = LSTM(3, 5)
+        out = lstm(Tensor(np.ones((2, 1, 3), np.float32)))
+        assert out.shape == (2, 1, 5)
+
+    def test_long_sequence_gradients_finite(self):
+        lstm = LSTM(2, 4, rng=np.random.default_rng(0))
+        seq = Tensor(np.random.default_rng(1).standard_normal(
+            (1, 64, 2)).astype(np.float32))
+        lstm(seq).sum().backward()
+        assert np.all(np.isfinite(lstm.cell.weight.grad))
+
+    def test_explicit_initial_state(self):
+        lstm = LSTM(2, 3)
+        h0 = Tensor(np.ones((2, 3), np.float32))
+        c0 = Tensor(np.ones((2, 3), np.float32))
+        out_warm = lstm(Tensor(np.zeros((2, 4, 2), np.float32)), (h0, c0))
+        out_cold = lstm(Tensor(np.zeros((2, 4, 2), np.float32)))
+        assert not np.allclose(out_warm.data, out_cold.data)
+
+
+class TestBatchNormEdges:
+    def test_batch_of_one_sample(self):
+        layer = BatchNorm2d(2)
+        out = layer(Tensor(np.random.default_rng(0).standard_normal(
+            (1, 2, 4, 4)).astype(np.float32)))
+        assert np.all(np.isfinite(out.data))
+
+    def test_constant_input_normalizes_to_beta(self):
+        layer = BatchNorm2d(1)
+        out = layer(Tensor(np.full((4, 1, 2, 2), 5.0, dtype=np.float32)))
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-2)
+
+
+class TestFunctionalEdges:
+    def test_concat_single_tensor(self):
+        t = Tensor(np.ones((2, 3), np.float32))
+        out = F.concat([t], axis=1)
+        np.testing.assert_array_equal(out.data, t.data)
+
+    def test_embedding_repeated_indices_accumulate(self):
+        w = Tensor(np.zeros((3, 2), np.float32), requires_grad=True)
+        F.embedding(w, np.array([0, 0, 0, 0])).sum().backward()
+        np.testing.assert_array_equal(w.grad[0], [4.0, 4.0])
+
+    def test_upsample_scale_one_is_cheap_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2), np.float32))
+        out = F.upsample_nearest2d(t, 1)
+        np.testing.assert_array_equal(out.data, t.data)
+
+    def test_upsample_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            F.upsample_nearest2d(Tensor(np.ones((1, 1, 2, 2), np.float32)),
+                                 0)

@@ -1,0 +1,217 @@
+"""Layer behaviour and the module system."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LSTM,
+    Linear,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from repro.ndl.layers import LSTMCell, Module, Parameter
+
+
+class TestModuleSystem:
+    def test_named_parameters_use_dotted_paths(self):
+        model = Sequential(Linear(4, 3), ReLU(), Linear(3, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert names == [
+            "layers.0.weight", "layers.0.bias",
+            "layers.2.weight", "layers.2.bias",
+        ]
+
+    def test_num_parameters(self):
+        model = Linear(4, 3)
+        assert model.num_parameters() == 4 * 3 + 3
+
+    def test_num_gradient_vectors(self):
+        model = Sequential(Linear(4, 3), Linear(3, 2, bias=False))
+        assert model.num_gradient_vectors() == 3
+
+    def test_zero_grad_clears_all(self):
+        model = Linear(4, 2)
+        out = model(Tensor(np.ones((1, 4), np.float32)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(4, 4), Dropout(0.5), BatchNorm2d(3))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(4, 3, rng=np.random.default_rng(1))
+        b = Linear(4, 3, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = Linear(4, 3)
+        with pytest.raises(ValueError, match="mismatch"):
+            model.load_state_dict({"weight": np.zeros((4, 3))})
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        model = Linear(4, 3)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestLinear:
+    def test_affine_map(self):
+        layer = Linear(3, 2)
+        layer.weight.data = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.float32)
+        layer.bias.data = np.array([10, 20], dtype=np.float32)
+        out = layer(Tensor(np.array([[1.0, 2.0, 3.0]], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [[14.0, 25.0]])
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert layer.num_gradient_vectors() == 1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            Linear(0, 2)
+
+
+class TestConvLayer:
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8), np.float32)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_downsampling_stride(self):
+        layer = Conv2d(1, 1, 3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((1, 1, 8, 8), np.float32)))
+        assert out.shape == (1, 1, 4, 4)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_statistics(self):
+        rng = np.random.default_rng(0)
+        layer = BatchNorm2d(4)
+        x = Tensor((5 + 3 * rng.standard_normal((8, 4, 6, 6))).astype(np.float32))
+        out = layer(x)
+        assert abs(out.data.mean()) < 1e-5
+        assert out.data.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_running_stats_updated_in_train_mode(self):
+        layer = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 2, 2), 10.0, dtype=np.float32))
+        layer(x)
+        np.testing.assert_allclose(layer.running_mean, 5.0)
+
+    def test_eval_mode_uses_running_stats(self):
+        layer = BatchNorm2d(1)
+        layer.running_mean[:] = 1.0
+        layer.running_var[:] = 4.0
+        layer.eval()
+        x = Tensor(np.full((1, 1, 1, 1), 3.0, dtype=np.float32))
+        out = layer(x)
+        assert out.data.reshape(()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_gamma_beta_gradients(self):
+        layer = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(1).standard_normal(
+            (4, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+        assert x.grad is not None
+
+    def test_train_mode_input_gradient_sums_to_zero(self):
+        # The fused BN backward projects out the mean direction.
+        layer = BatchNorm2d(1)
+        x = Tensor(np.random.default_rng(2).standard_normal(
+            (4, 1, 3, 3)).astype(np.float32), requires_grad=True)
+        (layer(x) * np.random.default_rng(3).standard_normal(
+            (4, 1, 3, 3)).astype(np.float32)).sum().backward()
+        assert abs(x.grad.sum()) < 1e-3
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            BatchNorm2d(2)(Tensor(np.zeros((2, 2), np.float32)))
+
+
+class TestEmbeddingLayer:
+    def test_lookup_shape(self):
+        layer = Embedding(10, 4)
+        assert layer(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_rejects_out_of_range(self):
+        layer = Embedding(10, 4)
+        with pytest.raises(IndexError, match="out of range"):
+            layer(np.array([10]))
+
+
+class TestLSTMLayers:
+    def test_cell_shapes_and_state(self):
+        cell = LSTMCell(5, 7)
+        h, c = cell.zero_state(3)
+        h2, c2 = cell(Tensor(np.zeros((3, 5), np.float32)), (h, c))
+        assert h2.shape == (3, 7) and c2.shape == (3, 7)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(4, 6)
+        np.testing.assert_array_equal(cell.bias.data[6:12], 1.0)
+
+    def test_lstm_output_shape(self):
+        lstm = LSTM(4, 8)
+        out = lstm(Tensor(np.zeros((2, 5, 4), np.float32)))
+        assert out.shape == (2, 5, 8)
+
+    def test_lstm_gradients_flow_to_weights(self):
+        lstm = LSTM(3, 4)
+        x = Tensor(np.random.default_rng(0).standard_normal(
+            (2, 6, 3)).astype(np.float32))
+        lstm(x).sum().backward()
+        assert lstm.cell.weight.grad is not None
+        assert np.abs(lstm.cell.weight.grad).max() > 0
+
+    def test_outputs_depend_on_history(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(1))
+        base = np.zeros((1, 4, 2), dtype=np.float32)
+        changed = base.copy()
+        changed[0, 0, 0] = 5.0  # perturb only the first step
+        out_base = lstm(Tensor(base)).data
+        out_changed = lstm(Tensor(changed)).data
+        # The perturbation must propagate to the final step's output.
+        assert np.abs(out_base[0, -1] - out_changed[0, -1]).max() > 1e-4
+
+
+class TestDropoutFlattenRelu:
+    def test_dropout_respects_mode(self):
+        layer = Dropout(0.9, seed=0)
+        x = Tensor(np.ones(1000, np.float32))
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).data, 1.0)
+        layer.train()
+        assert np.count_nonzero(layer(x).data) < 400
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4), np.float32)))
+        assert out.shape == (2, 12)
+
+    def test_relu_layer(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 1.0])

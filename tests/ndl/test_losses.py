@@ -1,0 +1,113 @@
+"""Loss functions: values, gradients, stability."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import Tensor
+from repro.ndl.losses import (
+    binary_cross_entropy_with_logits,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 10), np.float32))
+        loss = softmax_cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = softmax_cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-5
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.zeros((1, 3), np.float32), requires_grad=True)
+        softmax_cross_entropy(logits, np.array([0])).backward()
+        np.testing.assert_allclose(
+            logits.grad, [[1 / 3 - 1, 1 / 3, 1 / 3]], rtol=1e-5
+        )
+
+    def test_gradient_matches_numerical(self, numgrad):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 5)
+        tensor = Tensor(logits.copy(), requires_grad=True)
+        softmax_cross_entropy(tensor, labels).backward()
+        num = numgrad(
+            lambda: float(softmax_cross_entropy(Tensor(logits), labels).data),
+            logits,
+        )
+        np.testing.assert_allclose(tensor.grad, num, atol=1e-3)
+
+    def test_stable_for_huge_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4]], dtype=np.float32))
+        loss = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+    def test_validates_shapes_and_labels(self):
+        with pytest.raises(ValueError, match="logits"):
+            softmax_cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError, match="labels"):
+            softmax_cross_entropy(
+                Tensor(np.zeros((2, 3), np.float32)), np.array([0])
+            )
+        with pytest.raises(ValueError, match="range"):
+            softmax_cross_entropy(
+                Tensor(np.zeros((1, 3), np.float32)), np.array([3])
+            )
+
+
+class TestBCEWithLogits:
+    def test_value_matches_formula(self):
+        logits = Tensor(np.array([0.0], dtype=np.float32))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0]))
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-5)
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        logits = Tensor(np.array([0.0, 2.0], dtype=np.float32),
+                        requires_grad=True)
+        binary_cross_entropy_with_logits(
+            logits, np.array([1.0, 0.0])
+        ).backward()
+        sigmoid = 1 / (1 + np.exp(-logits.data))
+        np.testing.assert_allclose(
+            logits.grad, (sigmoid - [1.0, 0.0]) / 2, rtol=1e-5
+        )
+
+    def test_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([1e4, -1e4], dtype=np.float32))
+        loss = binary_cross_entropy_with_logits(logits, np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            binary_cross_entropy_with_logits(
+                Tensor(np.zeros(3)), np.zeros(4)
+            )
+
+    def test_multidimensional_targets(self):
+        logits = Tensor(np.zeros((2, 1, 4, 4), np.float32))
+        loss = binary_cross_entropy_with_logits(
+            logits, np.ones((2, 1, 4, 4), np.float32)
+        )
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-5)
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        mse_loss(pred, np.array([0.0])).backward()
+        np.testing.assert_allclose(pred.grad, [4.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            mse_loss(Tensor(np.zeros(3)), np.zeros(2))

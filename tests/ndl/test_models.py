@@ -1,0 +1,172 @@
+"""Model zoo: shapes, parameter structure, and tiny-overfit sanity."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import SGD, Adam
+from repro.ndl.losses import (
+    binary_cross_entropy_with_logits,
+    softmax_cross_entropy,
+)
+from repro.ndl.models import (
+    MLP,
+    NCF,
+    DenseNet,
+    LSTMLanguageModel,
+    ResNet9,
+    ResNet50Lite,
+    ResNetCIFAR,
+    UNet,
+    VGG,
+)
+
+
+def images(n=2, c=3, s=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, c, s, s)).astype(np.float32)
+
+
+class TestForwardShapes:
+    def test_mlp(self):
+        assert MLP(12, [8], 3)(np.zeros((5, 12), np.float32)).shape == (5, 3)
+
+    def test_resnet_cifar(self):
+        model = ResNetCIFAR(depth=8, base_width=4, num_classes=10)
+        assert model(images()).shape == (2, 10)
+
+    def test_resnet_cifar_depth20(self):
+        model = ResNetCIFAR(depth=20, base_width=2, num_classes=10)
+        assert model(images()).shape == (2, 10)
+
+    def test_resnet9(self):
+        assert ResNet9(base_width=4)(images()).shape == (2, 10)
+
+    def test_resnet50lite(self):
+        model = ResNet50Lite(base_width=4, num_classes=7)
+        assert model(images()).shape == (2, 7)
+
+    def test_vgg_variants(self):
+        for config in ("vgg11", "vgg16", "vgg19"):
+            model = VGG(config, base_width=2, classifier_width=16,
+                        image_size=8)
+            assert model(images()).shape == (2, 10), config
+
+    def test_densenet(self):
+        model = DenseNet(depth=13, growth_rate=4, num_classes=5)
+        assert model(images()).shape == (2, 5)
+
+    def test_ncf(self):
+        model = NCF(num_users=10, num_items=20)
+        pairs = np.array([[0, 1], [9, 19]])
+        assert model(pairs).shape == (2,)
+        scores = model.score(pairs)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_lstm_lm(self):
+        model = LSTMLanguageModel(vocab_size=30, embed_dim=8, hidden_dim=16)
+        tokens = np.zeros((4, 6), dtype=np.int64)
+        assert model(tokens).shape == (24, 30)
+
+    def test_unet(self):
+        model = UNet(in_channels=1, out_channels=1, base_width=2)
+        x = np.zeros((2, 1, 16, 16), np.float32)
+        assert model(x).shape == (2, 1, 16, 16)
+        assert model.predict_mask(x).shape == (2, 1, 16, 16)
+
+
+class TestStructure:
+    def test_resnet_depth_validation(self):
+        with pytest.raises(ValueError, match="6n"):
+            ResNetCIFAR(depth=9)
+
+    def test_densenet_depth_validation(self):
+        with pytest.raises(ValueError, match="3n"):
+            DenseNet(depth=12)
+
+    def test_vgg_unknown_config(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            VGG("vgg99")
+
+    def test_ncf_rejects_bad_pairs(self):
+        with pytest.raises(ValueError, match="user/item"):
+            NCF(4, 4)(np.zeros((2, 3), dtype=np.int64))
+
+    def test_lstm_rejects_bad_tokens(self):
+        with pytest.raises(ValueError, match="token"):
+            LSTMLanguageModel(10)(np.zeros(4, dtype=np.int64))
+
+    def test_gradient_vector_counts_are_architectural(self):
+        # DenseNet has far more (smaller) tensors than VGG — the property
+        # Table II leans on.
+        dense = DenseNet(depth=13, growth_rate=4)
+        vgg = VGG("vgg11", base_width=2, classifier_width=16, image_size=8)
+        assert dense.num_gradient_vectors() > vgg.num_gradient_vectors()
+
+    def test_vgg_classifier_dominates_params(self):
+        model = VGG("vgg16", base_width=2, classifier_width=64, image_size=16)
+        total = model.num_parameters()
+        classifier = (
+            model.fc1.num_parameters()
+            + model.fc2.num_parameters()
+            + model.fc3.num_parameters()
+        )
+        assert classifier > 0.4 * total
+
+
+class TestLearning:
+    def test_mlp_overfits_tiny_batch(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 6)).astype(np.float32)
+        y = rng.integers(0, 3, 8)
+        model = MLP(6, [32], 3, seed=0)
+        opt = SGD(model.named_parameters(), lr=0.5)
+        for _ in range(200):
+            model.zero_grad()
+            loss = softmax_cross_entropy(model(x), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+    def test_resnet_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x = images(8, seed=1)
+        y = rng.integers(0, 4, 8)
+        model = ResNetCIFAR(depth=8, base_width=4, num_classes=4, seed=0)
+        opt = SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+        first = None
+        for _ in range(30):
+            model.zero_grad()
+            loss = softmax_cross_entropy(model(x), y)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first
+
+    def test_ncf_learns_preference(self):
+        pairs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        labels = np.array([1.0, 0.0, 0.0, 1.0], dtype=np.float32)
+        model = NCF(2, 2, seed=0)
+        opt = Adam(model.named_parameters(), lr=0.05)
+        for _ in range(300):
+            model.zero_grad()
+            loss = binary_cross_entropy_with_logits(model(pairs), labels)
+            loss.backward()
+            opt.step()
+        scores = model.score(pairs)
+        assert scores[0] > 0.8 and scores[3] > 0.8
+        assert scores[1] < 0.2 and scores[2] < 0.2
+
+    def test_unet_learns_identity_mask(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 1, 8, 8)).astype(np.float32)
+        masks = (x > 0.5).astype(np.float32)
+        model = UNet(1, 1, base_width=2, seed=0)
+        opt = Adam(model.named_parameters(), lr=0.01)
+        first = None
+        for _ in range(60):
+            model.zero_grad()
+            loss = binary_cross_entropy_with_logits(model(x), masks)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < 0.6 * first

@@ -1,0 +1,127 @@
+"""Optimizer update rules and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import Adam, AdaGrad, RMSProp, SGD
+from repro.ndl.layers import Parameter
+
+
+def make_param(value=None):
+    data = value if value is not None else np.array([1.0, 2.0])
+    return [("w", Parameter(data))]
+
+
+class TestSGD:
+    def test_plain_step(self):
+        params = make_param()
+        SGD(params, lr=0.1).step({"w": np.array([1.0, 1.0])})
+        np.testing.assert_allclose(params[0][1].data, [0.9, 1.9])
+
+    def test_momentum_accumulates(self):
+        params = make_param(np.zeros(1))
+        opt = SGD(params, lr=1.0, momentum=0.5)
+        grad = {"w": np.ones(1)}
+        opt.step(grad)  # v=1, x=-1
+        opt.step(grad)  # v=1.5, x=-2.5
+        np.testing.assert_allclose(params[0][1].data, [-2.5])
+
+    def test_nesterov_lookahead(self):
+        params = make_param(np.zeros(1))
+        opt = SGD(params, lr=1.0, momentum=0.5, nesterov=True)
+        grad = {"w": np.ones(1)}
+        opt.step(grad)  # v=1, update = g + 0.5*v = 1.5
+        np.testing.assert_allclose(params[0][1].data, [-1.5])
+
+    def test_weight_decay(self):
+        params = make_param(np.array([10.0]))
+        SGD(params, lr=0.1, weight_decay=0.1).step({"w": np.zeros(1)})
+        np.testing.assert_allclose(params[0][1].data, [10.0 - 0.1])
+
+    def test_uses_param_grad_when_no_dict(self):
+        params = make_param(np.array([5.0]))
+        params[0][1].grad = np.array([1.0], dtype=np.float32)
+        SGD(params, lr=1.0).step()
+        np.testing.assert_allclose(params[0][1].data, [4.0])
+
+    def test_skips_missing_gradients(self):
+        params = make_param(np.array([5.0]))
+        SGD(params, lr=1.0).step({})
+        np.testing.assert_allclose(params[0][1].data, [5.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD(make_param(), lr=0.0)
+        with pytest.raises(ValueError, match="momentum"):
+            SGD(make_param(), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError, match="nesterov"):
+            SGD(make_param(), lr=0.1, nesterov=True)
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # Bias correction makes the first Adam step ~= lr * sign(g).
+        params = make_param(np.zeros(1))
+        Adam(params, lr=0.1).step({"w": np.array([3.0])})
+        np.testing.assert_allclose(params[0][1].data, [-0.1], atol=1e-6)
+
+    def test_adapts_to_gradient_scale(self):
+        params = make_param(np.zeros(2))
+        opt = Adam(params, lr=0.1)
+        for _ in range(10):
+            opt.step({"w": np.array([100.0, 0.01])})
+        # Both coordinates move at roughly the lr-scaled rate.
+        steps = -params[0][1].data
+        assert steps[0] == pytest.approx(steps[1], rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam(make_param(), lr=0.1, betas=(1.0, 0.9))
+
+
+class TestRMSProp:
+    def test_normalizes_by_rms(self):
+        params = make_param(np.zeros(1))
+        opt = RMSProp(params, lr=0.1, decay=0.0)  # avg_sq = g^2 immediately
+        opt.step({"w": np.array([5.0])})
+        np.testing.assert_allclose(params[0][1].data, [-0.1], atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="decay"):
+            RMSProp(make_param(), lr=0.1, decay=1.5)
+
+
+class TestAdaGrad:
+    def test_steps_shrink_over_time(self):
+        params = make_param(np.zeros(1))
+        opt = AdaGrad(params, lr=1.0)
+        positions = []
+        for _ in range(3):
+            opt.step({"w": np.array([1.0])})
+            positions.append(float(params[0][1].data[0]))
+        deltas = np.abs(np.diff([0.0] + positions))
+        assert deltas[0] > deltas[1] > deltas[2]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda p: SGD(p, lr=0.1),
+        lambda p: SGD(p, lr=0.05, momentum=0.9),
+        lambda p: SGD(p, lr=0.05, momentum=0.9, nesterov=True),
+        lambda p: Adam(p, lr=0.2),
+        lambda p: RMSProp(p, lr=0.1),
+        lambda p: AdaGrad(p, lr=1.0),
+    ],
+    ids=["sgd", "momentum", "nesterov", "adam", "rmsprop", "adagrad"],
+)
+def test_all_optimizers_minimize_quadratic(factory):
+    target = np.array([3.0, -2.0], dtype=np.float32)
+    params = [("w", Parameter(np.zeros(2)))]
+    opt = factory(params)
+    for _ in range(200):
+        grad = 2 * (params[0][1].data - target)
+        opt.step({"w": grad})
+    np.testing.assert_allclose(params[0][1].data, target, atol=0.1)

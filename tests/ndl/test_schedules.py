@@ -1,0 +1,87 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.ndl import SGD
+from repro.ndl.layers import Parameter
+from repro.ndl.schedules import CosineAnnealing, LinearWarmup, StepDecay
+
+
+def make_optimizer(lr=1.0):
+    return SGD([("w", Parameter(np.zeros(2)))], lr=lr)
+
+
+class TestStepDecay:
+    def test_decays_every_period(self):
+        schedule = StepDecay(make_optimizer(1.0), period=2, gamma=0.1)
+        rates = [schedule.optimizer.lr]
+        for _ in range(4):
+            rates.append(schedule.step())
+        assert rates == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            StepDecay(make_optimizer(), period=0)
+        with pytest.raises(ValueError, match="gamma"):
+            StepDecay(make_optimizer(), gamma=0.0)
+
+
+class TestCosine:
+    def test_starts_at_base_ends_at_min(self):
+        schedule = CosineAnnealing(make_optimizer(0.8), total=10, min_lr=0.08)
+        assert schedule.optimizer.lr == pytest.approx(0.8)
+        for _ in range(10):
+            last = schedule.step()
+        assert last == pytest.approx(0.08)
+
+    def test_monotone_decay(self):
+        schedule = CosineAnnealing(make_optimizer(1.0), total=8)
+        rates = [schedule.optimizer.lr] + [schedule.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_after_total(self):
+        schedule = CosineAnnealing(make_optimizer(1.0), total=2, min_lr=0.1)
+        for _ in range(5):
+            last = schedule.step()
+        assert last == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="total"):
+            CosineAnnealing(make_optimizer(), total=0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        schedule = LinearWarmup(make_optimizer(1.0), warmup=4)
+        rates = [schedule.optimizer.lr] + [schedule.step() for _ in range(4)]
+        assert rates == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.0])
+
+    def test_hands_off_to_inner_schedule(self):
+        optimizer = make_optimizer(1.0)
+        inner = StepDecay(make_optimizer(1.0), period=1, gamma=0.5)
+        schedule = LinearWarmup(optimizer, warmup=2, after=inner)
+        schedule.step()  # epoch 1: still warming (lr=1.0)
+        assert optimizer.lr == pytest.approx(1.0)
+        schedule.step()  # epoch 2: inner epoch 0 -> 1.0
+        assert optimizer.lr == pytest.approx(1.0)
+        schedule.step()  # inner epoch 1 -> 0.5
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="warmup"):
+            LinearWarmup(make_optimizer(), warmup=0)
+
+
+class TestOptimizerIntegration:
+    def test_schedule_affects_actual_updates(self):
+        optimizer = make_optimizer(1.0)
+        schedule = StepDecay(optimizer, period=1, gamma=0.1)
+        param = optimizer.params["w"]
+        optimizer.step({"w": np.ones(2)})
+        first_move = -param.data.copy()
+        schedule.step()
+        before = param.data.copy()
+        optimizer.step({"w": np.ones(2)})
+        second_move = before - param.data
+        np.testing.assert_allclose(second_move, 0.1 * first_move, rtol=1e-6)

@@ -1,0 +1,71 @@
+"""ModelTask adapter between ndl models and the GRACE trainer."""
+
+import numpy as np
+
+from repro.ndl import ModelTask, SGD, Tensor
+from repro.ndl.losses import softmax_cross_entropy
+from repro.ndl.models import MLP
+
+
+def make_task(seed=0, lr=0.1):
+    model = MLP(6, [8], 3, seed=seed)
+    return model, ModelTask(
+        model, SGD(model.named_parameters(), lr=lr), softmax_cross_entropy
+    )
+
+
+class TestForwardBackward:
+    def test_returns_loss_and_all_gradients(self):
+        model, task = make_task()
+        x = np.random.default_rng(0).standard_normal((4, 6)).astype(np.float32)
+        y = np.array([0, 1, 2, 0])
+        loss, grads = task.forward_backward(x, y)
+        assert loss > 0
+        assert set(grads) == {name for name, _ in model.named_parameters()}
+        assert all(np.any(g != 0) for g in grads.values())
+
+    def test_gradients_are_copies(self):
+        model, task = make_task()
+        x = np.ones((2, 6), np.float32)
+        y = np.array([0, 1])
+        _, grads = task.forward_backward(x, y)
+        name = next(iter(grads))
+        grads[name][:] = 99.0
+        param = dict(model.named_parameters())[name]
+        assert not np.any(param.grad == 99.0)
+
+    def test_zeroes_gradients_between_calls(self):
+        model, task = make_task()
+        x = np.ones((2, 6), np.float32)
+        y = np.array([0, 1])
+        _, first = task.forward_backward(x, y)
+        _, second = task.forward_backward(x, y)
+        name = next(iter(first))
+        np.testing.assert_allclose(first[name], second[name], rtol=1e-5)
+
+    def test_custom_forward_fn(self):
+        model, _ = make_task()
+        task = ModelTask(
+            model,
+            SGD(model.named_parameters(), lr=0.1),
+            softmax_cross_entropy,
+            forward_fn=lambda m, x: m(Tensor(2.0 * np.asarray(x))),
+        )
+        loss, _ = task.forward_backward(
+            np.ones((2, 6), np.float32), np.array([0, 1])
+        )
+        assert loss > 0
+
+
+class TestApplyUpdate:
+    def test_moves_parameters(self):
+        model, task = make_task(lr=1.0)
+        before = model.state_dict()
+        gradients = {
+            name: np.ones_like(param.data)
+            for name, param in model.named_parameters()
+        }
+        task.apply_update(gradients)
+        after = model.state_dict()
+        for name in before:
+            np.testing.assert_allclose(after[name], before[name] - 1.0)

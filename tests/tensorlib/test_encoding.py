@@ -1,0 +1,95 @@
+"""Varint and zero-RLE lossless encodings (3LC's third stage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorlib import (
+    rle_decode_zeros,
+    rle_encode_zeros,
+    varint_decode,
+    varint_encode,
+)
+
+
+class TestVarint:
+    def test_roundtrip_small(self):
+        values = np.array([0, 1, 127, 128, 300, 16383, 16384])
+        assert np.array_equal(
+            varint_decode(varint_encode(values), 7), values
+        )
+
+    def test_small_values_take_one_byte(self):
+        assert varint_encode(np.array([0, 1, 127])).size == 3
+
+    def test_large_values_take_more_bytes(self):
+        assert varint_encode(np.array([128])).size == 2
+        assert varint_encode(np.array([1 << 21])).size == 4
+
+    def test_empty(self):
+        assert varint_encode(np.array([], dtype=np.int64)).size == 0
+        assert varint_decode(np.array([], dtype=np.uint8), 0).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            varint_encode(np.array([-1]))
+
+    def test_rejects_truncated_buffer(self):
+        buffer = varint_encode(np.array([5]))
+        with pytest.raises(ValueError, match="exhausted"):
+            varint_decode(buffer, 2)
+
+    @given(st.lists(st.integers(0, 10**12), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.int64)
+        assert np.array_equal(
+            varint_decode(varint_encode(array), array.size), array
+        )
+
+
+class TestZeroRLE:
+    def test_roundtrip_mixed(self):
+        ternary = np.array([0, 0, 1, -1, 0, 0, 0, 1, 0])
+        symbols, runs, n = rle_encode_zeros(ternary)
+        decoded = rle_decode_zeros(symbols, runs, ternary.size)
+        np.testing.assert_array_equal(decoded, ternary)
+
+    def test_all_zeros_is_one_run(self):
+        symbols, runs, n = rle_encode_zeros(np.zeros(1000))
+        assert n == 1 and runs.tolist() == [1000]
+
+    def test_no_zeros_has_no_runs(self):
+        symbols, runs, n = rle_encode_zeros(np.array([1, -1, 1]))
+        assert runs.size == 0 and n == 3
+
+    def test_empty(self):
+        symbols, runs, n = rle_encode_zeros(np.array([]))
+        assert n == 0
+        assert rle_decode_zeros(symbols, runs, 0).size == 0
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(ValueError, match="ternary"):
+            rle_encode_zeros(np.array([0, 2]))
+
+    def test_decode_validates_length(self):
+        symbols, runs, _ = rle_encode_zeros(np.array([1, 0, 0]))
+        with pytest.raises(ValueError, match="decodes"):
+            rle_decode_zeros(symbols, runs, 10)
+
+    def test_sparse_stream_compresses_well(self):
+        # 1% nonzero over 10k elements: symbol count ~ 2 * nnz + 1.
+        rng = np.random.default_rng(0)
+        ternary = np.zeros(10_000)
+        ternary[rng.choice(10_000, 100, replace=False)] = 1.0
+        symbols, runs, n = rle_encode_zeros(ternary)
+        assert n < 250
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        ternary = np.array(values, dtype=np.int64)
+        symbols, runs, _ = rle_encode_zeros(ternary)
+        decoded = rle_decode_zeros(symbols, runs, ternary.size)
+        np.testing.assert_array_equal(decoded, ternary)

@@ -1,0 +1,128 @@
+"""Sparse-index encodings (bitmap / delta-varint / auto)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorlib.indices import MODES, decode_indices, encode_indices
+
+
+def sorted_unique(rng, universe, k):
+    return np.sort(rng.choice(universe, size=k, replace=False)).astype(
+        np.int64
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_roundtrip(self, mode):
+        rng = np.random.default_rng(0)
+        indices = sorted_unique(rng, 10_000, 100)
+        buffer, used = encode_indices(indices, 10_000, mode=mode)
+        assert used == mode
+        decoded = decode_indices(buffer, used, 10_000, indices.size)
+        np.testing.assert_array_equal(decoded, indices)
+
+    def test_empty_selection(self):
+        empty = np.zeros(0, dtype=np.int64)
+        for mode in MODES:
+            buffer, used = encode_indices(empty, 100, mode=mode)
+            decoded = decode_indices(buffer, used, 100, 0)
+            assert decoded.size == 0
+
+    @given(st.sets(st.integers(0, 4999), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_auto_roundtrip_property(self, index_set):
+        indices = np.array(sorted(index_set), dtype=np.int64)
+        buffer, mode = encode_indices(indices, 5000, mode="auto")
+        decoded = decode_indices(buffer, mode, 5000, indices.size)
+        np.testing.assert_array_equal(decoded, indices)
+
+
+class TestSizeTradeoffs:
+    def test_bitmap_wins_when_dense(self):
+        rng = np.random.default_rng(1)
+        indices = sorted_unique(rng, 1000, 500)  # 50% density
+        _, mode = encode_indices(indices, 1000, mode="auto")
+        assert mode == "bitmap"
+
+    def test_delta_wins_when_sparse(self):
+        rng = np.random.default_rng(2)
+        indices = sorted_unique(rng, 1_000_000, 100)  # 0.01% density
+        buffer, mode = encode_indices(indices, 1_000_000, mode="auto")
+        assert mode == "delta"
+        int32_size = 4 * 100
+        assert buffer.nbytes < int32_size
+
+    def test_auto_never_beats_itself(self):
+        rng = np.random.default_rng(3)
+        for universe, k in ((1000, 10), (1000, 300), (100_000, 1000)):
+            indices = sorted_unique(rng, universe, k)
+            auto_buffer, _ = encode_indices(indices, universe, mode="auto")
+            for mode in MODES:
+                buffer, _ = encode_indices(indices, universe, mode=mode)
+                assert auto_buffer.nbytes <= buffer.nbytes
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            encode_indices(np.array([3, 1]), 10)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="sorted"):
+            encode_indices(np.array([1, 1]), 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            encode_indices(np.array([10]), 10)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown"):
+            encode_indices(np.array([1]), 10, mode="zip")
+        with pytest.raises(ValueError, match="unknown"):
+            decode_indices(np.zeros(0, np.uint8), "zip", 10, 0)
+
+    def test_bitmap_count_mismatch_detected(self):
+        buffer, _ = encode_indices(np.array([1, 5]), 10, mode="bitmap")
+        with pytest.raises(ValueError, match="expected"):
+            decode_indices(buffer, "bitmap", 10, 3)
+
+
+class TestTopKIntegration:
+    @pytest.mark.parametrize("encoding", ["int32", "bitmap", "delta", "auto"])
+    def test_topk_roundtrips_with_every_encoding(self, encoding):
+        from repro.core import create
+
+        rng = np.random.default_rng(4)
+        tensor = rng.standard_normal(5000).astype(np.float32)
+        reference = create("topk", ratio=0.02, seed=0)
+        compressor = create(
+            "topk", ratio=0.02, index_encoding=encoding, seed=0
+        )
+        out = compressor.decompress(compressor.compress(tensor, "t"))
+        expected = reference.decompress(reference.compress(tensor, "t"))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_delta_encoding_shrinks_wire(self):
+        from repro.core import create
+
+        rng = np.random.default_rng(5)
+        tensor = rng.standard_normal(100_000).astype(np.float32)
+        plain = create("topk", ratio=0.01, seed=0).compress(tensor, "t")
+        delta = create(
+            "topk", ratio=0.01, index_encoding="delta", seed=0
+        ).compress(tensor, "t")
+        assert delta.nbytes < plain.nbytes
+
+    def test_transmitted_indices_consistent(self):
+        from repro.core import create
+
+        rng = np.random.default_rng(6)
+        tensor = rng.standard_normal(2000).astype(np.float32)
+        plain = create("topk", ratio=0.05, seed=0)
+        encoded = create("topk", ratio=0.05, index_encoding="auto", seed=0)
+        a = plain.transmitted_indices(plain.compress(tensor, "t"))
+        b = encoded.transmitted_indices(encoded.compress(tensor, "t"))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,110 @@
+"""Bit-packing round-trips and size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorlib import (
+    pack_bits,
+    pack_signs,
+    packed_nbytes,
+    unpack_bits,
+    unpack_signs,
+)
+
+
+class TestPackBits:
+    def test_roundtrip_one_bit(self):
+        codes = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1])
+        assert np.array_equal(unpack_bits(pack_bits(codes, 1), 1, 9), codes)
+
+    def test_roundtrip_two_bits(self):
+        codes = np.array([0, 1, 2, 3, 3, 2, 1, 0, 2])
+        assert np.array_equal(unpack_bits(pack_bits(codes, 2), 2, 9), codes)
+
+    def test_roundtrip_seven_bits(self):
+        codes = np.arange(128)
+        assert np.array_equal(unpack_bits(pack_bits(codes, 7), 7, 128), codes)
+
+    def test_empty_input(self):
+        packed = pack_bits(np.array([], dtype=np.int64), 3)
+        assert packed.size == 0
+        assert unpack_bits(packed, 3, 0).size == 0
+
+    def test_packed_size_matches_accounting(self):
+        codes = np.arange(100) % 8
+        assert pack_bits(codes, 3).nbytes == packed_nbytes(100, 3)
+
+    def test_rejects_overflow_codes(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_bits(np.array([4]), bits=2)
+
+    def test_rejects_bad_bit_width(self):
+        with pytest.raises(ValueError, match="bits"):
+            pack_bits(np.array([0]), bits=0)
+        with pytest.raises(ValueError, match="bits"):
+            pack_bits(np.array([0]), bits=17)
+
+    def test_unpack_rejects_short_buffer(self):
+        packed = pack_bits(np.array([1, 0, 1]), 1)
+        with pytest.raises(ValueError, match="bits"):
+            unpack_bits(packed, 1, 100)
+
+    def test_unpack_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 1, -1)
+
+    @given(
+        st.lists(st.integers(0, 31), min_size=0, max_size=200),
+        st.integers(5, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values, bits):
+        codes = np.array(values, dtype=np.int64)
+        packed = pack_bits(codes, bits)
+        assert np.array_equal(unpack_bits(packed, bits, codes.size), codes)
+        assert packed.nbytes == packed_nbytes(codes.size, bits)
+
+
+class TestPackSigns:
+    def test_roundtrip(self):
+        values = np.array([1.0, -2.0, 0.0, -0.5, 3.0], dtype=np.float32)
+        signs = unpack_signs(pack_signs(values), 5)
+        assert np.array_equal(signs, [1.0, -1.0, 1.0, -1.0, 1.0])
+
+    def test_zero_is_positive(self):
+        assert unpack_signs(pack_signs(np.zeros(3)), 3).tolist() == [1, 1, 1]
+
+    def test_output_dtype(self):
+        assert unpack_signs(pack_signs(np.ones(4)), 4).dtype == np.float32
+
+    def test_one_bit_per_element(self):
+        assert pack_signs(np.ones(800)).nbytes == 100
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_sign_preserved_property(self, values):
+        array = np.array(values, dtype=np.float32)
+        signs = unpack_signs(pack_signs(array), array.size)
+        expected = np.where(array >= 0, 1.0, -1.0)
+        assert np.array_equal(signs, expected)
+
+
+class TestPackedNbytes:
+    def test_exact_multiples(self):
+        assert packed_nbytes(8, 1) == 1
+        assert packed_nbytes(4, 2) == 1
+        assert packed_nbytes(16, 4) == 8
+
+    def test_rounds_up(self):
+        assert packed_nbytes(9, 1) == 2
+        assert packed_nbytes(3, 3) == 2
+
+    def test_zero_count(self):
+        assert packed_nbytes(0, 5) == 0
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            packed_nbytes(-1, 2)

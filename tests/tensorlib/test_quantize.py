@@ -1,0 +1,138 @@
+"""Quantization kernel properties: round-trips, bias, error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorlib import (
+    dequantize_float8,
+    dequantize_uniform,
+    nearest_power_of_two,
+    quantize_float8,
+    quantize_stochastic_levels,
+    quantize_uniform,
+    stochastic_power_of_two,
+)
+
+
+class TestUniform:
+    def test_deterministic_rounding_is_nearest(self):
+        values = np.array([0.0, 0.24, 0.26, 0.5, 0.76, 1.0])
+        codes = quantize_uniform(values, levels=2)
+        assert codes.tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_dequantize_inverts_codes(self):
+        codes = np.array([0, 3, 7])
+        np.testing.assert_allclose(
+            dequantize_uniform(codes, 7), [0, 3 / 7, 1.0]
+        )
+
+    def test_stochastic_rounding_is_unbiased(self):
+        rng = np.random.default_rng(7)
+        value = np.full(200_000, 0.3)
+        codes = quantize_uniform(value, levels=4, rng=rng)
+        mean = dequantize_uniform(codes, 4).mean()
+        assert abs(mean - 0.3) < 2e-3
+
+    def test_error_bounded_by_one_level(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(1000)
+        codes = quantize_uniform(values, levels=16, rng=rng)
+        restored = dequantize_uniform(codes, 16)
+        assert np.max(np.abs(restored - values)) <= 1 / 16 + 1e-12
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            quantize_uniform(np.zeros(2), levels=0)
+        with pytest.raises(ValueError, match="levels"):
+            dequantize_uniform(np.zeros(2, dtype=np.int64), levels=0)
+
+    def test_stochastic_levels_zero_norm(self):
+        codes = quantize_stochastic_levels(
+            np.zeros(5), norm=0.0, levels=4, rng=np.random.default_rng(0)
+        )
+        assert np.array_equal(codes, np.zeros(5, dtype=np.int64))
+
+
+class TestFloat8:
+    def test_roundtrip_error_small(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(4096).astype(np.float32)
+        codes, scale = quantize_float8(values)
+        restored = dequantize_float8(codes, scale)
+        rel = np.linalg.norm(restored - values) / np.linalg.norm(values)
+        assert rel < 0.15
+
+    def test_codes_are_uint8(self):
+        codes, _ = quantize_float8(np.array([0.5, -0.5]))
+        assert codes.dtype == np.uint8
+
+    def test_scale_is_max_abs(self):
+        _, scale = quantize_float8(np.array([0.25, -3.0, 1.0]))
+        assert scale == pytest.approx(3.0)
+
+    def test_zero_tensor(self):
+        codes, scale = quantize_float8(np.zeros(16))
+        assert scale == 0.0
+        assert np.array_equal(dequantize_float8(codes, scale), np.zeros(16))
+
+    def test_signs_preserved(self):
+        values = np.array([-1.0, 1.0, -0.5, 0.5], dtype=np.float32)
+        codes, scale = quantize_float8(values)
+        restored = dequantize_float8(codes, scale)
+        assert np.all(np.sign(restored) == np.sign(values))
+
+    def test_max_magnitude_exact(self):
+        values = np.array([0.1, -2.0, 0.7], dtype=np.float32)
+        codes, scale = quantize_float8(values)
+        restored = dequantize_float8(codes, scale)
+        assert restored[1] == pytest.approx(-2.0, rel=1e-6)
+
+    @given(st.lists(st.floats(-1e3, 1e3, allow_nan=False, width=32),
+                    min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_relative_error_property(self, values):
+        array = np.array(values, dtype=np.float32)
+        codes, scale = quantize_float8(array)
+        restored = dequantize_float8(codes, scale)
+        # Every element within ~2^-4 of the scale (mantissa resolution) or
+        # flushed to zero below the smallest binade.
+        tolerance = scale * (2 ** -4 + 1e-6) if scale else 0.0
+        assert np.all(np.abs(restored - array) <= np.maximum(
+            np.abs(array) * 0.08, tolerance + 1e-9))
+
+
+class TestPowerOfTwo:
+    def test_nearest_hits_exact_powers(self):
+        values = np.array([1.0, 2.0, 0.5, -4.0])
+        np.testing.assert_array_equal(nearest_power_of_two(values), values)
+
+    def test_nearest_zero_stays_zero(self):
+        assert nearest_power_of_two(np.array([0.0]))[0] == 0.0
+
+    def test_stochastic_output_is_power_or_zero(self):
+        rng = np.random.default_rng(5)
+        values = rng.standard_normal(1000)
+        rounded = stochastic_power_of_two(values, rng)
+        nonzero = rounded[rounded != 0]
+        log2 = np.log2(np.abs(nonzero))
+        np.testing.assert_allclose(log2, np.round(log2), atol=1e-9)
+
+    def test_stochastic_unbiased(self):
+        rng = np.random.default_rng(11)
+        values = np.full(400_000, 0.7)
+        rounded = stochastic_power_of_two(values, rng)
+        assert abs(rounded.mean() - 0.7) < 2e-3
+
+    def test_stochastic_preserves_sign(self):
+        rng = np.random.default_rng(2)
+        values = np.array([-0.3, 0.3, -1.7, 1.7])
+        rounded = stochastic_power_of_two(values, rng)
+        assert np.all(np.sign(rounded) == np.sign(values))
+
+    def test_all_zero_input(self):
+        rounded = stochastic_power_of_two(
+            np.zeros(8), np.random.default_rng(0)
+        )
+        assert np.array_equal(rounded, np.zeros(8))

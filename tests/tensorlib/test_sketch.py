@@ -1,0 +1,97 @@
+"""Count-sketch and quantile-sketch behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tensorlib import CountSketch, QuantileSketch
+
+
+class TestCountSketch:
+    def test_recovers_heavy_hitter(self):
+        sketch = CountSketch(width=64, depth=5, universe=1000, seed=0)
+        indices = np.arange(1000)
+        values = np.full(1000, 0.01)
+        values[123] = 50.0
+        sketch.update(indices, values)
+        assert 123 in sketch.heavy_hitters(5)
+
+    def test_query_approximates_updates(self):
+        sketch = CountSketch(width=128, depth=5, universe=100, seed=1)
+        sketch.update(np.array([7]), np.array([3.5]))
+        assert sketch.query(np.array([7]))[0] == pytest.approx(3.5, abs=0.5)
+
+    def test_merge_adds_tables(self):
+        a = CountSketch(width=32, depth=3, universe=50, seed=2)
+        b = CountSketch(width=32, depth=3, universe=50, seed=2)
+        a.update(np.array([1]), np.array([2.0]))
+        b.update(np.array([1]), np.array([3.0]))
+        a.merge(b)
+        assert a.query(np.array([1]))[0] == pytest.approx(5.0, abs=0.8)
+
+    def test_merge_rejects_shape_mismatch(self):
+        a = CountSketch(width=32, depth=3, universe=50)
+        b = CountSketch(width=16, depth=3, universe=50)
+        with pytest.raises(ValueError, match="different shapes"):
+            a.merge(b)
+
+    def test_update_validates_inputs(self):
+        sketch = CountSketch(width=8, depth=2, universe=10)
+        with pytest.raises(ValueError, match="same shape"):
+            sketch.update(np.array([1, 2]), np.array([1.0]))
+        with pytest.raises(ValueError, match="universe"):
+            sketch.update(np.array([10]), np.array([1.0]))
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0, depth=1, universe=10)
+
+    def test_nbytes(self):
+        assert CountSketch(width=16, depth=4, universe=10).nbytes == 256
+
+
+class TestQuantileSketch:
+    def test_encode_decode_monotone(self):
+        sketch = QuantileSketch(num_buckets=8)
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(2000)
+        sketch.insert(values)
+        codes = sketch.encode(values)
+        assert codes.min() >= 0 and codes.max() < 8
+        decoded = sketch.decode(codes)
+        # Bucket representatives preserve ordering on average.
+        assert np.corrcoef(values, decoded)[0, 1] > 0.9
+
+    def test_quantization_error_bounded_by_bucket_width(self):
+        sketch = QuantileSketch(num_buckets=64)
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1, 1, 5000)
+        sketch.insert(values)
+        decoded = sketch.decode(sketch.encode(values))
+        # 64 quantile buckets over uniform data: width ~2/64.
+        assert np.percentile(np.abs(decoded - values), 95) < 3 * (2 / 64)
+
+    def test_pruning_keeps_quantiles(self):
+        sketch = QuantileSketch(num_buckets=4, max_size=256)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            sketch.insert(rng.standard_normal(1000))
+        boundaries = sketch.boundaries()
+        # Quartile boundaries of a standard normal: approx [-0.67, 0, 0.67].
+        np.testing.assert_allclose(boundaries, [-0.674, 0.0, 0.674], atol=0.15)
+
+    def test_empty_sketch_raises(self):
+        sketch = QuantileSketch(num_buckets=4)
+        with pytest.raises(ValueError, match="empty"):
+            sketch.boundaries()
+        with pytest.raises(ValueError, match="empty"):
+            sketch.representatives()
+
+    def test_decode_validates_codes(self):
+        sketch = QuantileSketch(num_buckets=4)
+        sketch.insert(np.arange(100.0))
+        with pytest.raises(ValueError, match="out of range"):
+            sketch.decode(np.array([4]))
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError, match="num_buckets"):
+            QuantileSketch(num_buckets=1)

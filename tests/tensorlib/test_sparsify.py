@@ -1,0 +1,132 @@
+"""Sparsification kernels: selection correctness and round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorlib import (
+    desparsify,
+    sparsify_randomk,
+    sparsify_threshold,
+    sparsify_topk,
+)
+
+
+class TestTopK:
+    def test_selects_largest_magnitudes(self):
+        tensor = np.array([0.1, -5.0, 2.0, -0.3, 4.0])
+        values, indices = sparsify_topk(tensor, 2)
+        assert set(indices.tolist()) == {1, 4}
+        assert set(values.tolist()) == {-5.0, 4.0}
+
+    def test_indices_sorted(self):
+        rng = np.random.default_rng(0)
+        _, indices = sparsify_topk(rng.standard_normal(100), 10)
+        assert np.all(np.diff(indices) > 0)
+
+    def test_k_clamped_to_size(self):
+        values, indices = sparsify_topk(np.array([1.0, 2.0]), 10)
+        assert values.size == 2
+
+    def test_k_minimum_one(self):
+        values, _ = sparsify_topk(np.array([1.0, 2.0, 3.0]), 0)
+        assert values.size == 1
+
+    def test_flattens_matrices(self):
+        tensor = np.array([[1.0, -9.0], [3.0, 0.5]])
+        values, indices = sparsify_topk(tensor, 1)
+        assert indices[0] == 1 and values[0] == -9.0
+
+    @given(st.integers(1, 50), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_selected_are_the_k_largest_property(self, size, k):
+        rng = np.random.default_rng(size * 100 + k)
+        tensor = rng.standard_normal(size)
+        values, indices = sparsify_topk(tensor, k)
+        k_eff = min(k, size)
+        threshold = np.sort(np.abs(tensor))[-k_eff]
+        assert np.all(np.abs(values) >= threshold - 1e-12)
+        assert values.size == k_eff
+
+
+class TestRandomK:
+    def test_selection_count(self):
+        rng = np.random.default_rng(1)
+        values, indices = sparsify_randomk(np.arange(100.0), 7, rng)
+        assert values.size == indices.size == 7
+
+    def test_values_match_indices(self):
+        rng = np.random.default_rng(2)
+        tensor = np.arange(50.0)
+        values, indices = sparsify_randomk(tensor, 5, rng)
+        assert np.array_equal(values, tensor[indices])
+
+    def test_no_duplicate_indices(self):
+        rng = np.random.default_rng(3)
+        _, indices = sparsify_randomk(np.arange(20.0), 15, rng)
+        assert len(set(indices.tolist())) == 15
+
+    def test_different_rng_states_differ(self):
+        tensor = np.arange(1000.0)
+        _, a = sparsify_randomk(tensor, 10, np.random.default_rng(1))
+        _, b = sparsify_randomk(tensor, 10, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_uniform_coverage(self):
+        # Every index should be selected roughly equally often.
+        tensor = np.arange(10.0)
+        counts = np.zeros(10)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            _, idx = sparsify_randomk(tensor, 2, rng)
+            counts[idx] += 1
+        assert counts.min() > 0.7 * counts.max()
+
+
+class TestThreshold:
+    def test_selects_above_threshold(self):
+        tensor = np.array([0.5, -0.1, 0.05, -2.0, 0.11])
+        values, indices = sparsify_threshold(tensor, 0.1)
+        assert set(indices.tolist()) == {0, 1, 3, 4}
+
+    def test_zero_threshold_selects_all(self):
+        values, _ = sparsify_threshold(np.array([0.0, 1.0, -1.0]), 0.0)
+        assert values.size == 3
+
+    def test_nothing_selected(self):
+        values, indices = sparsify_threshold(np.array([0.01, -0.02]), 1.0)
+        assert values.size == 0 and indices.size == 0
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sparsify_threshold(np.zeros(4), -0.5)
+
+
+class TestDesparsify:
+    def test_roundtrip_with_topk(self):
+        rng = np.random.default_rng(4)
+        tensor = rng.standard_normal(64).astype(np.float32)
+        values, indices = sparsify_topk(tensor, 64)
+        np.testing.assert_array_equal(desparsify(values, indices, 64), tensor)
+
+    def test_fills_zeros(self):
+        dense = desparsify(np.array([5.0]), np.array([2]), 5)
+        assert dense.tolist() == [0, 0, 5, 0, 0]
+
+    def test_empty_selection(self):
+        dense = desparsify(np.zeros(0), np.zeros(0, dtype=np.int64), 4)
+        assert np.array_equal(dense, np.zeros(4))
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            desparsify(np.array([1.0]), np.array([9]), 5)
+        with pytest.raises(ValueError, match="out of range"):
+            desparsify(np.array([1.0]), np.array([-1]), 5)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            desparsify(np.zeros(0), np.zeros(0, dtype=np.int64), -1)
+
+    def test_output_is_float32(self):
+        assert desparsify(np.array([1.0]), np.array([0]), 2).dtype == np.float32

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_params, main
+
+
+class TestParseParams:
+    def test_typed_values(self):
+        params = _parse_params(["ratio=0.05", "levels=16", "flag=true",
+                                "name=abc"])
+        assert params == {"ratio": 0.05, "levels": 16, "flag": True,
+                          "name": "abc"}
+
+    def test_rejects_malformed(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            _parse_params(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "signsgd" in out and "Extensions" in out
+
+    def test_compress(self, capsys):
+        code = main(["compress", "--method", "topk", "--elements", "4096",
+                     "--param", "ratio=0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wire size" in out and "compression" in out
+
+    def test_compress_unknown_method(self):
+        with pytest.raises(KeyError, match="unknown compressor"):
+            main(["compress", "--method", "gzip"])
+
+    def test_train(self, capsys):
+        code = main(["train", "--benchmark", "ncf-movielens",
+                     "--compressor", "topk", "--workers", "2",
+                     "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Best Hit Rate" in out
+
+    def test_train_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["train", "--benchmark", "alexnet"])
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Measured ratio" in capsys.readouterr().out
+
+    def test_experiment_fig6_subset(self, capsys):
+        code = main(["experiment", "fig6", "--panels", "d",
+                     "--compressors", "none,topk", "--epochs", "1"])
+        assert code == 0
+        assert "Rel. throughput" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "fig99"])
