@@ -40,6 +40,7 @@ def train_quality(
     memory: str | None = None,
     memory_params: dict | None = None,
     compressor_params: dict | None = None,
+    tracer=None,
 ) -> QualityResult:
     """Train one benchmark with one compressor; return best quality."""
     run = spec.build(n_workers=n_workers, seed=seed,
@@ -56,6 +57,7 @@ def train_quality(
         memory=memory,
         memory_params=params,
         seed=seed,
+        tracer=tracer,
     )
     report = trainer.train(
         run.loader,

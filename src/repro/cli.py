@@ -5,6 +5,9 @@ Examples::
     python -m repro list
     python -m repro compress --method topk --elements 65536 --param ratio=0.05
     python -m repro train --benchmark ncf-movielens --compressor topk
+    python -m repro train --benchmark ncf-movielens --compressor topk \
+        --trace /tmp/run.jsonl
+    python -m repro report /tmp/run.jsonl --chrome /tmp/run.trace.json
     python -m repro experiment fig6 --panels a,d
     python -m repro experiment table1
 """
@@ -13,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -46,6 +50,8 @@ def cmd_list(args) -> int:
 def cmd_compress(args) -> int:
     """Compress one synthetic gradient and report the wire stats."""
     from repro.core import create
+    from repro.core.wire import framing_overhead_bytes
+    from repro.telemetry.formatting import render_fields, wire_stats_fields
 
     rng = np.random.default_rng(args.seed)
     side = int(np.sqrt(args.elements))
@@ -54,17 +60,27 @@ def cmd_compress(args) -> int:
     )
     compressor = create(args.method, seed=args.seed,
                         **_parse_params(args.param))
+    kernel_start = time.perf_counter()
     compressed = compressor.compress(tensor, "cli")
+    kernel_seconds = time.perf_counter() - kernel_start
     restored = compressor.decompress(compressed)
     error = np.linalg.norm(restored - tensor) / np.linalg.norm(tensor)
-    print(f"method          : {args.method}")
-    print(f"input           : {tensor.size} elements "
-          f"({tensor.nbytes:,} bytes)")
-    print(f"wire size       : {compressed.nbytes:,} bytes")
-    print(f"compression     : {compressed.nbytes / tensor.nbytes:.4f}x")
-    print(f"relative error  : {error:.4f}")
-    print(f"strategy        : {compressor.communication}")
-    print(f"default memory  : {compressor.default_memory}")
+    fields = [
+        ("method", args.method),
+        ("input", f"{tensor.size} elements ({tensor.nbytes:,} bytes)"),
+    ]
+    fields += wire_stats_fields(
+        raw_nbytes=tensor.nbytes,
+        wire_nbytes=compressed.nbytes,
+        framing_nbytes=framing_overhead_bytes(compressed.payload),
+        kernel_seconds=kernel_seconds,
+    )
+    fields += [
+        ("relative error", f"{error:.4f}"),
+        ("strategy", compressor.communication),
+        ("default memory", compressor.default_memory),
+    ]
+    print(render_fields(fields))
     return 0
 
 
@@ -79,6 +95,20 @@ def cmd_train(args) -> int:
             f"choose from {', '.join(sorted(BENCHMARKS))}"
         )
     spec = get_benchmark(args.benchmark)
+    tracing = bool(args.trace or args.chrome_trace or args.metrics_out)
+    tracer = None
+    if tracing:
+        from repro.telemetry import Tracer
+
+        # Fail on unwritable output paths now, not after training.
+        for path in (args.trace, args.chrome_trace, args.metrics_out):
+            if path:
+                try:
+                    with open(path, "a", encoding="utf-8"):
+                        pass
+                except OSError as error:
+                    raise SystemExit(f"cannot write {path!r}: {error}")
+        tracer = Tracer()
     result = train_quality(
         spec,
         args.compressor,
@@ -86,6 +116,7 @@ def cmd_train(args) -> int:
         seed=args.seed,
         epochs=args.epochs,
         compressor_params=_parse_params(args.param) or None,
+        tracer=tracer,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
@@ -97,6 +128,56 @@ def cmd_train(args) -> int:
     print(f"bytes/worker/iter: "
           f"{report.bytes_per_worker_per_iteration:,.0f}")
     print(f"simulated comm   : {report.sim_comm_seconds:.3f} s")
+    if tracing:
+        _export_trace(args, tracer, report)
+    return 0
+
+
+def _export_trace(args, tracer, report) -> None:
+    """Write the requested trace/metrics artifacts and wire stats."""
+    from repro.telemetry import (
+        render_fields, wire_stats_fields, write_chrome_trace, write_jsonl,
+        write_prometheus,
+    )
+
+    metrics = tracer.metrics
+    print()
+    print(render_fields(wire_stats_fields(
+        raw_nbytes=metrics.value("compress_raw_bytes_total"),
+        wire_nbytes=metrics.value("compress_wire_bytes_total"),
+        framing_nbytes=metrics.value("wire_framing_overhead_bytes_total"),
+        kernel_seconds=report.measured_compression_seconds,
+    )))
+    if args.trace:
+        events = write_jsonl(args.trace, tracer, metrics)
+        print(f"trace            : {args.trace} ({events} events)")
+    if args.chrome_trace:
+        spans = write_chrome_trace(args.chrome_trace, tracer.spans)
+        print(f"chrome trace     : {args.chrome_trace} ({spans} spans)")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, metrics)
+        print(f"metrics          : {args.metrics_out}")
+
+
+def cmd_report(args) -> int:
+    """Summarize a JSONL trace written by ``train --trace``."""
+    from repro.telemetry import (
+        read_events, summarize_events, write_chrome_trace,
+    )
+
+    try:
+        events = read_events(args.trace)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace: {error}")
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if not events:
+        raise SystemExit(f"no telemetry events in {args.trace!r}")
+    print(summarize_events(events).format())
+    if args.chrome:
+        spans = write_chrome_trace(args.chrome, events)
+        print()
+        print(f"chrome trace     : {args.chrome} ({spans} spans)")
     return 0
 
 
@@ -159,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL telemetry trace here")
+    train.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="write a Chrome trace_event JSON here "
+                            "(load in Perfetto / chrome://tracing)")
+    train.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text snapshot here")
+
+    report = sub.add_parser(
+        "report", help="summarize a JSONL trace from train --trace"
+    )
+    report.add_argument("trace", help="JSONL trace path")
+    report.add_argument("--chrome", default=None, metavar="PATH",
+                        help="also convert the trace to Chrome JSON")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -180,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "compress": cmd_compress,
         "train": cmd_train,
+        "report": cmd_report,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

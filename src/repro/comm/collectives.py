@@ -9,8 +9,6 @@ data volume).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.comm.backends import Backend, OPENMPI_TCP
@@ -21,6 +19,7 @@ from repro.comm.cost import (
     sparse_allreduce_time,
 )
 from repro.comm.network import NetworkModel, ethernet
+from repro.telemetry.metrics import Histogram, MetricsRegistry
 
 Payload = list[np.ndarray]
 
@@ -30,37 +29,116 @@ def payload_nbytes(payload: Payload) -> int:
     return int(sum(int(np.asarray(t).nbytes) for t in payload))
 
 
-@dataclass
 class CommRecord:
-    """Running account of simulated communication."""
+    """Running account of simulated communication.
 
-    bytes_sent_per_worker: float = 0.0
-    simulated_seconds: float = 0.0
-    num_ops: int = 0
-    _per_op_bytes: list[float] = field(default_factory=list)
+    The record is a thin adapter over a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`: bytes, seconds
+    and op counts live in registry instruments (``comm_*``), so the
+    communication layer is counted in exactly one place and exports
+    with the rest of a run's telemetry.  The public read surface
+    (:attr:`bytes_sent_per_worker`, :attr:`simulated_seconds`,
+    :attr:`num_ops`, :attr:`mean_bytes_per_op`) is unchanged.
+    """
 
-    def charge(self, bytes_per_worker: float, seconds: float) -> None:
-        """Record one collective's cost."""
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry: MetricsRegistry | None = None
+        self.bind(registry if registry is not None else MetricsRegistry())
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """(Re)attach to a registry, migrating any accumulated totals.
+
+        Trainers call this to pull an existing communicator's accounting
+        into their shared run registry; totals carry over so rebinding
+        never silently resets the meter.
+        """
+        previous = self.registry
+        if previous is registry:
+            return
+        self.registry = registry
+        self._bytes = registry.counter(
+            "comm_bytes_per_worker_total", unit="bytes",
+            help="per-worker bytes placed on the wire",
+        )
+        self._seconds = registry.counter(
+            "comm_sim_seconds_total", unit="seconds",
+            help="simulated communication wall-clock",
+        )
+        self._ops = registry.counter(
+            "comm_ops_total", help="collective operations issued",
+        )
+        self._op_bytes = registry.histogram(
+            "comm_op_bytes_per_worker", unit="bytes",
+            help="per-op bytes each worker sent",
+        )
+        if previous is not None:
+            for instrument in previous.instruments():
+                if not instrument.name.startswith("comm_"):
+                    continue
+                labels = dict(instrument.labels)
+                if isinstance(instrument, Histogram):
+                    target = registry.histogram(
+                        instrument.name, labels, unit=instrument.unit,
+                        help=instrument.help,
+                    )
+                    for value in instrument._values:
+                        target.observe(value)
+                else:
+                    registry.counter(
+                        instrument.name, labels, unit=instrument.unit,
+                        help=instrument.help,
+                    ).inc(instrument.value)
+                instrument.reset()
+
+    def charge(self, bytes_per_worker: float, seconds: float,
+               op: str | None = None) -> None:
+        """Record one collective's cost (optionally labeled by op kind)."""
         if bytes_per_worker < 0 or seconds < 0:
             raise ValueError("cannot charge negative cost")
-        self.bytes_sent_per_worker += bytes_per_worker
-        self.simulated_seconds += seconds
-        self.num_ops += 1
-        self._per_op_bytes.append(bytes_per_worker)
+        self._bytes.inc(bytes_per_worker)
+        self._seconds.inc(seconds)
+        self._ops.inc(1)
+        self._op_bytes.observe(bytes_per_worker)
+        if op is not None:
+            labels = {"op": op}
+            self.registry.counter(
+                "comm_op_bytes_per_worker_total", labels, unit="bytes",
+                help="per-worker bytes by collective op",
+            ).inc(bytes_per_worker)
+            self.registry.counter(
+                "comm_op_sim_seconds_total", labels, unit="seconds",
+                help="simulated seconds by collective op",
+            ).inc(seconds)
+            self.registry.counter(
+                "comm_op_count_total", labels,
+                help="operations by collective op",
+            ).inc(1)
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.bytes_sent_per_worker = 0.0
-        self.simulated_seconds = 0.0
-        self.num_ops = 0
-        self._per_op_bytes.clear()
+        """Zero every ``comm_*`` instrument this record counts into."""
+        for instrument in self.registry.instruments():
+            if instrument.name.startswith("comm_"):
+                instrument.reset()
+
+    @property
+    def bytes_sent_per_worker(self) -> float:
+        """Cumulative per-worker bytes placed on the wire."""
+        return self._bytes.value
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Cumulative simulated communication seconds."""
+        return self._seconds.value
+
+    @property
+    def num_ops(self) -> int:
+        """Number of collective operations charged."""
+        return int(self._ops.value)
 
     @property
     def mean_bytes_per_op(self) -> float:
         """Average per-op bytes each worker sent."""
-        if not self._per_op_bytes:
-            return 0.0
-        return float(np.mean(self._per_op_bytes))
+        return self._op_bytes.mean
 
 
 class Communicator:
@@ -76,13 +154,14 @@ class Communicator:
         n_workers: int,
         network: NetworkModel | None = None,
         backend: Backend = OPENMPI_TCP,
+        registry: MetricsRegistry | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
         self.network = network if network is not None else ethernet(10.0)
         self.backend = backend
-        self.record = CommRecord()
+        self.record = CommRecord(registry)
 
     # -- primitives ---------------------------------------------------------
 
@@ -106,7 +185,8 @@ class Communicator:
         seconds = ring_allreduce_time(
             first.nbytes, self.n_workers, self.network, self.backend
         )
-        self.record.charge(bytes_per_worker=float(first.nbytes), seconds=seconds)
+        self.record.charge(bytes_per_worker=float(first.nbytes),
+                           seconds=seconds, op="allreduce")
         return total
 
     def allgather(self, payloads: list[Payload]) -> list[Payload]:
@@ -124,7 +204,8 @@ class Communicator:
             )
         seconds = allgather_time(sizes, self.network, self.backend)
         mean_contribution = float(np.mean(sizes)) if sizes else 0.0
-        self.record.charge(bytes_per_worker=mean_contribution, seconds=seconds)
+        self.record.charge(bytes_per_worker=mean_contribution,
+                           seconds=seconds, op="allgather")
         return [list(p) for p in payloads]
 
     def sparse_allreduce(
@@ -170,7 +251,7 @@ class Communicator:
             + (n_blocks + 7) // 8
         )
         self.record.charge(bytes_per_worker=mean_contribution,
-                           seconds=seconds)
+                           seconds=seconds, op="sparse_allreduce")
         total = np.sum(np.stack([np.asarray(t) for t in tensors]), axis=0)
         return total
 
@@ -182,7 +263,8 @@ class Communicator:
         seconds = broadcast_time(nbytes, self.n_workers, self.network, self.backend)
         # Amortized per-worker share of the broadcast traffic.
         self.record.charge(
-            bytes_per_worker=nbytes / self.n_workers, seconds=seconds
+            bytes_per_worker=nbytes / self.n_workers, seconds=seconds,
+            op="broadcast",
         )
         return [list(payload) for _ in range(self.n_workers)]
 

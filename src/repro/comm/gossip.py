@@ -112,12 +112,13 @@ class GossipCommunicator:
         topology: Topology,
         network: NetworkModel | None = None,
         backend: Backend = OPENMPI_TCP,
+        registry=None,
     ):
         self.topology = topology
         self.n_workers = topology.n_nodes
         self.network = network if network is not None else ethernet(10.0)
         self.backend = backend
-        self.record = CommRecord()
+        self.record = CommRecord(registry)
 
     def exchange(
         self, payloads: list[Payload]
@@ -150,7 +151,8 @@ class GossipCommunicator:
                 for node in range(self.n_workers)
             ])
         )
-        self.record.charge(bytes_per_worker=mean_sent, seconds=seconds)
+        self.record.charge(bytes_per_worker=mean_sent, seconds=seconds,
+                           op="gossip_exchange")
         inbox: list[list[tuple[int, Payload]]] = [
             [] for _ in range(self.n_workers)
         ]

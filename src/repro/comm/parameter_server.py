@@ -85,7 +85,7 @@ class ParameterServerCommunicator(Communicator):
             self.backend,
         )
         self.record.charge(bytes_per_worker=float(first.nbytes),
-                           seconds=seconds)
+                           seconds=seconds, op="ps_allreduce")
         return total
 
     def allgather(self, payloads: list[Payload]) -> list[Payload]:
@@ -98,7 +98,7 @@ class ParameterServerCommunicator(Communicator):
         )
         mean_contribution = float(np.mean(sizes)) if sizes else 0.0
         self.record.charge(bytes_per_worker=mean_contribution,
-                           seconds=seconds)
+                           seconds=seconds, op="ps_allgather")
         return [list(p) for p in payloads]
 
     def broadcast(self, payload: Payload, root: int = 0) -> list[Payload]:
@@ -115,5 +115,5 @@ class ParameterServerCommunicator(Communicator):
             self.backend,
         )
         self.record.charge(bytes_per_worker=nbytes / self.n_workers,
-                           seconds=seconds)
+                           seconds=seconds, op="ps_broadcast")
         return [list(payload) for _ in range(self.n_workers)]

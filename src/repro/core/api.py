@@ -121,7 +121,19 @@ class Compressor(abc.ABC):
 
 
 class Memory(abc.ABC):
-    """Error-feedback memory: φ (compensate) and ψ (update) of Algorithm 1."""
+    """Error-feedback memory: φ (compensate) and ψ (update) of Algorithm 1.
+
+    ``telemetry`` is ``None`` by default; a trainer with tracing enabled
+    attaches its :class:`~repro.telemetry.metrics.MetricsRegistry` via
+    :meth:`attach_telemetry` so memories can record residual norms.
+    The disabled path never computes them.
+    """
+
+    telemetry = None  # class-level default: no per-instance cost when off
+
+    def attach_telemetry(self, registry) -> None:
+        """Route this memory's diagnostics into ``registry``."""
+        self.telemetry = registry
 
     @abc.abstractmethod
     def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:

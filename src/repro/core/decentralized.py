@@ -29,6 +29,8 @@ from repro.comm.gossip import GossipCommunicator, Topology
 from repro.core.api import Compressor
 from repro.core.memory import Memory, make_memory
 from repro.core.trainer import DistributedTask
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import NULL_TRACER
 
 
 @dataclass
@@ -58,6 +60,9 @@ class DecentralizedTrainer:
         Overlay graph (see :mod:`repro.comm.gossip`).
     consensus_period:
         Gossip the parameters every this many iterations (0 = never).
+    tracer:
+        Optional :class:`~repro.telemetry.tracing.Tracer`; the default
+        no-op tracer leaves the loop untouched.
     """
 
     def __init__(
@@ -70,6 +75,8 @@ class DecentralizedTrainer:
         memory_params: dict | None = None,
         consensus_period: int = 10,
         seed: int = 0,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if len(tasks) != topology.n_nodes:
             raise ValueError(
@@ -96,6 +103,19 @@ class DecentralizedTrainer:
             make_memory(memory_kind, **dict(memory_params or {}))
             for _ in range(self.n_workers)
         ]
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if metrics is not None:
+            self.metrics = metrics
+        elif self.tracer.enabled and isinstance(
+            self.tracer.metrics, MetricsRegistry
+        ):
+            self.metrics = self.tracer.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.comm.record.bind(self.metrics)
+        if self.tracer.enabled:
+            for mem in self.memories:
+                mem.attach_telemetry(self.metrics)
         self.report = DecentralizedReport()
 
     # ------------------------------------------------------------------
@@ -106,10 +126,21 @@ class DecentralizedTrainer:
             raise ValueError(
                 f"need {self.n_workers} per-node batches, got {len(batches)}"
             )
+        tracer = self.tracer
+        with tracer.span(
+            "iteration", iteration=self.report.iterations, mode="gossip"
+        ):
+            return self._step_traced(batches)
+
+    def _step_traced(self, batches: list[tuple[Any, Any]]) -> float:
+        tracer = self.tracer
         losses = []
         grads: list[dict[str, np.ndarray]] = []
         for node, (inputs, targets) in enumerate(batches):
-            loss, gradient = self.tasks[node].forward_backward(inputs, targets)
+            with tracer.span("compute", rank=node):
+                loss, gradient = self.tasks[node].forward_backward(
+                    inputs, targets
+                )
             losses.append(loss)
             grads.append(gradient)
 
@@ -124,24 +155,45 @@ class DecentralizedTrainer:
             compressed = []
             for node in range(self.n_workers):
                 memory = self.memories[node]
-                compensated = memory.compensate(grads[node][name], name)
-                packed = self.compressors[node].compress(compensated, name)
+                with tracer.span("memory_compensate", rank=node, tensor=name):
+                    compensated = memory.compensate(grads[node][name], name)
+                with tracer.span("compress", rank=node, tensor=name) as span:
+                    packed = self.compressors[node].compress(compensated, name)
+                if tracer.enabled:
+                    span.set(
+                        nbytes_in=int(np.asarray(compensated).nbytes),
+                        nbytes_out=packed.nbytes,
+                    )
                 memory.update(compensated, name, self.compressors[node],
                               packed)
                 compressed.append(packed)
-            inbox = self.comm.exchange([c.payload for c in compressed])
+            sim_before = self.comm.record.simulated_seconds
+            wire_before = self.comm.record.bytes_sent_per_worker
+            with tracer.span(
+                "collective", tensor=name, op="gossip_exchange"
+            ) as span:
+                inbox = self.comm.exchange([c.payload for c in compressed])
+            if tracer.enabled:
+                span.add_sim(self.comm.record.simulated_seconds - sim_before)
+                span.set(
+                    bytes_per_worker=self.comm.record.bytes_sent_per_worker
+                    - wire_before
+                )
             decoder = self.compressors[0]
             for node in range(self.n_workers):
-                own_weight = self.topology.mixing_weight(node, node)
-                mixed = own_weight * decoder.decompress(compressed[node])
-                for source, _payload in inbox[node]:
-                    weight = self.topology.mixing_weight(node, source)
-                    mixed = mixed + weight * decoder.decompress(
-                        compressed[source]
-                    )
-                aggregated[node][name] = mixed
-        for node in range(self.n_workers):
-            self.tasks[node].apply_update(aggregated[node])
+                with tracer.span("decompress", rank=node, tensor=name):
+                    own_weight = self.topology.mixing_weight(node, node)
+                    mixed = own_weight * decoder.decompress(compressed[node])
+                    for source, _payload in inbox[node]:
+                        weight = self.topology.mixing_weight(node, source)
+                        mixed = mixed + weight * decoder.decompress(
+                            compressed[source]
+                        )
+                with tracer.span("aggregate", rank=node, tensor=name):
+                    aggregated[node][name] = mixed
+        with tracer.span("apply_update"):
+            for node in range(self.n_workers):
+                self.tasks[node].apply_update(aggregated[node])
 
         self.report.iterations += 1
         self.report.sim_comm_seconds += (
@@ -154,7 +206,8 @@ class DecentralizedTrainer:
             self.consensus_period
             and self.report.iterations % self.consensus_period == 0
         ):
-            self._parameter_consensus()
+            with tracer.span("parameter_consensus"):
+                self._parameter_consensus()
         self.report.consensus_distances.append(self.consensus_distance())
         mean_loss = float(np.mean(losses))
         self.report.losses.append(mean_loss)

@@ -18,6 +18,23 @@ import numpy as np
 from repro.core.api import CompressedTensor, Compressor, Memory
 
 
+def _observe_residual_norm(memory: Memory, name: str,
+                           residual: np.ndarray) -> None:
+    """Record ‖residual‖₂ when telemetry is attached (see Memory base).
+
+    Norms cost a pass over the tensor, so they are only computed when a
+    registry has been attached via :meth:`Memory.attach_telemetry` —
+    the untraced hot loop never pays for them.
+    """
+    registry = memory.telemetry
+    if registry is None:
+        return
+    registry.histogram(
+        "ef_residual_norm", {"tensor": name}, unit="l2",
+        help="error-feedback residual L2 norm per update",
+    ).observe(float(np.linalg.norm(residual)))
+
+
 class NoneMemory(Memory):
     """No error feedback: φ is the identity, ψ discards the error."""
 
@@ -67,6 +84,7 @@ class ResidualMemory(Memory):
         self._residuals[name] = np.asarray(compensated, dtype=np.float32) - np.asarray(
             transmitted, dtype=np.float32
         )
+        _observe_residual_norm(self, name, self._residuals[name])
 
     def residual(self, name: str) -> np.ndarray | None:
         """Expose the stored residual (used by tests and diagnostics)."""
@@ -122,6 +140,7 @@ class DgcMemory(Memory):
             )
         self._velocity[name][indices] = 0.0
         self._accumulated[name][indices] = 0.0
+        _observe_residual_norm(self, name, self._accumulated[name])
 
 
 def make_memory(kind: str, **params) -> Memory:

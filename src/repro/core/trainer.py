@@ -15,12 +15,19 @@ Per iteration (paper's Algorithm 1):
    are gathered, decompressed per rank and combined with Agg (lines
    11–13);
 4. the optimizer applies the aggregated gradient (line 15).
+
+Observability: every phase is wrapped in a tracer span (``iteration`` →
+``compute`` / ``memory_compensate`` / ``compress`` / ``collective`` /
+``decompress`` / ``aggregate`` / ``apply_update``) and every total the
+:class:`TrainingReport` exposes is counted in the trainer's
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  The default tracer
+is the no-op :data:`~repro.telemetry.tracing.NULL_TRACER`, which keeps
+the untraced hot loop allocation-free.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Protocol
 
 import numpy as np
@@ -28,6 +35,9 @@ import numpy as np
 from repro.comm.collectives import Communicator
 from repro.core.api import CompressedTensor, Compressor
 from repro.core.memory import Memory, make_memory
+from repro.core.wire import framing_header_bytes
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import NULL_TRACER
 
 
 class DistributedTask(Protocol):
@@ -52,21 +62,121 @@ class PerfModel(Protocol):
         """Simulated compress+decompress kernel time for one tensor."""
 
 
-@dataclass
-class TrainingReport:
-    """Everything the paper's evaluation plots are derived from."""
+class _MetricField:
+    """A report scalar whose storage is a registry counter.
 
-    losses: list[float] = field(default_factory=list)  # per iteration
-    epoch_losses: list[float] = field(default_factory=list)
-    epoch_quality: list[float] = field(default_factory=list)
-    epoch_sim_seconds: list[float] = field(default_factory=list)  # cumulative
-    iterations: int = 0
-    samples_processed: int = 0
-    sim_comm_seconds: float = 0.0
-    sim_compute_seconds: float = 0.0
-    sim_compression_seconds: float = 0.0
-    measured_compression_seconds: float = 0.0
-    bytes_per_worker: float = 0.0
+    Reads and writes go straight to the counter, so the report and any
+    exporter (Prometheus dump, JSONL snapshot) can never disagree —
+    totals are counted in exactly one place.
+    """
+
+    def __init__(self, metric: str, unit: str, doc: str, cast=float):
+        self.metric = metric
+        self.unit = unit
+        self.cast = cast
+        self.__doc__ = doc
+
+    def __set_name__(self, owner, name):
+        self.attr = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self.cast(obj.metrics.counter(self.metric, unit=self.unit).value)
+
+    def __set__(self, obj, value):
+        obj.metrics.counter(self.metric, unit=self.unit).set(float(value))
+
+
+class TrainingReport:
+    """Everything the paper's evaluation plots are derived from.
+
+    Scalar totals are registry-backed (see :class:`_MetricField`); the
+    constructor keeps the original dataclass-style signature so reports
+    can still be built standalone with literal values.
+    """
+
+    _FIELDS = (
+        "losses", "epoch_losses", "epoch_quality", "epoch_sim_seconds",
+        "iterations", "samples_processed", "sim_comm_seconds",
+        "sim_compute_seconds", "sim_compression_seconds",
+        "measured_compression_seconds", "bytes_per_worker",
+    )
+
+    iterations = _MetricField(
+        "train_iterations_total", "iterations",
+        "Completed training iterations.", cast=int,
+    )
+    samples_processed = _MetricField(
+        "train_samples_total", "samples",
+        "Samples consumed across all workers.", cast=int,
+    )
+    sim_comm_seconds = _MetricField(
+        "train_sim_comm_seconds_total", "seconds",
+        "Simulated communication time.",
+    )
+    sim_compute_seconds = _MetricField(
+        "train_sim_compute_seconds_total", "seconds",
+        "Simulated forward+backward time.",
+    )
+    sim_compression_seconds = _MetricField(
+        "train_sim_compression_seconds_total", "seconds",
+        "Simulated compression-kernel time.",
+    )
+    measured_compression_seconds = _MetricField(
+        "train_measured_compression_seconds_total", "seconds",
+        "Measured wall-clock spent in the compression+exchange loop.",
+    )
+    bytes_per_worker = _MetricField(
+        "train_bytes_per_worker_total", "bytes",
+        "Per-worker bytes placed on the wire during training.",
+    )
+
+    def __init__(
+        self,
+        losses: list[float] | None = None,
+        epoch_losses: list[float] | None = None,
+        epoch_quality: list[float] | None = None,
+        epoch_sim_seconds: list[float] | None = None,
+        iterations: int = 0,
+        samples_processed: int = 0,
+        sim_comm_seconds: float = 0.0,
+        sim_compute_seconds: float = 0.0,
+        sim_compression_seconds: float = 0.0,
+        measured_compression_seconds: float = 0.0,
+        bytes_per_worker: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.losses = list(losses) if losses is not None else []
+        self.epoch_losses = list(epoch_losses) if epoch_losses is not None else []
+        self.epoch_quality = (
+            list(epoch_quality) if epoch_quality is not None else []
+        )
+        self.epoch_sim_seconds = (
+            list(epoch_sim_seconds) if epoch_sim_seconds is not None else []
+        )
+        self.iterations = iterations
+        self.samples_processed = samples_processed
+        self.sim_comm_seconds = sim_comm_seconds
+        self.sim_compute_seconds = sim_compute_seconds
+        self.sim_compression_seconds = sim_compression_seconds
+        self.measured_compression_seconds = measured_compression_seconds
+        self.bytes_per_worker = bytes_per_worker
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrainingReport):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self._FIELDS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._FIELDS
+        )
+        return f"TrainingReport({inner})"
 
     @property
     def sim_total_seconds(self) -> float:
@@ -127,6 +237,13 @@ class DistributedTrainer:
         gradient or the aggregated gradient is non-finite — fault
         isolation for debugging diverging runs (off by default; the
         check costs one pass over every tensor).
+    tracer:
+        A :class:`~repro.telemetry.tracing.Tracer` to record phase spans
+        and detailed metrics into; the default no-op tracer keeps the
+        hot loop untouched.
+    metrics:
+        Registry the report/communicator totals are counted into.
+        Defaults to the tracer's registry (traced) or a private one.
     """
 
     def __init__(
@@ -140,6 +257,8 @@ class DistributedTrainer:
         perf_model: PerfModel | None = None,
         check_finite: bool = False,
         seed: int = 0,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -157,6 +276,18 @@ class DistributedTrainer:
             )
         self.perf_model = perf_model
         self.check_finite = bool(check_finite)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if metrics is not None:
+            self.metrics = metrics
+        elif self.tracer.enabled and isinstance(
+            self.tracer.metrics, MetricsRegistry
+        ):
+            self.metrics = self.tracer.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        # One registry per run: pull the communicator's accounting in so
+        # bytes/seconds are counted (and reset) in exactly one place.
+        self.comm.record.bind(self.metrics)
         self.compressors = [
             compressor.clone(seed=seed + rank) for rank in range(self.n_workers)
         ]
@@ -165,7 +296,10 @@ class DistributedTrainer:
         self.memories: list[Memory] = [
             make_memory(memory_kind, **params) for _ in range(self.n_workers)
         ]
-        self.report = TrainingReport()
+        if self.tracer.enabled:
+            for mem in self.memories:
+                mem.attach_telemetry(self.metrics)
+        self.report = TrainingReport(metrics=self.metrics)
 
     # ------------------------------------------------------------------
 
@@ -175,37 +309,48 @@ class DistributedTrainer:
             raise ValueError(
                 f"need {self.n_workers} per-rank batches, got {len(batches)}"
             )
+        tracer = self.tracer
         losses = []
         grads_per_rank: list[dict[str, np.ndarray]] = []
         n_samples = 0
-        for rank, (inputs, targets) in enumerate(batches):
-            loss, grads = self.task.forward_backward(inputs, targets)
+        with tracer.span("iteration", iteration=self.report.iterations):
+            compute_span = None
+            for rank, (inputs, targets) in enumerate(batches):
+                with tracer.span("compute", rank=rank) as span:
+                    loss, grads = self.task.forward_backward(inputs, targets)
+                if rank == 0:
+                    compute_span = span
+                if self.check_finite:
+                    for name, grad in grads.items():
+                        if not np.all(np.isfinite(grad)):
+                            raise FloatingPointError(
+                                f"non-finite gradient for {name!r} on rank {rank}"
+                            )
+                losses.append(loss)
+                grads_per_rank.append(grads)
+                n_samples += _batch_size(inputs)
+            aggregated = self._exchange(grads_per_rank)
             if self.check_finite:
-                for name, grad in grads.items():
+                for name, grad in aggregated.items():
                     if not np.all(np.isfinite(grad)):
                         raise FloatingPointError(
-                            f"non-finite gradient for {name!r} on rank {rank}"
+                            f"non-finite aggregated gradient for {name!r}"
                         )
-            losses.append(loss)
-            grads_per_rank.append(grads)
-            n_samples += _batch_size(inputs)
-        aggregated = self._exchange(grads_per_rank)
-        if self.check_finite:
-            for name, grad in aggregated.items():
-                if not np.all(np.isfinite(grad)):
-                    raise FloatingPointError(
-                        f"non-finite aggregated gradient for {name!r}"
-                    )
-        self.task.apply_update(aggregated)
+            with tracer.span("apply_update"):
+                self.task.apply_update(aggregated)
 
         mean_loss = float(np.mean(losses))
         self.report.losses.append(mean_loss)
         self.report.iterations += 1
         self.report.samples_processed += n_samples
         if self.perf_model is not None:
-            self.report.sim_compute_seconds += self.perf_model.compute_seconds(
+            sim_compute = self.perf_model.compute_seconds(
                 n_samples // self.n_workers
-            ) # ranks compute in parallel: charge one rank's batch
+            )  # ranks compute in parallel: charge one rank's batch
+            self.report.sim_compute_seconds += sim_compute
+            # Simulated time is charged once per parallel phase, on the
+            # rank-0 span (the modeled cluster runs ranks concurrently).
+            compute_span.add_sim(sim_compute)
         return mean_loss
 
     def _exchange(
@@ -214,16 +359,31 @@ class DistributedTrainer:
         """Compress, communicate and aggregate every gradient tensor."""
         names = list(grads_per_rank[0])
         aggregated: dict[str, np.ndarray] = {}
-        comm_before = self.comm.record.simulated_seconds
-        bytes_before = self.comm.record.bytes_sent_per_worker
+        tracer = self.tracer
+        traced = tracer.enabled
+        record = self.comm.record
+        comm_before = record.simulated_seconds
+        bytes_before = record.bytes_sent_per_worker
         for name in names:
             compressed: list[CompressedTensor] = []
+            first_compress_span = None
             kernel_start = time.perf_counter()
             for rank in range(self.n_workers):
                 memory = self.memories[rank]
-                compensated = memory.compensate(grads_per_rank[rank][name], name)
-                packed = self.compressors[rank].compress(compensated, name)
+                with tracer.span("memory_compensate", rank=rank, tensor=name):
+                    compensated = memory.compensate(
+                        grads_per_rank[rank][name], name
+                    )
+                with tracer.span("compress", rank=rank, tensor=name) as span:
+                    packed = self.compressors[rank].compress(compensated, name)
                 memory.update(compensated, name, self.compressors[rank], packed)
+                if traced:
+                    if rank == 0:
+                        first_compress_span = span
+                    self._record_compression(
+                        span, name, grads_per_rank[rank][name],
+                        compensated, packed,
+                    )
                 compressed.append(packed)
             aggregated[name] = self._communicate(name, compressed)
             self.report.measured_compression_seconds += (
@@ -231,35 +391,99 @@ class DistributedTrainer:
             )
             if self.perf_model is not None:
                 n_elements = int(np.prod(grads_per_rank[0][name].shape))
-                self.report.sim_compression_seconds += (
-                    self.perf_model.compression_seconds(
-                        self.compressors[0].name, n_elements
-                    )
+                sim_kernel = self.perf_model.compression_seconds(
+                    self.compressors[0].name, n_elements
                 )
+                self.report.sim_compression_seconds += sim_kernel
+                if first_compress_span is not None:
+                    # Once per tensor: ranks compress concurrently in
+                    # simulated time.
+                    first_compress_span.add_sim(sim_kernel)
         self.report.sim_comm_seconds += (
-            self.comm.record.simulated_seconds - comm_before
+            record.simulated_seconds - comm_before
         )
         self.report.bytes_per_worker += (
-            self.comm.record.bytes_sent_per_worker - bytes_before
+            record.bytes_sent_per_worker - bytes_before
         )
         return aggregated
+
+    def _record_compression(
+        self,
+        span,
+        name: str,
+        grad: np.ndarray,
+        compensated: np.ndarray,
+        packed: CompressedTensor,
+    ) -> None:
+        """Per-(rank, tensor) detail metrics — traced path only."""
+        nbytes_in = int(np.asarray(compensated).nbytes)
+        nbytes_out = packed.nbytes
+        span.set(
+            nbytes_in=nbytes_in,
+            nbytes_out=nbytes_out,
+            ratio=nbytes_out / nbytes_in if nbytes_in else 0.0,
+        )
+        metrics = self.metrics
+        metrics.histogram(
+            "compress_kernel_seconds",
+            {"compressor": self.compressors[0].name},
+            unit="seconds",
+            help="measured compress wall time per (rank, tensor) call",
+        ).observe(span.dur)
+        metrics.counter(
+            "compress_raw_bytes_total", unit="bytes",
+            help="uncompressed gradient traffic",
+        ).inc(nbytes_in)
+        metrics.counter(
+            "compress_wire_bytes_total", unit="bytes",
+            help="compressed payload bytes produced",
+        ).inc(nbytes_out)
+        metrics.counter(
+            "wire_framing_overhead_bytes_total", unit="bytes",
+            help="wire-format header bytes on top of raw payloads",
+        ).inc(framing_header_bytes(packed.payload))
+        metrics.histogram(
+            "grad_l2", {"tensor": name}, unit="l2",
+            help="per-layer gradient L2 norm (pre-compensation)",
+        ).observe(float(np.linalg.norm(grad)))
 
     def _communicate(
         self, name: str, compressed: list[CompressedTensor]
     ) -> np.ndarray:
         strategy = self.compressors[0].communication
         decoder = self.compressors[0]
+        tracer = self.tracer
+        record = self.comm.record
         if strategy == "allreduce":
-            summed_parts = [
-                self.comm.allreduce([c.payload[part] for c in compressed])
-                for part in range(len(compressed[0].payload))
-            ]
+            with tracer.span("collective", tensor=name, op="allreduce") as span:
+                sim_before = record.simulated_seconds
+                sent_before = record.bytes_sent_per_worker
+                summed_parts = [
+                    self.comm.allreduce([c.payload[part] for c in compressed])
+                    for part in range(len(compressed[0].payload))
+                ]
+                span.add_sim(record.simulated_seconds - sim_before)
+                span.set(
+                    bytes_per_worker=record.bytes_sent_per_worker - sent_before
+                )
             summed = CompressedTensor(payload=summed_parts, ctx=compressed[0].ctx)
-            return decoder.decompress(summed) / self.n_workers
+            with tracer.span("decompress", tensor=name):
+                restored = decoder.decompress(summed)
+            with tracer.span("aggregate", tensor=name):
+                return restored / self.n_workers
         if strategy in ("allgather", "broadcast"):
-            self.comm.allgather([c.payload for c in compressed])
-            decompressed = [decoder.decompress(c) for c in compressed]
-            return decoder.aggregate(decompressed)
+            with tracer.span("collective", tensor=name, op="allgather") as span:
+                sim_before = record.simulated_seconds
+                sent_before = record.bytes_sent_per_worker
+                self.comm.allgather([c.payload for c in compressed])
+                span.add_sim(record.simulated_seconds - sim_before)
+                span.set(
+                    bytes_per_worker=record.bytes_sent_per_worker - sent_before
+                )
+            with tracer.span("decompress", tensor=name, ranks=self.n_workers):
+                decompressed = [decoder.decompress(c) for c in compressed]
+            with tracer.span("aggregate", tensor=name):
+                return decoder.aggregate(decompressed)
         raise ValueError(f"unknown communication strategy {strategy!r}")
 
     # ------------------------------------------------------------------

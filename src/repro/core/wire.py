@@ -109,3 +109,13 @@ def framing_overhead_bytes(payload: Payload) -> int:
     """Header bytes the wire format adds on top of the raw data."""
     raw = sum(int(np.asarray(part).nbytes) for part in payload)
     return len(serialize_payload(payload)) - raw
+
+
+def framing_header_bytes(payload: Payload) -> int:
+    """Analytic header size of the wire format, without serializing.
+
+    Equals :func:`framing_overhead_bytes` for any serializable payload
+    (1 count byte, then a dtype/rank/dims header per part); telemetry
+    uses this form so accounting never pays a serialization pass.
+    """
+    return 1 + sum(2 + 4 * np.asarray(part).ndim for part in payload)

@@ -1,0 +1,99 @@
+"""CLI telemetry surfaces: train --trace, report, shared wire stats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.formatting import wire_stats_fields
+
+TRAIN_ARGS = ["train", "--benchmark", "ncf-movielens",
+              "--compressor", "topk", "--workers", "2", "--epochs", "1"]
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced training run shared by every CLI assertion."""
+    root = tmp_path_factory.mktemp("trace")
+    paths = {
+        "jsonl": root / "run.jsonl",
+        "chrome": root / "run.trace.json",
+        "prom": root / "run.prom",
+    }
+    code = main(TRAIN_ARGS + [
+        "--trace", str(paths["jsonl"]),
+        "--chrome-trace", str(paths["chrome"]),
+        "--metrics-out", str(paths["prom"]),
+    ])
+    assert code == 0
+    return paths
+
+
+class TestTrainTraceFlags:
+    def test_artifacts_written(self, traced_run):
+        assert traced_run["jsonl"].stat().st_size > 0
+        assert traced_run["chrome"].stat().st_size > 0
+        assert traced_run["prom"].stat().st_size > 0
+
+    def test_chrome_artifact_is_valid_trace_event_json(self, traced_run):
+        document = json.loads(traced_run["chrome"].read_text())
+        events = document["traceEvents"]
+        assert events
+        assert all(e["ph"] == "X" and "ts" in e and "dur" in e
+                   for e in events)
+
+    def test_prometheus_artifact_shape(self, traced_run):
+        text = traced_run["prom"].read_text()
+        assert "# TYPE comm_bytes_per_worker_total counter" in text
+        assert "# TYPE compress_kernel_seconds summary" in text
+
+    def test_train_prints_wire_stats_block(self, traced_run, tmp_path,
+                                           capsys):
+        code = main(TRAIN_ARGS + ["--trace", str(tmp_path / "t.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name, _ in wire_stats_fields(1, 1, 1, 1):
+            assert name in out
+
+
+class TestReportCommand:
+    def test_report_prints_breakdown(self, traced_run, capsys):
+        assert main(["report", str(traced_run["jsonl"])]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase breakdown" in out
+        assert "collective (comm)" in out
+        assert "sim share" in out
+        assert "bytes on wire / worker" in out
+        assert "topk" in out  # kernel latency table
+
+    def test_report_converts_to_chrome(self, traced_run, tmp_path, capsys):
+        chrome = tmp_path / "converted.json"
+        assert main(["report", str(traced_run["jsonl"]),
+                     "--chrome", str(chrome)]) == 0
+        document = json.loads(chrome.read_text())
+        assert document["traceEvents"]
+
+    def test_report_rejects_empty_trace(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no telemetry events"):
+            main(["report", str(empty)])
+
+
+class TestSharedWireStatsFormat:
+    def test_compress_and_train_print_identical_field_names(self, capsys,
+                                                            tmp_path):
+        assert main(["compress", "--method", "topk", "--elements", "4096",
+                     "--param", "ratio=0.1"]) == 0
+        compress_out = capsys.readouterr().out
+        assert main(TRAIN_ARGS + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        train_out = capsys.readouterr().out
+        for name, _ in wire_stats_fields(1, 1, 1, 1):
+            assert name in compress_out
+            assert name in train_out
+
+    def test_untraced_train_output_unchanged(self, capsys):
+        assert main(TRAIN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Best Hit Rate" in out
+        assert "raw size" not in out  # wire stats only appear when tracing

@@ -1,0 +1,112 @@
+"""JSONL, Chrome trace_event and Prometheus exporters."""
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry, Tracer, chrome_trace, prometheus_text, read_events,
+    summarize_events, write_chrome_trace, write_jsonl,
+)
+
+
+def _traced_run():
+    """A tiny two-iteration trace with metrics, for every exporter test."""
+    tracer = Tracer()
+    metrics = tracer.metrics
+    for iteration in range(2):
+        with tracer.span("iteration", iteration=iteration):
+            with tracer.span("compute", rank=0):
+                pass
+            with tracer.span("collective", op="allreduce") as span:
+                span.add_sim(0.5)
+                span.set(bytes_per_worker=1024)
+            metrics.counter("comm_bytes_per_worker_total").inc(1024)
+    metrics.histogram(
+        "compress_kernel_seconds", labels={"compressor": "topk"}
+    ).observe(0.002)
+    metrics.gauge("lr").set(0.1)
+    return tracer, metrics
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer, metrics = _traced_run()
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(path, tracer, metrics)
+        events = read_events(path)
+        assert len(events) == written
+        # every line is standalone JSON
+        for line in path.read_text().splitlines():
+            if line.strip():
+                json.loads(line)
+        spans = [e for e in events if e["type"] == "span"]
+        assert len(spans) == len(tracer.spans)
+        counters = {e["name"]: e["value"] for e in events
+                    if e["type"] == "counter"}
+        assert counters["comm_bytes_per_worker_total"] == 2048.0
+        hists = [e for e in events if e["type"] == "histogram"]
+        assert hists and hists[0]["count"] == 1
+
+    def test_summary_round_trips_through_jsonl(self, tmp_path):
+        tracer, metrics = _traced_run()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer, metrics)
+        summary = summarize_events(read_events(path))
+        assert summary.iterations == 2
+        assert summary.phases["collective"].sim_seconds == 1.0
+        assert summary.counter("comm_bytes_per_worker_total") == 2048.0
+
+
+class TestChromeTrace:
+    def test_valid_trace_event_json(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer.spans)
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["cat"] == "repro"
+            assert "pid" in event and "tid" in event
+
+    def test_microsecond_conversion_and_rank_track(self):
+        tracer = Tracer()
+        with tracer.span("compute", rank=3) as span:
+            pass
+        span.ts, span.dur = 1.5, 0.25  # seconds
+        document = chrome_trace(tracer.spans)
+        event = document["traceEvents"][0]
+        assert event["ts"] == 1.5e6
+        assert event["dur"] == 0.25e6
+        assert event["tid"] == 3
+
+    def test_accepts_jsonl_events_too(self, tmp_path):
+        tracer, metrics = _traced_run()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer, metrics)
+        document = chrome_trace(read_events(path))
+        # metric snapshot events are filtered out, spans survive
+        assert len(document["traceEvents"]) == len(tracer.spans)
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        _, metrics = _traced_run()
+        text = prometheus_text(metrics)
+        assert "# TYPE comm_bytes_per_worker_total counter" in text
+        assert "comm_bytes_per_worker_total 2048" in text
+        assert "# TYPE lr gauge" in text
+        # histograms render as summaries with quantile labels
+        assert "# TYPE compress_kernel_seconds summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'compressor="topk"' in text
+        assert "compress_kernel_seconds_count" in text
+        assert "compress_kernel_seconds_sum" in text
+
+    def test_label_values_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x", labels={"tensor": 'we"ird\\name'}).inc(1)
+        text = prometheus_text(metrics)
+        assert 'tensor="we\\"ird\\\\name"' in text

@@ -1,0 +1,115 @@
+"""Span trees: nesting, ordering, clocks and the null tracer."""
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("iteration") as outer:
+            with tracer.span("compute") as inner:
+                pass
+        assert inner.parent_id == outer.id
+        assert outer.parent_id is None
+
+    def test_spans_complete_in_close_order(self):
+        tracer = Tracer()
+        with tracer.span("iteration"):
+            with tracer.span("compute"):
+                pass
+            with tracer.span("collective"):
+                pass
+        assert [s.name for s in tracer.spans] == [
+            "compute", "collective", "iteration"
+        ]
+
+    def test_wall_clock_measured_and_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("iteration") as outer:
+            with tracer.span("compute") as inner:
+                sum(range(1000))
+        assert inner.dur >= 0.0
+        assert outer.dur >= inner.dur
+        assert inner.ts >= outer.ts
+
+    def test_sim_clock_is_explicit(self):
+        tracer = Tracer()
+        with tracer.span("collective") as span:
+            span.add_sim(0.25)
+            span.add_sim(0.25)
+        assert span.sim == 0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            span.add_sim(-1.0)
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("compress", rank=1, tensor="fc1") as span:
+            span.set(nbytes_out=128)
+        assert span.attrs == {"rank": 1, "tensor": "fc1", "nbytes_out": 128}
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("iteration") as outer:
+            assert tracer.current is outer
+            with tracer.span("compute") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("iteration")
+        inner = tracer.span("compute")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("iteration"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["iteration"]
+        assert tracer.current is None
+
+    def test_reset_drops_spans_keeps_metrics(self):
+        tracer = Tracer()
+        tracer.metrics.counter("bytes").inc(7)
+        with tracer.span("iteration"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        assert tracer.metrics.value("bytes") == 7.0
+
+    def test_to_event_shape(self):
+        tracer = Tracer()
+        with tracer.span("collective", op="allreduce") as span:
+            span.add_sim(0.125)
+        event = span.to_event()
+        assert event["type"] == "span"
+        assert event["name"] == "collective"
+        assert event["sim"] == 0.125
+        assert event["attrs"] == {"op": "allreduce"}
+        assert set(event) == {"type", "id", "parent", "name", "ts", "dur",
+                              "sim", "attrs"}
+
+
+class TestNullTracer:
+    def test_disabled_and_allocation_free(self):
+        assert NULL_TRACER.enabled is False
+        a = NULL_TRACER.span("iteration", rank=3)
+        b = NULL_TRACER.span("compute")
+        assert a is b  # one shared no-op span, never allocated per call
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("iteration") as span:
+            span.set(rank=1)
+            span.add_sim(5.0)
+        assert span.sim == 0.0
+        assert span.attrs == {}
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.current is None
