@@ -41,6 +41,7 @@ def train_quality(
     memory_params: dict | None = None,
     compressor_params: dict | None = None,
     tracer=None,
+    fusion_mb: float = 0.0,
 ) -> QualityResult:
     """Train one benchmark with one compressor; return best quality."""
     run = spec.build(n_workers=n_workers, seed=seed,
@@ -58,6 +59,7 @@ def train_quality(
         memory_params=params,
         seed=seed,
         tracer=tracer,
+        fusion_mb=fusion_mb,
     )
     report = trainer.train(
         run.loader,

@@ -117,6 +117,7 @@ def cmd_train(args) -> int:
         epochs=args.epochs,
         compressor_params=_parse_params(args.param) or None,
         tracer=tracer,
+        fusion_mb=args.fusion_mb,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
@@ -157,6 +158,33 @@ def _export_trace(args, tracer, report) -> None:
     if args.metrics_out:
         write_prometheus(args.metrics_out, metrics)
         print(f"metrics          : {args.metrics_out}")
+
+
+def cmd_bench(args) -> int:
+    """Run a perf benchmark; currently only the fusion comparison."""
+    from repro.bench.fusion_bench import run_fusion_bench, write_json
+
+    result = run_fusion_bench(
+        benchmark=args.benchmark,
+        compressor=args.compressor,
+        n_workers=args.workers,
+        iterations=args.iterations,
+        fusion_mb=args.fusion_mb,
+        seed=args.seed,
+        compressor_params=_parse_params(args.param) or None,
+    )
+    print(result.format())
+    if args.out:
+        write_json(args.out, result)
+        print(f"result json      : {args.out}")
+    if args.check and result.fused.collective_ops >= result.unfused.collective_ops:
+        print(
+            "FUSION CHECK FAILED: fused run issued "
+            f"{result.fused.collective_ops} collectives, unfused "
+            f"{result.unfused.collective_ops}"
+        )
+        return 1
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -240,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
+    train.add_argument("--fusion-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="tensor-fusion buffer budget in MiB; 0 keeps "
+                            "the per-tensor exchange (default)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL telemetry trace here")
     train.add_argument("--chrome-trace", default=None, metavar="PATH",
@@ -247,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "(load in Perfetto / chrome://tracing)")
     train.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a Prometheus text snapshot here")
+
+    bench = sub.add_parser(
+        "bench", help="run a perf benchmark (fused vs unfused exchange)"
+    )
+    bench.add_argument("what", choices=["fusion"],
+                       help="which benchmark to run")
+    bench.add_argument("--benchmark", default="resnet20-cifar10",
+                       help="training benchmark key (fig6 CNN by default)")
+    bench.add_argument("--compressor", default="topk")
+    bench.add_argument("--workers", type=int, default=8)
+    bench.add_argument("--iterations", type=int, default=30)
+    bench.add_argument("--fusion-mb", type=float, default=64.0, metavar="MB")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="write the comparison as JSON "
+                            "(e.g. BENCH_fusion.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero unless the fused run issues "
+                            "fewer collectives than the unfused run")
 
     report = sub.add_parser(
         "report", help="summarize a JSONL trace from train --trace"
@@ -275,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "compress": cmd_compress,
         "train": cmd_train,
+        "bench": cmd_bench,
         "report": cmd_report,
         "experiment": cmd_experiment,
     }

@@ -15,6 +15,7 @@ from repro.comm.backends import Backend, OPENMPI_TCP
 from repro.comm.cost import (
     allgather_time,
     broadcast_time,
+    fused_allreduce_time,
     ring_allreduce_time,
     sparse_allreduce_time,
 )
@@ -188,6 +189,51 @@ class Communicator:
         self.record.charge(bytes_per_worker=float(first.nbytes),
                            seconds=seconds, op="allreduce")
         return total
+
+    def allreduce_parts(self, payloads: list[Payload]) -> Payload:
+        """Sum every part of a multi-part payload in one fused collective.
+
+        Each rank contributes a *list* of arrays; part ``i`` is summed
+        across ranks exactly like :meth:`allreduce` would sum it, but all
+        parts travel as one message: a single op is charged, with one
+        per-op overhead and one set of latency-bound steps for the
+        combined byte volume (see
+        :func:`repro.comm.cost.fused_allreduce_time`).
+        """
+        self._check_rank_count(payloads)
+        first = payloads[0]
+        for rank, payload in enumerate(payloads[1:], start=1):
+            if len(payload) != len(first):
+                raise ValueError(
+                    "fused Allreduce requires uniform part counts: rank 0 "
+                    f"has {len(first)}, rank {rank} has {len(payload)}"
+                )
+        summed: Payload = []
+        part_nbytes: list[int] = []
+        for part in range(len(first)):
+            ref = np.asarray(first[part])
+            for rank, payload in enumerate(payloads[1:], start=1):
+                tensor = np.asarray(payload[part])
+                if tensor.shape != ref.shape or tensor.dtype != ref.dtype:
+                    raise ValueError(
+                        "fused Allreduce requires uniform inputs: part "
+                        f"{part} is {ref.shape}/{ref.dtype} on rank 0, "
+                        f"{tensor.shape}/{tensor.dtype} on rank {rank}"
+                    )
+            summed.append(
+                np.sum(
+                    np.stack([np.asarray(p[part]) for p in payloads]), axis=0
+                )
+            )
+            part_nbytes.append(int(ref.nbytes))
+        seconds = fused_allreduce_time(
+            part_nbytes, self.n_workers, self.network, self.backend
+        )
+        self.record.charge(
+            bytes_per_worker=float(sum(part_nbytes)), seconds=seconds,
+            op="allreduce",
+        )
+        return summed
 
     def allgather(self, payloads: list[Payload]) -> list[Payload]:
         """Gather every rank's payload list to all ranks.

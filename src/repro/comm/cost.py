@@ -43,6 +43,26 @@ def ring_allreduce_time(
     )
 
 
+def fused_allreduce_time(
+    part_nbytes: Sequence[int | float],
+    n_workers: int,
+    net: NetworkModel,
+    backend: Backend,
+) -> float:
+    """Seconds for one Allreduce moving several payload parts as one message.
+
+    This is the fusion-buffer accounting: the parts travel back-to-back,
+    so the per-op overhead and the ``2(n-1)`` latency-bound steps are
+    paid once for the whole batch instead of once per part — only the
+    bandwidth term grows with the summed size.
+    """
+    if any(b < 0 for b in part_nbytes):
+        raise ValueError("part sizes must be non-negative")
+    return ring_allreduce_time(
+        float(sum(part_nbytes)), n_workers, net, backend
+    )
+
+
 def allgather_time(
     payload_nbytes: Sequence[int | float],
     net: NetworkModel,

@@ -88,6 +88,51 @@ class ParameterServerCommunicator(Communicator):
                            seconds=seconds, op="ps_allreduce")
         return total
 
+    def allreduce_parts(self, payloads: list[Payload]) -> Payload:
+        """Sum multi-part payloads via the server in one round trip.
+
+        Same fusion semantics as the collective version: every part of a
+        rank's payload travels in one push message, so the per-worker
+        message latency and per-op overhead are paid once per bucket.
+        """
+        self._check_rank_count(payloads)
+        first = payloads[0]
+        for rank, payload in enumerate(payloads[1:], start=1):
+            if len(payload) != len(first):
+                raise ValueError(
+                    "fused parameter-server sum requires uniform part "
+                    f"counts: rank 0 has {len(first)}, rank {rank} has "
+                    f"{len(payload)}"
+                )
+        summed: Payload = []
+        total_nbytes = 0
+        for part in range(len(first)):
+            ref = np.asarray(first[part])
+            for rank, payload in enumerate(payloads[1:], start=1):
+                tensor = np.asarray(payload[part])
+                if tensor.shape != ref.shape or tensor.dtype != ref.dtype:
+                    raise ValueError(
+                        "fused parameter-server sum requires uniform "
+                        f"inputs: part {part} is {ref.shape}/{ref.dtype} on "
+                        f"rank 0, {tensor.shape}/{tensor.dtype} on rank "
+                        f"{rank}"
+                    )
+            summed.append(
+                np.sum(
+                    np.stack([np.asarray(p[part]) for p in payloads]), axis=0
+                )
+            )
+            total_nbytes += int(ref.nbytes)
+        seconds = ps_round_trip_time(
+            [float(total_nbytes)] * self.n_workers,
+            [float(total_nbytes)] * self.n_workers,
+            self.network,
+            self.backend,
+        )
+        self.record.charge(bytes_per_worker=float(total_nbytes),
+                           seconds=seconds, op="ps_allreduce")
+        return summed
+
     def allgather(self, payloads: list[Payload]) -> list[Payload]:
         """Relay every rank's payload through the server."""
         self._check_rank_count(payloads)

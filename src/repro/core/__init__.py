@@ -12,7 +12,19 @@ Public surface:
   distributed training loop with compressed communication.
 """
 
-from repro.core.api import Compressor, Memory, CompressedTensor
+from repro.core.api import (
+    Compressor,
+    Memory,
+    CompressedTensor,
+    concat_compressed,
+)
+from repro.core.fusion import (
+    DEFAULT_FUSION_MB,
+    BucketSegment,
+    FusionBucket,
+    FusionPlan,
+    ScratchPool,
+)
 from repro.core.memory import NoneMemory, ResidualMemory, DgcMemory, make_memory
 from repro.core.registry import (
     available_compressors,
@@ -34,6 +46,12 @@ __all__ = [
     "Compressor",
     "Memory",
     "CompressedTensor",
+    "concat_compressed",
+    "DEFAULT_FUSION_MB",
+    "BucketSegment",
+    "FusionBucket",
+    "FusionPlan",
+    "ScratchPool",
     "NoneMemory",
     "ResidualMemory",
     "DgcMemory",

@@ -19,7 +19,7 @@ wire and divide by ``n`` afterwards (Algorithm 1, lines 8–13).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -42,11 +42,63 @@ class CompressedTensor:
 
     payload: Payload
     ctx: Context
+    _nbytes: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def nbytes(self) -> int:
-        """On-wire size of this compressed tensor."""
-        return int(sum(int(np.asarray(part).nbytes) for part in self.payload))
+        """On-wire size of this compressed tensor.
+
+        Cached on first access: the trainer and telemetry hot paths both
+        read it, and payloads are never mutated after construction.
+        """
+        if self._nbytes is None:
+            self._nbytes = int(
+                sum(int(np.asarray(part).nbytes) for part in self.payload)
+            )
+        return self._nbytes
+
+
+class FusedConcatCtx:
+    """Decompression ctx for the generic fused fallback.
+
+    Records how the per-tensor payload part lists were concatenated into
+    one bucket payload, so :meth:`Compressor.decompress_fused` can split
+    them back and delegate to the per-tensor ``decompress``.
+    """
+
+    __slots__ = ("bucket", "splits", "ctxs")
+
+    def __init__(self, bucket, splits: tuple[int, ...], ctxs: tuple):
+        self.bucket = bucket
+        self.splits = splits
+        self.ctxs = ctxs
+
+
+def concat_compressed(bucket, compressed: list[CompressedTensor]) -> CompressedTensor:
+    """Concatenate per-tensor compressed outputs into one bucket payload.
+
+    The result carries every tensor's payload parts back-to-back (one
+    collective moves them all) and a :class:`FusedConcatCtx` remembering
+    the split points.
+    """
+    if len(compressed) != len(bucket.segments):
+        raise ValueError(
+            f"bucket has {len(bucket.segments)} segments but "
+            f"{len(compressed)} compressed tensors were given"
+        )
+    parts: Payload = []
+    splits = []
+    ctxs = []
+    for item in compressed:
+        parts.extend(item.payload)
+        splits.append(len(item.payload))
+        ctxs.append(item.ctx)
+    return CompressedTensor(
+        payload=parts,
+        ctx=FusedConcatCtx(bucket, tuple(splits), tuple(ctxs)),
+    )
 
 
 class Compressor(abc.ABC):
@@ -77,6 +129,10 @@ class Compressor(abc.ABC):
     stochastic: bool = False
     communication: str = "allgather"
     default_memory: str = "none"
+    #: True when this compressor ships a vectorized ``compress_fused``
+    #: kernel; False means fusion falls back to the generic concatenation
+    #: of per-tensor calls (still one collective per bucket).
+    fused_kernel: bool = False
 
     def __init__(self, seed: int = 0):
         self._rng = np.random.default_rng(seed)
@@ -90,6 +146,57 @@ class Compressor(abc.ABC):
     @abc.abstractmethod
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
         """Apply Q⁻¹; returns a tensor with the original shape and dtype."""
+
+    # -- fused (bucketed) path -----------------------------------------------
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """Compress a whole fusion bucket (flat float32) in one call.
+
+        ``bucket`` is a :class:`repro.core.fusion.FusionBucket` (duck
+        typed: ``segments`` with name/shape/offset/size, ``numel``).
+        The generic fallback concatenates per-tensor :meth:`compress`
+        calls in segment order — correct for every compressor, and
+        consuming the random stream exactly like the per-tensor path.
+        Subclasses with ``fused_kernel = True`` override this with a
+        vectorized whole-bucket implementation.
+        """
+        return concat_compressed(
+            bucket,
+            [
+                self.compress(
+                    buffer[seg.offset:seg.end].reshape(seg.shape), seg.name
+                )
+                for seg in bucket.segments
+            ],
+        )
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Decompress a fused bucket back to one flat float32 array.
+
+        Handles the generic :class:`FusedConcatCtx`; fused-kernel
+        subclasses override this for their own ctx format and delegate
+        back here for concatenated payloads.  ``out`` (when given) is a
+        reusable ``numel``-sized float32 scratch buffer.
+        """
+        ctx = compressed.ctx
+        if not isinstance(ctx, FusedConcatCtx):
+            raise TypeError(
+                f"{type(self).__name__} cannot decompress fused ctx "
+                f"{type(ctx).__name__}"
+            )
+        bucket = ctx.bucket
+        if out is None:
+            out = np.empty(bucket.numel, dtype=np.float32)
+        start = 0
+        for seg, n_parts, seg_ctx in zip(bucket.segments, ctx.splits, ctx.ctxs):
+            sub = CompressedTensor(
+                payload=compressed.payload[start:start + n_parts], ctx=seg_ctx
+            )
+            out[seg.offset:seg.end] = np.ravel(self.decompress(sub))
+            start += n_parts
+        return out
 
     # -- defaults the framework provides -------------------------------------
 
@@ -131,9 +238,56 @@ class Memory(abc.ABC):
 
     telemetry = None  # class-level default: no per-instance cost when off
 
+    #: True when this memory implements :meth:`update_fused` — the
+    #: fused trainer path then updates from decompressed bucket slices
+    #: instead of per-tensor ``CompressedTensor`` objects.  Memories that
+    #: need the full compressed object (e.g. DGC's transmitted indices)
+    #: leave this False and the trainer keeps the per-tensor kernel path
+    #: (the bucket collective stays fused either way).
+    supports_fused_update: bool = False
+    #: Whether :meth:`update_fused` needs the transmitted (decompressed)
+    #: values; False lets the trainer skip a decompress pass per rank.
+    fused_needs_transmitted: bool = True
+
     def attach_telemetry(self, registry) -> None:
         """Route this memory's diagnostics into ``registry``."""
         self.telemetry = registry
+
+    def compensate_fused(
+        self, gradients: dict[str, np.ndarray], bucket, out: np.ndarray
+    ) -> np.ndarray:
+        """Pack φ(mᵏ, gᵏ) for every bucket segment into flat ``out``.
+
+        The generic implementation loops :meth:`compensate` per segment —
+        bitwise-identical to the per-tensor path for any memory.
+        Subclasses may override with one vectorized pass over the whole
+        bucket (elementwise φ on a flat buffer equals φ on each
+        contiguous slice).  ``out`` is a reusable ``bucket.numel``-sized
+        float32 scratch buffer the caller fully overwrites each call.
+        """
+        for seg in bucket.segments:
+            out[seg.offset:seg.end] = np.ravel(
+                self.compensate(gradients[seg.name], seg.name)
+            )
+        return out
+
+    def update_fused(
+        self,
+        compensated: np.ndarray,
+        bucket,
+        transmitted: np.ndarray | None,
+    ) -> None:
+        """ψ for the fused path: fold the error back from flat buckets.
+
+        ``compensated`` and ``transmitted`` are the whole bucket's flat
+        float32 compensated and decompressed buffers (``transmitted`` is
+        ``None`` when ``fused_needs_transmitted`` is False).
+        Implementations must not retain these arrays or views of them —
+        they alias reused scratch buffers.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fused updates"
+        )
 
     @abc.abstractmethod
     def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:

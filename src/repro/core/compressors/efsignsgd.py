@@ -15,6 +15,15 @@ from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
 from repro.tensorlib import pack_signs, unpack_signs
 
 
+class _FusedEFSignCtx:
+    """Decompression ctx for the fused scaled-sign payload."""
+
+    __slots__ = ("bucket",)
+
+    def __init__(self, bucket):
+        self.bucket = bucket
+
+
 class EFSignSGDCompressor(Compressor):
     """Q(φ) = (‖φ‖₁ / d) · sign(φ); residual memory carries the error."""
 
@@ -23,6 +32,7 @@ class EFSignSGDCompressor(Compressor):
     stochastic = False
     communication = "allgather"
     default_memory = "residual"
+    fused_kernel = True
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
@@ -36,3 +46,42 @@ class EFSignSGDCompressor(Compressor):
         shape, size = compressed.ctx
         packed, scale = compressed.payload
         return (float(scale[0]) * unpack_signs(packed, size)).reshape(shape)
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """One sign-pack over the bucket plus a per-segment ℓ1-mean vector.
+
+        The per-segment means run on contiguous views (bitwise-identical
+        to the per-tensor computation); the sign packing — the O(numel)
+        work — runs once for the whole bucket.
+        """
+        if not np.all(bucket.sizes > 0):
+            return super().compress_fused(buffer, bucket)
+        abs_buffer = np.abs(buffer)
+        scales = np.array(
+            [
+                np.mean(abs_buffer[seg.offset:seg.end])
+                for seg in bucket.segments
+            ],
+            dtype=np.float32,
+        )
+        return CompressedTensor(
+            payload=[pack_signs(buffer), scales],
+            ctx=_FusedEFSignCtx(bucket),
+        )
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rebuild the flat bucket: repeated scales times unpacked signs."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedEFSignCtx):
+            return super().decompress_fused(compressed, out=out)
+        bucket = ctx.bucket
+        packed, scales = compressed.payload
+        values = np.repeat(scales, bucket.sizes) * unpack_signs(
+            packed, bucket.numel
+        )
+        if out is None:
+            return values
+        out[:] = values
+        return out

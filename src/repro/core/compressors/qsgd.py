@@ -21,6 +21,16 @@ from repro.tensorlib import (
     unpack_bits,
     unpack_signs,
 )
+from repro.tensorlib.quantize import quantize_uniform
+
+
+class _FusedQSGDCtx:
+    """Decompression ctx for the vectorized fused QSGD payload."""
+
+    __slots__ = ("bucket",)
+
+    def __init__(self, bucket):
+        self.bucket = bucket
 
 
 class QSGDCompressor(Compressor):
@@ -31,6 +41,7 @@ class QSGDCompressor(Compressor):
     stochastic = True
     communication = "allgather"
     default_memory = "none"
+    fused_kernel = True
 
     def __init__(self, levels: int = 64, seed: int = 0):
         super().__init__(seed=seed)
@@ -65,3 +76,57 @@ class QSGDCompressor(Compressor):
         codes = unpack_bits(packed_codes, bits=self.code_bits, count=size)
         values = norm * signs * codes.astype(np.float32) / self.levels
         return values.astype(np.float32).reshape(shape)
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """Whole-bucket QSGD: one stochastic-rounding pass, one bit-pack.
+
+        Per-segment ℓ2 norms stay per-segment (a norm over a contiguous
+        view is bitwise-identical to the per-tensor computation); the
+        normalize / round / sign-pack / bit-pack work runs once over the
+        whole bucket.  A single ``numel``-sized uniform draw replaces the
+        per-tensor draws — Generator streams concatenate exactly, so the
+        codes are seeded-equal to the per-tensor path.  Any zero-norm
+        segment falls back to the generic path, which skips that
+        segment's draw just like ``compress`` does.
+        """
+        norms = np.array(
+            [
+                np.linalg.norm(buffer[seg.offset:seg.end])
+                for seg in bucket.segments
+            ],
+            dtype=np.float32,
+        )
+        if not np.all(norms > 0):
+            return super().compress_fused(buffer, bucket)
+        magnitudes = np.abs(buffer) / np.repeat(norms, bucket.sizes)
+        codes = quantize_uniform(magnitudes, self.levels, rng=self._rng)
+        payload = [
+            norms,
+            pack_signs(buffer),
+            pack_bits(codes, bits=self.code_bits),
+        ]
+        return CompressedTensor(payload=payload, ctx=_FusedQSGDCtx(bucket))
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rebuild the flat bucket from one fused QSGD payload."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedQSGDCtx):
+            return super().decompress_fused(compressed, out=out)
+        bucket = ctx.bucket
+        norms, packed_signs, packed_codes = compressed.payload
+        signs = unpack_signs(packed_signs, bucket.numel)
+        codes = unpack_bits(
+            packed_codes, bits=self.code_bits, count=bucket.numel
+        )
+        values = (
+            np.repeat(norms, bucket.sizes)
+            * signs
+            * codes.astype(np.float32)
+            / self.levels
+        )
+        if out is None:
+            return values
+        out[:] = values
+        return out

@@ -15,6 +15,16 @@ from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
 from repro.tensorlib import desparsify, sparsify_randomk
 
 
+class _FusedRandomKCtx:
+    """Decompression ctx for the vectorized fused random-k payload."""
+
+    __slots__ = ("bucket", "ks")
+
+    def __init__(self, bucket, ks: np.ndarray):
+        self.bucket = bucket
+        self.ks = ks
+
+
 class RandomKCompressor(Compressor):
     """Uniform random coordinate selection."""
 
@@ -23,6 +33,7 @@ class RandomKCompressor(Compressor):
     stochastic = True
     communication = "allgather"
     default_memory = "residual"
+    fused_kernel = True
 
     def __init__(self, ratio: float = 0.01, unbiased: bool = False, seed: int = 0):
         super().__init__(seed=seed)
@@ -43,6 +54,53 @@ class RandomKCompressor(Compressor):
             values = values * (flat.size / k)
         payload = [values.astype(np.float32), indices.astype(np.int32)]
         return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """Fused random-k: batched gather + scale over the whole bucket.
+
+        Index *drawing* stays per segment — ``Generator.choice`` without
+        replacement consumes the stream in a size-dependent pattern, so
+        drawing per segment in order is what keeps fused and per-tensor
+        runs seeded-equal.  The heavy work (gathering the selected
+        values and applying the ``d/k`` unbiasing scale) runs as one
+        whole-bucket pass.
+        """
+        if not np.all(bucket.sizes > 0):
+            return super().compress_fused(buffer, bucket)
+        locals_per_seg = []
+        for seg in bucket.segments:
+            k = min(max(1, math.ceil(self.ratio * seg.size)), seg.size)
+            locals_per_seg.append(
+                np.sort(
+                    self._rng.choice(seg.size, size=k, replace=False)
+                ).astype(np.int64)
+            )
+        ks = np.array([idx.size for idx in locals_per_seg], dtype=np.int64)
+        local = np.concatenate(locals_per_seg)
+        values = buffer[local + np.repeat(bucket.offsets, ks)]
+        if self.unbiased:
+            scales = (bucket.sizes / ks).astype(np.float32)
+            values = values * np.repeat(scales, ks)
+        return CompressedTensor(
+            payload=[values.astype(np.float32), local.astype(np.int32)],
+            ctx=_FusedRandomKCtx(bucket, ks),
+        )
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Scatter every segment's sparse values into one flat bucket."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedRandomKCtx):
+            return super().decompress_fused(compressed, out=out)
+        bucket = ctx.bucket
+        if out is None:
+            out = np.empty(bucket.numel, dtype=np.float32)
+        out[:] = 0.0
+        values, local = compressed.payload
+        flat_idx = local.astype(np.int64) + np.repeat(bucket.offsets, ctx.ks)
+        out[flat_idx] = values
+        return out
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
         """Apply Q^-1: rebuild a dense tensor of the original shape."""

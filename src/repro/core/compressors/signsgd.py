@@ -14,6 +14,15 @@ from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
 from repro.tensorlib import pack_signs, unpack_signs
 
 
+class _FusedSignCtx:
+    """Decompression ctx for the fused 1-bit sign payload."""
+
+    __slots__ = ("bucket",)
+
+    def __init__(self, bucket):
+        self.bucket = bucket
+
+
 class SignSGDCompressor(Compressor):
     """Q(g) = sign(g), decoded as a ±1 vector."""
 
@@ -22,6 +31,7 @@ class SignSGDCompressor(Compressor):
     stochastic = False
     communication = "allgather"
     default_memory = "none"
+    fused_kernel = True
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
@@ -35,3 +45,22 @@ class SignSGDCompressor(Compressor):
         shape, size = compressed.ctx
         signs = unpack_signs(compressed.payload[0], size)
         return signs.reshape(shape)
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """One bit-pack over the whole bucket (signs are elementwise)."""
+        return CompressedTensor(
+            payload=[pack_signs(buffer)], ctx=_FusedSignCtx(bucket)
+        )
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Unpack the whole bucket's ±1 vector in one pass."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedSignCtx):
+            return super().decompress_fused(compressed, out=out)
+        signs = unpack_signs(compressed.payload[0], ctx.bucket.numel)
+        if out is None:
+            return signs
+        out[:] = signs
+        return out

@@ -22,6 +22,15 @@ from repro.tensorlib.huffman import (
 _CODE_ZERO, _CODE_POS, _CODE_NEG = 0, 1, 2
 
 
+class _FusedTernCtx:
+    """Decompression ctx for the fused ternary payload."""
+
+    __slots__ = ("bucket",)
+
+    def __init__(self, bucket):
+        self.bucket = bucket
+
+
 class TernGradCompressor(Compressor):
     """Unbiased {-1, 0, +1} quantizer scaled by the clipped infinity norm.
 
@@ -36,6 +45,7 @@ class TernGradCompressor(Compressor):
     stochastic = True
     communication = "allgather"
     default_memory = "none"
+    fused_kernel = True
 
     def __init__(self, clip_factor: float = 2.5,
                  entropy_coding: bool = False, seed: int = 0):
@@ -79,6 +89,69 @@ class TernGradCompressor(Compressor):
             pack_bits(codes.astype(np.uint8), bits=2),
         ]
         return CompressedTensor(payload=payload, ctx=(shape, flat.size))
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """Whole-bucket TernGrad: clip, one uniform draw, one bit-pack.
+
+        Clip bounds and infinity-norm scales stay per segment (statistics
+        over contiguous views are bitwise-identical to the per-tensor
+        path, and a zero-variance segment simply gets an infinite bound,
+        i.e. no clipping).  The Bernoulli mask uses a single
+        ``numel``-sized uniform draw — Generator streams concatenate
+        exactly, so the codes are seeded-equal to the per-tensor path.
+        Entropy coding and zero-scale segments (whose draws the
+        per-tensor path skips) fall back to the generic path.
+        """
+        if self.entropy_coding or not np.all(bucket.sizes > 0):
+            return super().compress_fused(buffer, bucket)
+        bounds = np.empty(len(bucket.segments), dtype=np.float32)
+        for i, seg in enumerate(bucket.segments):
+            bound = self.clip_factor * float(
+                np.std(buffer[seg.offset:seg.end])
+            )
+            bounds[i] = bound if bound > 0 else np.inf
+        clipped = np.clip(
+            buffer,
+            -np.repeat(bounds, bucket.sizes),
+            np.repeat(bounds, bucket.sizes),
+        )
+        abs_clipped = np.abs(clipped)
+        scales = np.array(
+            [
+                np.max(abs_clipped[seg.offset:seg.end])
+                for seg in bucket.segments
+            ],
+            dtype=np.float32,
+        )
+        if not np.all(scales > 0):
+            return super().compress_fused(buffer, bucket)
+        keep = self._rng.random(size=clipped.shape) < (
+            abs_clipped / np.repeat(scales, bucket.sizes)
+        )
+        codes = np.where(
+            keep, np.where(clipped >= 0, _CODE_POS, _CODE_NEG), _CODE_ZERO
+        )
+        payload = [scales, pack_bits(codes.astype(np.uint8), bits=2)]
+        return CompressedTensor(payload=payload, ctx=_FusedTernCtx(bucket))
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rebuild the flat bucket from one fused ternary payload."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedTernCtx):
+            return super().decompress_fused(compressed, out=out)
+        bucket = ctx.bucket
+        scales, packed = compressed.payload
+        codes = unpack_bits(packed, bits=2, count=bucket.numel)
+        ternary = np.zeros(bucket.numel, dtype=np.float32)
+        ternary[codes == _CODE_POS] = 1.0
+        ternary[codes == _CODE_NEG] = -1.0
+        values = np.repeat(scales, bucket.sizes) * ternary
+        if out is None:
+            return values
+        out[:] = values
+        return out
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
         """Apply Q^-1: rebuild a dense tensor of the original shape."""

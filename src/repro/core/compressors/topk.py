@@ -19,6 +19,16 @@ from repro.tensorlib import desparsify, sparsify_topk
 from repro.tensorlib.indices import decode_indices, encode_indices
 
 
+class _FusedTopKCtx:
+    """Decompression ctx for the vectorized fused top-k payload."""
+
+    __slots__ = ("bucket", "ks")
+
+    def __init__(self, bucket, ks: np.ndarray):
+        self.bucket = bucket
+        self.ks = ks  # int64 per-segment selection counts
+
+
 class TopKCompressor(Compressor):
     """Deterministic largest-magnitude selection."""
 
@@ -27,6 +37,7 @@ class TopKCompressor(Compressor):
     stochastic = False
     communication = "allgather"
     default_memory = "residual"
+    fused_kernel = True
 
     def __init__(
         self, ratio: float = 0.01, index_encoding: str = "int32",
@@ -62,6 +73,56 @@ class TopKCompressor(Compressor):
         return CompressedTensor(
             payload=payload, ctx=(shape, flat.size, mode, k)
         )
+
+    def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
+        """Whole-bucket top-k: one sort selects every segment's k largest.
+
+        The bucket is ordered by a single uint64 composite key — segment
+        id in the high 32 bits, the bitwise complement of the magnitude's
+        IEEE-754 pattern in the low 32 (positive floats order like their
+        bit patterns, so complementing sorts magnitudes descending).
+        Group *g* then occupies exactly ``[offset_g, offset_g + size_g)``
+        in the sorted order and the per-segment top-k are the rows whose
+        within-group position is below ``k_g`` — one sort, no Python
+        loop over tensors.  Selection agrees with the per-tensor
+        ``argpartition`` except on exact magnitude ties at the k-th
+        value.
+        """
+        if self.index_encoding != "int32" or not np.all(bucket.sizes > 0):
+            return super().compress_fused(buffer, bucket)
+        buffer = np.ascontiguousarray(buffer, dtype=np.float32)
+        sizes = bucket.sizes
+        ks = np.maximum(1, np.ceil(self.ratio * sizes).astype(np.int64))
+        magnitude_bits = np.abs(buffer).view(np.uint32).astype(np.uint64)
+        key = bucket.segment_keys | (magnitude_bits ^ np.uint64(0xFFFFFFFF))
+        order = np.argsort(key)
+        keep = bucket.positions_within < np.repeat(ks, sizes)
+        # Segment ranges are disjoint and increasing, so a plain ascending
+        # sort of the selected flat indices is the canonical wire layout
+        # (grouped by segment, indices ascending within each).
+        selected = np.sort(order[keep])
+        values = buffer[selected]
+        local = selected - np.repeat(bucket.offsets, ks)
+        return CompressedTensor(
+            payload=[values, local.astype(np.int32)],
+            ctx=_FusedTopKCtx(bucket, ks),
+        )
+
+    def decompress_fused(
+        self, compressed: CompressedTensor, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Scatter every segment's sparse values into one flat bucket."""
+        ctx = compressed.ctx
+        if not isinstance(ctx, _FusedTopKCtx):
+            return super().decompress_fused(compressed, out=out)
+        bucket = ctx.bucket
+        if out is None:
+            out = np.empty(bucket.numel, dtype=np.float32)
+        out[:] = 0.0
+        values, local = compressed.payload
+        flat_idx = local.astype(np.int64) + np.repeat(bucket.offsets, ctx.ks)
+        out[flat_idx] = values
+        return out
 
     def _indices(self, compressed: CompressedTensor) -> np.ndarray:
         shape, size, mode, k = compressed.ctx

@@ -38,6 +38,9 @@ def _observe_residual_norm(memory: Memory, name: str,
 class NoneMemory(Memory):
     """No error feedback: φ is the identity, ψ discards the error."""
 
+    supports_fused_update = True
+    fused_needs_transmitted = False
+
     def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
         """phi(m, g) of Eq. 4."""
         return tensor
@@ -52,6 +55,23 @@ class NoneMemory(Memory):
         """psi(m, g, g~) of Eq. 4."""
         return None
 
+    def compensate_fused(
+        self, gradients: dict[str, np.ndarray], bucket, out: np.ndarray
+    ) -> np.ndarray:
+        """Identity φ: pack the raw gradients straight into the bucket."""
+        for seg in bucket.segments:
+            out[seg.offset:seg.end] = np.ravel(gradients[seg.name])
+        return out
+
+    def update_fused(
+        self,
+        compensated: np.ndarray,
+        bucket,
+        transmitted: np.ndarray | None,
+    ) -> None:
+        """ψ discards the error in the fused path too."""
+        return None
+
 
 class ResidualMemory(Memory):
     """Eq. 4 residual error feedback, keyed by tensor name."""
@@ -62,6 +82,9 @@ class ResidualMemory(Memory):
         self.beta = float(beta)
         self.gamma = float(gamma)
         self._residuals: dict[str, np.ndarray] = {}
+        # Flat per-bucket residuals (fused path), keyed by segment layout;
+        # the name-keyed dict holds views into these, so both stay in sync.
+        self._fused_residuals: dict[tuple, np.ndarray] = {}
 
     def compensate(self, tensor: np.ndarray, name: str) -> np.ndarray:
         """phi(m, g) of Eq. 4."""
@@ -85,6 +108,62 @@ class ResidualMemory(Memory):
             transmitted, dtype=np.float32
         )
         _observe_residual_norm(self, name, self._residuals[name])
+
+    def compensate_fused(
+        self, gradients: dict[str, np.ndarray], bucket, out: np.ndarray
+    ) -> np.ndarray:
+        """φ over a whole bucket in two vectorized passes.
+
+        When a flat residual for this exact segment layout exists (i.e.
+        :meth:`update_fused` ran last iteration and no per-tensor update
+        replaced any segment's residual since), φ is ``γ·g + β·m`` on the
+        flat buffers — bitwise-identical to the per-segment computation,
+        since elementwise ops on contiguous slices commute with packing
+        and IEEE addition is commutative.  Otherwise (first iteration,
+        plan change, mixed usage) it falls back to the generic
+        per-segment path.
+        """
+        flat = self._fused_residuals.get(bucket.segments)
+        if flat is None or not all(
+            self._residuals.get(seg.name) is not None
+            and self._residuals[seg.name].base is flat
+            for seg in bucket.segments
+        ):
+            return super().compensate_fused(gradients, bucket, out)
+        for seg in bucket.segments:
+            out[seg.offset:seg.end] = np.ravel(gradients[seg.name])
+        np.multiply(out, self.gamma, out=out)
+        out += self.beta * flat
+        return out
+
+    def update_fused(
+        self,
+        compensated: np.ndarray,
+        bucket,
+        transmitted: np.ndarray | None,
+    ) -> None:
+        """Eq. 4 ψ for a whole bucket: one subtraction, per-name views.
+
+        The subtraction allocates a fresh flat residual (no view into the
+        caller's reused scratch buffers is retained); the name-keyed
+        residuals become views into it, so :meth:`compensate` and
+        :meth:`residual` observe exactly the per-tensor state.
+        """
+        residual = np.asarray(compensated, dtype=np.float32) - np.asarray(
+            transmitted, dtype=np.float32
+        )
+        self._fused_residuals[bucket.segments] = residual
+        residuals = self._residuals
+        for seg in bucket.segments:
+            residuals[seg.name] = residual[seg.offset:seg.end].reshape(
+                seg.shape
+            )
+        if self.telemetry is not None:
+            for seg in bucket.segments:
+                _observe_residual_norm(self, seg.name, residuals[seg.name])
+
+    supports_fused_update = True
+    fused_needs_transmitted = True
 
     def residual(self, name: str) -> np.ndarray | None:
         """Expose the stored residual (used by tests and diagnostics)."""

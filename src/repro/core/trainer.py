@@ -33,7 +33,13 @@ from typing import Any, Callable, Iterable, Protocol
 import numpy as np
 
 from repro.comm.collectives import Communicator
-from repro.core.api import CompressedTensor, Compressor
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    FusedConcatCtx,
+    concat_compressed,
+)
+from repro.core.fusion import FusionBucket, FusionPlan, ScratchPool
 from repro.core.memory import Memory, make_memory
 from repro.core.wire import framing_header_bytes
 from repro.telemetry.metrics import MetricsRegistry
@@ -237,6 +243,14 @@ class DistributedTrainer:
         gradient or the aggregated gradient is non-finite — fault
         isolation for debugging diverging runs (off by default; the
         check costs one pass over every tensor).
+    fusion_mb:
+        Tensor-fusion buffer budget in MiB.  ``0`` (the default)
+        reproduces the per-tensor exchange exactly; any positive value
+        packs gradients into flat buckets of at most this size and runs
+        **one collective per bucket**, compressing whole buckets at once
+        when the compressor ships a fused kernel
+        (:attr:`Compressor.fused_kernel`) and every rank's memory
+        supports fused updates.  See ``docs/PERFORMANCE.md``.
     tracer:
         A :class:`~repro.telemetry.tracing.Tracer` to record phase spans
         and detailed metrics into; the default no-op tracer keeps the
@@ -259,9 +273,12 @@ class DistributedTrainer:
         seed: int = 0,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        fusion_mb: float = 0.0,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if fusion_mb < 0:
+            raise ValueError(f"fusion_mb must be >= 0, got {fusion_mb}")
         self.task = task
         self.n_workers = int(n_workers)
         self.comm = (
@@ -299,6 +316,10 @@ class DistributedTrainer:
         if self.tracer.enabled:
             for mem in self.memories:
                 mem.attach_telemetry(self.metrics)
+        self.fusion_mb = float(fusion_mb)
+        self._fusion_max_bytes = int(self.fusion_mb * (1 << 20))
+        self._fusion_plan: FusionPlan | None = None
+        self._scratch = ScratchPool()
         self.report = TrainingReport(metrics=self.metrics)
 
     # ------------------------------------------------------------------
@@ -357,6 +378,8 @@ class DistributedTrainer:
         self, grads_per_rank: list[dict[str, np.ndarray]]
     ) -> dict[str, np.ndarray]:
         """Compress, communicate and aggregate every gradient tensor."""
+        if self._fusion_max_bytes > 0:
+            return self._exchange_fused(grads_per_rank)
         names = list(grads_per_rank[0])
         aggregated: dict[str, np.ndarray] = {}
         tracer = self.tracer
@@ -406,6 +429,265 @@ class DistributedTrainer:
             record.bytes_sent_per_worker - bytes_before
         )
         return aggregated
+
+    # -- fused (bucketed) exchange -------------------------------------
+
+    def _exchange_fused(
+        self, grads_per_rank: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        """Bucketed Algorithm 1: one collective per fusion bucket.
+
+        Two layers of fusion compose here:
+
+        * the *collective* layer always applies — every bucket's payload
+          parts move in a single ``allreduce``/``allgather`` call, so the
+          per-message latency and the wire part-count header are paid
+          once per bucket;
+        * the *kernel* layer applies when the compressor ships a
+          vectorized ``compress_fused`` **and** every memory supports
+          fused updates — then compression runs once over the whole flat
+          bucket instead of once per tensor.  Otherwise compression and
+          ψ stay per-tensor (bit-identical state evolution, e.g. for DGC
+          memories) and only the payloads are concatenated.
+        """
+        grads0 = grads_per_rank[0]
+        plan = self._fusion_plan
+        if (
+            plan is None
+            or plan.max_bytes != self._fusion_max_bytes
+            or not plan.matches(grads0)
+        ):
+            plan = FusionPlan.from_gradients(grads0, self._fusion_max_bytes)
+            self._fusion_plan = plan
+            self._scratch.clear()
+        record = self.comm.record
+        comm_before = record.simulated_seconds
+        bytes_before = record.bytes_sent_per_worker
+        use_kernel = self.compressors[0].fused_kernel and all(
+            memory.supports_fused_update for memory in self.memories
+        )
+        aggregated: dict[str, np.ndarray] = {}
+        for bucket in plan.buckets:
+            self._process_bucket(bucket, grads_per_rank, use_kernel, aggregated)
+        self.report.sim_comm_seconds += (
+            record.simulated_seconds - comm_before
+        )
+        self.report.bytes_per_worker += (
+            record.bytes_sent_per_worker - bytes_before
+        )
+        return aggregated
+
+    def _process_bucket(
+        self,
+        bucket: FusionBucket,
+        grads_per_rank: list[dict[str, np.ndarray]],
+        use_kernel: bool,
+        aggregated: dict[str, np.ndarray],
+    ) -> None:
+        """Compensate, compress, communicate and aggregate one bucket."""
+        tracer = self.tracer
+        traced = tracer.enabled
+        decoder = self.compressors[0]
+        self.metrics.counter(
+            "fusion_buckets_total",
+            help="fusion buckets communicated",
+        ).inc(1)
+        self.metrics.histogram(
+            "fusion_bucket_bytes", unit="bytes",
+            help="flat float32 size of each communicated fusion bucket",
+        ).observe(float(bucket.nbytes))
+        kernel_start = time.perf_counter()
+        compressed: list[CompressedTensor] = []
+        first_compress_span = None
+        for rank in range(self.n_workers):
+            memory = self.memories[rank]
+            buffer = self._scratch.take(("pack", rank, bucket.index),
+                                        bucket.numel)
+            with tracer.span("memory_compensate", rank=rank,
+                             bucket=bucket.index):
+                memory.compensate_fused(grads_per_rank[rank], bucket, buffer)
+            with tracer.span("compress", rank=rank,
+                             bucket=bucket.index) as span:
+                if use_kernel:
+                    packed = self.compressors[rank].compress_fused(
+                        buffer, bucket
+                    )
+                else:
+                    packed = concat_compressed(bucket, [
+                        self.compressors[rank].compress(
+                            buffer[seg.offset:seg.end].reshape(seg.shape),
+                            seg.name,
+                        )
+                        for seg in bucket.segments
+                    ])
+            if use_kernel:
+                self._fused_memory_update(rank, bucket, buffer, packed)
+            else:
+                ctx: FusedConcatCtx = packed.ctx
+                start = 0
+                for seg, n_parts, seg_ctx in zip(
+                    bucket.segments, ctx.splits, ctx.ctxs
+                ):
+                    memory.update(
+                        buffer[seg.offset:seg.end].reshape(seg.shape),
+                        seg.name,
+                        self.compressors[rank],
+                        CompressedTensor(
+                            payload=packed.payload[start:start + n_parts],
+                            ctx=seg_ctx,
+                        ),
+                    )
+                    start += n_parts
+            if traced:
+                if rank == 0:
+                    first_compress_span = span
+                self._record_fused_compression(span, bucket, packed)
+            compressed.append(packed)
+        self._communicate_bucket(bucket, compressed, aggregated)
+        self.report.measured_compression_seconds += (
+            time.perf_counter() - kernel_start
+        )
+        if self.perf_model is not None:
+            if use_kernel and not isinstance(compressed[0].ctx,
+                                             FusedConcatCtx):
+                # One batched kernel launch covers the whole bucket.
+                sim_kernel = self.perf_model.compression_seconds(
+                    decoder.name, bucket.numel
+                )
+            else:
+                sim_kernel = sum(
+                    self.perf_model.compression_seconds(decoder.name, seg.size)
+                    for seg in bucket.segments
+                )
+            self.report.sim_compression_seconds += sim_kernel
+            if first_compress_span is not None:
+                first_compress_span.add_sim(sim_kernel)
+
+    def _fused_memory_update(
+        self,
+        rank: int,
+        bucket: FusionBucket,
+        buffer: np.ndarray,
+        packed: CompressedTensor,
+    ) -> None:
+        """Run ψ over the whole flat bucket (fused-kernel path only)."""
+        memory = self.memories[rank]
+        transmitted = None
+        if memory.fused_needs_transmitted:
+            transmitted = self.compressors[rank].decompress_fused(
+                packed,
+                out=self._scratch.take(("transmit", rank, bucket.index),
+                                       bucket.numel),
+            )
+        memory.update_fused(buffer, bucket, transmitted)
+
+    def _communicate_bucket(
+        self,
+        bucket: FusionBucket,
+        compressed: list[CompressedTensor],
+        aggregated: dict[str, np.ndarray],
+    ) -> None:
+        """One collective for the whole bucket, then per-tensor unpack."""
+        decoder = self.compressors[0]
+        strategy = decoder.communication
+        tracer = self.tracer
+        record = self.comm.record
+        if strategy == "allreduce":
+            with tracer.span("collective", bucket=bucket.index,
+                             op="allreduce", fused=True) as span:
+                sim_before = record.simulated_seconds
+                sent_before = record.bytes_sent_per_worker
+                summed_parts = self.comm.allreduce_parts(
+                    [c.payload for c in compressed]
+                )
+                span.add_sim(record.simulated_seconds - sim_before)
+                span.set(
+                    bytes_per_worker=record.bytes_sent_per_worker - sent_before
+                )
+            summed = CompressedTensor(payload=summed_parts,
+                                      ctx=compressed[0].ctx)
+            with tracer.span("decompress", bucket=bucket.index):
+                flat = decoder.decompress_fused(
+                    summed,
+                    out=self._scratch.take(("reduce", bucket.index),
+                                           bucket.numel),
+                )
+            with tracer.span("aggregate", bucket=bucket.index):
+                mean_flat = flat / self.n_workers
+                for seg in bucket.segments:
+                    aggregated[seg.name] = (
+                        mean_flat[seg.offset:seg.end].reshape(seg.shape)
+                    )
+            return
+        if strategy in ("allgather", "broadcast"):
+            with tracer.span("collective", bucket=bucket.index,
+                             op="allgather", fused=True) as span:
+                sim_before = record.simulated_seconds
+                sent_before = record.bytes_sent_per_worker
+                self.comm.allgather([c.payload for c in compressed])
+                span.add_sim(record.simulated_seconds - sim_before)
+                span.set(
+                    bytes_per_worker=record.bytes_sent_per_worker - sent_before
+                )
+            with tracer.span("decompress", bucket=bucket.index,
+                             ranks=self.n_workers):
+                flats = [
+                    decoder.decompress_fused(
+                        c,
+                        out=self._scratch.take(
+                            ("gather", rank, bucket.index), bucket.numel
+                        ),
+                    )
+                    for rank, c in enumerate(compressed)
+                ]
+            with tracer.span("aggregate", bucket=bucket.index):
+                if type(decoder).aggregate is Compressor.aggregate:
+                    # Default Agg is an elementwise mean: one bucket-level
+                    # pass, then per-tensor views of the result.
+                    mean_flat = np.mean(np.stack(flats), axis=0)
+                    for seg in bucket.segments:
+                        aggregated[seg.name] = (
+                            mean_flat[seg.offset:seg.end].reshape(seg.shape)
+                        )
+                else:
+                    for seg in bucket.segments:
+                        aggregated[seg.name] = decoder.aggregate([
+                            flat[seg.offset:seg.end].reshape(seg.shape)
+                            for flat in flats
+                        ])
+            return
+        raise ValueError(f"unknown communication strategy {strategy!r}")
+
+    def _record_fused_compression(
+        self, span, bucket: FusionBucket, packed: CompressedTensor
+    ) -> None:
+        """Per-(rank, bucket) detail metrics — traced path only."""
+        nbytes_in = bucket.nbytes
+        nbytes_out = packed.nbytes
+        span.set(
+            nbytes_in=nbytes_in,
+            nbytes_out=nbytes_out,
+            ratio=nbytes_out / nbytes_in if nbytes_in else 0.0,
+        )
+        metrics = self.metrics
+        metrics.histogram(
+            "compress_kernel_seconds",
+            {"compressor": self.compressors[0].name},
+            unit="seconds",
+            help="measured compress wall time per (rank, tensor) call",
+        ).observe(span.dur)
+        metrics.counter(
+            "compress_raw_bytes_total", unit="bytes",
+            help="uncompressed gradient traffic",
+        ).inc(nbytes_in)
+        metrics.counter(
+            "compress_wire_bytes_total", unit="bytes",
+            help="compressed payload bytes produced",
+        ).inc(nbytes_out)
+        metrics.counter(
+            "wire_framing_overhead_bytes_total", unit="bytes",
+            help="wire-format header bytes on top of raw payloads",
+        ).inc(framing_header_bytes(packed.payload))
 
     def _record_compression(
         self,
@@ -458,10 +740,11 @@ class DistributedTrainer:
             with tracer.span("collective", tensor=name, op="allreduce") as span:
                 sim_before = record.simulated_seconds
                 sent_before = record.bytes_sent_per_worker
-                summed_parts = [
-                    self.comm.allreduce([c.payload[part] for c in compressed])
-                    for part in range(len(compressed[0].payload))
-                ]
+                # All payload parts travel as one message: a single
+                # per-message latency per tensor, not one per part.
+                summed_parts = self.comm.allreduce_parts(
+                    [c.payload for c in compressed]
+                )
                 span.add_sim(record.simulated_seconds - sim_before)
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before

@@ -8,12 +8,17 @@ overhead is measurable (`framing_overhead_bytes`).
 
 Format (little-endian)::
 
-    u8   part count
+    u8   part count          (0..254; 255 escapes to a u32 count)
+    u32  part count          (only when the escape byte 255 is present)
     per part:
       u8   dtype code          (see _DTYPES)
       u8   rank
       u32  dim[rank]
       raw  data (C order)
+
+The escape exists for fusion: a fused bucket that concatenates many
+per-tensor payloads (the generic ``compress_fused`` fallback) can carry
+far more than 254 parts in one frame.
 """
 
 from __future__ import annotations
@@ -36,15 +41,27 @@ _DTYPES: list[np.dtype] = [
 ]
 _DTYPE_CODE = {dtype: code for code, dtype in enumerate(_DTYPES)}
 
-_MAX_PARTS = 255
+_PART_COUNT_ESCAPE = 255  # u8 sentinel: real count follows as u32
+_MAX_PARTS = 2**32 - 1
 _MAX_RANK = 255
+
+
+def _part_count_header(n_parts: int) -> bytes:
+    if n_parts < _PART_COUNT_ESCAPE:
+        return struct.pack("<B", n_parts)
+    return struct.pack("<BI", _PART_COUNT_ESCAPE, n_parts)
+
+
+def part_count_header_bytes(n_parts: int) -> int:
+    """Size of the frame's part-count field (1, or 5 past the escape)."""
+    return 1 if n_parts < _PART_COUNT_ESCAPE else 5
 
 
 def serialize_payload(payload: Payload) -> bytes:
     """Frame a payload (list of arrays) into one byte buffer."""
     if len(payload) > _MAX_PARTS:
         raise ValueError(f"payload has too many parts ({len(payload)})")
-    chunks = [struct.pack("<B", len(payload))]
+    chunks = [_part_count_header(len(payload))]
     for part in payload:
         original = np.asarray(part)
         # ascontiguousarray promotes 0-d to 1-d; restore the true shape.
@@ -71,6 +88,11 @@ def deserialize_payload(buffer: bytes) -> Payload:
         raise ValueError("empty wire buffer")
     (n_parts,) = struct.unpack_from("<B", buffer, 0)
     offset = 1
+    if n_parts == _PART_COUNT_ESCAPE:
+        if len(buffer) < 5:
+            raise ValueError("truncated wire buffer (part count)")
+        (n_parts,) = struct.unpack_from("<I", buffer, 1)
+        offset = 5
     payload: Payload = []
     for _ in range(n_parts):
         if offset + 2 > len(buffer):
@@ -115,7 +137,11 @@ def framing_header_bytes(payload: Payload) -> int:
     """Analytic header size of the wire format, without serializing.
 
     Equals :func:`framing_overhead_bytes` for any serializable payload
-    (1 count byte, then a dtype/rank/dims header per part); telemetry
-    uses this form so accounting never pays a serialization pass.
+    (the part-count field, then a dtype/rank/dims header per part);
+    telemetry uses this form so accounting never pays a serialization
+    pass.  Fusion pays the count field once per *bucket*, which is how
+    header overhead amortizes across the fused tensors.
     """
-    return 1 + sum(2 + 4 * np.asarray(part).ndim for part in payload)
+    return part_count_header_bytes(len(payload)) + sum(
+        2 + 4 * np.asarray(part).ndim for part in payload
+    )

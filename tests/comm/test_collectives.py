@@ -107,3 +107,55 @@ class TestRecord:
     def test_constructor_validates_workers(self):
         with pytest.raises(ValueError, match="n_workers"):
             Communicator(0)
+
+
+class TestAllreduceParts:
+    """Fused multi-part sum: one charged op regardless of part count."""
+
+    def payloads(self, n_ranks=3):
+        return [
+            [
+                np.full((4,), float(rank), dtype=np.float32),
+                np.full((2, 2), float(rank + 1), dtype=np.float32),
+            ]
+            for rank in range(n_ranks)
+        ]
+
+    def test_sums_each_part_across_ranks(self):
+        comm = make_comm(3)
+        summed = comm.allreduce_parts(self.payloads())
+        np.testing.assert_array_equal(summed[0], np.full(4, 3.0))
+        np.testing.assert_array_equal(summed[1], np.full((2, 2), 6.0))
+
+    def test_charges_exactly_one_op_for_multipart_payloads(self):
+        # Regression: the trainer used to issue one allreduce per payload
+        # part, paying the per-message latency per part instead of per
+        # tensor.
+        comm = make_comm(3)
+        comm.allreduce_parts(self.payloads())
+        assert comm.record.num_ops == 1
+        assert comm.record.bytes_sent_per_worker == 16 + 16
+
+    def test_fused_cost_below_per_part_cost(self):
+        fused = make_comm(3)
+        fused.allreduce_parts(self.payloads())
+        per_part = make_comm(3)
+        per_part.allreduce([p[0] for p in self.payloads()])
+        per_part.allreduce([p[1] for p in self.payloads()])
+        assert fused.record.simulated_seconds < per_part.record.simulated_seconds
+
+    def test_rejects_part_count_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="part count"):
+            comm.allreduce_parts([
+                [np.zeros(2, np.float32)],
+                [np.zeros(2, np.float32), np.zeros(2, np.float32)],
+            ])
+
+    def test_rejects_per_part_shape_mismatch(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="uniform"):
+            comm.allreduce_parts([
+                [np.zeros(2, np.float32)],
+                [np.zeros(3, np.float32)],
+            ])

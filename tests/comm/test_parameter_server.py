@@ -125,3 +125,41 @@ class TestTrainerIntegration:
         collective = run(Communicator(8, NET, OPENMPI_TCP))
         ps = run(ParameterServerCommunicator(8, NET, OPENMPI_TCP))
         assert ps > collective
+
+
+class TestAllreduceParts:
+    def test_sums_parts_with_ps_cost_model(self):
+        ps = make_ps(3)
+        payloads = [
+            [np.full(4, float(r), np.float32), np.full(2, 1.0, np.float32)]
+            for r in range(3)
+        ]
+        summed = ps.allreduce_parts(payloads)
+        np.testing.assert_array_equal(summed[0], np.full(4, 3.0))
+        np.testing.assert_array_equal(summed[1], np.full(2, 3.0))
+        assert ps.record.num_ops == 1
+        assert ps.record.registry.counter(
+            "comm_op_count_total", {"op": "ps_allreduce"}
+        ).value == 1
+
+    def test_fused_parts_stay_costlier_than_collective(self):
+        # The trainer's fused path must keep the PS incast penalty: the
+        # base-class (ring) cost model would make PS look as cheap as a
+        # collective.
+        payloads = [
+            [np.zeros(1024, np.float32), np.zeros(512, np.float32)]
+            for _ in range(8)
+        ]
+        ps = make_ps(8)
+        ps.allreduce_parts(payloads)
+        collective = Communicator(8, NET, OPENMPI_TCP)
+        collective.allreduce_parts(payloads)
+        assert ps.record.simulated_seconds > collective.record.simulated_seconds
+
+    def test_rejects_part_count_mismatch(self):
+        ps = make_ps(2)
+        with pytest.raises(ValueError, match="part count"):
+            ps.allreduce_parts([
+                [np.zeros(2, np.float32)],
+                [np.zeros(2, np.float32)] * 2,
+            ])

@@ -77,3 +77,18 @@ class TestAggregateOverride:
             [np.array([1.0, -2.0]), np.array([0.5, 2.0])]
         )
         np.testing.assert_array_equal(out, [1.0, 2.0])
+
+
+class TestNbytesCaching:
+    def test_nbytes_is_computed_once(self):
+        from repro.core.api import CompressedTensor
+
+        compressed = CompressedTensor(
+            payload=[np.zeros(8, np.float32), np.zeros(4, np.int32)],
+            ctx=None,
+        )
+        assert compressed.nbytes == 48
+        # The cached value survives even if the payload list is mutated —
+        # payloads are immutable by convention after construction.
+        compressed.payload.append(np.zeros(16, np.float32))
+        assert compressed.nbytes == 48

@@ -1,0 +1,330 @@
+"""Gradient fusion: packing, scratch reuse, and fused/unfused parity."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator
+from repro.core import (
+    BucketSegment,
+    DistributedTrainer,
+    FusionBucket,
+    FusionPlan,
+    ResidualMemory,
+    ScratchPool,
+    create,
+)
+
+
+class MultiTask:
+    """Quadratic objective over several tensors of awkward shapes."""
+
+    SHAPES = {
+        "conv.w": (7, 5),
+        "conv.b": (64,),
+        "block.w": (3, 4, 2),
+        "scalar": (1,),
+        "head.w": (33,),
+    }
+
+    def __init__(self, lr=0.05, seed=1):
+        rng = np.random.default_rng(seed)
+        self.params = {
+            name: rng.standard_normal(shape).astype(np.float32)
+            for name, shape in self.SHAPES.items()
+        }
+        self.targets = {
+            name: rng.standard_normal(shape).astype(np.float32)
+            for name, shape in self.SHAPES.items()
+        }
+        self.lr = lr
+
+    def forward_backward(self, inputs, targets):
+        rng = np.random.default_rng(int(inputs))
+        loss = 0.0
+        grads = {}
+        for name, param in self.params.items():
+            delta = param - self.targets[name]
+            noise = 0.05 * rng.standard_normal(param.shape)
+            grads[name] = (2 * delta + noise).astype(np.float32)
+            loss += float(np.sum(delta ** 2))
+        return loss, grads
+
+    def apply_update(self, grads):
+        for name, grad in grads.items():
+            self.params[name] -= self.lr * grad
+
+
+TOTAL_BYTES = sum(
+    4 * int(np.prod(shape)) for shape in MultiTask.SHAPES.values()
+)
+
+
+def run_trajectory(name, fusion_mb, steps=6, n_workers=3, memory=None,
+                   **params):
+    """Train MultiTask and return (final params, trainer)."""
+    task = MultiTask()
+    trainer = DistributedTrainer(
+        task, create(name, **params), n_workers=n_workers, seed=0,
+        memory=memory, fusion_mb=fusion_mb,
+    )
+    for step in range(steps):
+        trainer.step(
+            [(step * n_workers + rank, None) for rank in range(n_workers)]
+        )
+    return task.params, trainer
+
+
+class TestFusionPlan:
+    def test_greedy_packing_respects_budget(self):
+        shapes = [("a", (4,)), ("b", (4,)), ("c", (4,)), ("d", (4,))]
+        plan = FusionPlan(shapes, max_bytes=32)  # two 16-byte tensors each
+        assert plan.num_buckets == 2
+        assert [len(b) for b in plan.buckets] == [2, 2]
+
+    def test_oversized_tensor_gets_dedicated_bucket(self):
+        plan = FusionPlan(
+            [("small", (2,)), ("huge", (100,)), ("tail", (2,))],
+            max_bytes=64,
+        )
+        assert plan.num_buckets == 3
+        assert plan.buckets[1].segments[0].name == "huge"
+
+    def test_order_is_preserved(self):
+        shapes = [(f"t{i}", (3,)) for i in range(10)]
+        plan = FusionPlan(shapes, max_bytes=1 << 20)
+        names = [
+            seg.name for bucket in plan.buckets for seg in bucket.segments
+        ]
+        assert names == [name for name, _ in shapes]
+
+    def test_offsets_restart_per_bucket(self):
+        plan = FusionPlan([("a", (4,)), ("b", (4,))], max_bytes=16)
+        assert all(b.segments[0].offset == 0 for b in plan.buckets)
+
+    def test_matches_detects_layout_changes(self):
+        grads = {"a": np.zeros((2, 3)), "b": np.zeros(5)}
+        plan = FusionPlan.from_gradients(grads, 1 << 20)
+        assert plan.matches(grads)
+        assert not plan.matches({"a": np.zeros((2, 3))})
+        assert not plan.matches({"a": np.zeros((3, 2)), "b": np.zeros(5)})
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            FusionPlan([("a", (1,))], max_bytes=0)
+        with pytest.raises(ValueError, match="zero tensors"):
+            FusionPlan([], max_bytes=64)
+
+
+class TestFusionBucket:
+    def bucket(self):
+        return FusionBucket(0, (
+            BucketSegment("a", (2, 3), 0, 6),
+            BucketSegment("b", (4,), 6, 4),
+        ))
+
+    def test_layout_arrays(self):
+        bucket = self.bucket()
+        assert bucket.numel == 10
+        assert bucket.nbytes == 40
+        assert list(bucket.sizes) == [6, 4]
+        assert list(bucket.offsets) == [0, 6]
+        assert list(bucket.segment_ids) == [0] * 6 + [1] * 4
+        assert list(bucket.positions_within) == list(range(6)) + list(range(4))
+        assert list(bucket.segment_keys) == [0] * 6 + [1 << 32] * 4
+
+    def test_pack_unpack_roundtrip(self):
+        bucket = self.bucket()
+        arrays = {
+            "a": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "b": np.arange(10, 14, dtype=np.float32),
+        }
+        flat = bucket.pack(arrays, np.empty(10, dtype=np.float32))
+        out = bucket.unpack(flat)
+        for name in arrays:
+            assert np.array_equal(out[name], arrays[name])
+            assert out[name].shape == arrays[name].shape
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FusionBucket(0, ())
+
+
+class TestScratchPool:
+    def test_reuses_buffer_for_same_key(self):
+        pool = ScratchPool()
+        first = pool.take("k", 16)
+        again = pool.take("k", 16)
+        assert first is again
+        assert pool.allocations == 1
+
+    def test_reallocates_on_size_change_and_clear(self):
+        pool = ScratchPool()
+        pool.take("k", 16)
+        resized = pool.take("k", 32)
+        assert resized.size == 32
+        assert pool.allocations == 2
+        pool.clear()
+        pool.take("k", 32)
+        assert pool.allocations == 3
+
+
+# Bucket budgets (MiB): one bucket for the whole model, a split layout,
+# an exact fit, and one so small every tensor gets a dedicated bucket.
+WHOLE = 64.0
+SPLIT = 0.0002
+EXACT = TOTAL_BYTES / float(1 << 20)
+PER_TENSOR = 0.00001
+
+
+class TestFusedParity:
+    """fusion_mb > 0 must reproduce the per-tensor trajectory bitwise.
+
+    Deterministic compressors (none, topk, signsgd, efsignsgd, dgc) admit
+    no slack at all; the stochastic ones (qsgd, randomk, terngrad) are
+    seeded, and the fused kernels consume the per-rank random streams in
+    the same order as the per-tensor path, so they too match bitwise.
+    """
+
+    CASES = [
+        ("none", {}, None),
+        ("topk", {"ratio": 0.25}, None),
+        ("signsgd", {}, None),
+        ("efsignsgd", {}, None),
+        ("qsgd", {}, None),
+        ("randomk", {"ratio": 0.3}, None),
+        ("terngrad", {}, None),
+        ("dgc", {}, None),
+        ("topk", {"ratio": 0.25}, "none"),
+    ]
+
+    @pytest.mark.parametrize("fusion_mb", [WHOLE, SPLIT, EXACT, PER_TENSOR])
+    @pytest.mark.parametrize("name,params,memory", CASES)
+    def test_trajectory_bitwise_equal(self, name, params, memory, fusion_mb):
+        baseline, _ = run_trajectory(name, fusion_mb=0.0, memory=memory,
+                                     **params)
+        fused, _ = run_trajectory(name, fusion_mb=fusion_mb, memory=memory,
+                                  **params)
+        for key in baseline:
+            assert np.array_equal(baseline[key], fused[key]), (name, key)
+
+    def test_residual_memory_state_matches(self):
+        _, unfused = run_trajectory("topk", fusion_mb=0.0, ratio=0.25)
+        _, fused = run_trajectory("topk", fusion_mb=WHOLE, ratio=0.25)
+        for rank in range(3):
+            base = unfused.memories[rank]
+            other = fused.memories[rank]
+            assert isinstance(base, ResidualMemory)
+            for name in MultiTask.SHAPES:
+                assert np.array_equal(
+                    base.residual(name), other.residual(name)
+                ), (rank, name)
+
+
+class TestFusedCollectives:
+    def test_one_collective_per_bucket(self):
+        _, trainer = run_trajectory("topk", fusion_mb=WHOLE, steps=4,
+                                    ratio=0.25)
+        # 5 tensors fused into one bucket: one allgather per step.
+        assert trainer.comm.record.num_ops == 4
+
+    def test_unfused_issues_one_collective_per_tensor(self):
+        _, trainer = run_trajectory("topk", fusion_mb=0.0, steps=4,
+                                    ratio=0.25)
+        assert trainer.comm.record.num_ops == 4 * len(MultiTask.SHAPES)
+
+    def test_per_tensor_buckets_match_unfused_op_count(self):
+        _, trainer = run_trajectory("topk", fusion_mb=PER_TENSOR, steps=2,
+                                    ratio=0.25)
+        assert trainer.comm.record.num_ops == 2 * len(MultiTask.SHAPES)
+
+    def test_bucket_metrics_are_counted(self):
+        _, trainer = run_trajectory("topk", fusion_mb=SPLIT, steps=3,
+                                    ratio=0.25)
+        plan = trainer._fusion_plan
+        assert plan.num_buckets > 1
+        counted = trainer.metrics.counter("fusion_buckets_total").value
+        assert counted == 3 * plan.num_buckets
+
+    def test_fusion_disabled_records_no_buckets(self):
+        _, trainer = run_trajectory("topk", fusion_mb=0.0, steps=2,
+                                    ratio=0.25)
+        assert trainer.metrics.counter("fusion_buckets_total").value == 0
+
+    def test_plan_rebuilds_when_layout_changes(self):
+        task = MultiTask()
+        trainer = DistributedTrainer(
+            task, create("topk", ratio=0.25), n_workers=2, fusion_mb=WHOLE
+        )
+        trainer.step([(0, None), (1, None)])
+        first_plan = trainer._fusion_plan
+        trainer.step([(2, None), (3, None)])
+        assert trainer._fusion_plan is first_plan
+
+
+class TestFusedMemoryFastPath:
+    def test_flat_residual_matches_per_tensor_state(self):
+        plan = FusionPlan([("a", (6,)), ("b", (10,))], 1 << 20)
+        bucket = plan.buckets[0]
+        rng = np.random.default_rng(3)
+        grads = {
+            "a": rng.standard_normal(6).astype(np.float32),
+            "b": rng.standard_normal(10).astype(np.float32),
+        }
+        compensated = rng.standard_normal(16).astype(np.float32)
+        transmitted = rng.standard_normal(16).astype(np.float32)
+
+        fused = ResidualMemory(beta=0.9, gamma=0.5)
+        fused.update_fused(compensated, bucket, transmitted)
+        classic = ResidualMemory(beta=0.9, gamma=0.5)
+        for seg in bucket.segments:
+            classic._residuals[seg.name] = (
+                compensated[seg.offset:seg.end]
+                - transmitted[seg.offset:seg.end]
+            ).reshape(seg.shape)
+
+        out = fused.compensate_fused(grads, bucket,
+                                     np.empty(16, dtype=np.float32))
+        for seg in bucket.segments:
+            expected = classic.compensate(grads[seg.name], seg.name)
+            assert np.array_equal(
+                out[seg.offset:seg.end].reshape(seg.shape), expected
+            )
+            assert np.array_equal(
+                fused.residual(seg.name), classic.residual(seg.name)
+            )
+
+    def test_mixed_usage_falls_back_to_per_tensor_path(self):
+        plan = FusionPlan([("a", (4,)), ("b", (4,))], 1 << 20)
+        bucket = plan.buckets[0]
+        memory = ResidualMemory()
+        memory.update_fused(
+            np.ones(8, dtype=np.float32), bucket,
+            np.zeros(8, dtype=np.float32),
+        )
+        # A per-tensor update replaces one segment's residual with an
+        # array that is no longer a view of the flat bucket residual.
+        memory._residuals["a"] = np.full(4, 7.0, dtype=np.float32)
+        grads = {
+            "a": np.ones(4, dtype=np.float32),
+            "b": np.ones(4, dtype=np.float32),
+        }
+        out = memory.compensate_fused(grads, bucket,
+                                      np.empty(8, dtype=np.float32))
+        assert np.array_equal(out[:4], np.full(4, 8.0, dtype=np.float32))
+        assert np.array_equal(out[4:], np.full(4, 2.0, dtype=np.float32))
+
+
+class TestTrainerValidation:
+    def test_negative_fusion_mb_rejected(self):
+        with pytest.raises(ValueError, match="fusion_mb"):
+            DistributedTrainer(MultiTask(), create("none"), n_workers=2,
+                               fusion_mb=-1.0)
+
+    def test_fused_works_with_explicit_communicator(self):
+        task = MultiTask()
+        trainer = DistributedTrainer(
+            task, create("none"), n_workers=2,
+            communicator=Communicator(n_workers=2), fusion_mb=WHOLE,
+        )
+        trainer.step([(0, None), (1, None)])
+        assert trainer.comm.record.num_ops == 1

@@ -97,3 +97,37 @@ class TestValidation:
         buffer[1] = 99  # corrupt the dtype code
         with pytest.raises(ValueError, match="dtype code"):
             deserialize_payload(bytes(buffer))
+
+
+class TestPartCountEscape:
+    """Fused buckets can carry more than 254 payload parts per frame."""
+
+    def test_roundtrip_at_and_past_the_escape(self):
+        for n_parts in (254, 255, 300):
+            payload = [
+                np.array([i], dtype=np.int32) for i in range(n_parts)
+            ]
+            restored = deserialize_payload(serialize_payload(payload))
+            assert len(restored) == n_parts
+            assert all(
+                int(part[0]) == i for i, part in enumerate(restored)
+            )
+
+    def test_header_grows_by_four_bytes_past_escape(self):
+        small = [np.zeros(1, np.uint8)] * 254
+        large = [np.zeros(1, np.uint8)] * 255
+        assert framing_overhead_bytes(small) == 1 + 254 * 6
+        assert framing_overhead_bytes(large) == 5 + 255 * 6
+
+    def test_analytic_header_matches_serialized(self):
+        from repro.core.wire import framing_header_bytes
+
+        for n_parts in (1, 254, 255, 260):
+            payload = [np.zeros((2, 3), np.float32)] * n_parts
+            assert framing_header_bytes(payload) == framing_overhead_bytes(
+                payload
+            )
+
+    def test_truncated_escaped_count_rejected(self):
+        with pytest.raises(ValueError, match="part count"):
+            deserialize_payload(b"\xff\x01\x00")
