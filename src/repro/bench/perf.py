@@ -222,7 +222,14 @@ class PerfModel:
     model because small-kernel utilization on real GPUs varies by two
     orders of magnitude across these architectures, and the published
     throughputs pin the constants directly.
+
+    ``backward_fraction`` is the share of an iteration spent in
+    back-propagation (the window gradient-ready events fall in); the
+    standard 1:2 forward:backward FLOP ratio gives 2/3.
     """
+
+    #: Share of ``compute_seconds`` spent in the backward pass.
+    backward_fraction = 2.0 / 3.0
 
     def __init__(
         self,

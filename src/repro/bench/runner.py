@@ -42,8 +42,15 @@ def train_quality(
     compressor_params: dict | None = None,
     tracer=None,
     fusion_mb: float = 0.0,
+    overlap: bool = False,
 ) -> QualityResult:
-    """Train one benchmark with one compressor; return best quality."""
+    """Train one benchmark with one compressor; return best quality.
+
+    ``overlap=True`` turns on the DDP-style overlapped exchange and
+    attaches the benchmark's calibrated perf model so the event timeline
+    has a compute phase to hide communication under; the parameter math
+    is unchanged either way.
+    """
     run = spec.build(n_workers=n_workers, seed=seed,
                      compressor_name=compressor_name)
     compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
@@ -60,6 +67,8 @@ def train_quality(
         seed=seed,
         tracer=tracer,
         fusion_mb=fusion_mb,
+        perf_model=spec.make_perf_model() if overlap else None,
+        overlap=overlap,
     )
     report = trainer.train(
         run.loader,

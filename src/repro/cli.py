@@ -118,6 +118,7 @@ def cmd_train(args) -> int:
         compressor_params=_parse_params(args.param) or None,
         tracer=tracer,
         fusion_mb=args.fusion_mb,
+        overlap=args.overlap,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
@@ -129,6 +130,11 @@ def cmd_train(args) -> int:
     print(f"bytes/worker/iter: "
           f"{report.bytes_per_worker_per_iteration:,.0f}")
     print(f"simulated comm   : {report.sim_comm_seconds:.3f} s")
+    if args.overlap:
+        print(f"sim makespan     : {report.sim_makespan_seconds:.3f} s")
+        print(f"exposed comm     : {report.sim_exposed_comm_seconds:.3f} s")
+        print(f"hidden comm      : {report.sim_hidden_comm_seconds:.3f} s")
+        print(f"overlap fraction : {100.0 * report.overlap_fraction:.1f}%")
     if tracing:
         _export_trace(args, tracer, report)
     return 0
@@ -161,7 +167,9 @@ def _export_trace(args, tracer, report) -> None:
 
 
 def cmd_bench(args) -> int:
-    """Run a perf benchmark; currently only the fusion comparison."""
+    """Run a perf benchmark: fused-vs-unfused or overlap comparison."""
+    if args.what == "overlap":
+        return _bench_overlap(args)
     from repro.bench.fusion_bench import run_fusion_bench, write_json
 
     result = run_fusion_bench(
@@ -169,7 +177,7 @@ def cmd_bench(args) -> int:
         compressor=args.compressor,
         n_workers=args.workers,
         iterations=args.iterations,
-        fusion_mb=args.fusion_mb,
+        fusion_mb=args.fusion_mb if args.fusion_mb is not None else 64.0,
         seed=args.seed,
         compressor_params=_parse_params(args.param) or None,
     )
@@ -184,6 +192,30 @@ def cmd_bench(args) -> int:
             f"{result.unfused.collective_ops}"
         )
         return 1
+    return 0
+
+
+def _bench_overlap(args) -> int:
+    """Run the sequential-vs-overlapped schedule grid."""
+    from repro.bench.overlap_bench import run_overlap_bench, write_json
+
+    result = run_overlap_bench(
+        benchmark=args.benchmark,
+        compressors=tuple(args.compressors.split(",")),
+        networks=tuple(args.networks.split(",")),
+        n_workers=args.workers,
+        fusion_mb=args.fusion_mb if args.fusion_mb is not None else 0.125,
+    )
+    print(result.format())
+    if args.out:
+        write_json(args.out, result)
+        print(f"result json      : {args.out}")
+    if args.check:
+        failures = result.check()
+        if failures:
+            for failure in failures:
+                print(f"OVERLAP CHECK FAILED: {failure}")
+            return 1
     return 0
 
 
@@ -203,7 +235,7 @@ def cmd_report(args) -> int:
         raise SystemExit(f"no telemetry events in {args.trace!r}")
     print(summarize_events(events).format())
     if args.chrome:
-        spans = write_chrome_trace(args.chrome, events)
+        spans = write_chrome_trace(args.chrome, events, clock=args.clock)
         print()
         print(f"chrome trace     : {args.chrome} ({spans} spans)")
     return 0
@@ -272,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MB",
                        help="tensor-fusion buffer budget in MiB; 0 keeps "
                             "the per-tensor exchange (default)")
+    train.add_argument("--overlap", action="store_true",
+                       help="overlap compressed communication with the "
+                            "backward pass (DDP-style bucketed schedule; "
+                            "same parameter math, adds sim makespan and "
+                            "overlap-fraction accounting)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL telemetry trace here")
     train.add_argument("--chrome-trace", default=None, metavar="PATH",
@@ -281,25 +318,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus text snapshot here")
 
     bench = sub.add_parser(
-        "bench", help="run a perf benchmark (fused vs unfused exchange)"
+        "bench", help="run a perf benchmark (fusion or overlap comparison)"
     )
-    bench.add_argument("what", choices=["fusion"],
+    bench.add_argument("what", choices=["fusion", "overlap"],
                        help="which benchmark to run")
     bench.add_argument("--benchmark", default="resnet20-cifar10",
                        help="training benchmark key (fig6 CNN by default)")
-    bench.add_argument("--compressor", default="topk")
+    bench.add_argument("--compressor", default="topk",
+                       help="compressor for the fusion benchmark")
+    bench.add_argument("--compressors", default="none,topk",
+                       help="comma-separated compressors for the overlap "
+                            "benchmark grid")
+    bench.add_argument("--networks", default="1gbps-tcp,10gbps-tcp",
+                       help="comma-separated network profiles for the "
+                            "overlap benchmark grid (e.g. 1gbps-tcp, "
+                            "25gbps-rdma)")
     bench.add_argument("--workers", type=int, default=8)
     bench.add_argument("--iterations", type=int, default=30)
-    bench.add_argument("--fusion-mb", type=float, default=64.0, metavar="MB")
+    bench.add_argument("--fusion-mb", type=float, default=None, metavar="MB",
+                       help="fusion buffer budget in MiB (default: 64 for "
+                            "the fusion benchmark, 0.125 for overlap)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="write the comparison as JSON "
-                            "(e.g. BENCH_fusion.json)")
+                            "(e.g. BENCH_fusion.json / BENCH_overlap.json)")
     bench.add_argument("--check", action="store_true",
-                       help="exit nonzero unless the fused run issues "
-                            "fewer collectives than the unfused run")
+                       help="exit nonzero unless the benchmark's "
+                            "acceptance criteria hold (fewer collectives "
+                            "when fused; hidden communication and the "
+                            "target speedup when overlapped)")
 
     report = sub.add_parser(
         "report", help="summarize a JSONL trace from train --trace"
@@ -307,6 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("trace", help="JSONL trace path")
     report.add_argument("--chrome", default=None, metavar="PATH",
                         help="also convert the trace to Chrome JSON")
+    report.add_argument("--clock", choices=["wall", "sim"], default="wall",
+                        help="timeline for --chrome: measured wall clock "
+                             "(default) or the simulated event timeline "
+                             "(renders overlap concurrency)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"

@@ -14,6 +14,10 @@ stack with an in-process simulation:
 * :mod:`repro.comm.collectives` — a :class:`Communicator` that performs the
   actual data movement between simulated workers and accounts bytes and
   simulated seconds.
+* :mod:`repro.comm.timeline` — a discrete-event :class:`SimTimeline` the
+  nonblocking collectives (``iallreduce_parts`` / ``iallgather``) schedule
+  onto, turning additive phase sums into an event-graph makespan with an
+  exact hidden/exposed communication split.
 """
 
 from repro.comm.network import NetworkModel, Transport, ethernet
@@ -24,7 +28,8 @@ from repro.comm.cost import (
     broadcast_time,
     sparse_allreduce_time,
 )
-from repro.comm.collectives import Communicator, CommRecord
+from repro.comm.collectives import AsyncHandle, Communicator, CommRecord
+from repro.comm.timeline import OverlapStats, SimEvent, SimTimeline
 from repro.comm.parameter_server import (
     ParameterServerCommunicator,
     ps_round_trip_time,
@@ -59,4 +64,8 @@ __all__ = [
     "sparse_allreduce_time",
     "Communicator",
     "CommRecord",
+    "AsyncHandle",
+    "SimTimeline",
+    "SimEvent",
+    "OverlapStats",
 ]

@@ -20,6 +20,7 @@ from repro.comm.cost import (
     sparse_allreduce_time,
 )
 from repro.comm.network import NetworkModel, ethernet
+from repro.comm.timeline import NETWORK, SimEvent, SimTimeline
 from repro.telemetry.metrics import Histogram, MetricsRegistry
 
 Payload = list[np.ndarray]
@@ -138,8 +139,45 @@ class CommRecord:
 
     @property
     def mean_bytes_per_op(self) -> float:
-        """Average per-op bytes each worker sent."""
+        """Average per-op bytes each worker sent (0.0 before any op)."""
+        if self._op_bytes.count == 0:
+            return 0.0
         return self._op_bytes.mean
+
+
+class AsyncHandle:
+    """Result of a nonblocking collective.
+
+    The simulated cluster moves the data eagerly (the math is done by
+    the time the handle exists — determinism requires it), so
+    "nonblocking" is purely a *scheduling* statement: when a
+    :class:`~repro.comm.timeline.SimTimeline` is attached, the
+    collective occupies the network resource starting no earlier than
+    ``ready_at`` and :attr:`event` records that occupancy.  ``wait()``
+    returns the result, mirroring MPI request semantics.
+    """
+
+    __slots__ = ("event", "_result", "_waited")
+
+    def __init__(self, result, event: SimEvent | None = None):
+        self._result = result
+        self.event = event
+        self._waited = False
+
+    def wait(self):
+        """Drain the handle and return the collective's result."""
+        self._waited = True
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        """Whether ``wait()`` has been called."""
+        return self._waited
+
+    @property
+    def sim_end(self) -> float:
+        """Simulated completion time (0.0 without a timeline)."""
+        return self.event.end if self.event is not None else 0.0
 
 
 class Communicator:
@@ -253,6 +291,62 @@ class Communicator:
         self.record.charge(bytes_per_worker=mean_contribution,
                            seconds=seconds, op="allgather")
         return [list(p) for p in payloads]
+
+    # -- nonblocking collectives --------------------------------------------
+
+    def iallreduce_parts(
+        self,
+        payloads: list[Payload],
+        *,
+        ready_at: float = 0.0,
+        timeline: SimTimeline | None = None,
+    ) -> AsyncHandle:
+        """Nonblocking :meth:`allreduce_parts`.
+
+        Math, byte accounting and charged simulated seconds are identical
+        to the blocking call (subclass cost overrides — e.g. the parameter
+        server's incast model — apply unchanged).  With a ``timeline``,
+        the charged seconds are additionally scheduled as a network event
+        starting no earlier than ``ready_at``, so the collective can run
+        concurrently with later compute/kernel events.
+        """
+        return self._nonblocking(
+            self.allreduce_parts, payloads, op="allreduce",
+            ready_at=ready_at, timeline=timeline,
+        )
+
+    def iallgather(
+        self,
+        payloads: list[Payload],
+        *,
+        ready_at: float = 0.0,
+        timeline: SimTimeline | None = None,
+    ) -> AsyncHandle:
+        """Nonblocking :meth:`allgather` (see :meth:`iallreduce_parts`)."""
+        return self._nonblocking(
+            self.allgather, payloads, op="allgather",
+            ready_at=ready_at, timeline=timeline,
+        )
+
+    def _nonblocking(
+        self,
+        collective,
+        payloads: list[Payload],
+        *,
+        op: str,
+        ready_at: float,
+        timeline: SimTimeline | None,
+    ) -> AsyncHandle:
+        """Run a blocking collective, scheduling its cost on a timeline."""
+        seconds_before = self.record.simulated_seconds
+        result = collective(payloads)
+        seconds = self.record.simulated_seconds - seconds_before
+        event = None
+        if timeline is not None:
+            event = timeline.schedule(
+                NETWORK, seconds, not_before=ready_at, name=op,
+            )
+        return AsyncHandle(result, event)
 
     def sparse_allreduce(
         self, tensors: list[np.ndarray], block_size: int = 256

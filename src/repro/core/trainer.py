@@ -32,7 +32,8 @@ from typing import Any, Callable, Iterable, Protocol
 
 import numpy as np
 
-from repro.comm.collectives import Communicator
+from repro.comm.collectives import AsyncHandle, Communicator
+from repro.comm.timeline import COMPUTE, KERNEL, NETWORK, SimTimeline
 from repro.core.api import (
     CompressedTensor,
     Compressor,
@@ -107,6 +108,8 @@ class TrainingReport:
         "iterations", "samples_processed", "sim_comm_seconds",
         "sim_compute_seconds", "sim_compression_seconds",
         "measured_compression_seconds", "bytes_per_worker",
+        "sim_makespan_seconds", "sim_exposed_comm_seconds",
+        "sim_hidden_comm_seconds",
     )
 
     iterations = _MetricField(
@@ -137,6 +140,19 @@ class TrainingReport:
         "train_bytes_per_worker_total", "bytes",
         "Per-worker bytes placed on the wire during training.",
     )
+    sim_makespan_seconds = _MetricField(
+        "train_sim_makespan_seconds_total", "seconds",
+        "Event-timeline makespan of overlapped iterations (0 when the "
+        "sequential exchange is used).",
+    )
+    sim_exposed_comm_seconds = _MetricField(
+        "train_sim_exposed_comm_seconds_total", "seconds",
+        "Simulated communication left exposed on the critical path.",
+    )
+    sim_hidden_comm_seconds = _MetricField(
+        "train_sim_hidden_comm_seconds_total", "seconds",
+        "Simulated communication hidden behind compute/kernel events.",
+    )
 
     def __init__(
         self,
@@ -151,6 +167,9 @@ class TrainingReport:
         sim_compression_seconds: float = 0.0,
         measured_compression_seconds: float = 0.0,
         bytes_per_worker: float = 0.0,
+        sim_makespan_seconds: float = 0.0,
+        sim_exposed_comm_seconds: float = 0.0,
+        sim_hidden_comm_seconds: float = 0.0,
         metrics: MetricsRegistry | None = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -169,6 +188,9 @@ class TrainingReport:
         self.sim_compression_seconds = sim_compression_seconds
         self.measured_compression_seconds = measured_compression_seconds
         self.bytes_per_worker = bytes_per_worker
+        self.sim_makespan_seconds = sim_makespan_seconds
+        self.sim_exposed_comm_seconds = sim_exposed_comm_seconds
+        self.sim_hidden_comm_seconds = sim_hidden_comm_seconds
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TrainingReport):
@@ -186,12 +208,29 @@ class TrainingReport:
 
     @property
     def sim_total_seconds(self) -> float:
-        """Simulated wall-clock: compute + communication + compression."""
+        """Simulated wall-clock for the run.
+
+        Sequential runs sum the three phase totals (the phases really do
+        serialize).  Overlapped runs report the accumulated event-graph
+        makespan instead — phases ran concurrently, so the sum would
+        overstate iteration time.
+        """
+        makespan = self.sim_makespan_seconds
+        if makespan > 0:
+            return makespan
         return (
             self.sim_comm_seconds
             + self.sim_compute_seconds
             + self.sim_compression_seconds
         )
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of simulated communication hidden behind other work."""
+        total = self.sim_hidden_comm_seconds + self.sim_exposed_comm_seconds
+        if total <= 0:
+            return 0.0
+        return self.sim_hidden_comm_seconds / total
 
     @property
     def bytes_per_worker_per_iteration(self) -> float:
@@ -251,6 +290,25 @@ class DistributedTrainer:
         when the compressor ships a fused kernel
         (:attr:`Compressor.fused_kernel`) and every rank's memory
         supports fused updates.  See ``docs/PERFORMANCE.md``.
+    overlap:
+        When True, run the DDP-style overlapped exchange: tensors are
+        bucketed in first-iteration gradient-ready order, each bucket's
+        compress + nonblocking collective is fired as soon as its last
+        gradient is ready (on a per-iteration
+        :class:`~repro.comm.timeline.SimTimeline`), and all handles are
+        drained before ``apply_update``.  Overlap reorders *time*, not
+        math: aggregated gradients are bitwise identical to the
+        sequential path for deterministic compressors (see
+        ``bucket_order`` for stochastic ones).  ``fusion_mb`` still sets
+        the bucket budget; with ``fusion_mb=0`` every tensor gets its
+        own bucket.
+    bucket_order:
+        ``"ready"`` (default) buckets tensors in gradient-ready order —
+        the overlap-optimal layout.  Stochastic compressors consume
+        their random stream in tensor-compression order, so reordering
+        changes their draws; ``"declaration"`` keeps declaration-order
+        buckets (less overlap, but bitwise-equal random streams with
+        the sequential path).
     tracer:
         A :class:`~repro.telemetry.tracing.Tracer` to record phase spans
         and detailed metrics into; the default no-op tracer keeps the
@@ -274,11 +332,18 @@ class DistributedTrainer:
         tracer=None,
         metrics: MetricsRegistry | None = None,
         fusion_mb: float = 0.0,
+        overlap: bool = False,
+        bucket_order: str = "ready",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if fusion_mb < 0:
             raise ValueError(f"fusion_mb must be >= 0, got {fusion_mb}")
+        if bucket_order not in ("ready", "declaration"):
+            raise ValueError(
+                f"bucket_order must be 'ready' or 'declaration', "
+                f"got {bucket_order!r}"
+            )
         self.task = task
         self.n_workers = int(n_workers)
         self.comm = (
@@ -320,6 +385,11 @@ class DistributedTrainer:
         self._fusion_max_bytes = int(self.fusion_mb * (1 << 20))
         self._fusion_plan: FusionPlan | None = None
         self._scratch = ScratchPool()
+        self.overlap = bool(overlap)
+        self.bucket_order = bucket_order
+        self._overlap_plan: FusionPlan | None = None
+        self._ready_fraction: dict[str, float] = {}
+        self._sim_epoch = 0.0  # cumulative makespan: span sim offsets
         self.report = TrainingReport(metrics=self.metrics)
 
     # ------------------------------------------------------------------
@@ -334,7 +404,8 @@ class DistributedTrainer:
         losses = []
         grads_per_rank: list[dict[str, np.ndarray]] = []
         n_samples = 0
-        with tracer.span("iteration", iteration=self.report.iterations):
+        with tracer.span("iteration",
+                         iteration=self.report.iterations) as iter_span:
             compute_span = None
             for rank, (inputs, targets) in enumerate(batches):
                 with tracer.span("compute", rank=rank) as span:
@@ -350,7 +421,17 @@ class DistributedTrainer:
                 losses.append(loss)
                 grads_per_rank.append(grads)
                 n_samples += _batch_size(inputs)
-            aggregated = self._exchange(grads_per_rank)
+            sim_compute = 0.0
+            if self.perf_model is not None:
+                sim_compute = self.perf_model.compute_seconds(
+                    n_samples // self.n_workers
+                )  # ranks compute in parallel: charge one rank's batch
+            if self.overlap:
+                aggregated = self._exchange_overlapped(
+                    grads_per_rank, sim_compute, compute_span, iter_span
+                )
+            else:
+                aggregated = self._exchange(grads_per_rank)
             if self.check_finite:
                 for name, grad in aggregated.items():
                     if not np.all(np.isfinite(grad)):
@@ -365,13 +446,13 @@ class DistributedTrainer:
         self.report.iterations += 1
         self.report.samples_processed += n_samples
         if self.perf_model is not None:
-            sim_compute = self.perf_model.compute_seconds(
-                n_samples // self.n_workers
-            )  # ranks compute in parallel: charge one rank's batch
             self.report.sim_compute_seconds += sim_compute
-            # Simulated time is charged once per parallel phase, on the
-            # rank-0 span (the modeled cluster runs ranks concurrently).
-            compute_span.add_sim(sim_compute)
+            if not self.overlap:
+                # Simulated time is charged once per parallel phase, on
+                # the rank-0 span (the modeled cluster runs ranks
+                # concurrently).  The overlapped exchange already placed
+                # the compute window on the span.
+                compute_span.add_sim(sim_compute)
         return mean_loss
 
     def _exchange(
@@ -485,9 +566,29 @@ class DistributedTrainer:
         aggregated: dict[str, np.ndarray],
     ) -> None:
         """Compensate, compress, communicate and aggregate one bucket."""
+        kernel_start = time.perf_counter()
+        compressed, first_compress_span = self._compress_bucket(
+            bucket, grads_per_rank, use_kernel
+        )
+        self._communicate_bucket(bucket, compressed, aggregated)
+        self.report.measured_compression_seconds += (
+            time.perf_counter() - kernel_start
+        )
+        if self.perf_model is not None:
+            sim_kernel = self._bucket_sim_kernel(bucket, compressed, use_kernel)
+            self.report.sim_compression_seconds += sim_kernel
+            if first_compress_span is not None:
+                first_compress_span.add_sim(sim_kernel)
+
+    def _compress_bucket(
+        self,
+        bucket: FusionBucket,
+        grads_per_rank: list[dict[str, np.ndarray]],
+        use_kernel: bool,
+    ) -> tuple[list[CompressedTensor], object]:
+        """Compensate, compress and run ψ for one bucket on every rank."""
         tracer = self.tracer
         traced = tracer.enabled
-        decoder = self.compressors[0]
         self.metrics.counter(
             "fusion_buckets_total",
             help="fusion buckets communicated",
@@ -496,7 +597,6 @@ class DistributedTrainer:
             "fusion_bucket_bytes", unit="bytes",
             help="flat float32 size of each communicated fusion bucket",
         ).observe(float(bucket.nbytes))
-        kernel_start = time.perf_counter()
         compressed: list[CompressedTensor] = []
         first_compress_span = None
         for rank in range(self.n_workers):
@@ -543,25 +643,209 @@ class DistributedTrainer:
                     first_compress_span = span
                 self._record_fused_compression(span, bucket, packed)
             compressed.append(packed)
-        self._communicate_bucket(bucket, compressed, aggregated)
-        self.report.measured_compression_seconds += (
-            time.perf_counter() - kernel_start
+        return compressed, first_compress_span
+
+    def _bucket_sim_kernel(
+        self,
+        bucket: FusionBucket,
+        compressed: list[CompressedTensor],
+        use_kernel: bool,
+    ) -> float:
+        """Simulated compress+decompress kernel time of one bucket."""
+        decoder = self.compressors[0]
+        if use_kernel and not isinstance(compressed[0].ctx, FusedConcatCtx):
+            # One batched kernel launch covers the whole bucket.
+            return self.perf_model.compression_seconds(
+                decoder.name, bucket.numel
+            )
+        return sum(
+            self.perf_model.compression_seconds(decoder.name, seg.size)
+            for seg in bucket.segments
         )
-        if self.perf_model is not None:
-            if use_kernel and not isinstance(compressed[0].ctx,
-                                             FusedConcatCtx):
-                # One batched kernel launch covers the whole bucket.
-                sim_kernel = self.perf_model.compression_seconds(
-                    decoder.name, bucket.numel
+
+    # -- overlapped (DDP-style) exchange -------------------------------
+
+    def _exchange_overlapped(
+        self,
+        grads_per_rank: list[dict[str, np.ndarray]],
+        sim_compute: float,
+        compute_span,
+        iter_span,
+    ) -> dict[str, np.ndarray]:
+        """Bucketed exchange with communication fired during backprop.
+
+        The math is exactly the fused exchange's — same compensate /
+        compress / ψ / collective / decompress / aggregate per bucket —
+        but *when* each collective runs on the simulated clock changes:
+        a bucket's compress kernel is scheduled the moment its last
+        gradient materializes inside the backward window, and its
+        nonblocking collective queues on the network resource right
+        after.  The iteration's simulated time is the timeline makespan;
+        the network occupancy is split exactly into hidden and exposed
+        parts.
+        """
+        grads0 = grads_per_rank[0]
+        plan = self._ensure_overlap_plan(grads0)
+        tracer = self.tracer
+        record = self.comm.record
+        comm_before = record.simulated_seconds
+        bytes_before = record.bytes_sent_per_worker
+        timeline = SimTimeline()
+        epoch = self._sim_epoch
+        if sim_compute > 0:
+            timeline.schedule(COMPUTE, sim_compute, name="forward_backward")
+            compute_span.set_sim_window(epoch, epoch + sim_compute)
+        backward_fraction = getattr(
+            self.perf_model, "backward_fraction", 2.0 / 3.0
+        )
+        forward_end = sim_compute * (1.0 - backward_fraction)
+        backward_seconds = sim_compute - forward_end
+        use_kernel = self.compressors[0].fused_kernel and all(
+            memory.supports_fused_update for memory in self.memories
+        )
+        strategy = self.compressors[0].communication
+        if strategy not in ("allreduce", "allgather", "broadcast"):
+            raise ValueError(f"unknown communication strategy {strategy!r}")
+        op_name = "allreduce" if strategy == "allreduce" else "allgather"
+        aggregated: dict[str, np.ndarray] = {}
+        pending: list[tuple[FusionBucket, list[CompressedTensor],
+                            AsyncHandle]] = []
+        for bucket in plan.buckets:
+            # The bucket is ready when its *last* gradient materializes;
+            # ready times interpolate the backward window by cumulative
+            # parameter volume in gradient-ready order.
+            ready_frac = max(
+                self._ready_fraction.get(seg.name, 1.0)
+                for seg in bucket.segments
+            )
+            ready_at = forward_end + backward_seconds * ready_frac
+            kernel_start = time.perf_counter()
+            compressed, first_compress_span = self._compress_bucket(
+                bucket, grads_per_rank, use_kernel
+            )
+            self.report.measured_compression_seconds += (
+                time.perf_counter() - kernel_start
+            )
+            collective_ready = ready_at
+            if self.perf_model is not None:
+                sim_kernel = self._bucket_sim_kernel(
+                    bucket, compressed, use_kernel
+                )
+                self.report.sim_compression_seconds += sim_kernel
+                if sim_kernel > 0:
+                    kernel_event = timeline.schedule(
+                        KERNEL, sim_kernel, not_before=ready_at,
+                        name="compress", bucket=bucket.index,
+                    )
+                    collective_ready = kernel_event.end
+                    if first_compress_span is not None:
+                        first_compress_span.set_sim_window(
+                            epoch + kernel_event.start,
+                            epoch + kernel_event.end,
+                        )
+            with tracer.span("collective", bucket=bucket.index,
+                             op=op_name, fused=True, overlap=True) as span:
+                sent_before = record.bytes_sent_per_worker
+                if strategy == "allreduce":
+                    handle = self.comm.iallreduce_parts(
+                        [c.payload for c in compressed],
+                        ready_at=collective_ready, timeline=timeline,
+                    )
+                else:
+                    handle = self.comm.iallgather(
+                        [c.payload for c in compressed],
+                        ready_at=collective_ready, timeline=timeline,
+                    )
+                span.set(
+                    bytes_per_worker=record.bytes_sent_per_worker - sent_before
+                )
+                if handle.event is not None:
+                    span.set_sim_window(
+                        epoch + handle.event.start, epoch + handle.event.end
+                    )
+            pending.append((bucket, compressed, handle))
+        # Drain: every handle completes before apply_update.
+        drain_start = time.perf_counter()
+        for bucket, compressed, handle in pending:
+            result = handle.wait()
+            if strategy == "allreduce":
+                self._finish_bucket_allreduce(
+                    bucket, compressed, result, aggregated
                 )
             else:
-                sim_kernel = sum(
-                    self.perf_model.compression_seconds(decoder.name, seg.size)
-                    for seg in bucket.segments
-                )
-            self.report.sim_compression_seconds += sim_kernel
-            if first_compress_span is not None:
-                first_compress_span.add_sim(sim_kernel)
+                self._finish_bucket_allgather(bucket, compressed, aggregated)
+        self.report.measured_compression_seconds += (
+            time.perf_counter() - drain_start
+        )
+        makespan = timeline.makespan
+        stats = timeline.overlap_stats(NETWORK)
+        self.report.sim_comm_seconds += record.simulated_seconds - comm_before
+        self.report.bytes_per_worker += (
+            record.bytes_sent_per_worker - bytes_before
+        )
+        self.report.sim_makespan_seconds += makespan
+        self.report.sim_exposed_comm_seconds += stats.exposed_comm_seconds
+        self.report.sim_hidden_comm_seconds += stats.hidden_comm_seconds
+        iter_span.set_sim_window(epoch, epoch + makespan)
+        self._sim_epoch += makespan
+        if self.tracer.enabled:
+            self.metrics.gauge(
+                "train_overlap_fraction",
+                help="fraction of simulated comm hidden behind other work",
+            ).set(self.report.overlap_fraction)
+        return aggregated
+
+    def _ensure_overlap_plan(
+        self, grads0: dict[str, np.ndarray]
+    ) -> FusionPlan:
+        """Build (or reuse) the overlap bucket plan and ready fractions.
+
+        Like DDP, the bucket assignment is fixed from the first
+        iteration's gradient-ready order and reused while the gradient
+        layout is stable.  ``fusion_mb=0`` maps to one bucket per tensor
+        (``max_bytes=1``: any tensor overflows the budget alone).
+        """
+        plan = self._overlap_plan
+        if plan is not None and plan.matches(grads0):
+            return plan
+        ready_names = self._gradient_ready_names(grads0)
+        order = (
+            ready_names if self.bucket_order == "ready" else list(grads0)
+        )
+        max_bytes = self._fusion_max_bytes if self._fusion_max_bytes > 0 else 1
+        plan = FusionPlan(
+            [(name, np.asarray(grads0[name]).shape) for name in order],
+            max_bytes,
+        )
+        self._overlap_plan = plan
+        self._scratch.clear()
+        sizes = {
+            name: int(np.asarray(grad).size) for name, grad in grads0.items()
+        }
+        total = sum(sizes.values())
+        self._ready_fraction = {}
+        cumulative = 0
+        for name in ready_names:
+            cumulative += sizes[name]
+            self._ready_fraction[name] = (
+                cumulative / total if total > 0 else 1.0
+            )
+        return plan
+
+    def _gradient_ready_names(
+        self, grads0: dict[str, np.ndarray]
+    ) -> list[str]:
+        """Gradient names in ready order, falling back to reverse decl."""
+        order_fn = getattr(self.task, "gradient_ready_order", None)
+        ready = order_fn() if callable(order_fn) else None
+        if ready:
+            names = [name for name in ready if name in grads0]
+            seen = set(names)
+            names += [name for name in grads0 if name not in seen]
+            return names
+        # Without ready events, reverse declaration order approximates
+        # the backward pass (last layer's gradients materialize first).
+        return list(reversed(list(grads0)))
 
     def _fused_memory_update(
         self,
@@ -604,20 +888,9 @@ class DistributedTrainer:
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before
                 )
-            summed = CompressedTensor(payload=summed_parts,
-                                      ctx=compressed[0].ctx)
-            with tracer.span("decompress", bucket=bucket.index):
-                flat = decoder.decompress_fused(
-                    summed,
-                    out=self._scratch.take(("reduce", bucket.index),
-                                           bucket.numel),
-                )
-            with tracer.span("aggregate", bucket=bucket.index):
-                mean_flat = flat / self.n_workers
-                for seg in bucket.segments:
-                    aggregated[seg.name] = (
-                        mean_flat[seg.offset:seg.end].reshape(seg.shape)
-                    )
+            self._finish_bucket_allreduce(
+                bucket, compressed, summed_parts, aggregated
+            )
             return
         if strategy in ("allgather", "broadcast"):
             with tracer.span("collective", bucket=bucket.index,
@@ -629,34 +902,70 @@ class DistributedTrainer:
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before
                 )
-            with tracer.span("decompress", bucket=bucket.index,
-                             ranks=self.n_workers):
-                flats = [
-                    decoder.decompress_fused(
-                        c,
-                        out=self._scratch.take(
-                            ("gather", rank, bucket.index), bucket.numel
-                        ),
-                    )
-                    for rank, c in enumerate(compressed)
-                ]
-            with tracer.span("aggregate", bucket=bucket.index):
-                if type(decoder).aggregate is Compressor.aggregate:
-                    # Default Agg is an elementwise mean: one bucket-level
-                    # pass, then per-tensor views of the result.
-                    mean_flat = np.mean(np.stack(flats), axis=0)
-                    for seg in bucket.segments:
-                        aggregated[seg.name] = (
-                            mean_flat[seg.offset:seg.end].reshape(seg.shape)
-                        )
-                else:
-                    for seg in bucket.segments:
-                        aggregated[seg.name] = decoder.aggregate([
-                            flat[seg.offset:seg.end].reshape(seg.shape)
-                            for flat in flats
-                        ])
+            self._finish_bucket_allgather(bucket, compressed, aggregated)
             return
         raise ValueError(f"unknown communication strategy {strategy!r}")
+
+    def _finish_bucket_allreduce(
+        self,
+        bucket: FusionBucket,
+        compressed: list[CompressedTensor],
+        summed_parts: list[np.ndarray],
+        aggregated: dict[str, np.ndarray],
+    ) -> None:
+        """Decompress + aggregate a bucket's Allreduce result."""
+        decoder = self.compressors[0]
+        tracer = self.tracer
+        summed = CompressedTensor(payload=summed_parts,
+                                  ctx=compressed[0].ctx)
+        with tracer.span("decompress", bucket=bucket.index):
+            flat = decoder.decompress_fused(
+                summed,
+                out=self._scratch.take(("reduce", bucket.index),
+                                       bucket.numel),
+            )
+        with tracer.span("aggregate", bucket=bucket.index):
+            mean_flat = flat / self.n_workers
+            for seg in bucket.segments:
+                aggregated[seg.name] = (
+                    mean_flat[seg.offset:seg.end].reshape(seg.shape)
+                )
+
+    def _finish_bucket_allgather(
+        self,
+        bucket: FusionBucket,
+        compressed: list[CompressedTensor],
+        aggregated: dict[str, np.ndarray],
+    ) -> None:
+        """Decompress every rank's bucket payload and aggregate."""
+        decoder = self.compressors[0]
+        tracer = self.tracer
+        with tracer.span("decompress", bucket=bucket.index,
+                         ranks=self.n_workers):
+            flats = [
+                decoder.decompress_fused(
+                    c,
+                    out=self._scratch.take(
+                        ("gather", rank, bucket.index), bucket.numel
+                    ),
+                )
+                for rank, c in enumerate(compressed)
+            ]
+        with tracer.span("aggregate", bucket=bucket.index):
+            if type(decoder).aggregate is Compressor.aggregate:
+                # Default Agg is an elementwise mean: one bucket-level
+                # pass, then per-tensor views of the result.
+                mean_flat = np.mean(np.stack(flats), axis=0)
+                for seg in bucket.segments:
+                    aggregated[seg.name] = (
+                        mean_flat[seg.offset:seg.end].reshape(seg.shape)
+                    )
+            else:
+                for seg in bucket.segments:
+                    aggregated[seg.name] = decoder.aggregate([
+                        flat[seg.offset:seg.end].reshape(seg.shape)
+                        for flat in flats
+                    ])
 
     def _record_fused_compression(
         self, span, bucket: FusionBucket, packed: CompressedTensor

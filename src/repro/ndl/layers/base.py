@@ -89,6 +89,21 @@ class Module:
             module.training = False
         return self
 
+    def register_grad_ready_hook(self, hook) -> "list":
+        """Register ``hook(name, param, grad)`` on every parameter.
+
+        The hook fires on each backward accumulation into a parameter;
+        the *last* firing per parameter marks its gradient as final
+        (gradient-ready).  Returns the per-parameter removers.
+        """
+        removers = []
+        for name, param in self.named_parameters():
+            def tensor_hook(tensor, grad, _name=name):
+                hook(_name, tensor, grad)
+
+            removers.append(param.register_grad_hook(tensor_hook))
+        return removers
+
     def num_parameters(self) -> int:
         """Total trainable scalar count (Table II's 'Training parameters')."""
         return sum(p.data.size for p in self.parameters())

@@ -4,6 +4,12 @@
 protocol: ``forward_backward`` runs one mini-batch through the model and
 returns the per-tensor gradients; ``apply_update`` pushes the aggregated
 gradient through the optimizer (Algorithm 1 line 15).
+
+The task also observes *when* each parameter's gradient materializes
+during the backward pass (via :meth:`repro.ndl.tensor.Tensor.register_grad_hook`)
+and exposes the resulting order through :meth:`gradient_ready_order` —
+the signal the overlapping trainer uses to bucket tensors DDP-style in
+approximately reverse layer order.
 """
 
 from __future__ import annotations
@@ -37,12 +43,30 @@ class ModelTask:
         self.optimizer = optimizer
         self.loss_fn = loss_fn
         self.forward_fn = forward_fn
+        # Gradient-ready observation: each hook firing overwrites the
+        # parameter's sequence number, so after backward the surviving
+        # value is the *last* accumulation — the point the gradient is
+        # final.  Weight-tied/recurrent parameters accumulate many
+        # times; last write wins.
+        self._ready_seq: dict[str, int] = {}
+        self._ready_tick = 0
+        for name, param in model.named_parameters():
+            param.register_grad_hook(self._ready_hook(name))
+
+    def _ready_hook(self, name: str):
+        def hook(tensor: Tensor, grad: np.ndarray) -> None:
+            self._ready_seq[name] = self._ready_tick
+            self._ready_tick += 1
+
+        return hook
 
     def forward_backward(
         self, inputs: np.ndarray, targets: np.ndarray
     ) -> tuple[float, dict[str, np.ndarray]]:
         """Run one mini-batch and return (loss, per-tensor gradients)."""
         self.model.zero_grad()
+        self._ready_seq.clear()
+        self._ready_tick = 0
         if self.forward_fn is not None:
             outputs = self.forward_fn(self.model, inputs)
         else:
@@ -58,6 +82,18 @@ class ModelTask:
             for name, param in self.model.named_parameters()
         }
         return float(loss.item()), grads
+
+    def gradient_ready_order(self) -> list[str] | None:
+        """Parameter names ordered by when their gradient became final.
+
+        Taken from the most recent backward pass; ``None`` before any
+        backward has run.  Parameters that received no gradient (e.g.
+        unused embedding rows' owners) are absent — callers should
+        append them in declaration order.
+        """
+        if not self._ready_seq:
+            return None
+        return sorted(self._ready_seq, key=self._ready_seq.__getitem__)
 
     def apply_update(self, gradients: dict[str, np.ndarray]) -> None:
         """Push the aggregated gradient through the optimizer."""

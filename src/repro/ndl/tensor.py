@@ -59,7 +59,8 @@ class Tensor:
         Whether to accumulate gradients into :attr:`grad` during backward.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn",
+                 "_grad_hooks")
 
     def __init__(self, data, requires_grad: bool = False):
         self.data = np.asarray(data, dtype=np.float32)
@@ -67,6 +68,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: tuple[Tensor, ...] = ()
         self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._grad_hooks: list[Callable[["Tensor", np.ndarray], None]] | None = None
 
     # -- graph construction --------------------------------------------------
 
@@ -91,6 +93,29 @@ class Tensor:
             self.grad = grad.copy()
         else:
             self.grad += grad
+        if self._grad_hooks:
+            for hook in self._grad_hooks:
+                hook(self, self.grad)
+
+    def register_grad_hook(
+        self, hook: Callable[["Tensor", np.ndarray], None]
+    ) -> Callable[[], None]:
+        """Call ``hook(tensor, grad)`` on every backward accumulation.
+
+        A parameter's gradient is *final* at its last accumulation of a
+        backward pass, so hook consumers interested in gradient-ready
+        events (e.g. an overlapping trainer) should keep the latest
+        firing per tensor.  Returns a zero-argument remover.
+        """
+        if self._grad_hooks is None:
+            self._grad_hooks = []
+        self._grad_hooks.append(hook)
+
+        def remove() -> None:
+            if self._grad_hooks and hook in self._grad_hooks:
+                self._grad_hooks.remove(hook)
+
+        return remove
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Back-propagate from this tensor (default seed: ones).

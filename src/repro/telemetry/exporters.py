@@ -94,13 +94,20 @@ def read_events(path: str | Path) -> list[dict]:
 # -- Chrome trace_event ----------------------------------------------------
 
 
-def chrome_trace(spans_or_events: Iterable) -> dict:
+def chrome_trace(spans_or_events: Iterable, clock: str = "wall") -> dict:
     """Convert spans (or JSONL span events) to a ``trace_event`` dict.
 
     Each span becomes a complete ("X") event; ``ts``/``dur`` are
     microseconds as the format requires; the rank attribute (when
     present) selects the thread track so per-rank phases stack visually.
+
+    ``clock="sim"`` renders the *simulated* timeline instead: only spans
+    carrying a simulated window (``sim_ts``, set by overlap-aware runs)
+    are emitted, positioned at their event-timeline offsets — phases
+    that overlapped in simulated time visibly overlap in the trace.
     """
+    if clock not in ("wall", "sim"):
+        raise ValueError(f"clock must be 'wall' or 'sim', got {clock!r}")
     trace_events = []
     for item in spans_or_events:
         event = item if isinstance(item, dict) else item.to_event()
@@ -110,12 +117,20 @@ def chrome_trace(spans_or_events: Iterable) -> dict:
         args = dict(attrs)
         if event.get("sim"):
             args["sim_seconds"] = event["sim"]
+        if clock == "sim":
+            sim_ts = event.get("sim_ts")
+            if sim_ts is None:
+                continue
+            ts, dur = float(sim_ts), float(event.get("sim", 0.0))
+            args["wall_seconds"] = event["dur"]
+        else:
+            ts, dur = event["ts"], event["dur"]
         trace_events.append({
             "name": event["name"],
             "cat": "repro",
             "ph": "X",
-            "ts": event["ts"] * 1e6,
-            "dur": event["dur"] * 1e6,
+            "ts": ts * 1e6,
+            "dur": dur * 1e6,
             "pid": 0,
             "tid": int(attrs.get("rank", 0)),
             "args": args,
@@ -123,13 +138,14 @@ def chrome_trace(spans_or_events: Iterable) -> dict:
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.telemetry"},
+        "otherData": {"producer": "repro.telemetry", "clock": clock},
     }
 
 
-def write_chrome_trace(path: str | Path, spans_or_events: Iterable) -> int:
+def write_chrome_trace(path: str | Path, spans_or_events: Iterable,
+                       clock: str = "wall") -> int:
     """Write ``trace_event`` JSON; returns the number of trace events."""
-    trace = chrome_trace(spans_or_events)
+    trace = chrome_trace(spans_or_events, clock=clock)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle)
     return len(trace["traceEvents"])

@@ -113,6 +113,21 @@ class TraceSummary:
         return sum(self.phases[p].wall_seconds
                    for p in LEAF_PHASES if p in self.phases)
 
+    @property
+    def makespan_seconds(self) -> float:
+        """Event-timeline makespan (0 when the run did not overlap)."""
+        return self.counter("train_sim_makespan_seconds_total")
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of simulated communication hidden under other phases."""
+        hidden = self.counter("train_sim_hidden_comm_seconds_total")
+        exposed = self.counter("train_sim_exposed_comm_seconds_total")
+        total = hidden + exposed
+        if total <= 0:
+            return 0.0
+        return hidden / total
+
     # -- rendering ----------------------------------------------------------
 
     def phase_rows(self) -> list[list[object]]:
@@ -155,6 +170,18 @@ class TraceSummary:
             ["iterations", self.iterations],
             ["simulated seconds (leaf phases)",
              f"{self.total_sim_seconds:.6f}"],
+        ]
+        makespan = self.makespan_seconds
+        if makespan > 0:
+            totals += [
+                ["simulated makespan seconds", f"{makespan:.6f}"],
+                ["exposed comm seconds",
+                 f"{self.counter('train_sim_exposed_comm_seconds_total'):.6f}"],
+                ["hidden comm seconds",
+                 f"{self.counter('train_sim_hidden_comm_seconds_total'):.6f}"],
+                ["overlap fraction", f"{100.0 * self.overlap_fraction:.1f}%"],
+            ]
+        totals += [
             ["bytes on wire / worker",
              f"{self.counter('train_bytes_per_worker_total', default=self.counter('comm_bytes_per_worker_total')):,.0f}"],
             ["collective ops",
@@ -165,6 +192,14 @@ class TraceSummary:
         sections.append("")
         sections.append("Totals")
         sections.append(format_table(["quantity", "value"], totals))
+        if makespan > 0 and self.total_sim_seconds > makespan:
+            sections.append(
+                "note: overlap active — leaf-phase sim seconds "
+                f"({self.total_sim_seconds:.6f}) exceed the iteration "
+                f"makespan ({makespan:.6f}) because phases ran "
+                "concurrently; sim shares above are of serialized phase "
+                "time, not of elapsed simulated time."
+            )
         op_bytes = self.counters_by_label(
             "comm_op_bytes_per_worker_total", "op"
         )

@@ -27,8 +27,8 @@ from typing import Any
 class Span:
     """One timed phase; usable as a context manager."""
 
-    __slots__ = ("name", "id", "parent_id", "ts", "dur", "sim", "attrs",
-                 "_tracer", "_start")
+    __slots__ = ("name", "id", "parent_id", "ts", "dur", "sim", "sim_ts",
+                 "attrs", "_tracer", "_start")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: int | None, attrs: dict[str, Any]):
@@ -38,6 +38,7 @@ class Span:
         self.ts = 0.0  # seconds since the tracer's epoch
         self.dur = 0.0  # measured wall seconds
         self.sim = 0.0  # simulated seconds
+        self.sim_ts: float | None = None  # simulated start offset (overlap)
         self.attrs = attrs
         self._tracer = tracer
         self._start = 0.0
@@ -52,6 +53,21 @@ class Span:
             raise ValueError("simulated seconds must be non-negative")
         self.sim += seconds
 
+    def set_sim_window(self, start: float, end: float) -> None:
+        """Place this span on the simulated clock (overlap-aware runs).
+
+        Sets :attr:`sim_ts` to ``start`` and *replaces* :attr:`sim` with
+        the window duration, so exporters can render true concurrency —
+        spans whose simulated windows intersect really did overlap on
+        the event timeline.
+        """
+        if start < 0 or end < start:
+            raise ValueError(
+                f"invalid sim window [{start}, {end}]: needs 0 <= start <= end"
+            )
+        self.sim_ts = start
+        self.sim = end - start
+
     def __enter__(self) -> "Span":
         self._tracer._push(self)
         self._start = time.perf_counter()
@@ -65,7 +81,7 @@ class Span:
 
     def to_event(self) -> dict[str, Any]:
         """The span's JSONL event dict."""
-        return {
+        event = {
             "type": "span",
             "id": self.id,
             "parent": self.parent_id,
@@ -75,6 +91,9 @@ class Span:
             "sim": self.sim,
             "attrs": self.attrs,
         }
+        if self.sim_ts is not None:
+            event["sim_ts"] = self.sim_ts
+        return event
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Span({self.name!r}, dur={self.dur:.6f}, "
@@ -143,12 +162,16 @@ class _NullSpan:
     ts = 0.0
     dur = 0.0
     sim = 0.0
+    sim_ts = None
     attrs: dict[str, Any] = {}
 
     def set(self, **attrs: Any) -> None:
         pass
 
     def add_sim(self, seconds: float) -> None:
+        pass
+
+    def set_sim_window(self, start: float, end: float) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":

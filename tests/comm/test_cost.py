@@ -95,6 +95,60 @@ class TestBroadcast:
             broadcast_time(-1, 2, NET, OPENMPI_TCP)
 
 
+class TestBoundaries:
+    """Single-worker and empty-parts edges of every cost function."""
+
+    def test_single_worker_pays_overhead_only_everywhere(self):
+        from repro.comm.cost import (
+            fused_allreduce_time, sparse_allreduce_time,
+        )
+
+        overhead = OPENMPI_TCP.per_op_overhead_s
+        assert ring_allreduce_time(1_000_000, 1, NET, OPENMPI_TCP) == overhead
+        assert fused_allreduce_time([10, 20], 1, NET, OPENMPI_TCP) == overhead
+        assert allgather_time([1_000_000], NET, OPENMPI_TCP) == overhead
+        assert sparse_allreduce_time(
+            1_000_000, 128, 1, NET, OPENMPI_TCP
+        ) == overhead
+        assert broadcast_time(1_000_000, 1, NET, OPENMPI_TCP) == overhead
+
+    def test_fused_allreduce_empty_parts_is_zero_byte_allreduce(self):
+        from repro.comm.cost import fused_allreduce_time
+
+        assert fused_allreduce_time([], 4, NET, OPENMPI_TCP) == (
+            ring_allreduce_time(0, 4, NET, OPENMPI_TCP)
+        )
+
+    def test_fused_allreduce_rejects_negative_part(self):
+        from repro.comm.cost import fused_allreduce_time
+
+        with pytest.raises(ValueError, match="non-negative"):
+            fused_allreduce_time([10, -1], 4, NET, OPENMPI_TCP)
+
+    def test_zero_bytes_still_costs_latency(self):
+        from repro.comm.cost import sparse_allreduce_time
+
+        overhead = OPENMPI_TCP.per_op_overhead_s
+        for seconds in (
+            ring_allreduce_time(0, 4, NET, OPENMPI_TCP),
+            allgather_time([0, 0, 0, 0], NET, OPENMPI_TCP),
+            sparse_allreduce_time(0, 0, 4, NET, OPENMPI_TCP),
+            broadcast_time(0, 4, NET, OPENMPI_TCP),
+        ):
+            # Latency-bound steps remain even with nothing to move.
+            assert seconds > overhead
+
+    def test_sparse_allreduce_rejects_invalid(self):
+        from repro.comm.cost import sparse_allreduce_time
+
+        with pytest.raises(ValueError, match="n_workers"):
+            sparse_allreduce_time(1, 1, 0, NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            sparse_allreduce_time(-1, 0, 2, NET, OPENMPI_TCP)
+        with pytest.raises(ValueError, match="non-negative"):
+            sparse_allreduce_time(0, -1, 2, NET, OPENMPI_TCP)
+
+
 class TestBackends:
     def test_nccl_requires_uniform_input(self):
         assert NCCL.requires_uniform_input and not NCCL.supports_sparse

@@ -1,0 +1,166 @@
+"""Overlapped (DDP-style) exchange: parity, timeline accounting, knobs."""
+
+import numpy as np
+import pytest
+
+from repro.bench.perf import PerfModel
+from repro.core import DistributedTrainer, create
+
+
+class MultiTensorTask:
+    """Quadratic bowl over several tensors of very different sizes.
+
+    Gradients are a deterministic function of the inputs, so two
+    trainers fed the same batches produce bitwise-identical gradient
+    streams — the precondition for the overlap-parity assertions.
+    """
+
+    SIZES = {"p0": 4096, "p1": 1024, "p2": 256}
+
+    def __init__(self, lr=0.05, seed=0):
+        rng = np.random.default_rng(seed)
+        self.params = {
+            name: np.zeros(n, dtype=np.float32)
+            for name, n in self.SIZES.items()
+        }
+        self.targets = {
+            name: rng.standard_normal(n).astype(np.float32)
+            for name, n in self.SIZES.items()
+        }
+        self.noise = {
+            name: rng.standard_normal(n).astype(np.float32)
+            for name, n in self.SIZES.items()
+        }
+        self.lr = lr
+
+    def forward_backward(self, inputs, targets):
+        scale = np.float32(np.asarray(inputs, dtype=np.float32)[0])
+        grads = {}
+        loss = 0.0
+        for name, param in self.params.items():
+            delta = param - self.targets[name]
+            grads[name] = (2 * delta + scale * self.noise[name]).astype(
+                np.float32
+            )
+            loss += float(np.sum(delta**2))
+        return loss, grads
+
+    def apply_update(self, grads):
+        for name, grad in grads.items():
+            self.params[name] -= self.lr * grad
+
+
+def _batches(step, n_workers=4, batch=8):
+    return [
+        (np.full(batch, 0.01 * (step * n_workers + rank + 1),
+                 dtype=np.float32), None)
+        for rank in range(n_workers)
+    ]
+
+
+def _run(compressor_name, overlap, *, bucket_order="ready", steps=4,
+         fusion_mb=0.0, perf=True, **params):
+    task = MultiTensorTask()
+    trainer = DistributedTrainer(
+        task,
+        create(compressor_name, **params),
+        n_workers=4,
+        perf_model=PerfModel(0.05, 8) if perf else None,
+        fusion_mb=fusion_mb,
+        overlap=overlap,
+        bucket_order=bucket_order,
+    )
+    for step in range(steps):
+        trainer.step(_batches(step))
+    return task, trainer
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("name", ["none", "topk", "efsignsgd"])
+    def test_deterministic_compressors_any_order(self, name):
+        sequential, _ = _run(name, overlap=False)
+        overlapped, _ = _run(name, overlap=True)
+        for key in sequential.params:
+            assert (sequential.params[key].tobytes()
+                    == overlapped.params[key].tobytes()), key
+
+    def test_stochastic_compressor_with_declaration_order(self):
+        # randomk consumes its random stream in tensor-compression
+        # order; declaration-order buckets keep the draws aligned with
+        # the sequential path.
+        sequential, _ = _run("randomk", overlap=False)
+        overlapped, _ = _run(
+            "randomk", overlap=True, bucket_order="declaration"
+        )
+        for key in sequential.params:
+            assert (sequential.params[key].tobytes()
+                    == overlapped.params[key].tobytes()), key
+
+    def test_parity_holds_with_fused_buckets(self):
+        sequential, _ = _run("topk", overlap=False, fusion_mb=0.004)
+        overlapped, _ = _run("topk", overlap=True, fusion_mb=0.004)
+        for key in sequential.params:
+            assert (sequential.params[key].tobytes()
+                    == overlapped.params[key].tobytes()), key
+
+
+class TestTimelineAccounting:
+    def test_makespan_never_exceeds_additive_sum(self):
+        _, trainer = _run("topk", overlap=True)
+        report = trainer.report
+        additive = (
+            report.sim_compute_seconds
+            + report.sim_compression_seconds
+            + report.sim_comm_seconds
+        )
+        assert 0.0 < report.sim_makespan_seconds <= additive + 1e-9
+
+    def test_exposed_plus_hidden_accounts_for_all_comm(self):
+        _, trainer = _run("none", overlap=True)
+        report = trainer.report
+        assert (
+            report.sim_exposed_comm_seconds + report.sim_hidden_comm_seconds
+            == pytest.approx(report.sim_comm_seconds)
+        )
+
+    def test_overlap_hides_comm_with_per_tensor_buckets(self):
+        _, trainer = _run("none", overlap=True)
+        assert trainer.report.sim_hidden_comm_seconds > 0.0
+        assert 0.0 < trainer.report.overlap_fraction <= 1.0
+
+    def test_without_perf_model_comm_is_fully_exposed(self):
+        # No compute events on the timeline: nothing to hide behind.
+        _, trainer = _run("none", overlap=True, perf=False)
+        report = trainer.report
+        assert report.sim_hidden_comm_seconds == 0.0
+        assert report.sim_exposed_comm_seconds == pytest.approx(
+            report.sim_comm_seconds
+        )
+        assert report.overlap_fraction == 0.0
+
+    def test_sequential_path_leaves_makespan_untouched(self):
+        _, trainer = _run("topk", overlap=False)
+        report = trainer.report
+        assert report.sim_makespan_seconds == 0.0
+        assert report.sim_hidden_comm_seconds == 0.0
+        assert report.sim_exposed_comm_seconds == 0.0
+        assert report.overlap_fraction == 0.0
+
+
+class TestKnobs:
+    def test_rejects_unknown_bucket_order(self):
+        task = MultiTensorTask()
+        with pytest.raises(ValueError, match="bucket_order"):
+            DistributedTrainer(
+                task, create("none"), n_workers=2,
+                overlap=True, bucket_order="alphabetical",
+            )
+
+    def test_allgather_strategy_runs_overlapped(self):
+        sequential, _ = _run("qsgd", overlap=False)
+        overlapped, trainer = _run("qsgd", overlap=True,
+                                   bucket_order="declaration")
+        for key in sequential.params:
+            assert (sequential.params[key].tobytes()
+                    == overlapped.params[key].tobytes()), key
+        assert trainer.report.sim_makespan_seconds > 0.0

@@ -1,0 +1,124 @@
+"""Gradient-ready hooks: tensor-level, module-level and ModelTask order."""
+
+import numpy as np
+
+from repro.ndl import SGD, Tensor
+from repro.ndl.layers import Linear, Sequential
+from repro.ndl.losses import softmax_cross_entropy
+from repro.ndl.task import ModelTask
+
+
+def _mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(4, 8, rng=rng),
+        Linear(8, 3, rng=rng),
+    )
+
+
+class TestTensorHook:
+    def test_hook_fires_with_accumulated_grad(self):
+        tensor = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        seen = []
+        tensor.register_grad_hook(lambda t, g: seen.append(g.copy()))
+        tensor._accumulate(np.ones(3, dtype=np.float32))
+        tensor._accumulate(np.ones(3, dtype=np.float32))
+        assert len(seen) == 2
+        np.testing.assert_array_equal(seen[0], np.ones(3))
+        # The second firing sees the *accumulated* gradient — the value
+        # that is final once backward stops touching this tensor.
+        np.testing.assert_array_equal(seen[1], 2 * np.ones(3))
+
+    def test_remover_stops_firing(self):
+        tensor = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        seen = []
+        remove = tensor.register_grad_hook(lambda t, g: seen.append(1))
+        tensor._accumulate(np.ones(2, dtype=np.float32))
+        remove()
+        tensor._accumulate(np.ones(2, dtype=np.float32))
+        assert len(seen) == 1
+        remove()  # idempotent
+
+    def test_multiple_hooks_all_fire(self):
+        tensor = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        seen = []
+        tensor.register_grad_hook(lambda t, g: seen.append("a"))
+        tensor.register_grad_hook(lambda t, g: seen.append("b"))
+        tensor._accumulate(np.ones(2, dtype=np.float32))
+        assert seen == ["a", "b"]
+
+
+class TestModuleHook:
+    def test_fires_per_parameter_with_names(self):
+        model = _mlp()
+        fired = []
+        model.register_grad_ready_hook(
+            lambda name, param, grad: fired.append(name)
+        )
+        x = np.random.default_rng(0).standard_normal((5, 4)).astype(
+            np.float32
+        )
+        loss = softmax_cross_entropy(
+            model(Tensor(x)), np.zeros(5, dtype=np.int64)
+        )
+        loss.backward()
+        # Every named parameter reported ready at least once.
+        assert set(fired) == {name for name, _ in model.named_parameters()}
+
+    def test_removers_detach_all_hooks(self):
+        model = _mlp()
+        fired = []
+        removers = model.register_grad_ready_hook(
+            lambda name, param, grad: fired.append(name)
+        )
+        for remove in removers:
+            remove()
+        x = np.random.default_rng(0).standard_normal((5, 4)).astype(
+            np.float32
+        )
+        softmax_cross_entropy(
+            model(Tensor(x)), np.zeros(5, dtype=np.int64)
+        ).backward()
+        assert fired == []
+
+
+class TestModelTaskReadyOrder:
+    def _task(self, seed=0):
+        model = _mlp(seed)
+        return ModelTask(
+            model, SGD(model.named_parameters(), lr=0.1),
+            softmax_cross_entropy,
+            forward_fn=lambda m, inputs: m(Tensor(inputs)),
+        ), model
+
+    def test_none_before_any_backward(self):
+        task, _ = self._task()
+        assert task.gradient_ready_order() is None
+
+    def test_order_is_roughly_reverse_declaration(self):
+        task, model = self._task()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        y = np.zeros(6, dtype=np.int64)
+        task.forward_backward(x, y)
+        order = task.gradient_ready_order()
+        names = [name for name, _ in model.named_parameters()]
+        assert sorted(order) == sorted(names)
+        # Backward reaches the last layer first: its parameters become
+        # ready before the first layer's.
+        last_layer = [n for n in names if n.startswith("layers.1.")]
+        first_layer = [n for n in names if n.startswith("layers.0.")]
+        assert last_layer and first_layer
+        assert max(order.index(n) for n in last_layer) < min(
+            order.index(n) for n in first_layer
+        )
+
+    def test_order_resets_each_backward(self):
+        task, _ = self._task()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        y = np.zeros(6, dtype=np.int64)
+        task.forward_backward(x, y)
+        first = task.gradient_ready_order()
+        task.forward_backward(x, y)
+        assert task.gradient_ready_order() == first

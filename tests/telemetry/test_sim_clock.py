@@ -1,0 +1,139 @@
+"""Simulated-clock windows: spans, chrome export and report totals."""
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, Tracer
+from repro.telemetry.exporters import chrome_trace
+from repro.telemetry.summary import TraceSummary
+
+
+class TestSimWindow:
+    def test_window_sets_offset_and_replaces_duration(self):
+        tracer = Tracer()
+        with tracer.span("collective") as span:
+            span.add_sim(99.0)  # accumulated sim is replaced by the window
+            span.set_sim_window(1.5, 2.25)
+        assert span.sim_ts == 1.5
+        assert span.sim == 0.75
+
+    def test_invalid_window_rejected(self):
+        tracer = Tracer()
+        with tracer.span("collective") as span:
+            with pytest.raises(ValueError, match="sim window"):
+                span.set_sim_window(-0.1, 1.0)
+            with pytest.raises(ValueError, match="sim window"):
+                span.set_sim_window(2.0, 1.0)
+
+    def test_event_carries_sim_ts_only_when_windowed(self):
+        tracer = Tracer()
+        with tracer.span("compute") as plain:
+            pass
+        with tracer.span("collective") as windowed:
+            windowed.set_sim_window(0.5, 1.5)
+        assert "sim_ts" not in plain.to_event()
+        assert windowed.to_event()["sim_ts"] == 0.5
+
+    def test_null_span_accepts_window(self):
+        with NULL_TRACER.span("collective") as span:
+            span.set_sim_window(0.0, 1.0)  # must stay a no-op
+        assert span.sim_ts is None
+
+
+def _span_event(name, *, dur=0.01, sim=0.0, sim_ts=None, rank=0):
+    event = {"type": "span", "name": name, "ts": 0.0, "dur": dur,
+             "sim": sim, "attrs": {"rank": rank}}
+    if sim_ts is not None:
+        event["sim_ts"] = sim_ts
+    return event
+
+
+class TestChromeSimClock:
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError, match="clock"):
+            chrome_trace([], clock="cpu")
+
+    def test_sim_clock_emits_only_windowed_spans(self):
+        events = [
+            _span_event("compute", sim=0.05, sim_ts=0.0),
+            _span_event("collective", sim=0.02, sim_ts=0.03),
+            _span_event("apply_update", sim=0.0),  # no window
+        ]
+        trace = chrome_trace(events, clock="sim")
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert names == ["compute", "collective"]
+        assert trace["otherData"]["clock"] == "sim"
+
+    def test_sim_clock_positions_at_timeline_offsets(self):
+        events = [_span_event("collective", dur=0.4, sim=0.02, sim_ts=0.03)]
+        (entry,) = chrome_trace(events, clock="sim")["traceEvents"]
+        assert entry["ts"] == pytest.approx(0.03 * 1e6)
+        assert entry["dur"] == pytest.approx(0.02 * 1e6)
+        # The measured wall duration survives as an annotation.
+        assert entry["args"]["wall_seconds"] == 0.4
+
+    def test_wall_clock_keeps_unwindowed_spans(self):
+        events = [
+            _span_event("compute", sim=0.05, sim_ts=0.0),
+            _span_event("apply_update"),
+        ]
+        trace = chrome_trace(events, clock="wall")
+        assert len(trace["traceEvents"]) == 2
+        assert trace["otherData"]["clock"] == "wall"
+
+
+def _counter(name, value):
+    return {"type": "counter", "name": name, "value": value}
+
+
+class TestReportOverlapTotals:
+    def _events(self, makespan, hidden, exposed, compute_sim, comm_sim):
+        return [
+            _span_event("iteration", sim=makespan, sim_ts=0.0),
+            _span_event("compute", sim=compute_sim, sim_ts=0.0),
+            _span_event("collective", sim=comm_sim, sim_ts=0.01),
+            _counter("train_sim_makespan_seconds_total", makespan),
+            _counter("train_sim_hidden_comm_seconds_total", hidden),
+            _counter("train_sim_exposed_comm_seconds_total", exposed),
+        ]
+
+    def test_overlap_counters_surface_in_totals(self):
+        summary = TraceSummary.from_events(self._events(
+            makespan=0.06, hidden=0.015, exposed=0.005,
+            compute_sim=0.05, comm_sim=0.02,
+        ))
+        assert summary.makespan_seconds == 0.06
+        assert summary.overlap_fraction == pytest.approx(0.75)
+        text = summary.format()
+        assert "simulated makespan seconds" in text
+        assert "hidden comm seconds" in text
+        assert "overlap fraction" in text
+        assert "75.0%" in text
+
+    def test_concurrent_phases_are_flagged_not_reported_past_100(self):
+        # Leaf sim (0.05 + 0.02) exceeds the makespan 0.06: phases ran
+        # concurrently, and the report must say so explicitly.
+        summary = TraceSummary.from_events(self._events(
+            makespan=0.06, hidden=0.015, exposed=0.005,
+            compute_sim=0.05, comm_sim=0.02,
+        ))
+        assert summary.total_sim_seconds > summary.makespan_seconds
+        assert "note: overlap active" in summary.format()
+
+    def test_no_overlap_rows_without_makespan(self):
+        summary = TraceSummary.from_events([
+            _span_event("compute", sim=0.05),
+            _span_event("collective", sim=0.02),
+        ])
+        assert summary.makespan_seconds == 0.0
+        assert summary.overlap_fraction == 0.0
+        text = summary.format()
+        assert "simulated makespan seconds" not in text
+        assert "note: overlap active" not in text
+
+    def test_no_note_when_makespan_covers_leaf_sim(self):
+        summary = TraceSummary.from_events(self._events(
+            makespan=0.10, hidden=0.0, exposed=0.02,
+            compute_sim=0.05, comm_sim=0.02,
+        ))
+        assert "simulated makespan seconds" in summary.format()
+        assert "note: overlap active" not in summary.format()
