@@ -43,13 +43,19 @@ def train_quality(
     tracer=None,
     fusion_mb: float = 0.0,
     overlap: bool = False,
+    faults: str | None = None,
+    recovery: str = "degrade",
+    checkpoint_every: int = 0,
+    straggler_policy: str = "wait",
 ) -> QualityResult:
     """Train one benchmark with one compressor; return best quality.
 
     ``overlap=True`` turns on the DDP-style overlapped exchange and
     attaches the benchmark's calibrated perf model so the event timeline
     has a compute phase to hide communication under; the parameter math
-    is unchanged either way.
+    is unchanged either way.  ``faults`` injects a deterministic fault
+    plan (spec grammar in ``docs/ROBUSTNESS.md``) and the remaining
+    knobs choose the trainer's recovery behaviour.
     """
     run = spec.build(n_workers=n_workers, seed=seed,
                      compressor_name=compressor_name)
@@ -69,6 +75,10 @@ def train_quality(
         fusion_mb=fusion_mb,
         perf_model=spec.make_perf_model() if overlap else None,
         overlap=overlap,
+        faults=faults,
+        recovery=recovery,
+        checkpoint_every=checkpoint_every,
+        straggler_policy=straggler_policy,
     )
     report = trainer.train(
         run.loader,

@@ -119,6 +119,10 @@ def cmd_train(args) -> int:
         tracer=tracer,
         fusion_mb=args.fusion_mb,
         overlap=args.overlap,
+        faults=args.faults,
+        recovery=args.recovery,
+        checkpoint_every=args.checkpoint_every,
+        straggler_policy=args.straggler_policy,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
@@ -130,6 +134,18 @@ def cmd_train(args) -> int:
     print(f"bytes/worker/iter: "
           f"{report.bytes_per_worker_per_iteration:,.0f}")
     print(f"simulated comm   : {report.sim_comm_seconds:.3f} s")
+    if args.faults:
+        metrics = report.metrics
+        injected = sum(
+            i.value for i in metrics.instruments()
+            if i.name == "faults_injected_total"
+        )
+        print(f"faults injected  : {injected:,.0f}")
+        print(f"retries          : "
+              f"{metrics.value('retries_total'):,.0f}")
+        print(f"degraded iters   : "
+              f"{metrics.value('degraded_iterations_total'):,.0f}")
+        print(f"recovery time    : {report.sim_recovery_seconds:.3f} s")
     if args.overlap:
         print(f"sim makespan     : {report.sim_makespan_seconds:.3f} s")
         print(f"exposed comm     : {report.sim_exposed_comm_seconds:.3f} s")
@@ -167,9 +183,11 @@ def _export_trace(args, tracer, report) -> None:
 
 
 def cmd_bench(args) -> int:
-    """Run a perf benchmark: fused-vs-unfused or overlap comparison."""
+    """Run a perf benchmark: fusion, overlap or fault-resilience."""
     if args.what == "overlap":
         return _bench_overlap(args)
+    if args.what == "faults":
+        return _bench_faults(args)
     from repro.bench.fusion_bench import run_fusion_bench, write_json
 
     result = run_fusion_bench(
@@ -215,6 +233,28 @@ def _bench_overlap(args) -> int:
         if failures:
             for failure in failures:
                 print(f"OVERLAP CHECK FAILED: {failure}")
+            return 1
+    return 0
+
+
+def _bench_faults(args) -> int:
+    """Run the fault-scenario resilience grid."""
+    from repro.bench.faults_bench import run_faults_bench, write_json
+
+    result = run_faults_bench(
+        n_workers=args.workers,
+        iterations=max(args.iterations, 21),
+        seed=args.seed,
+    )
+    print(result.format())
+    if args.out:
+        write_json(args.out, result)
+        print(f"result json      : {args.out}")
+    if args.check:
+        failures = result.check()
+        if failures:
+            for failure in failures:
+                print(f"FAULTS CHECK FAILED: {failure}")
             return 1
     return 0
 
@@ -309,6 +349,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "backward pass (DDP-style bucketed schedule; "
                             "same parameter math, adds sim makespan and "
                             "overlap-fraction accounting)")
+    train.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject a deterministic fault plan, e.g. "
+                            "'crash@10:rank=1,rejoin=14;"
+                            "degrade@20-25:bw=0.25' "
+                            "(grammar in docs/ROBUSTNESS.md)")
+    train.add_argument("--recovery", choices=["degrade", "restart"],
+                       default="degrade",
+                       help="crash handling: re-normalize over survivors "
+                            "(degrade, default) or roll back to the latest "
+                            "EF-aware checkpoint (restart)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="capture an EF-aware checkpoint every N "
+                            "iterations (0 disables; restart recovery "
+                            "defaults to 1)")
+    train.add_argument("--straggler-policy",
+                       choices=["wait", "drop", "backup"], default="wait",
+                       help="straggler handling: wait for the slowest rank "
+                            "(default), drop slow ranks from the cohort, or "
+                            "fold their gradients back in while fresh "
+                            "(backup)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL telemetry trace here")
     train.add_argument("--chrome-trace", default=None, metavar="PATH",
@@ -318,9 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus text snapshot here")
 
     bench = sub.add_parser(
-        "bench", help="run a perf benchmark (fusion or overlap comparison)"
+        "bench", help="run a perf benchmark (fusion, overlap or faults)"
     )
-    bench.add_argument("what", choices=["fusion", "overlap"],
+    bench.add_argument("what", choices=["fusion", "overlap", "faults"],
                        help="which benchmark to run")
     bench.add_argument("--benchmark", default="resnet20-cifar10",
                        help="training benchmark key (fig6 CNN by default)")
@@ -343,12 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="write the comparison as JSON "
-                            "(e.g. BENCH_fusion.json / BENCH_overlap.json)")
+                            "(e.g. BENCH_fusion.json / BENCH_overlap.json "
+                            "/ BENCH_faults.json)")
     bench.add_argument("--check", action="store_true",
                        help="exit nonzero unless the benchmark's "
                             "acceptance criteria hold (fewer collectives "
                             "when fused; hidden communication and the "
-                            "target speedup when overlapped)")
+                            "target speedup when overlapped; crash "
+                            "convergence and checksum detection for "
+                            "faults)")
 
     report = sub.add_parser(
         "report", help="summarize a JSONL trace from train --trace"

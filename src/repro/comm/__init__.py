@@ -18,6 +18,10 @@ stack with an in-process simulation:
   nonblocking collectives (``iallreduce_parts`` / ``iallgather``) schedule
   onto, turning additive phase sums into an event-graph makespan with an
   exact hidden/exposed communication split.
+* :mod:`repro.comm.resilience` — a :class:`ResilientCommunicator` wrapper
+  realizing injected wire faults (CRC32-checked corruption, drops with
+  timeout + exponential-backoff retransmits, link degradation, straggler
+  stretch) around any communicator, with a bounded :class:`RetryPolicy`.
 """
 
 from repro.comm.network import NetworkModel, Transport, ethernet
@@ -29,6 +33,7 @@ from repro.comm.cost import (
     sparse_allreduce_time,
 )
 from repro.comm.collectives import AsyncHandle, Communicator, CommRecord
+from repro.comm.resilience import ResilientCommunicator, RetryPolicy
 from repro.comm.timeline import OverlapStats, SimEvent, SimTimeline
 from repro.comm.parameter_server import (
     ParameterServerCommunicator,
@@ -65,6 +70,8 @@ __all__ = [
     "Communicator",
     "CommRecord",
     "AsyncHandle",
+    "ResilientCommunicator",
+    "RetryPolicy",
     "SimTimeline",
     "SimEvent",
     "OverlapStats",

@@ -9,6 +9,8 @@ data volume).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.comm.backends import Backend, OPENMPI_TCP
@@ -95,6 +97,11 @@ class CommRecord:
     def charge(self, bytes_per_worker: float, seconds: float,
                op: str | None = None) -> None:
         """Record one collective's cost (optionally labeled by op kind)."""
+        # NaN compares false against 0, so an explicit finiteness check
+        # is required — a poisoned cost must fail here, not surface later
+        # as a NaN overlap fraction or byte total in the report.
+        if not (math.isfinite(bytes_per_worker) and math.isfinite(seconds)):
+            raise ValueError("cannot charge non-finite cost")
         if bytes_per_worker < 0 or seconds < 0:
             raise ValueError("cannot charge negative cost")
         self._bytes.inc(bytes_per_worker)
@@ -115,6 +122,30 @@ class CommRecord:
                 "comm_op_count_total", labels,
                 help="operations by collective op",
             ).inc(1)
+
+    def charge_overhead(self, seconds: float, bytes_per_worker: float = 0.0,
+                        reason: str = "fault") -> None:
+        """Account fault-recovery overhead without counting a collective.
+
+        Timeout waits, exponential-backoff stalls, retransmitted frames
+        and straggler waits inflate the simulated wall-clock (and, for
+        retransmits, the wire volume), but they are not collective
+        operations: ``num_ops`` and the per-op byte histogram stay
+        untouched so op-level statistics keep meaning "collectives
+        issued".  The overhead is additionally broken out under
+        ``comm_fault_overhead_seconds_total{reason=...}``.
+        """
+        if not (math.isfinite(seconds) and math.isfinite(bytes_per_worker)):
+            raise ValueError("cannot charge non-finite overhead")
+        if seconds < 0 or bytes_per_worker < 0:
+            raise ValueError("cannot charge negative overhead")
+        self._seconds.inc(seconds)
+        self._bytes.inc(bytes_per_worker)
+        self.registry.counter(
+            "comm_fault_overhead_seconds_total", {"reason": reason},
+            unit="seconds",
+            help="simulated seconds spent on fault handling, by cause",
+        ).inc(seconds)
 
     def reset(self) -> None:
         """Zero every ``comm_*`` instrument this record counts into."""

@@ -73,6 +73,36 @@ class NetworkModel:
             raise ValueError("nbytes must be non-negative")
         return self.message_latency_s + nbytes / self.effective_bytes_per_second
 
+    def degraded(
+        self, bandwidth_scale: float = 1.0, latency_scale: float = 1.0
+    ) -> "NetworkModel":
+        """A transiently degraded copy of this link (fault injection).
+
+        ``bandwidth_scale`` multiplies the nominal rate (``(0, 1]``);
+        ``latency_scale`` multiplies the *total* per-message latency
+        (``>= 1``), realized through ``extra_latency_s`` so the
+        transport's base alpha stays physically meaningful.
+        """
+        if not 0.0 < bandwidth_scale <= 1.0:
+            raise ValueError(
+                f"bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+            )
+        if latency_scale < 1.0:
+            raise ValueError(
+                f"latency_scale must be >= 1, got {latency_scale}"
+            )
+        if bandwidth_scale == 1.0 and latency_scale == 1.0:
+            return self
+        extra = (
+            self.message_latency_s * latency_scale
+            - _TRANSPORT_LATENCY_S[self.transport]
+        )
+        return NetworkModel(
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_scale,
+            transport=self.transport,
+            extra_latency_s=extra,
+        )
+
 
 def ethernet(
     bandwidth_gbps: float, transport: Transport = Transport.TCP

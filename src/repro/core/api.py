@@ -19,6 +19,7 @@ wire and divide by ``n`` afterwards (Algorithm 1, lines 8–13).
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -252,6 +253,32 @@ class Memory(abc.ABC):
     def attach_telemetry(self, registry) -> None:
         """Route this memory's diagnostics into ``registry``."""
         self.telemetry = registry
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Deep-copied snapshot of this memory's error-feedback state.
+
+        Memories keep all state (residual dicts, DGC velocity and
+        accumulation, hyperparameters) in instance attributes, so the
+        generic snapshot is the instance ``__dict__`` minus the
+        telemetry handle — registries are run infrastructure, not model
+        state, and must not be captured or restored.
+        """
+        return copy.deepcopy(
+            {k: v for k, v in self.__dict__.items() if k != "telemetry"}
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (telemetry preserved).
+
+        The snapshot is deep-copied in, so one captured checkpoint can
+        be restored multiple times without aliasing live arrays.
+        """
+        registry = self.telemetry
+        self.__dict__.update(copy.deepcopy(state))
+        if registry is not None:
+            self.telemetry = registry
 
     def compensate_fused(
         self, gradients: dict[str, np.ndarray], bucket, out: np.ndarray

@@ -1,0 +1,139 @@
+"""EF-aware training checkpoints: model, optimizer and residual state.
+
+Error-feedback compressors carry per-worker state the model parameters
+do not contain — Eq. 4 residuals, DGC velocity/accumulation buffers and
+each worker's compressor RNG stream.  A checkpoint that forgets them
+silently changes the training trajectory on restore: a rejoining worker
+whose residuals were dropped re-injects gradient error the rest of the
+cohort already compensated for.
+
+:class:`Checkpoint` therefore captures, by deep copy:
+
+* the task's full instance state — model parameters *and* optimizer
+  slots (momentum/Adam moments live in the optimizer's ``__dict__``);
+* every rank's :meth:`~repro.core.api.Memory.state_dict`;
+* every rank's compressor instance state, including the
+  ``numpy.random.Generator`` — so stochastic compressors resume their
+  exact random stream and a restored run replays bitwise (the property
+  ``tests/faults/test_checkpoint_property.py`` proves).
+
+Restore mutates the trainer's existing objects in place (the task's
+gradient hooks close over the live instance, so identity must be
+preserved) and always copies, letting one snapshot be restored many
+times.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Checkpoint:
+    """One restorable snapshot of a :class:`DistributedTrainer`'s state."""
+
+    iteration: int
+    task_state: dict = field(repr=False)
+    memory_states: list[dict] = field(repr=False)
+    compressor_states: list[dict] = field(repr=False)
+
+    # -- capture / restore --------------------------------------------------
+
+    @classmethod
+    def capture(cls, trainer) -> "Checkpoint":
+        """Snapshot a trainer after its current iteration."""
+        return cls(
+            iteration=trainer.report.iterations,
+            task_state=copy.deepcopy(trainer.task.__dict__),
+            memory_states=[m.state_dict() for m in trainer.memories],
+            compressor_states=[
+                copy.deepcopy(c.__dict__) for c in trainer.compressors
+            ],
+        )
+
+    def restore(self, trainer) -> None:
+        """Load this snapshot back into a compatible trainer, in place."""
+        if len(self.memory_states) != len(trainer.memories):
+            raise ValueError(
+                f"checkpoint holds {len(self.memory_states)} memories, "
+                f"trainer has {len(trainer.memories)}"
+            )
+        if len(self.compressor_states) != len(trainer.compressors):
+            raise ValueError(
+                f"checkpoint holds {len(self.compressor_states)} "
+                f"compressors, trainer has {len(trainer.compressors)}"
+            )
+        trainer.task.__dict__.update(copy.deepcopy(self.task_state))
+        for memory, state in zip(trainer.memories, self.memory_states):
+            memory.load_state_dict(state)
+        for compressor, state in zip(
+            trainer.compressors, self.compressor_states
+        ):
+            compressor.__dict__.update(copy.deepcopy(state))
+
+    def restore_rank(self, trainer, rank: int) -> None:
+        """Restore only one worker's EF state (rejoin without residual loss).
+
+        The model itself needs no per-rank restore — parameters are
+        shared — but a rejoining worker wants its memory and compressor
+        stream back as of the snapshot.
+        """
+        if not 0 <= rank < len(self.memory_states):
+            raise ValueError(f"rank {rank} outside checkpoint")
+        trainer.memories[rank].load_state_dict(self.memory_states[rank])
+        trainer.compressors[rank].__dict__.update(
+            copy.deepcopy(self.compressor_states[rank])
+        )
+
+    # -- sizing -------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate checkpoint payload size (array bytes only).
+
+        This is what the recovery cost model charges for shipping a
+        checkpoint to a replacement worker; python object overhead is
+        noise next to the parameter/residual arrays and is ignored.
+        """
+        total = 0
+        states = [self.task_state, *self.memory_states,
+                  *self.compressor_states]
+        seen: set[int] = set()
+        stack: list = list(states)
+        while stack:
+            value = stack.pop()
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            if isinstance(value, np.ndarray):
+                total += int(value.nbytes)
+            elif isinstance(value, dict):
+                stack.extend(value.values())
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                stack.extend(value)
+            elif hasattr(value, "__dict__") and not isinstance(value, type):
+                stack.extend(vars(value).values())
+        return total
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Pickle this checkpoint to disk."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, cls):
+            raise TypeError(
+                f"{path!r} does not contain a Checkpoint "
+                f"(got {type(checkpoint).__name__})"
+            )
+        return checkpoint

@@ -27,6 +27,7 @@ the untraced hot loop allocation-free.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Any, Callable, Iterable, Protocol
 
@@ -40,11 +41,23 @@ from repro.core.api import (
     FusedConcatCtx,
     concat_compressed,
 )
+from repro.core.checkpoint import Checkpoint
 from repro.core.fusion import FusionBucket, FusionPlan, ScratchPool
 from repro.core.memory import Memory, make_memory
 from repro.core.wire import framing_header_bytes
+from repro.faults import (
+    CollectiveTimeoutError,
+    FaultInjector,
+    FaultPlan,
+    IterationFaults,
+    WorkerCrashError,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracing import NULL_TRACER
+
+# repro.comm.resilience imports repro.core.wire (frame checksums), which
+# initializes this package — so the trainer pulls it in lazily, inside
+# the fault-wiring branch of __init__, to keep imports acyclic.
 
 
 class DistributedTask(Protocol):
@@ -109,7 +122,7 @@ class TrainingReport:
         "sim_compute_seconds", "sim_compression_seconds",
         "measured_compression_seconds", "bytes_per_worker",
         "sim_makespan_seconds", "sim_exposed_comm_seconds",
-        "sim_hidden_comm_seconds",
+        "sim_hidden_comm_seconds", "sim_recovery_seconds",
     )
 
     iterations = _MetricField(
@@ -153,6 +166,11 @@ class TrainingReport:
         "train_sim_hidden_comm_seconds_total", "seconds",
         "Simulated communication hidden behind compute/kernel events.",
     )
+    sim_recovery_seconds = _MetricField(
+        "train_sim_recovery_seconds_total", "seconds",
+        "Simulated time lost to crash recovery (outage stall + "
+        "checkpoint transfer).",
+    )
 
     def __init__(
         self,
@@ -170,6 +188,7 @@ class TrainingReport:
         sim_makespan_seconds: float = 0.0,
         sim_exposed_comm_seconds: float = 0.0,
         sim_hidden_comm_seconds: float = 0.0,
+        sim_recovery_seconds: float = 0.0,
         metrics: MetricsRegistry | None = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -191,6 +210,7 @@ class TrainingReport:
         self.sim_makespan_seconds = sim_makespan_seconds
         self.sim_exposed_comm_seconds = sim_exposed_comm_seconds
         self.sim_hidden_comm_seconds = sim_hidden_comm_seconds
+        self.sim_recovery_seconds = sim_recovery_seconds
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TrainingReport):
@@ -217,20 +237,28 @@ class TrainingReport:
         """
         makespan = self.sim_makespan_seconds
         if makespan > 0:
-            return makespan
+            return makespan + self.sim_recovery_seconds
         return (
             self.sim_comm_seconds
             + self.sim_compute_seconds
             + self.sim_compression_seconds
+            + self.sim_recovery_seconds
         )
 
     @property
     def overlap_fraction(self) -> float:
-        """Fraction of simulated communication hidden behind other work."""
-        total = self.sim_hidden_comm_seconds + self.sim_exposed_comm_seconds
-        if total <= 0:
+        """Fraction of simulated communication hidden behind other work.
+
+        Defensively clamped to ``[0, 1]`` and 0.0 on a non-finite or
+        empty split, so a fault-aborted iteration (whose partial
+        accounting may leave one side of the split empty) can never
+        surface NaN or out-of-range fractions.
+        """
+        hidden = self.sim_hidden_comm_seconds
+        total = hidden + self.sim_exposed_comm_seconds
+        if total <= 0 or not math.isfinite(total):
             return 0.0
-        return self.sim_hidden_comm_seconds / total
+        return min(1.0, max(0.0, hidden / total))
 
     @property
     def bytes_per_worker_per_iteration(self) -> float:
@@ -316,6 +344,39 @@ class DistributedTrainer:
     metrics:
         Registry the report/communicator totals are counted into.
         Defaults to the tracer's registry (traced) or a private one.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or its spec string — see
+        ``docs/ROBUSTNESS.md``) of deterministic faults to inject.
+        ``None`` (the default) leaves the communicator unwrapped and
+        the loop bitwise-identical to a fault-free build.
+    recovery:
+        Crash handling: ``"degrade"`` (default) re-normalizes the
+        aggregation over the survivors until the worker rejoins;
+        ``"restart"`` rolls back to the latest EF-aware checkpoint and
+        charges the outage to ``sim_recovery_seconds`` (forces
+        ``checkpoint_every=1`` when unset, making recovery lossless).
+    checkpoint_every:
+        Capture an EF-aware :class:`Checkpoint` every N completed
+        iterations (0 disables periodic capture).
+    straggler_policy:
+        ``"wait"`` (default) stretches the iteration to its slowest
+        rank; ``"drop"`` excludes ranks slowed by at least
+        ``straggler_threshold``× from the cohort; ``"backup"``
+        additionally buffers an excluded rank's gradient and folds it
+        back in next iteration while no staler than
+        ``staleness_bound``.
+    straggler_threshold:
+        Slowdown factor (> 1) past which drop/backup exclude a rank.
+    staleness_bound:
+        Maximum iterations a buffered backup gradient may lag before
+        it is discarded instead of applied.
+    ef_restore:
+        Restore a rejoining worker's error-feedback memory from its
+        pre-crash snapshot (True, the default) instead of handing it a
+        fresh, empty memory.
+    retry:
+        :class:`~repro.comm.resilience.RetryPolicy` bounding the
+        resilient wrapper's retransmits; ``None`` uses its defaults.
     """
 
     def __init__(
@@ -334,6 +395,14 @@ class DistributedTrainer:
         fusion_mb: float = 0.0,
         overlap: bool = False,
         bucket_order: str = "ready",
+        faults: FaultPlan | str | None = None,
+        recovery: str = "degrade",
+        checkpoint_every: int = 0,
+        straggler_policy: str = "wait",
+        straggler_threshold: float = 2.0,
+        staleness_bound: int = 1,
+        ef_restore: bool = True,
+        retry=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -391,6 +460,56 @@ class DistributedTrainer:
         self._ready_fraction: dict[str, float] = {}
         self._sim_epoch = 0.0  # cumulative makespan: span sim offsets
         self.report = TrainingReport(metrics=self.metrics)
+        if recovery not in ("degrade", "restart"):
+            raise ValueError(
+                f"recovery must be 'degrade' or 'restart', got {recovery!r}"
+            )
+        if straggler_policy not in ("wait", "drop", "backup"):
+            raise ValueError(
+                f"straggler_policy must be 'wait', 'drop' or 'backup', "
+                f"got {straggler_policy!r}"
+            )
+        if straggler_threshold <= 1.0:
+            raise ValueError(
+                f"straggler_threshold must be > 1, got {straggler_threshold}"
+            )
+        if staleness_bound < 0:
+            raise ValueError(
+                f"staleness_bound must be >= 0, got {staleness_bound}"
+            )
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.recovery = recovery
+        self.straggler_policy = straggler_policy
+        self.straggler_threshold = float(straggler_threshold)
+        self.staleness_bound = int(staleness_bound)
+        self.ef_restore = bool(ef_restore)
+        self.checkpoint_every = int(checkpoint_every)
+        self._memory_kind = memory_kind
+        self._memory_params = params
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults, seed=seed)
+        self.injector: FaultInjector | None = None
+        if faults is not None:
+            from repro.comm.resilience import ResilientCommunicator
+
+            self.injector = FaultInjector(
+                faults, self.n_workers, registry=self.metrics
+            )
+            self.comm = ResilientCommunicator(
+                self.comm, retry=retry, seed=seed
+            )
+            if self.recovery == "restart" and self.checkpoint_every == 0:
+                self.checkpoint_every = 1
+        self._all_ranks = list(range(self.n_workers))
+        self._active_ranks: list[int] = self._all_ranks
+        self._n_active = self.n_workers
+        self._last_checkpoint: Checkpoint | None = None
+        self._crash_snapshots: dict[int, dict] = {}
+        self._stale_grads: dict[int, tuple[int, dict]] = {}
+        self._excluded_stragglers: list[int] = []
 
     # ------------------------------------------------------------------
 
@@ -400,17 +519,45 @@ class DistributedTrainer:
             raise ValueError(
                 f"need {self.n_workers} per-rank batches, got {len(batches)}"
             )
+        faults = self._begin_iteration_faults()
+        if faults is None:
+            return self._run_iteration(batches, None)
+        record = self.comm.record
+        comm_before = record.simulated_seconds
+        bytes_before = record.bytes_sent_per_worker
+        try:
+            return self._run_iteration(batches, faults)
+        except CollectiveTimeoutError:
+            self._absorb_aborted_iteration(record, comm_before, bytes_before)
+            raise
+
+    def _run_iteration(
+        self,
+        batches: list[tuple[Any, Any]],
+        faults: IterationFaults | None,
+    ) -> float:
+        """Algorithm 1's body, under an (optional) iteration fault set."""
         tracer = self.tracer
+        crashed = faults.crashed if faults is not None else frozenset()
         losses = []
-        grads_per_rank: list[dict[str, np.ndarray]] = []
+        grads_by_rank: dict[int, dict[str, np.ndarray]] = {}
         n_samples = 0
         with tracer.span("iteration",
                          iteration=self.report.iterations) as iter_span:
+            if tracer.enabled and faults is not None and faults.any:
+                iter_span.set(
+                    faulted=True,
+                    crashed_ranks=len(faults.crashed),
+                    straggler_ranks=len(faults.compute_slowdown),
+                    degraded_link=faults.degraded,
+                )
             compute_span = None
             for rank, (inputs, targets) in enumerate(batches):
+                if rank in crashed:
+                    continue  # a down worker computes nothing
                 with tracer.span("compute", rank=rank) as span:
                     loss, grads = self.task.forward_backward(inputs, targets)
-                if rank == 0:
+                if compute_span is None:
                     compute_span = span
                 if self.check_finite:
                     for name, grad in grads.items():
@@ -419,13 +566,21 @@ class DistributedTrainer:
                                 f"non-finite gradient for {name!r} on rank {rank}"
                             )
                 losses.append(loss)
-                grads_per_rank.append(grads)
+                grads_by_rank[rank] = grads
                 n_samples += _batch_size(inputs)
             sim_compute = 0.0
             if self.perf_model is not None:
                 sim_compute = self.perf_model.compute_seconds(
-                    n_samples // self.n_workers
+                    n_samples // max(1, len(grads_by_rank))
                 )  # ranks compute in parallel: charge one rank's batch
+                if faults is not None:
+                    # A synchronous iteration finishes with its slowest
+                    # computing rank; under the "wait" policy stragglers
+                    # stay in the cohort and stretch it.
+                    sim_compute *= faults.slowdown_over(self._active_ranks)
+            grads_per_rank = self._collect_exchange_grads(
+                grads_by_rank, faults
+            )
             if self.overlap:
                 aggregated = self._exchange_overlapped(
                     grads_per_rank, sim_compute, compute_span, iter_span
@@ -449,11 +604,190 @@ class DistributedTrainer:
             self.report.sim_compute_seconds += sim_compute
             if not self.overlap:
                 # Simulated time is charged once per parallel phase, on
-                # the rank-0 span (the modeled cluster runs ranks
-                # concurrently).  The overlapped exchange already placed
-                # the compute window on the span.
+                # the first surviving rank's span (the modeled cluster
+                # runs ranks concurrently).  The overlapped exchange
+                # already placed the compute window on the span.
                 compute_span.add_sim(sim_compute)
+        self._maybe_checkpoint()
         return mean_loss
+
+    # -- fault handling ------------------------------------------------
+
+    def _begin_iteration_faults(self) -> IterationFaults | None:
+        """Resolve this iteration's faults and pick the active cohort."""
+        if self.injector is None:
+            return None
+        iteration = self.report.iterations
+        faults = self.injector.begin_iteration(iteration)
+        if faults.crashed and self.recovery == "restart":
+            self._restart_recover(iteration, faults)
+            faults = self.injector.refresh(iteration)
+        if faults.rejoined or faults.crashed:
+            self._handle_membership(faults)
+        active = [r for r in self._all_ranks if r not in faults.crashed]
+        if not active:
+            raise WorkerCrashError(
+                f"no surviving workers at iteration {iteration}"
+            )
+        excluded: list[int] = []
+        if self.straggler_policy != "wait" and faults.compute_slowdown:
+            excluded = [
+                rank for rank in active
+                if faults.compute_slowdown.get(rank, 1.0)
+                >= self.straggler_threshold
+            ]
+            if len(excluded) == len(active):
+                excluded = []  # never exclude the whole cohort
+        self._excluded_stragglers = excluded
+        self._active_ranks = [r for r in active if r not in excluded]
+        self._n_active = len(self._active_ranks)
+        if faults.any:
+            self.metrics.counter(
+                "degraded_iterations_total",
+                help="iterations that ran with any fault active",
+            ).inc(1)
+        self.comm.begin_iteration(faults, self._active_ranks)
+        return faults
+
+    def _collect_exchange_grads(
+        self,
+        grads_by_rank: dict[int, dict[str, np.ndarray]],
+        faults: IterationFaults | None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Gradient dicts for the exchanging cohort, ``_active_ranks``-aligned.
+
+        The fault-free path is a plain list view.  Under the backup
+        straggler policy an excluded rank's buffered gradient from a
+        previous iteration re-enters the cohort while it is no staler
+        than ``staleness_bound``, and the rank's freshly computed
+        gradient is buffered for a later iteration.
+        """
+        if faults is None:
+            return list(grads_by_rank.values())
+        participating = list(self._active_ranks)
+        grads = [grads_by_rank[rank] for rank in participating]
+        if self.straggler_policy == "backup" and self._excluded_stragglers:
+            iteration = self.report.iterations
+            for rank in self._excluded_stragglers:
+                buffered = self._stale_grads.pop(rank, None)
+                if buffered is not None:
+                    stamp, stale = buffered
+                    if iteration - stamp <= self.staleness_bound:
+                        participating.append(rank)
+                        grads.append(stale)
+                        self.metrics.counter(
+                            "stale_gradients_applied_total",
+                            help="backup-worker gradients applied within "
+                                 "the staleness bound",
+                        ).inc(1)
+                    else:
+                        self.metrics.counter(
+                            "stale_gradients_dropped_total",
+                            help="backup-worker gradients discarded as "
+                                 "too stale",
+                        ).inc(1)
+                if rank in grads_by_rank:
+                    self._stale_grads[rank] = (iteration, grads_by_rank[rank])
+            if participating != self._active_ranks:
+                self._active_ranks = participating
+                self._n_active = len(participating)
+                self.comm.begin_iteration(faults, participating)
+        return grads
+
+    def _handle_membership(self, faults: IterationFaults) -> None:
+        """Snapshot EF state at crash; restore (or reset) it at rejoin."""
+        for rank in faults.rejoined:
+            snapshot = self._crash_snapshots.pop(rank, None)
+            if self.ef_restore and snapshot is not None:
+                self.memories[rank].load_state_dict(snapshot)
+            else:
+                self.memories[rank] = make_memory(
+                    self._memory_kind, **self._memory_params
+                )
+                if self.tracer.enabled:
+                    self.memories[rank].attach_telemetry(self.metrics)
+            self._stale_grads.pop(rank, None)
+        for rank in faults.crashed:
+            if rank not in self._crash_snapshots:
+                self._crash_snapshots[rank] = self.memories[rank].state_dict()
+            self._stale_grads.pop(rank, None)
+
+    def _restart_recover(
+        self, iteration: int, faults: IterationFaults
+    ) -> None:
+        """Price the outage and roll back to the latest checkpoint."""
+        consumed = self.injector.consume_crashes(iteration)
+        if not consumed:
+            return
+        completed = self.report.iterations
+        mean_iter = (
+            self.report.sim_total_seconds / completed if completed else 0.0
+        )
+        # The cohort stalls until the replacement is up: the rejoin gap
+        # at the mean iteration rate, plus shipping the checkpoint.
+        gap = max(
+            (event.rejoin - iteration) if event.rejoin is not None else 1
+            for event in consumed
+        )
+        overhead = gap * mean_iter
+        checkpoint = self._last_checkpoint
+        if checkpoint is not None:
+            overhead += (
+                checkpoint.nbytes
+                / self.comm.network.effective_bytes_per_second
+            )
+            checkpoint.restore(self)
+        self.report.sim_recovery_seconds += overhead
+        self.metrics.counter(
+            "recoveries_total",
+            help="crash recoveries performed (restart policy)",
+        ).inc(len(consumed))
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpoint_every > 0
+            and self.report.iterations % self.checkpoint_every == 0
+        ):
+            self._last_checkpoint = Checkpoint.capture(self)
+            self.metrics.counter(
+                "checkpoints_total", help="EF-aware checkpoints captured",
+            ).inc(1)
+
+    def save_checkpoint(self, path: str | None = None) -> Checkpoint:
+        """Capture (and optionally persist) an EF-aware checkpoint now."""
+        checkpoint = Checkpoint.capture(self)
+        self._last_checkpoint = checkpoint
+        if path is not None:
+            checkpoint.save(path)
+        return checkpoint
+
+    def restore_checkpoint(self, checkpoint: Checkpoint | str) -> None:
+        """Restore a checkpoint (or a path to one) into this trainer."""
+        if isinstance(checkpoint, str):
+            checkpoint = Checkpoint.load(checkpoint)
+        checkpoint.restore(self)
+        self._last_checkpoint = checkpoint
+
+    def _absorb_aborted_iteration(
+        self, record, comm_before: float, bytes_before: float
+    ) -> None:
+        """Fold an aborted iteration's partial accounting into the report.
+
+        The exchange adds its own comm delta only on success, so
+        absorbing here never double counts; the clamps keep an aborted
+        iteration from ever leaving negative or non-finite totals (the
+        overlap-fraction regression tests pin this down).
+        """
+        comm_delta = record.simulated_seconds - comm_before
+        bytes_delta = record.bytes_sent_per_worker - bytes_before
+        if math.isfinite(comm_delta) and comm_delta > 0:
+            self.report.sim_comm_seconds += comm_delta
+        if math.isfinite(bytes_delta) and bytes_delta > 0:
+            self.report.bytes_per_worker += bytes_delta
+        self.metrics.counter(
+            "aborted_iterations_total",
+            help="iterations aborted by exhausted retry budgets",
+        ).inc(1)
 
     def _exchange(
         self, grads_per_rank: list[dict[str, np.ndarray]]
@@ -472,20 +806,20 @@ class DistributedTrainer:
             compressed: list[CompressedTensor] = []
             first_compress_span = None
             kernel_start = time.perf_counter()
-            for rank in range(self.n_workers):
+            for position, rank in enumerate(self._active_ranks):
                 memory = self.memories[rank]
                 with tracer.span("memory_compensate", rank=rank, tensor=name):
                     compensated = memory.compensate(
-                        grads_per_rank[rank][name], name
+                        grads_per_rank[position][name], name
                     )
                 with tracer.span("compress", rank=rank, tensor=name) as span:
                     packed = self.compressors[rank].compress(compensated, name)
                 memory.update(compensated, name, self.compressors[rank], packed)
                 if traced:
-                    if rank == 0:
+                    if position == 0:
                         first_compress_span = span
                     self._record_compression(
-                        span, name, grads_per_rank[rank][name],
+                        span, name, grads_per_rank[position][name],
                         compensated, packed,
                     )
                 compressed.append(packed)
@@ -599,13 +933,15 @@ class DistributedTrainer:
         ).observe(float(bucket.nbytes))
         compressed: list[CompressedTensor] = []
         first_compress_span = None
-        for rank in range(self.n_workers):
+        for position, rank in enumerate(self._active_ranks):
             memory = self.memories[rank]
             buffer = self._scratch.take(("pack", rank, bucket.index),
                                         bucket.numel)
             with tracer.span("memory_compensate", rank=rank,
                              bucket=bucket.index):
-                memory.compensate_fused(grads_per_rank[rank], bucket, buffer)
+                memory.compensate_fused(
+                    grads_per_rank[position], bucket, buffer
+                )
             with tracer.span("compress", rank=rank,
                              bucket=bucket.index) as span:
                 if use_kernel:
@@ -639,7 +975,7 @@ class DistributedTrainer:
                     )
                     start += n_parts
             if traced:
-                if rank == 0:
+                if position == 0:
                     first_compress_span = span
                 self._record_fused_compression(span, bucket, packed)
             compressed.append(packed)
@@ -925,7 +1261,7 @@ class DistributedTrainer:
                                        bucket.numel),
             )
         with tracer.span("aggregate", bucket=bucket.index):
-            mean_flat = flat / self.n_workers
+            mean_flat = flat / self._n_active
             for seg in bucket.segments:
                 aggregated[seg.name] = (
                     mean_flat[seg.offset:seg.end].reshape(seg.shape)
@@ -941,7 +1277,7 @@ class DistributedTrainer:
         decoder = self.compressors[0]
         tracer = self.tracer
         with tracer.span("decompress", bucket=bucket.index,
-                         ranks=self.n_workers):
+                         ranks=len(compressed)):
             flats = [
                 decoder.decompress_fused(
                     c,
@@ -1062,7 +1398,7 @@ class DistributedTrainer:
             with tracer.span("decompress", tensor=name):
                 restored = decoder.decompress(summed)
             with tracer.span("aggregate", tensor=name):
-                return restored / self.n_workers
+                return restored / self._n_active
         if strategy in ("allgather", "broadcast"):
             with tracer.span("collective", tensor=name, op="allgather") as span:
                 sim_before = record.simulated_seconds
@@ -1072,7 +1408,7 @@ class DistributedTrainer:
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before
                 )
-            with tracer.span("decompress", tensor=name, ranks=self.n_workers):
+            with tracer.span("decompress", tensor=name, ranks=len(compressed)):
                 decompressed = [decoder.decompress(c) for c in compressed]
             with tracer.span("aggregate", tensor=name):
                 return decoder.aggregate(decompressed)

@@ -19,15 +19,34 @@ Format (little-endian)::
 The escape exists for fusion: a fused bucket that concatenates many
 per-tensor payloads (the generic ``compress_fused`` fallback) can carry
 far more than 254 parts in one frame.
+
+Malformed input — truncation anywhere, an implausible escaped part
+count, dims whose product overruns the buffer — raises the typed
+:class:`WireFormatError` instead of leaking a raw numpy/struct error.
+
+For transports that can corrupt frames in flight, the checksummed frame
+variant appends a CRC32 trailer: :func:`frame_payload` /
+:func:`unframe_payload`.  A failed check raises
+:class:`WireChecksumError` (a :class:`WireFormatError`), which the
+resilient collective layer turns into a NACK + bounded retransmit.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
 from repro.core.api import CompressedTensor, Payload
+
+
+class WireFormatError(ValueError):
+    """A wire frame failed structural validation (truncated/garbage)."""
+
+
+class WireChecksumError(WireFormatError):
+    """A checksummed wire frame failed CRC32 validation."""
 
 _DTYPES: list[np.dtype] = [
     np.dtype(np.uint8),
@@ -83,40 +102,59 @@ def serialize_payload(payload: Payload) -> bytes:
 
 
 def deserialize_payload(buffer: bytes) -> Payload:
-    """Inverse of :func:`serialize_payload`."""
+    """Inverse of :func:`serialize_payload`.
+
+    Raises :class:`WireFormatError` on any structurally invalid input:
+    truncation, unknown dtype codes, an escaped part count no buffer of
+    this size could hold, or dims whose product overruns the data.  The
+    dims product is computed with Python ints so absurd u32 dims cannot
+    silently wrap a fixed-width accumulator and sidestep the bounds
+    check.
+    """
     if len(buffer) < 1:
-        raise ValueError("empty wire buffer")
+        raise WireFormatError("empty wire buffer")
     (n_parts,) = struct.unpack_from("<B", buffer, 0)
     offset = 1
     if n_parts == _PART_COUNT_ESCAPE:
         if len(buffer) < 5:
-            raise ValueError("truncated wire buffer (part count)")
+            raise WireFormatError("truncated wire buffer (part count)")
         (n_parts,) = struct.unpack_from("<I", buffer, 1)
         offset = 5
+        # Every part costs at least a 2-byte dtype/rank header, so a
+        # garbage escaped count larger than the buffer could possibly
+        # carry is rejected up front instead of looping to the first
+        # truncation error.
+        if n_parts * 2 > len(buffer) - offset:
+            raise WireFormatError(
+                f"implausible part count {n_parts} for "
+                f"{len(buffer)}-byte wire buffer"
+            )
     payload: Payload = []
     for _ in range(n_parts):
         if offset + 2 > len(buffer):
-            raise ValueError("truncated wire buffer (header)")
+            raise WireFormatError("truncated wire buffer (header)")
         dtype_code, rank = struct.unpack_from("<BB", buffer, offset)
         offset += 2
         if dtype_code >= len(_DTYPES):
-            raise ValueError(f"unknown wire dtype code {dtype_code}")
+            raise WireFormatError(f"unknown wire dtype code {dtype_code}")
         if offset + 4 * rank > len(buffer):
-            raise ValueError("truncated wire buffer (dims)")
+            raise WireFormatError("truncated wire buffer (dims)")
         dims = struct.unpack_from(f"<{rank}I", buffer, offset)
         offset += 4 * rank
         dtype = _DTYPES[dtype_code]
-        count = int(np.prod(dims, dtype=np.int64)) if rank else 1
+        count = 1
+        for dim in dims:
+            count *= int(dim)
         nbytes = count * dtype.itemsize
-        if offset + nbytes > len(buffer):
-            raise ValueError("truncated wire buffer (data)")
+        if nbytes > len(buffer) - offset:
+            raise WireFormatError("truncated wire buffer (data)")
         array = np.frombuffer(
             buffer, dtype=dtype, count=count, offset=offset
         ).reshape(tuple(dims))
         payload.append(array.copy())
         offset += nbytes
     if offset != len(buffer):
-        raise ValueError(
+        raise WireFormatError(
             f"wire buffer has {len(buffer) - offset} trailing bytes"
         )
     return payload
@@ -125,6 +163,56 @@ def deserialize_payload(buffer: bytes) -> Payload:
 def serialize_compressed(compressed: CompressedTensor) -> bytes:
     """Frame one compressed tensor's payload (ctx stays receiver-side)."""
     return serialize_payload(compressed.payload)
+
+
+#: Size of the CRC32 trailer a checksummed frame appends.
+CHECKSUM_NBYTES = 4
+
+
+def frame_payload(payload: Payload) -> bytes:
+    """Serialize a payload with a CRC32 trailer for in-flight integrity.
+
+    Layout is :func:`serialize_payload`'s byte stream followed by a
+    little-endian u32 CRC32 of that stream.  The trailer is what lets a
+    receiver distinguish "sender meant this" from "the wire flipped a
+    bit" — the property the resilient collectives' NACK/retransmit
+    machinery is built on.
+    """
+    body = serialize_payload(payload)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def unframe_payload(frame: bytes) -> Payload:
+    """Validate and parse a checksummed frame from :func:`frame_payload`.
+
+    Raises :class:`WireChecksumError` when the CRC32 trailer disagrees
+    with the body, and :class:`WireFormatError` for structural damage
+    (both are subclasses of :class:`ValueError`).
+    """
+    if len(frame) < 1 + CHECKSUM_NBYTES:
+        raise WireFormatError("frame too short to carry a CRC32 trailer")
+    body = frame[:-CHECKSUM_NBYTES]
+    (expected,) = struct.unpack_from("<I", frame, len(body))
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise WireChecksumError(
+            f"CRC32 mismatch: frame says {expected:#010x}, "
+            f"body hashes to {actual:#010x}"
+        )
+    return deserialize_payload(body)
+
+
+def frame_checksum_ok(frame: bytes) -> bool:
+    """Whether a checksummed frame passes CRC32 validation (cheap check).
+
+    Only the trailer is verified — the body is not parsed — so this is
+    the receiver's fast accept/NACK decision.
+    """
+    if len(frame) < 1 + CHECKSUM_NBYTES:
+        return False
+    body = frame[:-CHECKSUM_NBYTES]
+    (expected,) = struct.unpack_from("<I", frame, len(body))
+    return (zlib.crc32(body) & 0xFFFFFFFF) == expected
 
 
 def framing_overhead_bytes(payload: Payload) -> int:

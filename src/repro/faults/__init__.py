@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the simulated cluster.
+
+``repro.faults`` describes *what goes wrong*: a seeded
+:class:`FaultPlan` schedules straggler slowdowns, dropped and
+bit-flipped payloads, transient link degradation and worker crashes
+(with optional rejoin) per worker and per iteration, and a
+:class:`FaultInjector` resolves the plan iteration by iteration while
+counting everything it injects into telemetry.
+
+The matching resilience mechanisms live where they act:
+:class:`repro.comm.resilience.ResilientCommunicator` (checksums,
+timeouts, retries, degradation) and the fault-aware
+:class:`repro.core.trainer.DistributedTrainer` (survivor aggregation,
+straggler policies, EF-aware checkpoint/restore).  See
+``docs/ROBUSTNESS.md`` for the spec grammar and recovery semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CollectiveTimeoutError,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    IterationFaults,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "CollectiveTimeoutError",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "IterationFaults",
+    "WorkerCrashError",
+]

@@ -1,0 +1,95 @@
+"""Stateful driver that feeds a :class:`FaultPlan` into a training run.
+
+The plan is pure; the injector owns the run-scoped state around it:
+which crash events a restart recovery already consumed, which ranks
+were down last iteration (so crashes are counted once, on the falling
+edge) and the ``faults_injected_total`` accounting every injected
+fault flows into.  One injector serves one training run.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, IterationFaults
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FaultInjector:
+    """Resolves per-iteration faults and counts them into telemetry."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n_workers: int,
+        registry: MetricsRegistry | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        for event in plan.events:
+            if event.rank is not None and event.rank >= n_workers:
+                raise ValueError(
+                    f"fault {event.kind}@{event.start} targets rank "
+                    f"{event.rank}, but the run has {n_workers} workers"
+                )
+        self.plan = plan
+        self.n_workers = int(n_workers)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.current: IterationFaults | None = None
+        self._consumed: set[int] = set()
+        self._crashed_prev: frozenset[int] = frozenset()
+
+    # -- per-iteration protocol ---------------------------------------------
+
+    def begin_iteration(self, iteration: int) -> IterationFaults:
+        """Resolve and account the faults for one iteration."""
+        faults = self.plan.faults_at(iteration, self.n_workers,
+                                     self._consumed)
+        self._count(faults)
+        self._crashed_prev = faults.crashed
+        self.current = faults
+        return faults
+
+    def refresh(self, iteration: int) -> IterationFaults:
+        """Re-resolve after a recovery changed state — without recounting."""
+        faults = self.plan.faults_at(iteration, self.n_workers,
+                                     self._consumed)
+        self._crashed_prev = faults.crashed
+        self.current = faults
+        return faults
+
+    def consume_crashes(self, iteration: int) -> list:
+        """Mark every outstanding crash covering ``iteration`` handled.
+
+        Restart recovery replaces the dead worker, so the crash clause
+        must stop applying from here on; the consumed events are
+        returned so the caller can price the outage (rejoin gap).
+        """
+        consumed = []
+        for index, event in self.plan.crash_events_at(iteration):
+            if index in self._consumed:
+                continue
+            self._consumed.add(index)
+            consumed.append(event)
+        return consumed
+
+    # -- accounting ---------------------------------------------------------
+
+    def _count(self, faults: IterationFaults) -> None:
+        """Tally injected faults by kind (crashes on the falling edge)."""
+        newly_crashed = faults.crashed - self._crashed_prev
+        tallies = {
+            "straggler": len(faults.compute_slowdown),
+            "drop": sum(faults.drops.values()),
+            "corrupt": len(faults.corrupt_bits),
+            "degrade": 1 if faults.degraded else 0,
+            "crash": len(newly_crashed),
+            "rejoin": len(faults.rejoined),
+        }
+        for kind, count in tallies.items():
+            if count:
+                self._counter(kind).inc(count)
+
+    def _counter(self, kind: str):
+        return self.registry.counter(
+            "faults_injected_total", {"kind": kind},
+            help="faults injected into the run, by kind",
+        )

@@ -1,0 +1,378 @@
+"""Deterministic fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a pure, seeded description of every fault a run
+should experience — straggler slowdowns, dropped/corrupted payloads,
+transient link degradation and worker crashes with optional rejoin.
+Plans are *stateless*: :meth:`FaultPlan.faults_at` maps an iteration
+number to the :class:`IterationFaults` snapshot the trainer and the
+resilient collectives consume, and probabilistic clauses are sampled
+from a counter-based RNG keyed on ``(seed, clause, iteration, rank)``,
+so the same plan replayed on the same seed injects the same faults —
+the property every reproducibility test in ``tests/faults`` leans on.
+
+Plans are built programmatically from :class:`FaultEvent` tuples or
+parsed from the compact CLI grammar (see :meth:`FaultPlan.parse`)::
+
+    straggler@5-20:rank=1,slow=3        # rank 1 runs 3x slower
+    drop@8:rank=2,count=2               # two dropped sends at iter 8
+    corrupt@10-40:rank=*,bits=1,p=0.05  # 5% of sends get a bit flip
+    degrade@30-60:bw=0.25,lat=4         # link at 25% bandwidth, 4x latency
+    crash@12:rank=3,rejoin=18           # rank 3 dies, rejoins at iter 18
+
+Clauses are joined with ``;``.  Iteration windows are inclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultError(RuntimeError):
+    """Base class for unrecoverable injected-fault outcomes."""
+
+
+class CollectiveTimeoutError(FaultError):
+    """A collective exhausted its retry budget (see RetryPolicy)."""
+
+
+class WorkerCrashError(FaultError):
+    """Crashes left no workers able to make progress."""
+
+
+#: Fault kinds the plan understands, with the clause keys each accepts.
+_KINDS = {
+    "straggler": {"rank", "slow", "p"},
+    "drop": {"rank", "count", "p"},
+    "corrupt": {"rank", "bits", "p"},
+    "degrade": {"bw", "lat", "p"},
+    "crash": {"rank", "rejoin"},
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault clause.
+
+    ``start``/``stop`` bound the iteration window (inclusive).  ``rank``
+    is the target worker, or ``None`` for "every rank" (the ``rank=*``
+    spelling).  Only the fields relevant to ``kind`` are meaningful;
+    ``__post_init__`` validates per kind so a malformed plan fails at
+    construction, not mid-run.
+    """
+
+    kind: str
+    start: int
+    stop: int
+    rank: int | None = None
+    slowdown: float = 1.0
+    count: int = 1
+    bits: int = 1
+    bandwidth_scale: float = 1.0
+    latency_scale: float = 1.0
+    rejoin: int | None = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(_KINDS)}"
+            )
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(
+                f"bad iteration window [{self.start}, {self.stop}]"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.rank is not None and self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.kind == "straggler" and self.slowdown < 1.0:
+            raise ValueError(
+                f"straggler slowdown must be >= 1, got {self.slowdown}"
+            )
+        if self.kind == "drop" and self.count < 1:
+            raise ValueError(f"drop count must be >= 1, got {self.count}")
+        if self.kind == "corrupt" and self.bits < 1:
+            raise ValueError(f"corrupt bits must be >= 1, got {self.bits}")
+        if self.kind == "degrade":
+            if not 0.0 < self.bandwidth_scale <= 1.0:
+                raise ValueError(
+                    "degrade bandwidth scale must be in (0, 1], got "
+                    f"{self.bandwidth_scale}"
+                )
+            if self.latency_scale < 1.0:
+                raise ValueError(
+                    f"degrade latency scale must be >= 1, got "
+                    f"{self.latency_scale}"
+                )
+        if self.kind == "crash":
+            if self.rank is None:
+                raise ValueError("crash requires an explicit rank")
+            if self.start != self.stop:
+                raise ValueError(
+                    "crash takes a single iteration (use rejoin= for the "
+                    "return point), not a window"
+                )
+            if self.probability != 1.0:
+                raise ValueError("crash clauses cannot be probabilistic")
+            if self.rejoin is not None and self.rejoin <= self.start:
+                raise ValueError(
+                    f"rejoin ({self.rejoin}) must come after the crash "
+                    f"({self.start})"
+                )
+
+
+@dataclass(frozen=True)
+class IterationFaults:
+    """Everything injected at one iteration, resolved per rank."""
+
+    iteration: int
+    compute_slowdown: dict[int, float] = field(default_factory=dict)
+    drops: dict[int, int] = field(default_factory=dict)
+    corrupt_bits: dict[int, int] = field(default_factory=dict)
+    bandwidth_scale: float = 1.0
+    latency_scale: float = 1.0
+    crashed: frozenset[int] = frozenset()
+    rejoined: frozenset[int] = frozenset()
+
+    @property
+    def any(self) -> bool:
+        """Whether this iteration deviates from a healthy cluster."""
+        return bool(
+            self.compute_slowdown
+            or self.drops
+            or self.corrupt_bits
+            or self.crashed
+            or self.rejoined
+            or self.degraded
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the link itself is degraded this iteration."""
+        return self.bandwidth_scale != 1.0 or self.latency_scale != 1.0
+
+    def slowdown_over(self, ranks) -> float:
+        """Largest straggler factor among ``ranks`` (1.0 when healthy).
+
+        A synchronous iteration finishes when its slowest participant
+        does, so this is the factor the whole cohort pays.
+        """
+        return max(
+            (self.compute_slowdown.get(rank, 1.0) for rank in ranks),
+            default=1.0,
+        )
+
+
+class FaultPlan:
+    """An immutable, seeded schedule of :class:`FaultEvent` clauses."""
+
+    def __init__(self, events=(), seed: int = 0):
+        self.events: tuple[FaultEvent, ...] = tuple(events)
+        self.seed = int(seed)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({list(self.events)!r}, seed={self.seed})"
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the ``kind@window:key=value,...`` CLI grammar.
+
+        Clauses are separated by ``;``; windows are ``N`` or ``N-M``
+        (inclusive); ``rank=*`` targets every rank; ``p=`` makes a
+        clause probabilistic per (iteration, rank).  An empty spec
+        yields an empty (but still wired) plan.
+        """
+        events = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            events.append(_parse_clause(clause))
+        return cls(events, seed=seed)
+
+    # -- queries ------------------------------------------------------------
+
+    def faults_at(
+        self,
+        iteration: int,
+        n_workers: int,
+        consumed: frozenset[int] | set[int] = frozenset(),
+    ) -> IterationFaults:
+        """Resolve every clause at one iteration into per-rank effects.
+
+        ``consumed`` holds indices of crash events already handled by a
+        restart recovery — those no longer crash anyone (the worker was
+        replaced), which is how the injector makes restart recovery
+        consume a crash exactly once.
+        """
+        compute_slowdown: dict[int, float] = {}
+        drops: dict[int, int] = {}
+        corrupt_bits: dict[int, int] = {}
+        bandwidth_scale = 1.0
+        latency_scale = 1.0
+        crashed: set[int] = set()
+        rejoined: set[int] = set()
+        for index, event in enumerate(self.events):
+            if event.kind == "crash":
+                if index in consumed:
+                    continue
+                down = event.start <= iteration and (
+                    event.rejoin is None or iteration < event.rejoin
+                )
+                if down:
+                    crashed.add(event.rank)
+                if event.rejoin == iteration:
+                    rejoined.add(event.rank)
+                continue
+            if not event.start <= iteration <= event.stop:
+                continue
+            if event.kind == "degrade":
+                if not self._sample(index, iteration, 0, event.probability):
+                    continue
+                bandwidth_scale = min(bandwidth_scale, event.bandwidth_scale)
+                latency_scale = max(latency_scale, event.latency_scale)
+                continue
+            ranks = (
+                range(n_workers) if event.rank is None else (event.rank,)
+            )
+            for rank in ranks:
+                if not self._sample(index, iteration, rank,
+                                    event.probability):
+                    continue
+                if event.kind == "straggler":
+                    compute_slowdown[rank] = max(
+                        compute_slowdown.get(rank, 1.0), event.slowdown
+                    )
+                elif event.kind == "drop":
+                    drops[rank] = drops.get(rank, 0) + event.count
+                elif event.kind == "corrupt":
+                    corrupt_bits[rank] = (
+                        corrupt_bits.get(rank, 0) + event.bits
+                    )
+        # A crashed worker sends nothing: its wire and compute faults
+        # are moot this iteration.
+        for rank in crashed:
+            compute_slowdown.pop(rank, None)
+            drops.pop(rank, None)
+            corrupt_bits.pop(rank, None)
+        return IterationFaults(
+            iteration=iteration,
+            compute_slowdown=compute_slowdown,
+            drops=drops,
+            corrupt_bits=corrupt_bits,
+            bandwidth_scale=bandwidth_scale,
+            latency_scale=latency_scale,
+            crashed=frozenset(crashed),
+            rejoined=frozenset(rejoined),
+        )
+
+    def crash_events_at(self, iteration: int) -> list[tuple[int, FaultEvent]]:
+        """(index, event) of crash clauses whose outage covers ``iteration``."""
+        out = []
+        for index, event in enumerate(self.events):
+            if event.kind != "crash":
+                continue
+            if event.start <= iteration and (
+                event.rejoin is None or iteration < event.rejoin
+            ):
+                out.append((index, event))
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample(
+        self, index: int, iteration: int, rank: int, probability: float
+    ) -> bool:
+        """Counter-based Bernoulli draw: order-independent determinism."""
+        if probability >= 1.0:
+            return True
+        rng = np.random.default_rng(
+            (self.seed & 0x7FFFFFFF, 0x5EED, index, iteration, rank)
+        )
+        return bool(rng.random() < probability)
+
+
+def _parse_clause(clause: str) -> FaultEvent:
+    """One ``kind@window[:params]`` clause to a validated event."""
+    head, _, params_text = clause.partition(":")
+    kind, at, window = head.partition("@")
+    kind = kind.strip()
+    if not at:
+        raise ValueError(
+            f"fault clause {clause!r} is missing '@<iteration>'"
+        )
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in {clause!r}; "
+            f"known: {sorted(_KINDS)}"
+        )
+    start, stop = _parse_window(window.strip(), clause)
+    kwargs: dict = {"kind": kind, "start": start, "stop": stop}
+    allowed = _KINDS[kind]
+    for pair in filter(None, (p.strip() for p in params_text.split(","))):
+        if "=" not in pair:
+            raise ValueError(
+                f"fault clause {clause!r}: expected key=value, got {pair!r}"
+            )
+        key, raw = (s.strip() for s in pair.split("=", 1))
+        if key not in allowed:
+            raise ValueError(
+                f"fault clause {clause!r}: {kind} does not take "
+                f"{key!r} (allowed: {sorted(allowed)})"
+            )
+        if key == "rank":
+            kwargs["rank"] = None if raw == "*" else _parse_int(raw, clause)
+        elif key == "slow":
+            kwargs["slowdown"] = _parse_float(raw, clause)
+        elif key == "count":
+            kwargs["count"] = _parse_int(raw, clause)
+        elif key == "bits":
+            kwargs["bits"] = _parse_int(raw, clause)
+        elif key == "bw":
+            kwargs["bandwidth_scale"] = _parse_float(raw, clause)
+        elif key == "lat":
+            kwargs["latency_scale"] = _parse_float(raw, clause)
+        elif key == "rejoin":
+            kwargs["rejoin"] = _parse_int(raw, clause)
+        elif key == "p":
+            kwargs["probability"] = _parse_float(raw, clause)
+    try:
+        return FaultEvent(**kwargs)
+    except ValueError as error:
+        raise ValueError(f"fault clause {clause!r}: {error}") from None
+
+
+def _parse_window(window: str, clause: str) -> tuple[int, int]:
+    if not window:
+        raise ValueError(f"fault clause {clause!r} has an empty window")
+    start_text, dash, stop_text = window.partition("-")
+    start = _parse_int(start_text, clause)
+    stop = _parse_int(stop_text, clause) if dash else start
+    return start, stop
+
+
+def _parse_int(raw: str, clause: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"fault clause {clause!r}: expected an integer, got {raw!r}"
+        ) from None
+
+
+def _parse_float(raw: str, clause: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"fault clause {clause!r}: expected a number, got {raw!r}"
+        ) from None

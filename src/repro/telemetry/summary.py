@@ -215,6 +215,35 @@ class TraceSummary:
                   f"{op_seconds.get(op, 0.0):.6f}"]
                  for op, value in sorted(op_bytes.items())],
             ))
+        faults = self.counters_by_label("faults_injected_total", "kind")
+        if faults:
+            # Only fault-injected runs carry these counters, so golden
+            # fault-free reports render byte-identically to before.
+            resilience = [
+                ["retries", f"{self.counter('retries_total'):,.0f}"],
+                ["retransmitted bytes",
+                 f"{self.counter('retransmit_bytes_total'):,.0f}"],
+                ["checksum failures (detected)",
+                 f"{self.counter('comm_checksum_failures_total'):,.0f}"],
+                ["degraded iterations",
+                 f"{self.counter('degraded_iterations_total'):,.0f}"],
+                ["aborted iterations",
+                 f"{self.counter('aborted_iterations_total'):,.0f}"],
+                ["recoveries",
+                 f"{self.counter('recoveries_total'):,.0f}"],
+                ["checkpoints captured",
+                 f"{self.counter('checkpoints_total'):,.0f}"],
+                ["recovery seconds",
+                 f"{self.counter('train_sim_recovery_seconds_total'):.6f}"],
+            ]
+            sections.append("")
+            sections.append("Faults & resilience")
+            sections.append(format_table(
+                ["fault kind", "injected"],
+                [[kind, f"{count:,.0f}"]
+                 for kind, count in sorted(faults.items())],
+            ))
+            sections.append(format_table(["quantity", "value"], resilience))
         kernels = self.histograms_by_label(
             "compress_kernel_seconds", "compressor"
         )

@@ -5,10 +5,16 @@ import pytest
 
 from repro.core import available_compressors, create
 from repro.core.wire import (
+    CHECKSUM_NBYTES,
+    WireChecksumError,
+    WireFormatError,
     deserialize_payload,
+    frame_checksum_ok,
+    frame_payload,
     framing_overhead_bytes,
     serialize_compressed,
     serialize_payload,
+    unframe_payload,
 )
 
 
@@ -131,3 +137,69 @@ class TestPartCountEscape:
     def test_truncated_escaped_count_rejected(self):
         with pytest.raises(ValueError, match="part count"):
             deserialize_payload(b"\xff\x01\x00")
+
+
+class TestTypedErrors:
+    """Malformed frames raise WireFormatError, never raw numpy errors."""
+
+    def test_errors_are_wire_format_errors(self):
+        buffer = serialize_payload([np.arange(10, dtype=np.float32)])
+        for bad in (b"", buffer[:-4], buffer + b"xx", b"\xff\x01\x00"):
+            with pytest.raises(WireFormatError):
+                deserialize_payload(bad)
+
+    def test_wire_format_error_subclasses_value_error(self):
+        assert issubclass(WireFormatError, ValueError)
+        assert issubclass(WireChecksumError, WireFormatError)
+
+    def test_implausible_escaped_part_count_rejected(self):
+        # An escaped u32 count far beyond what the buffer could hold
+        # must fail structural validation, not walk off the buffer.
+        garbage = b"\xff\xff\xff\xff\x7f" + b"\x00" * 16
+        with pytest.raises(WireFormatError, match="implausible part count"):
+            deserialize_payload(garbage)
+
+    def test_garbage_dims_cannot_overflow_bounds_check(self):
+        # Huge dims whose int64 product would overflow negative used to
+        # slip past the bounds check into a raw numpy error.
+        buffer = bytearray(serialize_payload(
+            [np.zeros((2, 2, 2, 2), dtype=np.uint8)]
+        ))
+        buffer[3:19] = (2**31 - 1).to_bytes(4, "little") * 4
+        with pytest.raises(WireFormatError):
+            deserialize_payload(bytes(buffer))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_garbage_never_escapes_typed_error(self, seed):
+        rng = np.random.default_rng(seed)
+        for length in (1, 3, 17, 64, 257):
+            blob = rng.integers(0, 256, size=length, dtype=np.uint8)
+            try:
+                deserialize_payload(blob.tobytes())
+            except WireFormatError:
+                pass
+
+
+class TestChecksumFrames:
+    def test_roundtrip(self):
+        payload = [np.arange(6, dtype=np.float32), np.array([1], np.int32)]
+        frame = frame_payload(payload)
+        assert len(frame) == len(serialize_payload(payload)) + CHECKSUM_NBYTES
+        assert frame_checksum_ok(frame)
+        restored = unframe_payload(frame)
+        for original, copy in zip(payload, restored):
+            np.testing.assert_array_equal(copy, original)
+
+    def test_single_bit_flip_detected(self):
+        frame = bytearray(frame_payload([np.arange(32, dtype=np.float32)]))
+        for position in (0, len(frame) // 2, len(frame) - 1):
+            corrupted = bytearray(frame)
+            corrupted[position] ^= 0x10
+            assert not frame_checksum_ok(bytes(corrupted))
+            with pytest.raises(WireChecksumError):
+                unframe_payload(bytes(corrupted))
+
+    def test_short_frame_is_format_error(self):
+        with pytest.raises(WireFormatError):
+            unframe_payload(b"\x00\x01")
+        assert not frame_checksum_ok(b"\x00\x01")

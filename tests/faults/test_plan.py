@@ -1,0 +1,188 @@
+"""Fault plan grammar, validation and deterministic resolution."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestGrammar:
+    def test_full_spec_parses(self):
+        plan = FaultPlan.parse(
+            "straggler@5-20:rank=1,slow=3;"
+            "drop@8:rank=2,count=2;"
+            "corrupt@10-40:rank=*,bits=1,p=0.05;"
+            "degrade@30-60:bw=0.25,lat=4;"
+            "crash@12:rank=3,rejoin=18"
+        )
+        kinds = [event.kind for event in plan.events]
+        assert kinds == ["straggler", "drop", "corrupt", "degrade", "crash"]
+        assert plan.events[0].slowdown == 3.0
+        assert plan.events[1].count == 2
+        assert plan.events[2].rank is None  # rank=*
+        assert plan.events[3].bandwidth_scale == 0.25
+        assert plan.events[4].rejoin == 18
+
+    def test_empty_spec_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse(" ; ; ")
+        assert FaultPlan.parse("drop@1:rank=0")
+
+    def test_single_iteration_window(self):
+        event = FaultPlan.parse("drop@7:rank=0").events[0]
+        assert (event.start, event.stop) == (7, 7)
+
+    @pytest.mark.parametrize("spec,match", [
+        ("drop:rank=0", "missing '@"),
+        ("explode@3", "unknown fault kind"),
+        ("drop@:rank=0", "empty window"),
+        ("drop@x:rank=0", "expected an integer"),
+        ("drop@3:rank", "expected key=value"),
+        ("drop@3:bits=1", "does not take"),
+        ("straggler@3:slow=0.5", "slowdown must be >= 1"),
+        ("degrade@3:bw=0", "bandwidth scale"),
+        ("degrade@3:lat=0.5", "latency scale"),
+        ("crash@3-5:rank=0", "single iteration"),
+        ("crash@3", "explicit rank"),
+        ("crash@3:rank=0,rejoin=2", "rejoin"),
+        ("drop@3:rank=0,p=0", "probability"),
+        ("drop@3:rank=0,p=1.5", "probability"),
+        ("drop@5-3:rank=0", "window"),
+    ])
+    def test_malformed_clause_rejected(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan.parse(spec)
+
+    def test_unknown_kind_in_event(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", start=1, stop=1)
+
+
+class TestResolution:
+    def test_window_is_inclusive(self):
+        plan = FaultPlan.parse("straggler@5-7:rank=1,slow=2")
+        for iteration, expected in [(4, {}), (5, {1: 2.0}), (7, {1: 2.0}),
+                                    (8, {})]:
+            faults = plan.faults_at(iteration, n_workers=4)
+            assert faults.compute_slowdown == expected
+
+    def test_rank_star_hits_everyone(self):
+        plan = FaultPlan.parse("corrupt@3:rank=*,bits=2")
+        faults = plan.faults_at(3, n_workers=3)
+        assert faults.corrupt_bits == {0: 2, 1: 2, 2: 2}
+
+    def test_crash_lifecycle(self):
+        plan = FaultPlan.parse("crash@4:rank=2,rejoin=6")
+        assert plan.faults_at(3, 4).crashed == frozenset()
+        assert plan.faults_at(4, 4).crashed == {2}
+        assert plan.faults_at(5, 4).crashed == {2}
+        at_rejoin = plan.faults_at(6, 4)
+        assert at_rejoin.crashed == frozenset()
+        assert at_rejoin.rejoined == {2}
+        assert plan.faults_at(7, 4).any is False
+
+    def test_crash_without_rejoin_is_permanent(self):
+        plan = FaultPlan.parse("crash@4:rank=2")
+        assert plan.faults_at(100, 4).crashed == {2}
+
+    def test_consumed_crash_stops_applying(self):
+        plan = FaultPlan.parse("crash@4:rank=2,rejoin=6")
+        (index, event), = plan.crash_events_at(4)
+        assert event.rank == 2
+        after = plan.faults_at(4, 4, consumed={index})
+        assert after.crashed == frozenset()
+        assert after.rejoined == frozenset()
+
+    def test_crashed_rank_sends_nothing(self):
+        plan = FaultPlan.parse(
+            "crash@4:rank=2;drop@4:rank=2,count=3;straggler@4:rank=2,slow=9"
+        )
+        faults = plan.faults_at(4, 4)
+        assert faults.crashed == {2}
+        assert faults.drops == {}
+        assert faults.compute_slowdown == {}
+
+    def test_degrade_combines_worst_case(self):
+        plan = FaultPlan.parse("degrade@3:bw=0.5,lat=2;degrade@3:bw=0.25")
+        faults = plan.faults_at(3, 4)
+        assert faults.bandwidth_scale == 0.25
+        assert faults.latency_scale == 2.0
+        assert faults.degraded
+
+    def test_slowdown_over_cohort(self):
+        plan = FaultPlan.parse("straggler@1:rank=0,slow=4")
+        faults = plan.faults_at(1, 4)
+        assert faults.slowdown_over([0, 1]) == 4.0
+        assert faults.slowdown_over([1, 2]) == 1.0
+        assert faults.slowdown_over([]) == 1.0
+
+
+class TestDeterminism:
+    def test_probabilistic_resolution_is_seed_stable(self):
+        spec = "corrupt@0-200:rank=*,bits=1,p=0.3"
+        one = FaultPlan.parse(spec, seed=7)
+        two = FaultPlan.parse(spec, seed=7)
+        for iteration in range(0, 200, 7):
+            assert (one.faults_at(iteration, 4).corrupt_bits
+                    == two.faults_at(iteration, 4).corrupt_bits)
+
+    def test_different_seeds_sample_differently(self):
+        spec = "drop@0-500:rank=*,count=1,p=0.5"
+        one = FaultPlan.parse(spec, seed=1)
+        two = FaultPlan.parse(spec, seed=2)
+        draws = [
+            (bool(one.faults_at(i, 2).drops), bool(two.faults_at(i, 2).drops))
+            for i in range(100)
+        ]
+        assert any(a != b for a, b in draws)
+
+    def test_probability_hits_roughly_expected_rate(self):
+        plan = FaultPlan.parse("drop@0-999:rank=0,count=1,p=0.2", seed=3)
+        hits = sum(bool(plan.faults_at(i, 1).drops) for i in range(1000))
+        assert 120 < hits < 280
+
+    def test_resolution_is_query_order_independent(self):
+        plan = FaultPlan.parse("corrupt@0-50:rank=*,bits=1,p=0.4", seed=5)
+        forward = [plan.faults_at(i, 3).corrupt_bits for i in range(50)]
+        backward = [plan.faults_at(i, 3).corrupt_bits
+                    for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+
+class TestInjector:
+    def test_rejects_out_of_range_rank(self):
+        plan = FaultPlan.parse("drop@1:rank=5")
+        with pytest.raises(ValueError, match="rank 5"):
+            FaultInjector(plan, n_workers=4)
+
+    def test_counts_by_kind(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan.parse(
+            "crash@2:rank=1,rejoin=4;drop@1:rank=0,count=2"
+        )
+        injector = FaultInjector(plan, n_workers=2, registry=registry)
+        for iteration in range(5):
+            injector.begin_iteration(iteration)
+
+        def count(kind):
+            return registry.value("faults_injected_total", {"kind": kind})
+
+        assert count("drop") == 2  # count=2 at one iteration
+        assert count("crash") == 1  # counted once, not per down iteration
+        assert count("rejoin") == 1
+
+    def test_refresh_does_not_recount(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan.parse("crash@2:rank=1")
+        injector = FaultInjector(plan, n_workers=2, registry=registry)
+        injector.begin_iteration(2)
+        injector.refresh(2)
+        injector.refresh(2)
+        assert registry.value("faults_injected_total", {"kind": "crash"}) == 1
+
+    def test_consume_crashes_is_idempotent(self):
+        plan = FaultPlan.parse("crash@2:rank=1,rejoin=9")
+        injector = FaultInjector(plan, n_workers=2)
+        assert len(injector.consume_crashes(3)) == 1
+        assert injector.consume_crashes(3) == []
+        assert injector.begin_iteration(3).crashed == frozenset()

@@ -1,0 +1,232 @@
+"""ResilientCommunicator: passthrough parity, checksums, retries."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    Communicator,
+    NetworkModel,
+    ResilientCommunicator,
+    RetryPolicy,
+    ethernet,
+)
+from repro.faults import CollectiveTimeoutError, FaultPlan
+
+
+def _tensors(n_workers, size=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(size).astype(np.float32)
+            for _ in range(n_workers)]
+
+
+def _wrap(n_workers=4, retry=None, seed=0):
+    comm = ResilientCommunicator(
+        Communicator(n_workers), retry=retry, seed=seed
+    )
+    return comm
+
+
+def _faults_at(spec, iteration, n_workers=4, seed=0):
+    return FaultPlan.parse(spec, seed=seed).faults_at(iteration, n_workers)
+
+
+class TestPassthrough:
+    def test_no_faults_is_bitwise_identical(self):
+        tensors = _tensors(4)
+        plain = Communicator(4)
+        wrapped = _wrap(4)
+        expected = plain.allreduce([t.copy() for t in tensors])
+        for armed in (None, _faults_at("drop@99:rank=0", 0)):
+            wrapped.begin_iteration(armed, list(range(4)))
+            result = wrapped.allreduce([t.copy() for t in tensors])
+            np.testing.assert_array_equal(result, expected)
+        assert (wrapped.record.simulated_seconds
+                == 2 * plain.record.simulated_seconds / 1)  # two identical ops
+        assert (wrapped.record.bytes_sent_per_worker
+                == 2 * plain.record.bytes_sent_per_worker)
+
+    def test_delegated_surface(self):
+        inner = Communicator(3)
+        wrapped = ResilientCommunicator(inner)
+        assert wrapped.n_workers == 3
+        assert wrapped.network is inner.network
+        assert wrapped.backend is inner.backend
+        assert wrapped.record is inner.record
+
+
+class TestCorruption:
+    def test_corruption_always_detected_and_charged(self):
+        wrapped = _wrap(4)
+        registry = wrapped.record.registry
+        before_s = wrapped.record.simulated_seconds
+        before_b = wrapped.record.bytes_sent_per_worker
+        wrapped.begin_iteration(
+            _faults_at("corrupt@1:rank=2,bits=3", 1), list(range(4))
+        )
+        wrapped.allreduce(_tensors(4))
+        assert registry.value("comm_checksum_failures_total") == 1
+        assert registry.value("comm_checksum_misses_total") == 0
+        assert registry.value("retries_total") == 1
+        assert registry.value("retransmit_bytes_total") > 0
+        # Retransmit costs simulated time and wire bytes beyond the op.
+        plain = Communicator(4)
+        plain.allreduce(_tensors(4))
+        assert (wrapped.record.simulated_seconds - before_s
+                > plain.record.simulated_seconds)
+        assert (wrapped.record.bytes_sent_per_worker - before_b
+                > plain.record.bytes_sent_per_worker)
+
+    @pytest.mark.parametrize("bits", [1, 2, 8, 64])
+    def test_detection_across_bit_counts(self, bits):
+        wrapped = _wrap(2)
+        wrapped.begin_iteration(
+            _faults_at(f"corrupt@0:rank=0,bits={bits}", 0), [0, 1]
+        )
+        wrapped.allreduce(_tensors(2))
+        registry = wrapped.record.registry
+        assert registry.value("comm_checksum_failures_total") == 1
+        assert registry.value("comm_checksum_misses_total") == 0
+
+    def test_corruption_is_seed_deterministic(self):
+        def run(seed):
+            wrapped = _wrap(2, seed=seed)
+            wrapped.begin_iteration(
+                _faults_at("corrupt@0:rank=0,bits=1", 0), [0, 1]
+            )
+            wrapped.allreduce(_tensors(2))
+            return wrapped.record.simulated_seconds
+
+        assert run(5) == run(5)
+
+
+class TestDropsAndRetries:
+    def test_drop_charges_timeout_backoff_and_transfer(self):
+        retry = RetryPolicy(max_retries=3, timeout_s=0.5, backoff_s=0.25)
+        wrapped = _wrap(2, retry=retry)
+        wrapped.begin_iteration(
+            _faults_at("drop@0:rank=0,count=2", 0), [0, 1]
+        )
+        before = wrapped.record.simulated_seconds
+        wrapped.allreduce(_tensors(2))
+        charged = wrapped.record.simulated_seconds - before
+        # Two drops: timeout + backoff(0), timeout + backoff(1).
+        assert charged > 2 * 0.5 + 0.25 + 0.25 * 2.0
+        assert wrapped.record.registry.value("retries_total") == 2
+
+    def test_retry_budget_exhaustion_raises(self):
+        retry = RetryPolicy(max_retries=2)
+        wrapped = _wrap(2, retry=retry)
+        wrapped.begin_iteration(
+            _faults_at("drop@0:rank=1,count=5", 0), [0, 1]
+        )
+        with pytest.raises(CollectiveTimeoutError, match="rank 1"):
+            wrapped.allreduce(_tensors(2))
+        assert wrapped.record.registry.value("comm_timeouts_total") == 1
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_is_exponential(self):
+        retry = RetryPolicy(backoff_s=0.01, backoff_factor=2.0)
+        assert retry.backoff(0) == 0.01
+        assert retry.backoff(3) == pytest.approx(0.08)
+
+
+class TestDegradeAndStragglers:
+    def test_degrade_prices_against_slower_network(self):
+        clean = _wrap(4)
+        clean.begin_iteration(None)
+        clean.allreduce(_tensors(4))
+        degraded = _wrap(4)
+        degraded.begin_iteration(
+            _faults_at("degrade@0:bw=0.1,lat=10", 0), list(range(4))
+        )
+        degraded.allreduce(_tensors(4))
+        assert (degraded.record.simulated_seconds
+                > clean.record.simulated_seconds)
+        # Network restored after the collective.
+        assert degraded.network.bandwidth_gbps == clean.network.bandwidth_gbps
+
+    def test_straggler_stretches_collective(self):
+        clean = _wrap(4)
+        clean.begin_iteration(None)
+        clean.allreduce(_tensors(4))
+        slow = _wrap(4)
+        slow.begin_iteration(
+            _faults_at("straggler@0:rank=1,slow=3", 0), list(range(4))
+        )
+        slow.allreduce(_tensors(4))
+        assert slow.record.simulated_seconds == pytest.approx(
+            3.0 * clean.record.simulated_seconds
+        )
+
+    def test_straggler_outside_cohort_costs_nothing(self):
+        clean = _wrap(3)
+        clean.begin_iteration(None)
+        clean.allreduce(_tensors(3))
+        excluded = _wrap(3)
+        excluded.begin_iteration(
+            _faults_at("straggler@0:rank=3,slow=9", 0), [0, 1, 2]
+        )
+        excluded.allreduce(_tensors(3))
+        assert (excluded.record.simulated_seconds
+                == clean.record.simulated_seconds)
+
+    def test_cohort_resize_restores_inner(self):
+        wrapped = _wrap(4)
+        wrapped.begin_iteration(
+            _faults_at("crash@0:rank=3;straggler@0:rank=0,slow=2", 0),
+            [0, 1, 2],
+        )
+        wrapped.allreduce(_tensors(3))
+        assert wrapped.inner.n_workers == 4
+
+
+class TestNetworkModelDegraded:
+    def test_scaling(self):
+        base = ethernet(10.0)
+        slow = base.degraded(bandwidth_scale=0.5, latency_scale=2.0)
+        assert slow.bandwidth_gbps == pytest.approx(5.0)
+        assert slow.message_latency_s == pytest.approx(
+            2.0 * base.message_latency_s
+        )
+
+    def test_identity_returns_self(self):
+        base = ethernet(10.0)
+        assert base.degraded(1.0, 1.0) is base
+
+    @pytest.mark.parametrize("bw,lat", [(0.0, 1.0), (1.5, 1.0), (1.0, 0.5)])
+    def test_validation(self, bw, lat):
+        with pytest.raises(ValueError):
+            ethernet(10.0).degraded(bw, lat)
+
+
+class TestChargeGuards:
+    def test_charge_rejects_nan_and_negative(self):
+        record = Communicator(2).record
+        with pytest.raises(ValueError, match="non-finite"):
+            record.charge(float("nan"), 1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            record.charge(1.0, float("inf"))
+        with pytest.raises(ValueError, match="negative"):
+            record.charge(-1.0, 1.0)
+
+    def test_charge_overhead_rejects_nan_and_negative(self):
+        record = Communicator(2).record
+        with pytest.raises(ValueError):
+            record.charge_overhead(float("nan"))
+        with pytest.raises(ValueError):
+            record.charge_overhead(-0.5)
+
+    def test_charge_overhead_does_not_count_an_op(self):
+        record = Communicator(2).record
+        ops_before = record.num_ops
+        record.charge_overhead(0.1, bytes_per_worker=8.0, reason="test")
+        assert record.num_ops == ops_before
+        assert record.simulated_seconds == pytest.approx(0.1)
+        assert record.bytes_sent_per_worker == pytest.approx(8.0)
