@@ -1,0 +1,122 @@
+"""Committed baseline: per-finding suppressions with justifications.
+
+The baseline is a JSON file checked into the repo.  Each entry names a
+finding by (rule, file, fingerprint) plus a human justification; the
+lint run suppresses exactly those findings and reports entries that no
+longer match anything as *stale*, so the baseline can only shrink
+honestly.  ``repro lint --write-baseline`` regenerates the file from
+the current findings (justifications of surviving entries are kept).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+class Baseline:
+    """In-memory view of the committed suppression file."""
+
+    def __init__(self, entries: list[dict] | None = None, path: str = ""):
+        self.path = path
+        self.entries: list[dict] = []
+        for entry in entries or []:
+            if not isinstance(entry, dict) or not {
+                "rule", "file", "fingerprint"
+            } <= set(entry):
+                raise BaselineError(
+                    f"baseline entry needs rule/file/fingerprint keys: {entry!r}"
+                )
+            self.entries.append({
+                "rule": str(entry["rule"]),
+                "file": str(entry["file"]),
+                "fingerprint": str(entry["fingerprint"]),
+                "justification": str(entry.get("justification", "")),
+            })
+        self._used: set[int] = set()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls(path=str(path))
+        try:
+            data = json.loads(file_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise BaselineError(
+                f"baseline {path} must be an object with version={_VERSION}"
+            )
+        return cls(entries=data.get("findings", []), path=str(path))
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether ``finding`` is suppressed; marks the entry as used."""
+        for index, entry in enumerate(self.entries):
+            if (
+                entry["rule"] == finding.rule_id
+                and entry["file"] == finding.file
+                and entry["fingerprint"] == finding.fingerprint
+            ):
+                self._used.add(index)
+                return True
+        return False
+
+    def unused_entries(self) -> list[dict]:
+        """Entries that suppressed nothing this run (stale — remove them)."""
+        return [
+            entry for index, entry in enumerate(self.entries)
+            if index not in self._used
+        ]
+
+    def justification_for(self, finding: Finding) -> str:
+        """The committed justification for a baselined finding."""
+        for entry in self.entries:
+            if (
+                entry["rule"] == finding.rule_id
+                and entry["file"] == finding.file
+                and entry["fingerprint"] == finding.fingerprint
+            ):
+                return entry["justification"]
+        return ""
+
+
+def write_baseline(
+    path: str | Path,
+    findings: list[Finding],
+    previous: Baseline | None = None,
+) -> int:
+    """Write a baseline covering ``findings``; returns the entry count.
+
+    Justifications from ``previous`` are carried over for findings that
+    persist; new entries get an empty justification to be filled in by
+    the committer.
+    """
+    entries = []
+    for finding in findings:
+        justification = ""
+        if previous is not None:
+            justification = previous.justification_for(finding)
+        entries.append({
+            "rule": finding.rule_id,
+            "file": finding.file,
+            "fingerprint": finding.fingerprint,
+            "justification": justification,
+        })
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)

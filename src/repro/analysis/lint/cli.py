@@ -1,0 +1,109 @@
+"""The ``repro lint`` command (also installed as ``repro-lint``).
+
+Examples::
+
+    repro lint                       # lint src/repro against the baseline
+    repro lint --format json --out LINT.json --check
+    repro lint --write-baseline      # accept current findings (justify them!)
+    repro lint src/repro/core tests  # explicit paths
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.baseline import (
+    Baseline, BaselineError, DEFAULT_BASELINE, write_baseline,
+)
+from repro.analysis.lint.engine import lint_paths
+from repro.analysis.lint.findings import sort_findings
+from repro.analysis.lint.output import render_json, render_text
+from repro.analysis.lint.rules import default_rules
+
+
+def default_lint_paths() -> list[str]:
+    """What ``repro lint`` checks when no paths are given.
+
+    Prefers ``src/repro`` relative to the working directory; falls back
+    to the installed package location so the command works from
+    anywhere in the repo.
+    """
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [str(candidate)]
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by ``repro lint`` and the
+    standalone ``repro-lint`` console script)."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="stdout format (default: text)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report here "
+                             "(the CI artifact)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help="committed suppression file "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to accept every current "
+                             "finding (existing justifications are kept)")
+    parser.add_argument("--check", action="store_true",
+                        help="strict mode for CI: stale baseline entries "
+                             "also fail the run")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list baselined findings in the text report")
+
+
+def run_lint(args) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    paths = args.paths or default_lint_paths()
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as error:
+            raise SystemExit(str(error))
+    try:
+        report = lint_paths(paths, rules=default_rules(), baseline=baseline)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    if args.write_baseline:
+        accepted = sort_findings(report.findings + report.baselined)
+        count = write_baseline(args.baseline, accepted, previous=baseline)
+        print(f"baseline {args.baseline}: {count} entr(ies) written — "
+              "add a justification to each new entry before committing")
+        return 0
+    if args.out:
+        Path(args.out).write_text(render_json(report) + "\n",
+                                  encoding="utf-8")
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code(check_baseline=args.check)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone ``repro-lint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST contract checker for the GRACE reproduction "
+                    "(rules GR001–GR006; see docs/ANALYSIS.md)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

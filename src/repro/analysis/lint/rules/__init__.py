@@ -1,0 +1,38 @@
+"""The repo-specific lint rules (GR001–GR006).
+
+Each rule lives in its own module; :func:`default_rules` instantiates
+the full set in rule-id order.  Downstream code (plugins, tests) can
+compose its own list — the engine takes any ``list[Rule]``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import Rule
+from repro.analysis.lint.rules.rng import UnseededRngRule
+from repro.analysis.lint.rules.dtype import Float64LeakRule
+from repro.analysis.lint.rules.ctx_honesty import CtxHonestyRule
+from repro.analysis.lint.rules.payload import PayloadTypeRule
+from repro.analysis.lint.rules.async_handles import UndrainedHandleRule
+from repro.analysis.lint.rules.telemetry_spans import SpanContextRule
+
+__all__ = [
+    "CtxHonestyRule",
+    "Float64LeakRule",
+    "PayloadTypeRule",
+    "SpanContextRule",
+    "UndrainedHandleRule",
+    "UnseededRngRule",
+    "default_rules",
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every built-in rule, in rule-id order."""
+    return [
+        UnseededRngRule(),
+        Float64LeakRule(),
+        CtxHonestyRule(),
+        PayloadTypeRule(),
+        UndrainedHandleRule(),
+        SpanContextRule(),
+    ]

@@ -1,0 +1,92 @@
+"""GR005 — nonblocking collective handles that are never drained.
+
+``iallreduce_parts`` / ``iallgather`` return an ``AsyncHandle`` whose
+``wait()`` both yields the result and anchors the simulated-timeline
+event; THC-style aggregation bugs in compression pipelines are exactly
+this shape — a code path that fires the collective and never joins it,
+so the gradient silently never arrives (or the timeline never charges
+the transfer).  The rule flags a nonblocking call whose handle is
+discarded outright, or bound to a local name that the enclosing
+function never touches again.  Any later use — ``.wait()``,
+``.result``, appending to a pending list, returning or passing the
+handle on — counts as draining, because ownership has moved to code
+this file-local analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+#: Attribute names of the nonblocking collective launchers.
+NONBLOCKING_CALLS = frozenset({
+    "iallreduce_parts", "iallgather", "iallreduce", "ibroadcast", "ireduce",
+})
+
+
+class UndrainedHandleRule(Rule):
+    """Flag fire-and-forget nonblocking collective calls."""
+
+    rule_id = "GR005"
+    title = "nonblocking collective handle never waited on"
+    severity = "error"
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(module, node))
+        return findings
+
+    def _is_nonblocking(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in NONBLOCKING_CALLS
+        )
+
+    def _check_function(self, module: ModuleSource, func: ast.FunctionDef):
+        # The launcher methods themselves (and thin wrappers that hand
+        # the handle straight back) return the call — that is ownership
+        # transfer, not a leak.
+        statements = list(ast.walk(func))
+        for stmt in statements:
+            if isinstance(stmt, ast.Expr) and self._is_nonblocking(
+                stmt.value
+            ):
+                yield self.finding(
+                    module, stmt.value,
+                    f"result of {stmt.value.func.attr}() is discarded; the "
+                    "collective's AsyncHandle must be waited on (or handed "
+                    "off) or the aggregated payload never lands and the "
+                    "timeline never charges the transfer",
+                )
+            elif (
+                isinstance(stmt, ast.Assign)
+                and self._is_nonblocking(stmt.value)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                name = stmt.targets[0].id
+                if not self._used_later(func, stmt, name):
+                    yield self.finding(
+                        module, stmt.value,
+                        f"handle {name!r} from {stmt.value.func.attr}() is "
+                        "never used again in this function; call "
+                        f"{name}.wait() (or hand the handle off) so the "
+                        "collective actually drains",
+                    )
+
+    def _used_later(
+        self, func: ast.FunctionDef, assign: ast.Assign, name: str
+    ) -> bool:
+        """Whether ``name`` is loaded anywhere else in the function."""
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False

@@ -1,0 +1,150 @@
+"""GR003 — tensor-derived values smuggled into ``ctx`` instead of payload.
+
+The GRACE contract (§IV-B, ``repro.core.api``): ``ctx`` may carry only
+metadata the *receiver already knows* — original shape, dtype, sizes,
+tuning constants.  Anything derived from the tensor's **values** (norms,
+scales, means, selected indices, quantization codebooks) must travel in
+the payload, because ``CompressedTensor.nbytes`` only counts payload
+arrays: a value routed through ctx crosses the simulated wire for free
+and silently falsifies every compression-ratio and throughput number
+downstream ("Beyond Throughput and Compression Ratios", Han et al.).
+
+The check is a taint heuristic inside ``compress`` / ``compress_fused``
+bodies: the tensor parameter is the taint source; plain assignments
+propagate it; attribute reads of receiver-known metadata (``.shape``,
+``.size``, ``.ndim``, ``.dtype``, ``.itemsize``) and ``len()`` launder
+it; the ``shape`` half of ``flatten_with_shape`` is clean by
+definition.  Any still-tainted name reaching the ``ctx`` argument of a
+``CompressedTensor`` construction is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+#: Attribute reads that yield receiver-known metadata, not tensor values.
+METADATA_ATTRS = frozenset({
+    "shape", "size", "ndim", "dtype", "itemsize", "nbytes",
+})
+
+#: Calls whose result is receiver-known even on tainted input.
+METADATA_CALLS = frozenset({"len"})
+
+_COMPRESS_METHODS = ("compress", "compress_fused")
+
+
+def _tainted_names(expr: ast.AST, taint: set[str]) -> list[ast.Name]:
+    """Tainted Name nodes in ``expr``, skipping metadata-laundering reads."""
+    hits: list[ast.Name] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute) and node.attr in METADATA_ATTRS:
+            return  # tensor.shape etc. is receiver-known
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in METADATA_CALLS
+        ):
+            return
+        if isinstance(node, ast.Name) and node.id in taint:
+            hits.append(node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(expr)
+    return hits
+
+
+class CtxHonestyRule(Rule):
+    """Flag tensor-value-derived data flowing into ``ctx``."""
+
+    rule_id = "GR003"
+    title = "tensor-derived value in ctx instead of payload"
+    severity = "error"
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _COMPRESS_METHODS
+            ):
+                findings.extend(self._check_compress(module, node))
+        return findings
+
+    def _check_compress(self, module: ModuleSource, func: ast.FunctionDef):
+        params = [arg.arg for arg in func.args.args if arg.arg != "self"]
+        if not params:
+            return
+        taint = {params[0]}  # the tensor / flat-buffer argument
+        # Propagate to a fixpoint so out-of-order assignment chains
+        # (helper temporaries defined before use) are still caught.
+        while True:
+            before = len(taint)
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.Assign):
+                    self._propagate(module, stmt, taint)
+            if len(taint) == before:
+                break
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Call) and self._is_compressed_tensor(
+                module, stmt
+            ):
+                yield from self._check_ctx_arg(module, stmt, taint)
+
+    def _propagate(
+        self, module: ModuleSource, stmt: ast.Assign, taint: set[str]
+    ) -> None:
+        value = stmt.value
+        # `flat, shape = flatten_with_shape(tensor)`: the flat view is
+        # tainted, the shape is receiver-known by definition.
+        if (
+            isinstance(value, ast.Call)
+            and (module.resolve(value.func) or "").endswith(
+                "flatten_with_shape")
+            and _tainted_names(value, taint)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Tuple)
+            and len(stmt.targets[0].elts) == 2
+        ):
+            first = stmt.targets[0].elts[0]
+            if isinstance(first, ast.Name):
+                taint.add(first.id)
+            return
+        if not _tainted_names(value, taint):
+            return
+        for target in stmt.targets:
+            elements = (
+                target.elts if isinstance(target, ast.Tuple) else [target]
+            )
+            for element in elements:
+                if isinstance(element, ast.Name):
+                    taint.add(element.id)
+
+    def _is_compressed_tensor(
+        self, module: ModuleSource, call: ast.Call
+    ) -> bool:
+        resolved = module.resolve(call.func) or ""
+        return resolved.split(".")[-1] == "CompressedTensor"
+
+    def _check_ctx_arg(
+        self, module: ModuleSource, call: ast.Call, taint: set[str]
+    ):
+        ctx_expr = None
+        for keyword in call.keywords:
+            if keyword.arg == "ctx":
+                ctx_expr = keyword.value
+        if ctx_expr is None and len(call.args) >= 2:
+            ctx_expr = call.args[1]
+        if ctx_expr is None:
+            return
+        for name in _tainted_names(ctx_expr, taint):
+            yield self.finding(
+                module, name,
+                f"{name.id!r} is derived from the tensor's values but "
+                "flows into ctx; the receiver cannot know it, so it must "
+                "travel in the payload where nbytes accounting sees it "
+                "(GRACE §IV-B contract)",
+            )

@@ -1,0 +1,89 @@
+"""GR002 — float64 leakage into compressor / ndl hot paths.
+
+The whole stack is float32-disciplined: gradients, fusion buffers and
+wire payloads are float32, and the fused kernels' bitwise-parity
+guarantee depends on every scalar entering an array expression at
+float32 precision.  ``float(np.linalg.norm(...))`` and friends silently
+widen a float32 reduction to a 64-bit Python float — downstream Python
+arithmetic then runs in double precision, and whether the extra bits
+survive to the payload depends on call-site casting, which is exactly
+the kind of implicit behaviour that breaks parity.  Cast reductions
+with ``np.float32(...)`` (or keep the NumPy scalar) so the precision
+contract is explicit; deliberate float64 *internal* math (e.g. SVD in
+the low-rank family) stays allowed because ``astype`` round-trips are
+not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+#: NumPy reductions whose float() widening the rule flags.
+REDUCTIONS = frozenset({
+    "numpy.mean", "numpy.std", "numpy.var", "numpy.sum", "numpy.prod",
+    "numpy.max", "numpy.min", "numpy.amax", "numpy.amin", "numpy.ptp",
+    "numpy.median", "numpy.quantile", "numpy.percentile", "numpy.dot",
+    "numpy.vdot", "numpy.inner", "numpy.linalg.norm", "numpy.trace",
+})
+
+#: Array constructors whose explicit float64 dtype the rule flags.
+CONSTRUCTORS = frozenset({
+    "numpy.array", "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full",
+})
+
+
+def _is_float64(module: ModuleSource, node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value in ("float64", "f8", "d")
+    return module.resolve(node) in ("numpy.float64", "numpy.double")
+
+
+class Float64LeakRule(Rule):
+    """Flag float64 promotion of float32 reductions in hot-path code."""
+
+    rule_id = "GR002"
+    title = "float64 leakage into a float32 hot path"
+    severity = "error"
+    scopes = ("core/compressors/", "ndl/", "core/fusion", "core/api")
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_float_widen(module, node))
+            findings.extend(self._check_constructor_dtype(module, node))
+        return findings
+
+    def _check_float_widen(self, module: ModuleSource, node: ast.Call):
+        if not (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Call)
+        ):
+            return
+        inner = module.resolve(node.args[0].func)
+        if inner in REDUCTIONS:
+            yield self.finding(
+                module, node,
+                f"float({inner}(...)) widens a float32 reduction to a "
+                "64-bit Python float in a hot path; cast with "
+                "np.float32(...) (or keep the NumPy scalar) so float32 "
+                "discipline is explicit",
+            )
+
+    def _check_constructor_dtype(self, module: ModuleSource, node: ast.Call):
+        if module.resolve(node.func) not in CONSTRUCTORS:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_float64(module, keyword.value):
+                yield self.finding(
+                    module, node,
+                    "explicit float64 array construction in a float32 hot "
+                    "path; payloads and fusion buffers are float32 — use "
+                    "dtype=np.float32, or compute in float64 internally "
+                    "and astype down before the array leaves the kernel",
+                )

@@ -1,0 +1,62 @@
+"""GR001 — global or unseeded NumPy RNG in library code.
+
+Fault replay (``repro train --faults``) and the fused-vs-unfused parity
+goldens both assume every random draw comes from a per-worker
+``np.random.default_rng(seed)`` stream: replaying a crashed iteration,
+or comparing the fused kernel against the per-tensor path, requires the
+stream to be reconstructible from the seed alone.  The legacy global
+``np.random.*`` samplers (and ``default_rng()`` with no seed) draw from
+process-global or OS-entropy state that no replay can reproduce.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+#: Legacy samplers/mutators on the global ``numpy.random`` state.
+GLOBAL_STATE_FUNCTIONS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "bytes", "normal",
+    "uniform", "standard_normal", "binomial", "poisson", "exponential",
+    "beta", "gamma", "laplace", "lognormal", "get_state", "set_state",
+})
+
+
+class UnseededRngRule(Rule):
+    """Flag draws from global or unseeded NumPy random state."""
+
+    rule_id = "GR001"
+    title = "global or unseeded NumPy RNG in library code"
+    severity = "error"
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved is None:
+                continue
+            if (
+                resolved.startswith("numpy.random.")
+                and resolved.rsplit(".", 1)[1] in GLOBAL_STATE_FUNCTIONS
+            ):
+                findings.append(self.finding(
+                    module, node,
+                    f"{resolved} draws from the process-global RNG; fault "
+                    "replay and seeded-parity goldens cannot reproduce it — "
+                    "thread a seeded np.random.default_rng(seed) Generator "
+                    "through instead",
+                ))
+            elif resolved in (
+                "numpy.random.default_rng", "numpy.random.Generator",
+            ) and not node.args and not node.keywords:
+                findings.append(self.finding(
+                    module, node,
+                    f"{resolved}() without a seed draws OS entropy; pass an "
+                    "explicit seed so replay and per-worker reseeding stay "
+                    "deterministic",
+                ))
+        return findings

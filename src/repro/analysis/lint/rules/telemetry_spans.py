@@ -1,0 +1,56 @@
+"""GR006 — telemetry spans opened outside a context manager.
+
+``Tracer.span(...)`` returns a span that only records its duration —
+and only pops itself off the tracer's stack — inside ``with``.  A span
+opened bare (assigned, or called for effect) either never closes,
+which corrupts the parent linkage of every span opened after it, or
+must be closed by hand-calling ``__enter__``/``__exit__``, which the
+out-of-order check in ``Tracer._pop`` turns into a runtime error at the
+worst possible moment (mid-training).  The rule requires ``.span(...)``
+calls to be a ``with`` item; returning the fresh span to a caller (a
+factory helper whose caller does the ``with``) is the one allowed
+escape.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+
+class SpanContextRule(Rule):
+    """Flag ``.span(...)`` calls not used as context managers."""
+
+    rule_id = "GR006"
+    title = "telemetry span opened outside a with-statement"
+    severity = "error"
+
+    def check(self, module: ModuleSource) -> list:
+        allowed: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        allowed.add(id(sub))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # A helper may construct and return the span; the caller
+                # is then responsible for the with-statement.
+                for sub in ast.walk(node.value):
+                    allowed.add(id(sub))
+        findings = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in allowed
+            ):
+                findings.append(self.finding(
+                    module, node,
+                    "span opened outside a with-statement; it will never "
+                    "close (or will close out of order and crash the "
+                    "tracer) — write `with tracer.span(...):` or return "
+                    "the span for the caller's with",
+                ))
+        return findings

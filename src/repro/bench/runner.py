@@ -47,6 +47,8 @@ def train_quality(
     recovery: str = "degrade",
     checkpoint_every: int = 0,
     straggler_policy: str = "wait",
+    sanitize: bool = False,
+    sanitize_every: int = 1,
 ) -> QualityResult:
     """Train one benchmark with one compressor; return best quality.
 
@@ -55,11 +57,18 @@ def train_quality(
     has a compute phase to hide communication under; the parameter math
     is unchanged either way.  ``faults`` injects a deterministic fault
     plan (spec grammar in ``docs/ROBUSTNESS.md``) and the remaining
-    knobs choose the trainer's recovery behaviour.
+    knobs choose the trainer's recovery behaviour.  ``sanitize=True``
+    wraps the compressor in :class:`repro.core.contract.ContractChecker`
+    so every compress call re-validates the §IV-B contract (the training
+    math is unchanged; a violation raises ``ContractViolation``).
     """
     run = spec.build(n_workers=n_workers, seed=seed,
                      compressor_name=compressor_name)
     compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
+    if sanitize:
+        from repro.core.contract import ContractChecker
+
+        compressor = ContractChecker(compressor, check_every=sanitize_every)
     params = dict(memory_params or {})
     if compressor_name == "efsignsgd" and memory is None and not params:
         # §V-A: EFsignSGD runs with beta=1 and gamma = the initial LR.

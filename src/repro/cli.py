@@ -10,6 +10,9 @@ Examples::
     python -m repro report /tmp/run.jsonl --chrome /tmp/run.trace.json
     python -m repro experiment fig6 --panels a,d
     python -m repro experiment table1
+    python -m repro lint --check --format json --out LINT.json
+    python -m repro train --benchmark ncf-movielens --compressor qsgd \
+        --sanitize
 """
 
 from __future__ import annotations
@@ -123,6 +126,8 @@ def cmd_train(args) -> int:
         recovery=args.recovery,
         checkpoint_every=args.checkpoint_every,
         straggler_policy=args.straggler_policy,
+        sanitize=args.sanitize,
+        sanitize_every=args.sanitize_every,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
@@ -281,6 +286,13 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static contract rules; exit nonzero on new findings."""
+    from repro.analysis.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_experiment(args) -> int:
     """Regenerate one of the paper's tables/figures."""
     from repro.bench.experiments import (
@@ -370,6 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default), drop slow ranks from the cohort, or "
                             "fold their gradients back in while fresh "
                             "(backup)")
+    train.add_argument("--sanitize", action="store_true",
+                       help="wrap the compressor in the runtime contract "
+                            "checker: every compress call re-validates "
+                            "payload types, ctx honesty, wire round-trip, "
+                            "determinism and fused parity "
+                            "(see docs/ANALYSIS.md)")
+    train.add_argument("--sanitize-every", type=int, default=1, metavar="N",
+                       help="run the expensive sanitizer checks (snapshot "
+                            "replay, fused reference) every N-th call "
+                            "(default 1; structural checks always run)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL telemetry trace here")
     train.add_argument("--chrome-trace", default=None, metavar="PATH",
@@ -425,6 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default) or the simulated event timeline "
                              "(renders overlap concurrency)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST contract rules (GR001-GR006) over "
+             "src/repro or the given paths",
+    )
+    from repro.analysis.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
     )
@@ -447,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": cmd_train,
         "bench": cmd_bench,
         "report": cmd_report,
+        "lint": cmd_lint,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

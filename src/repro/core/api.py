@@ -29,6 +29,39 @@ Payload = list[np.ndarray]
 Context = Any
 
 
+class PayloadTypeError(TypeError):
+    """A payload part is not a plain NumPy ndarray.
+
+    Payload parts cross the (simulated) network: anything that is not an
+    ndarray either cannot be framed at all or would be silently coerced
+    with a data-dependent size, breaking the §IV-B accounting.  Raised by
+    :func:`validate_payload` (and therefore by :func:`concat_compressed`
+    and the wire framing layer) with the offending part's index and type.
+    """
+
+
+def validate_payload(payload: Payload, *, owner: str = "payload") -> Payload:
+    """Check every payload part is a real, non-object ndarray.
+
+    Returns ``payload`` unchanged so callers can validate inline.  Scalars,
+    lists, ``.tolist()`` output and ``dtype=object`` arrays are rejected
+    rather than coerced — coercion would hide a dishonest wire format.
+    """
+    for index, part in enumerate(payload):
+        if not isinstance(part, np.ndarray):
+            raise PayloadTypeError(
+                f"{owner} part {index} is {type(part).__name__}, expected "
+                f"numpy.ndarray — wrap scalars as 1-element arrays with an "
+                f"explicit dtype"
+            )
+        if part.dtype == object:
+            raise PayloadTypeError(
+                f"{owner} part {index} has dtype=object, which has no "
+                f"defined wire size; use a concrete numeric dtype"
+            )
+    return payload
+
+
 @dataclass
 class CompressedTensor:
     """One tensor's compressed representation, as produced by ``compress``.
@@ -93,7 +126,7 @@ def concat_compressed(bucket, compressed: list[CompressedTensor]) -> CompressedT
     splits = []
     ctxs = []
     for item in compressed:
-        parts.extend(item.payload)
+        parts.extend(validate_payload(item.payload))
         splits.append(len(item.payload))
         ctxs.append(item.ctx)
     return CompressedTensor(

@@ -62,7 +62,11 @@ class DgcCompressor(Compressor):
             self._rng.choice(d, size=min(sample_size, d), replace=False)
         ]
         quantile = 1.0 - k / d
-        threshold = float(np.quantile(sample, quantile)) if sample.size else 0.0
+        # np.float32: the threshold only ever feeds float32 magnitude
+        # comparisons, which would cast it anyway (GR002).
+        threshold = (
+            np.float32(np.quantile(sample, quantile)) if sample.size else 0.0
+        )
         for _ in range(self.max_adjust_iters - 1):
             selected = int(np.count_nonzero(magnitudes > threshold))
             if 0.75 * k <= selected <= 1.5 * k:

@@ -62,7 +62,10 @@ class InceptionnCompressor(Compressor):
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
         flat, shape = flatten_with_shape(tensor)
-        max_mag = float(np.max(np.abs(flat))) if flat.size else 0.0
+        # np.float32: the max of a float32 array is exact at float32, and
+        # `rel` below divides a float32 array by it — no float64 detour
+        # through a Python scalar (GR002).
+        max_mag = np.float32(np.max(np.abs(flat))) if flat.size else 0.0
         mag = np.abs(flat)
         tags = np.full(flat.size, _TAG_F16, dtype=np.uint8)
         if max_mag > 0:

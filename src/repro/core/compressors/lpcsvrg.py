@@ -44,8 +44,12 @@ class LPCSVRGCompressor(Compressor):
         if flat.size == 0:
             payload = [np.zeros(0, np.uint8), np.zeros(1, np.float32)]
             return CompressedTensor(payload=payload, ctx=(shape, 0))
-        bound = self.clip_std * float(np.std(flat)) or float(
-            np.max(np.abs(flat)) or 1.0
+        # np.float32: keep the clip bound at the precision the array ops
+        # would cast it to anyway, instead of a float64 detour through a
+        # Python scalar (GR002).  np.float32(0) is falsy, so the `or`
+        # fallback for constant tensors is unchanged.
+        bound = np.float32(self.clip_std) * np.float32(np.std(flat)) or (
+            np.float32(np.max(np.abs(flat)) or 1.0)
         )
         clipped = np.clip(flat, -bound, bound)
         # Grid step so the clipped range maps into the code range.
@@ -67,5 +71,5 @@ class LPCSVRGCompressor(Compressor):
         if size == 0:
             return np.zeros(shape, dtype=np.float32)
         codes = unpack_bits(packed, bits=self.bit_width, count=size)
-        values = (codes - self._offset).astype(np.float32) * float(delta[0])
+        values = (codes - self._offset).astype(np.float32) * delta[0]
         return values.reshape(shape)

@@ -56,7 +56,9 @@ class QSGDCompressor(Compressor):
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
         flat, shape = flatten_with_shape(tensor)
-        norm = float(np.linalg.norm(flat))
+        # float32 throughout: float() would widen the norm to a 64-bit
+        # Python scalar on its way into the payload scale part (GR002).
+        norm = np.float32(np.linalg.norm(flat))
         codes = quantize_stochastic_levels(
             np.abs(flat), norm, self.levels, rng=self._rng
         )
@@ -71,7 +73,7 @@ class QSGDCompressor(Compressor):
         """Apply Q^-1: rebuild a dense tensor of the original shape."""
         shape, size = compressed.ctx
         norm_arr, packed_signs, packed_codes = compressed.payload
-        norm = float(norm_arr[0])
+        norm = norm_arr[0]  # float32 scale part, kept at wire precision
         signs = unpack_signs(packed_signs, size)
         codes = unpack_bits(packed_codes, bits=self.code_bits, count=size)
         values = norm * signs * codes.astype(np.float32) / self.levels

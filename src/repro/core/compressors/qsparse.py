@@ -73,7 +73,9 @@ class QsparseLocalSGDCompressor(Compressor):
             values, indices = sparsify_topk(flat, k)
         else:
             values, indices = sparsify_randomk(flat, k, rng=self._rng)
-        norm = float(np.linalg.norm(values))
+        # float32 throughout: float() would widen the norm to a 64-bit
+        # Python scalar on its way into the payload scale part (GR002).
+        norm = np.float32(np.linalg.norm(values))
         codes = quantize_stochastic_levels(
             np.abs(values), norm, self.levels, rng=self._rng
         )
@@ -94,7 +96,7 @@ class QsparseLocalSGDCompressor(Compressor):
         signs = unpack_signs(packed_signs, k)
         codes = unpack_bits(packed_codes, bits=self.code_bits, count=k)
         values = (
-            float(norm_arr[0]) * signs * codes.astype(np.float32) / self.levels
+            norm_arr[0] * signs * codes.astype(np.float32) / self.levels
         )
         return desparsify(
             values.astype(np.float32), indices.astype(np.int64), size

@@ -65,10 +65,13 @@ class TernGradCompressor(Compressor):
         """Apply Q: returns the wire payload plus decompression ctx."""
         flat, shape = flatten_with_shape(tensor)
         if flat.size:
-            bound = self.clip_factor * float(np.std(flat))
+            # np.float32: keep the clip bound at the precision the array
+            # op would cast it to anyway, instead of a float64 detour
+            # through a Python scalar (GR002).
+            bound = np.float32(self.clip_factor) * np.float32(np.std(flat))
             if bound > 0:
                 flat = np.clip(flat, -bound, bound)
-        scale = float(np.max(np.abs(flat))) if flat.size else 0.0
+        scale = np.float32(np.max(np.abs(flat))) if flat.size else 0.0
         if scale > 0:
             keep = self._rng.random(size=flat.shape) < np.abs(flat) / scale
         else:
@@ -106,7 +109,7 @@ class TernGradCompressor(Compressor):
             return super().compress_fused(buffer, bucket)
         bounds = np.empty(len(bucket.segments), dtype=np.float32)
         for i, seg in enumerate(bucket.segments):
-            bound = self.clip_factor * float(
+            bound = np.float32(self.clip_factor) * np.float32(
                 np.std(buffer[seg.offset:seg.end])
             )
             bounds[i] = bound if bound > 0 else np.inf
@@ -169,4 +172,4 @@ class TernGradCompressor(Compressor):
         ternary = np.zeros(size, dtype=np.float32)
         ternary[codes == _CODE_POS] = 1.0
         ternary[codes == _CODE_NEG] = -1.0
-        return (float(scale_arr[0]) * ternary).reshape(shape)
+        return (scale_arr[0] * ternary).reshape(shape)

@@ -50,28 +50,34 @@ class ThreeLCCompressor(Compressor):
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
         flat, shape = flatten_with_shape(tensor)
-        max_mag = float(np.max(np.abs(flat))) if flat.size else 0.0
+        # np.float32: the max of a float32 array is exact at float32 and
+        # only ever feeds float32 math — no float64 detour (GR002).
+        max_mag = np.float32(np.max(np.abs(flat))) if flat.size else 0.0
         if max_mag == 0.0:
             ternary = np.zeros(flat.size, dtype=np.int64)
             scale = 0.0
         else:
-            scale = max_mag / self.sparsity_multiplier
+            scale = max_mag / np.float32(self.sparsity_multiplier)
             ternary = np.clip(np.rint(flat / scale), -1, 1).astype(np.int64)
         symbols, runs, n_symbols = rle_encode_zeros(ternary)
+        # The RLE symbol/run counts are derived from the tensor values,
+        # so the receiver cannot know them a priori: they travel on the
+        # wire as a payload part, not in ctx (GR003 / paper §IV-B).
+        counts = np.array([n_symbols, runs.size], dtype=np.int64)
         payload = [
             pack_bits(symbols, bits=2),
             varint_encode(runs),
             np.array([scale], dtype=np.float32),
+            counts,
         ]
-        return CompressedTensor(
-            payload=payload, ctx=(shape, flat.size, n_symbols, runs.size)
-        )
+        return CompressedTensor(payload=payload, ctx=(shape, flat.size))
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
         """Apply Q^-1: rebuild a dense tensor of the original shape."""
-        shape, size, n_symbols, n_runs = compressed.ctx
-        packed_symbols, packed_runs, scale = compressed.payload
+        shape, size = compressed.ctx
+        packed_symbols, packed_runs, scale, counts = compressed.payload
+        n_symbols, n_runs = int(counts[0]), int(counts[1])
         symbols = unpack_bits(packed_symbols, bits=2, count=n_symbols)
         runs = varint_decode(packed_runs, n_runs)
         ternary = rle_decode_zeros(symbols, runs, size)
-        return (float(scale[0]) * ternary).reshape(shape)
+        return (scale[0] * ternary).reshape(shape)

@@ -19,6 +19,13 @@ from repro.tensorlib import desparsify, sparsify_topk
 from repro.tensorlib.indices import decode_indices, encode_indices
 
 
+# One-byte wire tags for the index-buffer representation.  Under
+# ``index_encoding="auto"`` the chosen mode depends on the tensor values,
+# so it must travel in the payload, not in ctx (GR003 / paper §IV-B).
+_MODE_CODES = {"bitmap": 1, "delta": 2}
+_MODE_NAMES = {code: name for name, code in _MODE_CODES.items()}
+
+
 class _FusedTopKCtx:
     """Decompression ctx for the vectorized fused top-k payload."""
 
@@ -69,9 +76,14 @@ class TopKCompressor(Compressor):
         buffer, mode = encode_indices(
             indices, flat.size, mode=self.index_encoding
         )
-        payload = [values.astype(np.float32), buffer]
+        # Prefix the index buffer with a one-byte mode tag; ctx carries
+        # only the configured (receiver-known) encoding name.
+        tagged = np.concatenate(
+            [np.array([_MODE_CODES[mode]], dtype=np.uint8), buffer]
+        )
+        payload = [values.astype(np.float32), tagged]
         return CompressedTensor(
-            payload=payload, ctx=(shape, flat.size, mode, k)
+            payload=payload, ctx=(shape, flat.size, self.index_encoding, k)
         )
 
     def compress_fused(self, buffer: np.ndarray, bucket) -> CompressedTensor:
@@ -125,10 +137,12 @@ class TopKCompressor(Compressor):
         return out
 
     def _indices(self, compressed: CompressedTensor) -> np.ndarray:
-        shape, size, mode, k = compressed.ctx
-        if mode == "int32":
+        shape, size, encoding, k = compressed.ctx
+        if encoding == "int32":
             return compressed.payload[1].astype(np.int64)
-        return decode_indices(compressed.payload[1], mode, size, k)
+        tagged = compressed.payload[1]
+        mode = _MODE_NAMES[int(tagged[0])]
+        return decode_indices(tagged[1:], mode, size, k)
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
         """Apply Q^-1: rebuild a dense tensor of the original shape."""

@@ -38,7 +38,12 @@ import zlib
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Payload
+from repro.core.api import (
+    CompressedTensor,
+    Payload,
+    PayloadTypeError,
+    validate_payload,
+)
 
 
 class WireFormatError(ValueError):
@@ -77,9 +82,15 @@ def part_count_header_bytes(n_parts: int) -> int:
 
 
 def serialize_payload(payload: Payload) -> bytes:
-    """Frame a payload (list of arrays) into one byte buffer."""
+    """Frame a payload (list of arrays) into one byte buffer.
+
+    Parts must be plain ndarrays with a concrete numeric dtype —
+    anything else raises :class:`~repro.core.api.PayloadTypeError`
+    rather than being silently coerced with a data-dependent size.
+    """
     if len(payload) > _MAX_PARTS:
         raise ValueError(f"payload has too many parts ({len(payload)})")
+    validate_payload(payload, owner="wire payload")
     chunks = [_part_count_header(len(payload))]
     for part in payload:
         original = np.asarray(part)

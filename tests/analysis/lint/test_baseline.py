@@ -1,0 +1,112 @@
+"""Baseline suppression: load/write round-trips, staleness, errors."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint.baseline import (
+    Baseline,
+    BaselineError,
+    write_baseline,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def _finding(snippet="np.random.rand()", file="a.py", rule="GR001"):
+    return Finding(
+        rule_id=rule, severity="error", message="m",
+        file=file, line=3, col=0, snippet=snippet,
+    )
+
+
+class TestLoad:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == []
+        assert not baseline.matches(_finding())
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = _finding()
+        assert write_baseline(path, [finding]) == 1
+        baseline = Baseline.load(path)
+        assert baseline.matches(finding)
+        assert baseline.unused_entries() == []
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}),
+                        encoding="utf-8")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_entry_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"rule": "GR001"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_matches_on_fingerprint_not_line(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        baseline = Baseline.load(path)
+        moved = Finding(
+            rule_id="GR001", severity="error", message="m",
+            file="a.py", line=400, col=7, snippet="np.random.rand()",
+        )
+        assert baseline.matches(moved)
+
+    def test_edited_line_no_longer_matches(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        baseline = Baseline.load(path)
+        assert not baseline.matches(_finding(snippet="np.random.randn()"))
+        assert len(baseline.unused_entries()) == 1
+
+    def test_unused_entries_are_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(), _finding(file="b.py")])
+        baseline = Baseline.load(path)
+        baseline.matches(_finding())
+        stale = baseline.unused_entries()
+        assert len(stale) == 1
+        assert stale[0]["file"] == "b.py"
+
+
+class TestWrite:
+    def test_justifications_survive_rewrite(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = _finding()
+        write_baseline(path, [finding])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["findings"][0]["justification"] = "known false positive"
+        path.write_text(json.dumps(data), encoding="utf-8")
+
+        previous = Baseline.load(path)
+        write_baseline(path, [finding, _finding(file="new.py")],
+                       previous=previous)
+        rewritten = json.loads(path.read_text(encoding="utf-8"))
+        by_file = {e["file"]: e["justification"]
+                   for e in rewritten["findings"]}
+        assert by_file["a.py"] == "known false positive"
+        assert by_file["new.py"] == ""
+
+    def test_written_schema(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        assert set(data["findings"][0]) == {
+            "rule", "file", "fingerprint", "justification",
+        }

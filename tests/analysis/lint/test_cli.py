@@ -1,0 +1,113 @@
+"""CLI flows (``repro lint`` / ``repro-lint``) and the self-lint gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint.cli import default_lint_paths, main as lint_main
+from repro.analysis.lint.engine import lint_paths
+from repro.analysis.lint.rules import default_rules
+from repro.cli import main as repro_main
+
+BAD_SOURCE = "import numpy as np\nnp.random.rand(3)\n"
+GOOD_SOURCE = "import numpy as np\n\n\ndef f(rng):\n    return rng.random(3)\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestStandaloneCli:
+    def test_findings_exit_nonzero(self, bad_tree, capsys):
+        code = lint_main([str(bad_tree), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[GR001]" in out
+        assert "1 finding(s)" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(GOOD_SOURCE, encoding="utf-8")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+
+    def test_json_format_and_artifact(self, bad_tree, tmp_path, capsys):
+        artifact = tmp_path / "LINT.json"
+        code = lint_main([
+            str(bad_tree), "--no-baseline",
+            "--format", "json", "--out", str(artifact),
+        ])
+        assert code == 1
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads(artifact.read_text(encoding="utf-8"))
+        assert stdout_report == file_report
+        assert file_report["ok"] is False
+        assert file_report["findings"][0]["rule"] == "GR001"
+        assert file_report["findings"][0]["fingerprint"]
+
+    def test_write_baseline_then_clean_run(self, bad_tree, capsys):
+        baseline = bad_tree / "baseline.json"
+        assert lint_main([
+            str(bad_tree), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.exists()
+        # The accepted finding is now suppressed...
+        assert lint_main([
+            str(bad_tree), "--baseline", str(baseline),
+        ]) == 0
+        # ...but --check fails once the violation is fixed and the
+        # baseline entry goes stale.
+        (bad_tree / "mod.py").write_text(GOOD_SOURCE, encoding="utf-8")
+        assert lint_main([
+            str(bad_tree), "--baseline", str(baseline),
+        ]) == 0
+        assert lint_main([
+            str(bad_tree), "--baseline", str(baseline), "--check",
+        ]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_malformed_baseline_is_a_clean_error(self, bad_tree):
+        baseline = bad_tree / "baseline.json"
+        baseline.write_text("{oops", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            lint_main([str(bad_tree), "--baseline", str(baseline)])
+
+
+class TestReproSubcommand:
+    def test_repro_lint_runs(self, bad_tree, capsys):
+        code = repro_main(["lint", str(bad_tree), "--no-baseline"])
+        assert code == 1
+        assert "[GR001]" in capsys.readouterr().out
+
+    def test_default_paths_prefer_src_repro(self, tmp_path, monkeypatch):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        monkeypatch.chdir(tmp_path)
+        assert default_lint_paths() == [str(Path("src") / "repro")]
+
+    def test_default_paths_fall_back_to_installed_package(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (found,) = default_lint_paths()
+        assert Path(found) == Path(repro.__file__).parent
+
+
+class TestSelfLint:
+    def test_src_repro_is_lint_clean(self):
+        """The tentpole acceptance gate: the repo lints itself clean."""
+        package_dir = Path(repro.__file__).parent
+        report = lint_paths([package_dir], rules=default_rules())
+        assert report.files_checked > 100
+        locations = [f.location() for f in report.findings]
+        assert locations == [], f"self-lint found: {locations}"
+
+    def test_committed_baseline_is_empty(self):
+        repo_root = Path(repro.__file__).resolve().parents[2]
+        baseline_path = repo_root / "lint-baseline.json"
+        assert baseline_path.exists(), "lint-baseline.json must be committed"
+        data = json.loads(baseline_path.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        assert data["findings"] == []

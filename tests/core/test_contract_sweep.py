@@ -1,0 +1,85 @@
+"""Registry-wide contract sweep.
+
+Every registered compressor is driven through the runtime
+:class:`ContractChecker` — payload types, ctx honesty, wire round-trip,
+nbytes accounting, determinism replay and fused-vs-unfused parity — over
+dense, sparse, scalar and empty tensors plus a fused bucket.  A new
+compressor lands in this sweep automatically the moment it registers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.contract import ContractChecker, ContractViolation
+from repro.core.fusion import FusionPlan
+from repro.core.registry import available_compressors, create
+
+_RNG = np.random.default_rng(20210705)
+
+CASES = {
+    "dense": _RNG.standard_normal((17, 9)).astype(np.float32),
+    "sparse": np.where(
+        _RNG.random(300) < 0.05, _RNG.standard_normal(300), 0.0
+    ).astype(np.float32).reshape(20, 15),
+    "scalar": np.array([0.731], dtype=np.float32),
+    "empty": np.zeros((0,), dtype=np.float32),
+}
+
+#: Compressors that reject a given input outright (that is allowed — the
+#: contract only binds outputs of *successful* compress calls).
+KNOWN_UNSUPPORTED = {
+    ("dgc", "empty"),
+    ("sketchsgd", "empty"),
+    ("variance", "empty"),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("name", available_compressors())
+def test_contract_holds_per_tensor(name, case):
+    tensor = CASES[case].copy()
+    checker = ContractChecker(create(name, seed=3))
+    try:
+        compressed = checker.compress(tensor, "sweep")
+    except ContractViolation:
+        raise
+    except Exception:
+        if (name, case) in KNOWN_UNSUPPORTED:
+            pytest.skip(f"{name} rejects {case} input")
+        raise
+    restored = checker.decompress(compressed)
+    assert restored.shape == tensor.shape
+    assert restored.dtype == np.float32
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_contract_holds_fused(name):
+    rng = np.random.default_rng(11)
+    grads = {
+        "conv.w": rng.standard_normal((7, 5)).astype(np.float32),
+        "conv.b": rng.standard_normal((64,)).astype(np.float32),
+        "block.w": rng.standard_normal((3, 4, 2)).astype(np.float32),
+    }
+    plan = FusionPlan.from_gradients(grads, 1 << 20)
+    (bucket,) = plan.buckets
+    buffer = np.empty(bucket.numel, dtype=np.float32)
+    for seg in bucket.segments:
+        buffer[seg.offset:seg.end] = grads[seg.name].ravel()
+
+    checker = ContractChecker(create(name, seed=3))
+    compressed = checker.compress_fused(buffer.copy(), bucket)
+    restored = checker.decompress_fused(compressed)
+    assert restored.shape == (bucket.numel,)
+    assert restored.dtype == np.float32
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_checker_is_transparent(name):
+    """Wrapping must not change the compressed output bitwise."""
+    tensor = CASES["dense"].copy()
+    bare = create(name, seed=7).compress(tensor.copy(), "t")
+    checked = ContractChecker(create(name, seed=7)).compress(tensor, "t")
+    assert len(bare.payload) == len(checked.payload)
+    for a, b in zip(bare.payload, checked.payload):
+        assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
+    assert bare.nbytes == checked.nbytes
