@@ -1,8 +1,11 @@
 """Benchmark harness: performance models, the benchmark suite of Table II,
-and one experiment module per table/figure of the paper (see DESIGN.md's
-experiment index).
+one experiment module per table/figure of the paper (see DESIGN.md's
+experiment index), the unified perf suites (:mod:`repro.bench.suites`)
+and the cross-PR perf history + regression gate
+(:mod:`repro.bench.history`).
 """
 
+from repro.bench.metadata import run_metadata
 from repro.bench.perf import DeviceModel, KernelCostModel, PerfModel, V100
 from repro.bench.suite import (
     BenchmarkSpec,
@@ -20,4 +23,5 @@ __all__ = [
     "BENCHMARKS",
     "get_benchmark",
     "paper_gradient_tensors",
+    "run_metadata",
 ]

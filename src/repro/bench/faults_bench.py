@@ -301,6 +301,10 @@ def run_faults_bench(
 
 def write_json(path: str, result: FaultsBenchResult) -> None:
     """Serialize one benchmark run to ``BENCH_faults.json``."""
+    from repro.bench.metadata import run_metadata
+
+    payload = result.to_dict()
+    payload["meta"] = run_metadata(seed=result.seed)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -214,6 +214,10 @@ def run_fusion_bench(
 
 def write_json(path: str, result: FusionBenchResult) -> None:
     """Serialize one benchmark result to ``BENCH_fusion.json``."""
+    from repro.bench.metadata import run_metadata
+
+    payload = result.to_dict()
+    payload["meta"] = run_metadata()
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

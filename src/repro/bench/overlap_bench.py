@@ -290,6 +290,10 @@ def run_overlap_bench(
 
 def write_json(path: str, result: OverlapBenchResult) -> None:
     """Serialize one benchmark grid to ``BENCH_overlap.json``."""
+    from repro.bench.metadata import run_metadata
+
+    payload = result.to_dict()
+    payload["meta"] = run_metadata()
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

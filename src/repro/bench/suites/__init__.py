@@ -1,0 +1,55 @@
+"""Unified benchmark suites: one schema for every perf harness.
+
+``SUITES`` maps the ``repro bench <name>`` argument to a
+:class:`~repro.bench.suites.base.BenchmarkSuite` adapter; each adapter
+drives the exact harness code the CLI always drove and re-expresses its
+result in the versioned :class:`~repro.bench.suites.base.RunResult`
+schema the perf history and regression gate consume.
+"""
+
+from repro.bench.suites.base import (
+    BenchmarkSuite,
+    Execution,
+    Metric,
+    RunResult,
+    SCHEMA_VERSION,
+    read_result,
+    write_result,
+)
+from repro.bench.suites.faults import FaultsSuite
+from repro.bench.suites.fusion import FusionSuite
+from repro.bench.suites.overlap import OverlapSuite
+from repro.bench.suites.throughput import ThroughputSuite
+
+#: Registry of every perf suite, keyed by CLI name.
+SUITES: dict[str, BenchmarkSuite] = {
+    suite.name: suite
+    for suite in (FusionSuite(), OverlapSuite(), FaultsSuite(),
+                  ThroughputSuite())
+}
+
+
+def get_suite(name: str) -> BenchmarkSuite:
+    """Look up a suite by its CLI name."""
+    if name not in SUITES:
+        raise KeyError(
+            f"unknown suite {name!r}; known: {sorted(SUITES)}"
+        )
+    return SUITES[name]
+
+
+__all__ = [
+    "BenchmarkSuite",
+    "Execution",
+    "FaultsSuite",
+    "FusionSuite",
+    "Metric",
+    "OverlapSuite",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "ThroughputSuite",
+    "get_suite",
+    "read_result",
+    "write_result",
+]

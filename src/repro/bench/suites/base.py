@@ -1,0 +1,275 @@
+"""One schema for every performance benchmark (`repro bench`).
+
+The perf surface used to be ad-hoc harnesses each serializing its own
+JSON shape.  A :class:`BenchmarkSuite` adapts one harness to a single
+versioned :class:`RunResult`:
+
+* **metrics** — flat, named :class:`Metric` values with a unit, an
+  optimization *direction* (``lower``/``higher``/``info``) and the
+  tolerance band the regression gate applies (see
+  :mod:`repro.bench.history`);
+* **cold/warm runs** — the cold run's values are the headline numbers
+  (bit-identical to what the underlying harness reports); optional warm
+  repeats quantify run-to-run noise for wall-clock metrics;
+* **run metadata** — the shared :func:`repro.bench.metadata.run_metadata`
+  stamp (git SHA + dirty flag, NumPy version, platform, seed);
+* **raw** — the harness-native payload, preserved verbatim so nothing
+  the old ``BENCH_*.json`` consumers read is lost.
+
+Suites do not re-implement their harnesses: they call the same
+``run_*`` entry points the CLI always called, so the numbers cannot
+drift from the pre-suite outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.metadata import run_metadata
+
+#: Bumped when RunResult's serialized shape changes.
+SCHEMA_VERSION = 1
+
+#: Valid metric directions.  ``lower``/``higher`` say which way is
+#: better (and arm the regression gate); ``info`` metrics are recorded
+#: but never gated.
+DIRECTIONS = ("lower", "higher", "info")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named benchmark measurement.
+
+    ``tolerance`` is the relative band the regression gate allows
+    around the rolling baseline; ``floor`` is the absolute slack added
+    on top, so metrics whose baseline sits near zero (loss gaps,
+    recovery seconds) don't fail on noise-scale wiggle.
+    """
+
+    name: str
+    value: float
+    unit: str
+    direction: str = "info"
+    tolerance: float = 0.1
+    floor: float = 0.0
+
+    def __post_init__(self):
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction must be one of "
+                f"{DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.tolerance < 0 or self.floor < 0:
+            raise ValueError(
+                f"metric {self.name!r}: tolerance and floor must be >= 0"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance": self.tolerance,
+            "floor": self.floor,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Metric":
+        return cls(
+            name=name,
+            value=float(payload["value"]),
+            unit=str(payload.get("unit", "")),
+            direction=str(payload.get("direction", "info")),
+            tolerance=float(payload.get("tolerance", 0.1)),
+            floor=float(payload.get("floor", 0.0)),
+        )
+
+
+@dataclass
+class Execution:
+    """What one harness invocation produced (internal to suites)."""
+
+    metrics: list[Metric]
+    raw: dict
+    text: str
+    failures: list[str] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    """One suite run in the unified, versioned schema."""
+
+    suite: str
+    benchmark: str
+    params: dict
+    metrics: dict[str, Metric]
+    meta: dict
+    raw: dict
+    text: str
+    failures: list[str] = field(default_factory=list)
+    warm: dict[str, list[float]] | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def metric(self, name: str) -> Metric:
+        """Look up one metric by name."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"{self.suite}/{self.benchmark} has no metric {name!r}; "
+                f"known: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    def value(self, name: str) -> float:
+        """Shorthand for ``metric(name).value``."""
+        return self.metric(name).value
+
+    def check(self) -> list[str]:
+        """The harness's own acceptance failures (empty = pass)."""
+        return list(self.failures)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "benchmark": self.benchmark,
+            "params": self.params,
+            "metrics": {
+                name: metric.to_dict()
+                for name, metric in self.metrics.items()
+            },
+            "meta": self.meta,
+            "raw": self.raw,
+            "failures": self.failures,
+        }
+        if self.warm is not None:
+            payload["warm"] = self.warm
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        version = int(payload.get("schema_version", 0))
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema_version {version} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            suite=str(payload["suite"]),
+            benchmark=str(payload["benchmark"]),
+            params=dict(payload.get("params") or {}),
+            metrics={
+                name: Metric.from_dict(name, value)
+                for name, value in (payload.get("metrics") or {}).items()
+            },
+            meta=dict(payload.get("meta") or {}),
+            raw=dict(payload.get("raw") or {}),
+            text="",
+            failures=list(payload.get("failures") or []),
+            warm=payload.get("warm"),
+            schema_version=version,
+        )
+
+
+def write_result(path: str | Path, result: RunResult) -> None:
+    """Serialize one RunResult to JSON (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_result(path: str | Path) -> RunResult:
+    """Parse a RunResult JSON back (raises ValueError on bad shape)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(payload, dict) or "suite" not in payload:
+        raise ValueError(f"{path}: not a RunResult JSON (no 'suite' key)")
+    return RunResult.from_dict(payload)
+
+
+class BenchmarkSuite(ABC):
+    """Adapter from one perf harness to the unified RunResult schema.
+
+    Subclasses implement :meth:`_execute` by calling their existing
+    harness entry point and translating its result object into metrics;
+    :meth:`run` adds the cold/warm protocol and the metadata stamp.
+    """
+
+    #: Registry key and the ``repro bench <name>`` argument.
+    name: str = ""
+    #: One-line description for ``repro bench --list``-style output.
+    description: str = ""
+
+    @abstractmethod
+    def available_benchmarks(self) -> list[str]:
+        """Benchmark keys this suite accepts (may be a single synthetic)."""
+
+    @abstractmethod
+    def default_params(self) -> dict:
+        """The parameter defaults one run starts from."""
+
+    @abstractmethod
+    def _execute(self, benchmark: str, params: dict) -> Execution:
+        """Run the underlying harness once with resolved parameters."""
+
+    #: Metric names whose values vary run-to-run (measured wall clock);
+    #: warm repeats report these so noise is quantified, and the parity
+    #: guarantee ("cold == harness output") is only meaningful for the
+    #: rest.
+    noisy_metrics: tuple[str, ...] = ()
+
+    def resolve_params(self, params: dict | None) -> dict:
+        """Merge caller overrides over the suite defaults."""
+        resolved = dict(self.default_params())
+        for key, value in (params or {}).items():
+            if value is not None:
+                resolved[key] = value
+        return resolved
+
+    def run(self, benchmark: str | None = None,
+            params: dict | None = None,
+            warm_runs: int = 0) -> RunResult:
+        """Run the suite once cold (headline) plus optional warm repeats.
+
+        The cold run's metrics ARE the harness's numbers — the suite
+        layer adds no iteration of its own, so deterministic metrics are
+        bit-identical to calling the harness directly.  ``warm_runs``
+        re-executes the harness and records every metric's repeat values
+        under ``warm`` (the process is warm by then: caches primed,
+        kernels JIT-free NumPy, so wall-clock spread is honest noise).
+        """
+        if warm_runs < 0:
+            raise ValueError(f"warm_runs must be >= 0, got {warm_runs}")
+        known = self.available_benchmarks()
+        benchmark = benchmark if benchmark is not None else known[0]
+        if benchmark not in known:
+            raise ValueError(
+                f"suite {self.name!r} has no benchmark {benchmark!r}; "
+                f"known: {sorted(known)}"
+            )
+        resolved = self.resolve_params(params)
+        cold = self._execute(benchmark, resolved)
+        warm: dict[str, list[float]] | None = None
+        if warm_runs > 0:
+            warm = {metric.name: [] for metric in cold.metrics}
+            for _ in range(warm_runs):
+                repeat = self._execute(benchmark, resolved)
+                for metric in repeat.metrics:
+                    warm.setdefault(metric.name, []).append(metric.value)
+        return RunResult(
+            suite=self.name,
+            benchmark=benchmark,
+            params=resolved,
+            metrics={m.name: m for m in cold.metrics},
+            meta=run_metadata(seed=resolved.get("seed")),
+            raw=cold.raw,
+            text=cold.text,
+            failures=cold.failures,
+            warm=warm,
+        )

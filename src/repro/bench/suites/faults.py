@@ -1,0 +1,67 @@
+"""The fault-injection resilience harness on the suite schema."""
+
+from __future__ import annotations
+
+from repro.bench.faults_bench import FaultsBenchResult, run_faults_bench
+from repro.bench.suites.base import BenchmarkSuite, Execution, Metric
+
+#: The harness trains its own strongly-convex task, not a Table II row.
+SYNTHETIC_BENCHMARK = "quadratic-ef"
+
+
+class FaultsSuite(BenchmarkSuite):
+    """`repro bench faults` — convergence and overheads under faults."""
+
+    name = "faults"
+    description = ("crash/corrupt/drop/straggler scenarios vs a "
+                   "fault-free baseline with an error-feedback compressor")
+
+    def available_benchmarks(self) -> list[str]:
+        return [SYNTHETIC_BENCHMARK]
+
+    def default_params(self) -> dict:
+        return {"n_workers": 4, "iterations": 40, "dim": 64, "seed": 0}
+
+    def _execute(self, benchmark: str, params: dict) -> Execution:
+        result = run_faults_bench(
+            n_workers=params["n_workers"],
+            iterations=max(int(params["iterations"]), 21),
+            dim=params["dim"],
+            seed=params["seed"],
+        )
+        return Execution(
+            metrics=self._metrics(result),
+            raw=result.to_dict(),
+            text=result.format(),
+            failures=result.check(),
+        )
+
+    @staticmethod
+    def _metrics(result: FaultsBenchResult) -> list[Metric]:
+        # Loss gaps hover near zero for healthy recovery, so their gate
+        # is a small absolute floor on top of the relative band;
+        # checksum misses must stay at their baseline of exactly zero.
+        metrics = [
+            Metric("baseline_loss", result.baseline_loss, "loss", "info"),
+            Metric("baseline_sim_comm_seconds",
+                   result.baseline_sim_comm_seconds, "seconds", "info"),
+        ]
+        for cell in result.cells:
+            metrics += [
+                Metric(f"{cell.scenario}/loss_gap", cell.loss_gap,
+                       "fraction", "lower", tolerance=0.1, floor=0.005),
+                Metric(f"{cell.scenario}/checksum_misses",
+                       cell.checksum_misses, "frames", "lower",
+                       tolerance=0.0),
+                Metric(f"{cell.scenario}/recovery_seconds",
+                       cell.recovery_seconds, "seconds", "lower",
+                       tolerance=0.05, floor=1e-9),
+                Metric(f"{cell.scenario}/sim_comm_seconds",
+                       cell.sim_comm_seconds, "seconds", "lower",
+                       tolerance=0.05),
+                Metric(f"{cell.scenario}/faults_injected",
+                       cell.faults_injected, "faults", "info"),
+                Metric(f"{cell.scenario}/retries", cell.retries,
+                       "retries", "info"),
+            ]
+        return metrics

@@ -1,0 +1,65 @@
+"""The backprop/communication overlap harness on the suite schema."""
+
+from __future__ import annotations
+
+from repro.bench.overlap_bench import OverlapBenchResult, run_overlap_bench
+from repro.bench.suites.base import BenchmarkSuite, Execution, Metric
+from repro.bench.suite import BENCHMARKS
+
+
+class OverlapSuite(BenchmarkSuite):
+    """`repro bench overlap` — sequential vs overlapped schedules."""
+
+    name = "overlap"
+    description = ("sequential vs DDP-style overlapped schedule at paper "
+                   "scale: makespans, hidden communication, speedups")
+
+    def available_benchmarks(self) -> list[str]:
+        return list(BENCHMARKS)
+
+    def default_params(self) -> dict:
+        return {
+            "compressors": ("none", "topk"),
+            "networks": ("1gbps-tcp", "10gbps-tcp"),
+            "n_workers": 8,
+            "fusion_mb": 0.125,
+        }
+
+    def _execute(self, benchmark: str, params: dict) -> Execution:
+        result = run_overlap_bench(
+            benchmark=benchmark,
+            compressors=tuple(params["compressors"]),
+            networks=tuple(params["networks"]),
+            n_workers=params["n_workers"],
+            fusion_mb=params["fusion_mb"],
+        )
+        return Execution(
+            metrics=self._metrics(result),
+            raw=result.to_dict(),
+            text=result.format(),
+            failures=result.check(),
+        )
+
+    @staticmethod
+    def _metrics(result: OverlapBenchResult) -> list[Metric]:
+        # The whole grid is analytical (cost models only), so every
+        # metric is deterministic and the bands can be tight.
+        metrics = [
+            Metric("best_speedup", result.best_speedup, "ratio", "higher",
+                   tolerance=0.02),
+        ]
+        for cell in result.cells:
+            prefix = f"{cell.compressor}/{cell.network}"
+            metrics += [
+                Metric(f"{prefix}/sequential_seconds",
+                       cell.sequential_seconds, "seconds", "info"),
+                Metric(f"{prefix}/overlapped_seconds",
+                       cell.overlapped_seconds, "seconds", "lower",
+                       tolerance=0.02),
+                Metric(f"{prefix}/speedup", cell.speedup, "ratio",
+                       "higher", tolerance=0.02),
+                Metric(f"{prefix}/overlap_fraction",
+                       cell.overlap_fraction, "fraction", "higher",
+                       tolerance=0.02, floor=0.01),
+            ]
+        return metrics

@@ -1,0 +1,95 @@
+"""The paper-scale iteration-cost model on the suite schema.
+
+This is the harness behind every Fig. 6/9/10 throughput claim:
+:func:`repro.bench.throughput.simulate_iteration` prices one training
+iteration (compute + communication + compression kernels) per
+compressor at paper scale.  As a suite it tracks the *modelled*
+end-to-end numbers across PRs — the cost model itself is code, so a
+regression here means a PR changed the model or a compressor's wire
+footprint, exactly the silent drift the history gate exists to catch.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suites.base import BenchmarkSuite, Execution, Metric
+from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.bench.throughput import relative_throughput, simulate_iteration
+from repro.comm.network import ethernet
+
+#: Default compressor column: one representative per major family.
+DEFAULT_COMPRESSORS = ("none", "topk", "randomk", "qsgd", "efsignsgd",
+                       "powersgd")
+
+
+class ThroughputSuite(BenchmarkSuite):
+    """`repro bench throughput` — modelled per-iteration costs."""
+
+    name = "throughput"
+    description = ("paper-scale iteration time, bytes and relative "
+                   "throughput per compressor under the α-β cost model")
+
+    def available_benchmarks(self) -> list[str]:
+        return list(BENCHMARKS)
+
+    def default_params(self) -> dict:
+        return {
+            "compressors": DEFAULT_COMPRESSORS,
+            "n_workers": 8,
+            "gbps": 10.0,
+            "seed": 0,
+        }
+
+    def _execute(self, benchmark: str, params: dict) -> Execution:
+        spec = get_benchmark(benchmark)
+        network = ethernet(float(params["gbps"]))
+        n_workers = int(params["n_workers"])
+        metrics: list[Metric] = []
+        raw: dict = {"benchmark": benchmark, "n_workers": n_workers,
+                     "gbps": params["gbps"], "cells": {}}
+        lines = [
+            f"throughput model  : {benchmark} ({n_workers} workers, "
+            f"{params['gbps']} Gbps)",
+            f"{'compressor':<12}{'iter s':>10}{'comm s':>10}"
+            f"{'kernel s':>10}{'rel tput':>10}",
+        ]
+        failures: list[str] = []
+        for name in params["compressors"]:
+            cost = simulate_iteration(
+                spec, name, n_workers=n_workers, network=network
+            )
+            relative = relative_throughput(
+                spec, name, n_workers=n_workers, network=network
+            )
+            raw["cells"][name] = {
+                "compute_seconds": cost.compute_seconds,
+                "comm_seconds": cost.comm_seconds,
+                "kernel_seconds": cost.kernel_seconds,
+                "total_seconds": cost.total_seconds,
+                "bytes_per_worker": cost.bytes_per_worker,
+                "relative_throughput": relative,
+            }
+            lines.append(
+                f"{name:<12}{cost.total_seconds:>10.4f}"
+                f"{cost.comm_seconds:>10.4f}{cost.kernel_seconds:>10.4f}"
+                f"{relative:>9.2f}x"
+            )
+            # The model is closed-form, so bands are tight.
+            metrics += [
+                Metric(f"{name}/iteration_seconds", cost.total_seconds,
+                       "seconds", "lower", tolerance=0.02),
+                Metric(f"{name}/comm_seconds", cost.comm_seconds,
+                       "seconds", "lower", tolerance=0.02),
+                Metric(f"{name}/bytes_per_worker", cost.bytes_per_worker,
+                       "bytes", "lower", tolerance=0.02),
+                Metric(f"{name}/relative_throughput", relative, "ratio",
+                       "higher", tolerance=0.02),
+            ]
+            if cost.total_seconds <= 0:
+                failures.append(
+                    f"{name}: modelled iteration time is "
+                    f"{cost.total_seconds} (must be positive)"
+                )
+        return Execution(
+            metrics=metrics, raw=raw, text="\n".join(lines),
+            failures=failures,
+        )

@@ -187,103 +187,284 @@ def _export_trace(args, tracer, report) -> None:
         print(f"metrics          : {args.metrics_out}")
 
 
-def cmd_bench(args) -> int:
-    """Run a perf benchmark: fusion, overlap or fault-resilience."""
-    if args.what == "overlap":
-        return _bench_overlap(args)
-    if args.what == "faults":
-        return _bench_faults(args)
-    from repro.bench.fusion_bench import run_fusion_bench, write_json
+def _suite_params(args) -> dict:
+    """Map bench CLI flags onto one suite's parameter overrides.
 
-    result = run_fusion_bench(
-        benchmark=args.benchmark,
-        compressor=args.compressor,
-        n_workers=args.workers,
-        iterations=args.iterations,
-        fusion_mb=args.fusion_mb if args.fusion_mb is not None else 64.0,
-        seed=args.seed,
-        compressor_params=_parse_params(args.param) or None,
+    ``None`` values are dropped by ``resolve_params`` so each suite's
+    own defaults apply (64 MB fusion buffers for fusion, 0.125 MB for
+    overlap, and so on).
+    """
+    if args.what == "fusion":
+        return {
+            "compressor": args.compressor,
+            "n_workers": args.workers,
+            "iterations": args.iterations,
+            "fusion_mb": args.fusion_mb,
+            "seed": args.seed,
+            "compressor_params": _parse_params(args.param) or None,
+        }
+    if args.what == "overlap":
+        return {
+            "compressors": (tuple(args.compressors.split(","))
+                            if args.compressors else None),
+            "networks": tuple(args.networks.split(",")),
+            "n_workers": args.workers,
+            "fusion_mb": args.fusion_mb,
+        }
+    if args.what == "faults":
+        return {
+            "n_workers": args.workers,
+            "iterations": max(args.iterations, 21),
+            "seed": args.seed,
+        }
+    # throughput
+    return {
+        "compressors": (tuple(args.compressors.split(","))
+                        if args.compressors else None),
+        "n_workers": args.workers,
+        "gbps": args.gbps,
+        "seed": args.seed,
+    }
+
+
+def cmd_bench(args) -> int:
+    """Run one perf suite (or compare two recorded runs).
+
+    Every suite goes through the unified :class:`BenchmarkSuite` layer:
+    one RunResult schema, one artifact location
+    (``benchmarks/results/BENCH_<suite>.json``), one history file and
+    one regression gate (``--check``).
+    """
+    if args.what == "compare":
+        return _bench_compare(args)
+    from repro.bench import history as perf_history
+    from repro.bench.suites import get_suite, write_result
+
+    suite = get_suite(args.what)
+    # The faults suite trains its own synthetic task, so the Table II
+    # benchmark flag does not apply to it.
+    benchmark = None if args.what == "faults" else args.benchmark
+    result = suite.run(
+        benchmark=benchmark,
+        params=_suite_params(args),
+        warm_runs=args.warm_runs,
     )
-    print(result.format())
-    if args.out:
-        write_json(args.out, result)
-        print(f"result json      : {args.out}")
-    if args.check and result.fused.collective_ops >= result.unfused.collective_ops:
-        print(
-            "FUSION CHECK FAILED: fused run issued "
-            f"{result.fused.collective_ops} collectives, unfused "
-            f"{result.unfused.collective_ops}"
+    print(result.text)
+    out = args.out
+    if out is None:
+        out = f"benchmarks/results/BENCH_{suite.name}.json"
+    if out != "-":
+        write_result(out, result)
+        print(f"result json      : {out}")
+    failures: list = []
+    regressions: list = []
+    if args.check:
+        failures = result.check()
+        for failure in failures:
+            print(f"{suite.name.upper()} CHECK FAILED: {failure}")
+        try:
+            history = perf_history.read_history(args.history)
+        except ValueError as error:
+            raise SystemExit(f"cannot read perf history: {error}")
+        regressions = perf_history.check_against_history(
+            result, history, window=args.baseline_window
         )
+        for regression in regressions:
+            print(f"PERF REGRESSION: {regression}")
+        if not regressions:
+            gated = sum(
+                1 for m in result.metrics.values() if m.direction != "info"
+            )
+            print(f"regression gate  : ok ({gated} gated metrics vs "
+                  f"{args.history})")
+    if args.record:
+        if failures or regressions:
+            print("history          : not recorded (checks failed)")
+        else:
+            entry = perf_history.append_history(args.history, result)
+            print(f"history          : recorded {entry['commit'][:12]} "
+                  f"-> {args.history}")
+    return 1 if (failures or regressions) else 0
+
+
+def _bench_compare(args) -> int:
+    """Diff two recorded runs (JSON paths or history commit refs)."""
+    import os
+
+    from repro.bench import history as perf_history
+    from repro.bench.suites import read_result
+
+    if len(args.refs) != 2:
+        raise SystemExit(
+            "bench compare needs exactly two refs (RunResult JSON paths "
+            "or history commit prefixes)"
+        )
+
+    def load(ref: str) -> dict:
+        if os.path.exists(ref):
+            try:
+                return read_result(ref).to_dict()
+            except ValueError as error:
+                raise SystemExit(str(error))
+        try:
+            history = perf_history.read_history(args.history)
+            return perf_history.find_entry(history, ref)
+        except (KeyError, ValueError) as error:
+            raise SystemExit(str(error))
+
+    a, b = load(args.refs[0]), load(args.refs[1])
+    rows = perf_history.compare_entries(a, b)
+    if not rows:
+        raise SystemExit("the two runs share no metrics to compare")
+    label_a = a.get("commit", args.refs[0])
+    label_b = b.get("commit", args.refs[1])
+    print(f"A = {label_a}")
+    print(f"B = {label_b}")
+    print(perf_history.diff_table(rows))
+    worse = [row for row in rows if row["verdict"] == "worse"]
+    if worse:
+        print(f"{len(worse)} metric(s) worse in B")
         return 1
     return 0
 
 
-def _bench_overlap(args) -> int:
-    """Run the sequential-vs-overlapped schedule grid."""
-    from repro.bench.overlap_bench import run_overlap_bench, write_json
-
-    result = run_overlap_bench(
-        benchmark=args.benchmark,
-        compressors=tuple(args.compressors.split(",")),
-        networks=tuple(args.networks.split(",")),
-        n_workers=args.workers,
-        fusion_mb=args.fusion_mb if args.fusion_mb is not None else 0.125,
-    )
-    print(result.format())
-    if args.out:
-        write_json(args.out, result)
-        print(f"result json      : {args.out}")
-    if args.check:
-        failures = result.check()
-        if failures:
-            for failure in failures:
-                print(f"OVERLAP CHECK FAILED: {failure}")
-            return 1
-    return 0
-
-
-def _bench_faults(args) -> int:
-    """Run the fault-scenario resilience grid."""
-    from repro.bench.faults_bench import run_faults_bench, write_json
-
-    result = run_faults_bench(
-        n_workers=args.workers,
-        iterations=max(args.iterations, 21),
-        seed=args.seed,
-    )
-    print(result.format())
-    if args.out:
-        write_json(args.out, result)
-        print(f"result json      : {args.out}")
-    if args.check:
-        failures = result.check()
-        if failures:
-            for failure in failures:
-                print(f"FAULTS CHECK FAILED: {failure}")
-            return 1
-    return 0
-
-
-def cmd_report(args) -> int:
-    """Summarize a JSONL trace written by ``train --trace``."""
-    from repro.telemetry import (
-        read_events, summarize_events, write_chrome_trace,
-    )
+def _load_trace(path: str) -> list[dict]:
+    """Read one JSONL trace for reporting; SystemExit one-liners on junk."""
+    from repro.telemetry import read_events
 
     try:
-        events = read_events(args.trace)
+        events = read_events(path)
     except OSError as error:
         raise SystemExit(f"cannot read trace: {error}")
     except ValueError as error:
         raise SystemExit(str(error))
     if not events:
-        raise SystemExit(f"no telemetry events in {args.trace!r}")
-    print(summarize_events(events).format())
+        raise SystemExit(f"no telemetry events in {path!r} (empty trace)")
+    recognized = ("span", "counter", "gauge", "histogram", "meta")
+    if not any(event.get("type") in recognized for event in events):
+        raise SystemExit(
+            f"{path!r} contains no telemetry events — expected the JSONL "
+            f"written by `repro train --trace`"
+        )
+    return events
+
+
+def cmd_report(args) -> int:
+    """Summarize a JSONL trace written by ``train --trace``."""
+    from repro.telemetry import summarize_events, write_chrome_trace
+
+    summary = summarize_events(_load_trace(args.trace))
+    if args.compare:
+        other = summarize_events(_load_trace(args.compare))
+        print(f"A = {args.trace}")
+        print(f"B = {args.compare}")
+        print(_report_diff(summary, other))
+        return 0
+    print(summary.format())
     if args.chrome:
+        events = _load_trace(args.trace)
         spans = write_chrome_trace(args.chrome, events, clock=args.clock)
         print()
         print(f"chrome trace     : {args.chrome} ({spans} spans)")
     return 0
+
+
+def _report_diff(a, b) -> str:
+    """Per-phase wall/sim diff of two trace summaries."""
+    from repro.bench.report import format_table
+
+    # ``iteration`` spans are parents of the leaf phases; listing them
+    # next to their children would double-count the step.
+    phases = [p for p in a.phases if p != "iteration"]
+    phases += [p for p in b.phases if p not in a.phases and p != "iteration"]
+    rows = []
+    for phase in phases:
+        stats_a = a.phases.get(phase)
+        stats_b = b.phases.get(phase)
+        wall_a = stats_a.wall_seconds if stats_a else 0.0
+        wall_b = stats_b.wall_seconds if stats_b else 0.0
+        sim_a = stats_a.sim_seconds if stats_a else 0.0
+        sim_b = stats_b.sim_seconds if stats_b else 0.0
+        delta = ((wall_b - wall_a) / wall_a * 100.0) if wall_a > 0 else 0.0
+        rows.append([
+            phase, f"{wall_a:.4f}", f"{wall_b:.4f}", f"{delta:+.1f}%",
+            f"{sim_a:.6f}", f"{sim_b:.6f}",
+        ])
+    rows.append([
+        "total (leaf)", f"{a.total_wall_seconds:.4f}",
+        f"{b.total_wall_seconds:.4f}",
+        (f"{(b.total_wall_seconds - a.total_wall_seconds) / a.total_wall_seconds * 100.0:+.1f}%"
+         if a.total_wall_seconds > 0 else "+0.0%"),
+        f"{a.total_sim_seconds:.6f}", f"{b.total_sim_seconds:.6f}",
+    ])
+    return format_table(
+        ["phase", "wall A", "wall B", "wall delta", "sim A", "sim B"], rows
+    )
+
+
+def cmd_profile(args) -> int:
+    """Phase-level profile of one run (or of an existing trace)."""
+    from repro.telemetry.profile import (
+        profile_events, profile_tracer, write_folded, write_profile_json,
+    )
+    from repro.telemetry import write_chrome_trace
+
+    if args.trace:
+        events = _load_trace(args.trace)
+        profile = profile_events(events, metrics_events=events)
+        spans_source = events
+        meta = None
+    else:
+        if not args.benchmark:
+            raise SystemExit(
+                "profile needs --benchmark (to run) or --trace (to load)"
+            )
+        profile, spans_source, meta = _profile_run(args)
+    print(profile.format())
+    extras = []
+    if args.folded:
+        lines = write_folded(args.folded, spans_source)
+        extras.append(f"folded stacks    : {args.folded} ({lines} stacks)")
+    if args.chrome:
+        spans = write_chrome_trace(args.chrome, spans_source)
+        extras.append(f"chrome trace     : {args.chrome} ({spans} spans)")
+    if args.out:
+        write_profile_json(args.out, profile, meta=meta)
+        extras.append(f"profile json     : {args.out}")
+    if extras:
+        print()
+        for line in extras:
+            print(line)
+    return 0
+
+
+def _profile_run(args):
+    """Train one cell under the ProfilingTracer; returns its profile."""
+    from repro.bench.metadata import run_metadata
+    from repro.bench.runner import train_quality
+    from repro.bench.suite import BENCHMARKS, get_benchmark
+    from repro.telemetry.profile import ProfilingTracer, profile_tracer
+
+    if args.benchmark not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r}; "
+            f"choose from {', '.join(sorted(BENCHMARKS))}"
+        )
+    spec = get_benchmark(args.benchmark)
+    tracer = ProfilingTracer()
+    train_quality(
+        spec,
+        args.compressor,
+        n_workers=args.workers,
+        seed=args.seed,
+        epochs=args.epochs,
+        compressor_params=_parse_params(args.param) or None,
+        tracer=tracer,
+        fusion_mb=args.fusion_mb,
+        overlap=args.overlap,
+    )
+    tracer.finalize()
+    return profile_tracer(tracer), tracer.spans, run_metadata(seed=args.seed)
 
 
 def cmd_lint(args) -> int:
@@ -401,17 +582,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus text snapshot here")
 
     bench = sub.add_parser(
-        "bench", help="run a perf benchmark (fusion, overlap or faults)"
+        "bench",
+        help="run a perf suite (fusion, overlap, faults, throughput) or "
+             "compare two recorded runs",
     )
-    bench.add_argument("what", choices=["fusion", "overlap", "faults"],
-                       help="which benchmark to run")
+    bench.add_argument("what",
+                       choices=["fusion", "overlap", "faults",
+                                "throughput", "compare"],
+                       help="which suite to run (or 'compare' to diff "
+                            "two recorded runs)")
+    bench.add_argument("refs", nargs="*",
+                       help="for compare: two RunResult JSON paths or "
+                            "history commit prefixes")
     bench.add_argument("--benchmark", default="resnet20-cifar10",
                        help="training benchmark key (fig6 CNN by default)")
     bench.add_argument("--compressor", default="topk",
                        help="compressor for the fusion benchmark")
-    bench.add_argument("--compressors", default="none,topk",
-                       help="comma-separated compressors for the overlap "
-                            "benchmark grid")
+    bench.add_argument("--compressors", default=None,
+                       help="comma-separated compressors for the overlap/"
+                            "throughput grids")
     bench.add_argument("--networks", default="1gbps-tcp,10gbps-tcp",
                        help="comma-separated network profiles for the "
                             "overlap benchmark grid (e.g. 1gbps-tcp, "
@@ -421,31 +610,81 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--fusion-mb", type=float, default=None, metavar="MB",
                        help="fusion buffer budget in MiB (default: 64 for "
                             "the fusion benchmark, 0.125 for overlap)")
+    bench.add_argument("--gbps", type=float, default=10.0,
+                       help="link bandwidth for the throughput suite")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
+    bench.add_argument("--warm-runs", type=int, default=0, metavar="N",
+                       help="re-run the suite N more times after the cold "
+                            "run and record every metric's repeat values "
+                            "(quantifies wall-clock noise)")
     bench.add_argument("--out", default=None, metavar="PATH",
-                       help="write the comparison as JSON "
-                            "(e.g. BENCH_fusion.json / BENCH_overlap.json "
-                            "/ BENCH_faults.json)")
+                       help="result JSON path (default: benchmarks/"
+                            "results/BENCH_<suite>.json; '-' skips the "
+                            "write)")
+    bench.add_argument("--history",
+                       default="benchmarks/results/PERF_HISTORY.jsonl",
+                       metavar="PATH",
+                       help="append-only perf-history JSONL the "
+                            "regression gate and compare read")
+    bench.add_argument("--record", action="store_true",
+                       help="append this run to the perf history (skipped "
+                            "when --check fails, so a regression cannot "
+                            "poison its own baseline)")
+    bench.add_argument("--baseline-window", type=int, default=5,
+                       metavar="N",
+                       help="how many recent history entries the rolling "
+                            "baseline medians over (default 5)")
     bench.add_argument("--check", action="store_true",
-                       help="exit nonzero unless the benchmark's "
-                            "acceptance criteria hold (fewer collectives "
-                            "when fused; hidden communication and the "
-                            "target speedup when overlapped; crash "
-                            "convergence and checksum detection for "
-                            "faults)")
+                       help="exit nonzero unless the suite's acceptance "
+                            "criteria hold AND no gated metric regresses "
+                            "past its tolerance band vs the rolling "
+                            "history baseline")
 
     report = sub.add_parser(
         "report", help="summarize a JSONL trace from train --trace"
     )
     report.add_argument("trace", help="JSONL trace path")
+    report.add_argument("--compare", default=None, metavar="TRACE",
+                        help="diff this trace (B) against the positional "
+                             "trace (A): per-phase wall/sim deltas")
     report.add_argument("--chrome", default=None, metavar="PATH",
                         help="also convert the trace to Chrome JSON")
     report.add_argument("--clock", choices=["wall", "sim"], default="wall",
                         help="timeline for --chrome: measured wall clock "
                              "(default) or the simulated event timeline "
                              "(renders overlap concurrency)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="phase-level run profiler: train one cell (or load a "
+             "trace) and attribute step time to compress/network/"
+             "decompress/apply phases",
+    )
+    profile.add_argument("--trace", default=None, metavar="PATH",
+                         help="profile an existing JSONL trace instead of "
+                              "running a benchmark")
+    profile.add_argument("--benchmark", default=None,
+                         help="benchmark key to train under the profiler")
+    profile.add_argument("--compressor", default="topk")
+    profile.add_argument("--workers", type=int, default=4)
+    profile.add_argument("--epochs", type=int, default=1)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--fusion-mb", type=float, default=0.0,
+                         metavar="MB")
+    profile.add_argument("--overlap", action="store_true",
+                         help="profile the overlapped exchange schedule")
+    profile.add_argument("--param", action="append", default=[],
+                         metavar="KEY=VALUE")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="write flamegraph-compatible folded stacks "
+                              "(feed to flamegraph.pl or speedscope)")
+    profile.add_argument("--chrome", default=None, metavar="PATH",
+                         help="write a Chrome trace_event JSON")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write the profile (with run metadata) as "
+                              "JSON")
 
     lint = sub.add_parser(
         "lint",
@@ -478,6 +717,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": cmd_train,
         "bench": cmd_bench,
         "report": cmd_report,
+        "profile": cmd_profile,
         "lint": cmd_lint,
         "experiment": cmd_experiment,
     }

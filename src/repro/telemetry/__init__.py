@@ -38,6 +38,14 @@ from repro.telemetry.formatting import (
     render_fields,
     wire_stats_fields,
 )
+from repro.telemetry.profile import (
+    ProfilingTracer,
+    RunProfile,
+    folded_stacks,
+    profile_events,
+    profile_tracer,
+    write_folded,
+)
 from repro.telemetry.summary import LEAF_PHASES, TraceSummary, summarize_events
 
 __all__ = [
@@ -64,4 +72,10 @@ __all__ = [
     "LEAF_PHASES",
     "TraceSummary",
     "summarize_events",
+    "ProfilingTracer",
+    "RunProfile",
+    "folded_stacks",
+    "profile_events",
+    "profile_tracer",
+    "write_folded",
 ]

@@ -83,11 +83,18 @@ def read_events(path: str | Path) -> list[dict]:
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                event = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(
-                    f"{path}:{lineno}: not valid JSONL ({error})"
+                    f"{path}:{lineno}: not valid JSONL "
+                    f"(truncated or corrupt trace? {error})"
                 ) from error
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: not a telemetry event (expected a "
+                    f"JSON object, got {type(event).__name__})"
+                )
+            events.append(event)
     return events
 
 

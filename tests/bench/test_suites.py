@@ -1,0 +1,202 @@
+"""Unified benchmark suites: schema, parity with the raw harnesses."""
+
+import json
+
+import pytest
+
+from repro.bench.fusion_bench import run_fusion_bench
+from repro.bench.faults_bench import run_faults_bench
+from repro.bench.overlap_bench import run_overlap_bench
+from repro.bench.suites import (
+    SUITES, get_suite, read_result, write_result,
+)
+from repro.bench.suites.base import Metric, RunResult, SCHEMA_VERSION
+
+FUSION_PARAMS = {"compressor": "topk", "n_workers": 2, "iterations": 2,
+                 "fusion_mb": 8.0, "seed": 0}
+OVERLAP_PARAMS = {"compressors": ("topk",), "networks": ("10gbps-tcp",),
+                  "n_workers": 4, "fusion_mb": 0.125}
+FAULTS_PARAMS = {"n_workers": 4, "iterations": 21, "dim": 16, "seed": 0}
+
+
+class TestMetric:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            Metric("x", 1.0, "seconds", "sideways")
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            Metric("x", 1.0, "seconds", "lower", tolerance=-0.1)
+
+    def test_round_trips(self):
+        metric = Metric("t", 2.5, "seconds", "lower", tolerance=0.05,
+                        floor=1e-6)
+        assert Metric.from_dict("t", metric.to_dict()) == metric
+
+
+class TestRegistry:
+    def test_all_suites_registered(self):
+        assert set(SUITES) == {"fusion", "overlap", "faults", "throughput"}
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            get_suite("latency")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="no benchmark"):
+            get_suite("fusion").run(benchmark="alexnet")
+
+    def test_negative_warm_runs(self):
+        with pytest.raises(ValueError, match="warm_runs"):
+            get_suite("overlap").run(
+                benchmark="ncf-movielens", params=OVERLAP_PARAMS,
+                warm_runs=-1,
+            )
+
+
+class TestFusionParity:
+    """The suite's cold run IS the harness run — deterministic metrics
+    must be bit-identical to calling run_fusion_bench directly."""
+
+    def test_matches_harness(self):
+        direct = run_fusion_bench(benchmark="ncf-movielens",
+                                  **FUSION_PARAMS)
+        result = get_suite("fusion").run(
+            benchmark="ncf-movielens", params=FUSION_PARAMS
+        )
+        assert result.value("collective_ops_unfused") == \
+            direct.unfused.collective_ops
+        assert result.value("collective_ops_fused") == \
+            direct.fused.collective_ops
+        assert result.value("ops_reduction") == direct.ops_reduction
+        assert result.value("sim_exchange_seconds_fused") == \
+            direct.fused.sim_exchange_seconds
+        assert result.value("sim_speedup") == direct.sim_speedup
+        assert result.value("bytes_per_worker_fused") == \
+            direct.fused.bytes_per_worker
+        # the harness-native payload is preserved verbatim (minus wall
+        # clock, which is measured and so differs between the two runs)
+        assert result.raw["benchmark"] == "ncf-movielens"
+        assert result.raw["fused"]["collective_ops"] == \
+            direct.fused.collective_ops
+
+    def test_wall_metrics_are_declared_noisy(self):
+        suite = get_suite("fusion")
+        assert "wall_seconds_fused" in suite.noisy_metrics
+        assert "wall_speedup" in suite.noisy_metrics
+
+
+class TestOverlapParity:
+    def test_matches_harness(self):
+        direct = run_overlap_bench(benchmark="ncf-movielens",
+                                   **OVERLAP_PARAMS)
+        result = get_suite("overlap").run(
+            benchmark="ncf-movielens", params=OVERLAP_PARAMS
+        )
+        # purely analytical grid: every metric is bit-identical
+        assert result.value("best_speedup") == direct.best_speedup
+        cell = direct.cells[0]
+        prefix = f"{cell.compressor}/{cell.network}"
+        assert result.value(f"{prefix}/sequential_seconds") == \
+            cell.sequential_seconds
+        assert result.value(f"{prefix}/overlapped_seconds") == \
+            cell.overlapped_seconds
+        assert result.value(f"{prefix}/speedup") == cell.speedup
+        assert result.value(f"{prefix}/overlap_fraction") == \
+            cell.overlap_fraction
+        assert result.failures == direct.check()
+
+
+class TestFaultsParity:
+    def test_matches_harness(self):
+        direct = run_faults_bench(**FAULTS_PARAMS)
+        result = get_suite("faults").run(params=FAULTS_PARAMS)
+        assert result.benchmark == "quadratic-ef"
+        assert result.value("baseline_loss") == direct.baseline_loss
+        for cell in direct.cells:
+            assert result.value(f"{cell.scenario}/loss_gap") == \
+                cell.loss_gap
+            assert result.value(f"{cell.scenario}/checksum_misses") == \
+                cell.checksum_misses
+            assert result.value(f"{cell.scenario}/sim_comm_seconds") == \
+                cell.sim_comm_seconds
+        assert result.failures == direct.check()
+
+    def test_iterations_clamped_to_window(self):
+        # the harness refuses < 21 iterations; the suite clamps instead
+        result = get_suite("faults").run(
+            params={**FAULTS_PARAMS, "iterations": 5}
+        )
+        assert result.raw["iterations"] == 21
+
+
+class TestThroughputSuite:
+    def test_deterministic_metrics(self):
+        params = {"compressors": ("none", "topk"), "n_workers": 4,
+                  "gbps": 10.0, "seed": 0}
+        a = get_suite("throughput").run(benchmark="ncf-movielens",
+                                        params=params)
+        b = get_suite("throughput").run(benchmark="ncf-movielens",
+                                        params=params)
+        # closed-form model: identical runs produce identical values
+        for name in a.metrics:
+            assert a.value(name) == b.value(name)
+        assert a.value("topk/bytes_per_worker") < \
+            a.value("none/bytes_per_worker")
+        assert not a.failures
+
+
+class TestRunResultSchema:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_suite("overlap").run(
+            benchmark="ncf-movielens", params=OVERLAP_PARAMS
+        )
+
+    def test_metadata_stamp(self, result):
+        assert result.meta["metadata_version"] == 1
+        assert "numpy_version" in result.meta
+        assert "git_sha" in result.meta
+        assert "platform" in result.meta
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        write_result(path, result)
+        loaded = read_result(path)
+        assert loaded.suite == result.suite
+        assert loaded.benchmark == result.benchmark
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert set(loaded.metrics) == set(result.metrics)
+        for name, metric in result.metrics.items():
+            assert loaded.metrics[name] == metric
+        # JSON has no tuples, so params compare via their JSON image
+        assert loaded.params == json.loads(json.dumps(result.params))
+
+    def test_rejects_future_schema(self, result, tmp_path):
+        payload = result.to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            RunResult.from_dict(payload)
+
+    def test_rejects_non_result_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="suite"):
+            read_result(path)
+        path.write_text("not json at all")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_result(path)
+
+    def test_unknown_metric_lookup(self, result):
+        with pytest.raises(KeyError, match="no metric"):
+            result.metric("nope")
+
+    def test_warm_runs_recorded(self):
+        result = get_suite("overlap").run(
+            benchmark="ncf-movielens", params=OVERLAP_PARAMS, warm_runs=2
+        )
+        assert result.warm is not None
+        for name in result.metrics:
+            assert len(result.warm[name]) == 2
+            # analytical suite: warm repeats equal the cold value
+            assert result.warm[name] == [result.value(name)] * 2

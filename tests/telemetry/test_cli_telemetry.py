@@ -79,6 +79,78 @@ class TestReportCommand:
         with pytest.raises(SystemExit, match="no telemetry events"):
             main(["report", str(empty)])
 
+    def test_report_rejects_missing_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_report_rejects_truncated_trace(self, traced_run, tmp_path):
+        truncated = tmp_path / "truncated.jsonl"
+        text = traced_run["jsonl"].read_text()
+        truncated.write_text(text[: len(text) // 2].rstrip("\n"))
+        with pytest.raises(SystemExit, match="truncated or corrupt"):
+            main(["report", str(truncated)])
+
+    def test_report_rejects_non_telemetry_jsonl(self, tmp_path):
+        wrong = tmp_path / "metrics.jsonl"
+        wrong.write_text('{"loss": 0.5}\n{"loss": 0.4}\n')
+        with pytest.raises(SystemExit, match="contains no telemetry"):
+            main(["report", str(wrong)])
+        numbers = tmp_path / "numbers.jsonl"
+        numbers.write_text("42\n")
+        with pytest.raises(SystemExit, match="not a telemetry event"):
+            main(["report", str(numbers)])
+
+    def test_report_compare(self, traced_run, capsys):
+        trace = str(traced_run["jsonl"])
+        assert main(["report", trace, "--compare", trace]) == 0
+        out = capsys.readouterr().out
+        assert "wall A" in out and "wall B" in out
+        assert "total (leaf)" in out
+        assert "collective" in out
+        # identical traces: every wall delta is +0.0%
+        assert "+0.0%" in out
+
+
+class TestProfileCommand:
+    def test_profile_existing_trace(self, traced_run, tmp_path, capsys):
+        folded = tmp_path / "stacks.folded"
+        out = tmp_path / "profile.json"
+        code = main(["profile", "--trace", str(traced_run["jsonl"]),
+                     "--folded", str(folded), "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Phase attribution" in text
+        assert "attribution error" in text
+        assert "network" in text
+        for line in folded.read_text().splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 0
+            assert stack
+        payload = json.loads(out.read_text())
+        assert payload["attribution_error"] < 0.01
+        assert payload["meta"]["metadata_version"] == 1
+
+    def test_profile_runs_benchmark(self, tmp_path, capsys):
+        chrome = tmp_path / "profile.trace.json"
+        code = main(["profile", "--benchmark", "ncf-movielens",
+                     "--compressor", "topk", "--workers", "2",
+                     "--epochs", "1", "--chrome", str(chrome)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Compressor kernel latency" in text
+        assert "topk" in text
+        assert "Memory high-water marks" in text
+        assert "tracemalloc_peak_bytes" in text
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_profile_needs_a_source(self):
+        with pytest.raises(SystemExit, match="--benchmark"):
+            main(["profile"])
+
+    def test_profile_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["profile", "--benchmark", "alexnet"])
+
 
 class TestSharedWireStatsFormat:
     def test_compress_and_train_print_identical_field_names(self, capsys,

@@ -91,6 +91,49 @@ class TestChromeTrace:
         assert len(document["traceEvents"]) == len(tracer.spans)
 
 
+class TestEmptyRun:
+    """Exporters must emit valid (if vacuous) output for an empty run."""
+
+    def test_jsonl_empty_run(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        written = write_jsonl(path, Tracer(), MetricsRegistry())
+        events = read_events(path)
+        assert len(events) == written
+        # nothing but the run-metadata header survives an empty run
+        assert all(event["type"] == "meta" for event in events)
+
+    def test_chrome_trace_empty_run(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(path, Tracer().spans)
+        document = json.loads(path.read_text())
+        assert document["traceEvents"] == []
+        assert document["displayTimeUnit"]
+
+    def test_prometheus_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()).strip() == ""
+
+    def test_summary_of_no_events(self):
+        summary = summarize_events([])
+        assert summary.iterations == 0
+        assert summary.format()  # renders without dividing by zero
+
+
+class TestChromeEdgeCases:
+    def test_zero_duration_span_stays_valid(self):
+        tracer = Tracer()
+        with tracer.span("compute"):
+            pass
+        span = tracer.spans[0]
+        span.dur = 0.0
+        document = chrome_trace(tracer.spans)
+        event = document["traceEvents"][0]
+        # complete events with dur 0 are legal trace_event JSON; the
+        # value must stay a number, not None/NaN
+        assert event["ph"] == "X"
+        assert event["dur"] == 0.0
+        json.dumps(document)  # serializable end to end
+
+
 class TestPrometheus:
     def test_exposition_shape(self):
         _, metrics = _traced_run()
@@ -110,3 +153,12 @@ class TestPrometheus:
         metrics.counter("x", labels={"tensor": 'we"ird\\name'}).inc(1)
         text = prometheus_text(metrics)
         assert 'tensor="we\\"ird\\\\name"' in text
+
+    def test_newline_in_label_value_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x", labels={"tensor": "two\nlines"}).inc(1)
+        text = prometheus_text(metrics)
+        assert 'tensor="two\\nlines"' in text
+        # a raw newline inside a label would split the exposition line
+        for line in text.splitlines():
+            assert line.startswith("#") or line.count('"') % 2 == 0

@@ -1,0 +1,167 @@
+"""Phase-level run profiler: attribution, folded stacks, memory marks."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import train_quality
+from repro.bench.suite import get_benchmark
+from repro.telemetry import (
+    ProfilingTracer, Tracer, folded_stacks, profile_events, profile_tracer,
+    read_events, write_folded, write_jsonl,
+)
+from repro.telemetry.profile import UNATTRIBUTED, write_profile_json
+
+
+def synthetic_tracer():
+    """Two iterations with known phase durations (hand-set clocks)."""
+    tracer = Tracer()
+    for _ in range(2):
+        with tracer.span("iteration") as iteration:
+            with tracer.span("compute") as compute:
+                pass
+            with tracer.span("compress") as compress:
+                pass
+            with tracer.span("collective") as collective:
+                collective.add_sim(0.5)
+        compute.dur = 0.030
+        compress.dur = 0.010
+        collective.dur = 0.020
+        iteration.dur = 0.070  # 0.010 outside any child span
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def trained_tracer():
+    """A real traced training run (the acceptance-criterion fixture)."""
+    tracer = ProfilingTracer()
+    train_quality(
+        get_benchmark("ncf-movielens"), "topk", n_workers=2, epochs=1,
+        seed=0, tracer=tracer,
+    )
+    tracer.finalize()
+    return tracer
+
+
+class TestAttribution:
+    def test_exclusive_time_per_phase(self):
+        profile = profile_tracer(synthetic_tracer())
+        assert profile.iterations == 2
+        assert profile.step_wall_seconds == pytest.approx(0.140)
+        assert profile.phases["compute"].wall_seconds == pytest.approx(0.060)
+        assert profile.phases["compress"].wall_seconds == pytest.approx(0.020)
+        # the span taxonomy's "collective" reports as the network phase
+        assert "collective" not in profile.phases
+        assert profile.phases["network"].wall_seconds == pytest.approx(0.040)
+        assert profile.phases["network"].sim_seconds == pytest.approx(1.0)
+        # step time outside any child span is attributed explicitly
+        assert profile.phases[UNATTRIBUTED].wall_seconds == \
+            pytest.approx(0.020)
+
+    def test_attribution_sums_to_step_total(self):
+        profile = profile_tracer(synthetic_tracer())
+        assert profile.attributed_wall_seconds == \
+            pytest.approx(profile.step_wall_seconds)
+        assert profile.attribution_error() == pytest.approx(0.0)
+
+    def test_real_run_attribution_within_one_percent(self, trained_tracer):
+        """Acceptance criterion: phase attribution sums to total step
+        time within 1% on a real traced training run."""
+        profile = profile_tracer(trained_tracer)
+        assert profile.iterations > 0
+        assert profile.step_wall_seconds > 0
+        assert profile.attribution_error() < 0.01
+        for phase in ("compute", "compress", "network", "decompress",
+                      "aggregate", "apply_update"):
+            assert phase in profile.phases, phase
+
+    def test_real_run_kernel_percentiles(self, trained_tracer):
+        profile = profile_tracer(trained_tracer)
+        assert "topk" in profile.kernel_percentiles
+        snap = profile.kernel_percentiles["topk"]
+        assert snap["count"] > 0
+        assert 0 < snap["p50"] <= snap["p90"] <= snap["p99"]
+
+    def test_empty_run(self):
+        profile = profile_events([])
+        assert profile.iterations == 0
+        assert profile.step_wall_seconds == 0.0
+        assert profile.attribution_error() == 0.0
+        assert profile.format()  # renders without dividing by zero
+
+    def test_sim_fallback_without_iteration_sim(self):
+        # plain runs charge sim on leaf spans only; the step total is
+        # then the serialized sum of the phases
+        profile = profile_tracer(synthetic_tracer())
+        assert profile.step_sim_seconds == pytest.approx(1.0)
+
+
+class TestJsonlRoundTrip:
+    def test_profile_survives_jsonl(self, tmp_path, trained_tracer):
+        live = profile_tracer(trained_tracer)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, trained_tracer, trained_tracer.metrics)
+        events = read_events(path)
+        loaded = profile_events(events, metrics_events=events)
+        assert loaded.iterations == live.iterations
+        assert loaded.step_wall_seconds == \
+            pytest.approx(live.step_wall_seconds)
+        for name, stats in live.phases.items():
+            assert loaded.phases[name].wall_seconds == \
+                pytest.approx(stats.wall_seconds)
+        assert "topk" in loaded.kernel_percentiles
+        assert loaded.kernel_percentiles["topk"]["count"] == \
+            live.kernel_percentiles["topk"]["count"]
+
+    def test_profile_json_stamped(self, tmp_path):
+        path = tmp_path / "profile.json"
+        write_profile_json(path, profile_tracer(synthetic_tracer()))
+        payload = json.loads(path.read_text())
+        assert payload["iterations"] == 2
+        assert payload["meta"]["metadata_version"] == 1
+        assert "phases" in payload and "compute" in payload["phases"]
+
+
+class TestFoldedStacks:
+    def test_format_and_weights(self):
+        lines = folded_stacks(synthetic_tracer().spans)
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        # flamegraph.pl collapsed format: semicolon stacks, int µs
+        assert set(stacks) == {
+            "iteration", "iteration;compute", "iteration;compress",
+            "iteration;collective",
+        }
+        for weight in stacks.values():
+            assert weight == str(int(weight))
+        assert int(stacks["iteration;compute"]) == 60000
+        assert int(stacks["iteration"]) == 20000  # exclusive, not total
+
+    def test_write_folded(self, tmp_path):
+        path = tmp_path / "stacks.folded"
+        count = write_folded(path, synthetic_tracer().spans)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count == 4
+
+    def test_accepts_jsonl_events(self, tmp_path):
+        tracer = synthetic_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer, tracer.metrics)
+        assert folded_stacks(read_events(path)) == \
+            folded_stacks(tracer.spans)
+
+
+class TestProfilingTracer:
+    def test_memory_high_water_marks(self, trained_tracer):
+        memory = trained_tracer.memory_high_water
+        assert memory["tracemalloc_peak_bytes"] > 0
+        assert memory["ru_maxrss_bytes"] > memory["tracemalloc_peak_bytes"]
+        profile = profile_tracer(trained_tracer)
+        assert profile.memory == memory
+        assert "Memory high-water marks" in profile.format()
+
+    def test_finalize_idempotent(self):
+        tracer = ProfilingTracer()
+        first = tracer.finalize()
+        second = tracer.finalize()
+        assert set(first) == set(second)
+        assert first["tracemalloc_peak_bytes"] >= 0
