@@ -7,6 +7,15 @@ or comparing the fused kernel against the per-tensor path, requires the
 stream to be reconstructible from the seed alone.  The legacy global
 ``np.random.*`` samplers (and ``default_rng()`` with no seed) draw from
 process-global or OS-entropy state that no replay can reproduce.
+
+The rule also flags *arithmetically derived* seeds at RNG construction
+and reseeding sites — ``default_rng(seed + rank)``,
+``SeedSequence(seed * 31)``, ``compressor.clone(seed=seed + node)`` —
+because consecutive-integer seeding produces correlated streams and
+silently shares worker streams between runs whose base seeds differ by
+less than ``n_workers``.  Per-rank streams must come from
+``np.random.SeedSequence.spawn`` (see :mod:`repro.core.rng`), which
+hashes the entropy pool per child.
 """
 
 from __future__ import annotations
@@ -22,6 +31,33 @@ GLOBAL_STATE_FUNCTIONS = frozenset({
     "uniform", "standard_normal", "binomial", "poisson", "exponential",
     "beta", "gamma", "laplace", "lognormal", "get_state", "set_state",
 })
+
+#: RNG constructors whose seed argument must not be derived arithmetically.
+_SEED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+})
+
+#: Method names that (re)seed a compressor's stream.
+_RESEED_METHODS = frozenset({"clone", "reseed"})
+
+
+def _is_derived_seed(node: ast.expr) -> bool:
+    """True for ``seed + rank``-style arithmetic on at least one name.
+
+    A pure-constant expression (``2 ** 32 - 1``) is a deliberate
+    literal, not a derivation; arithmetic *mixing in a variable* is the
+    correlated-stream pattern this rule exists to catch.
+    """
+    if not isinstance(node, ast.BinOp):
+        return False
+    return any(
+        isinstance(sub, ast.Name) or isinstance(sub, ast.Attribute)
+        for sub in ast.walk(node)
+    )
 
 
 class UnseededRngRule(Rule):
@@ -59,4 +95,59 @@ class UnseededRngRule(Rule):
                     "explicit seed so replay and per-worker reseeding stay "
                     "deterministic",
                 ))
+            elif resolved in _SEED_CONSTRUCTORS:
+                findings.extend(self._derived_seed_findings(
+                    module, node, resolved,
+                ))
+        findings.extend(self._reseed_findings(module))
+        return findings
+
+    def _derived_seed_findings(self, module, node: ast.Call, resolved: str):
+        """Flag arithmetic seed derivation at an RNG constructor."""
+        seed_args = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg == "seed"
+        ]
+        return [
+            self.finding(
+                module, node,
+                f"{resolved} seeded with arithmetic "
+                f"({ast.unparse(arg)}): consecutive-integer derivation "
+                "produces correlated per-worker streams — spawn child "
+                "seeds with repro.core.rng.spawn_worker_seeds "
+                "(SeedSequence.spawn) instead",
+            )
+            for arg in seed_args
+            if _is_derived_seed(arg)
+        ]
+
+    def _reseed_findings(self, module) -> list:
+        """Flag ``.clone(seed=seed + rank)`` / ``.reseed(seed + rank)``.
+
+        Scoped to the two compressor (re)seeding method names so that
+        unrelated seed arithmetic (e.g. a data loader deriving a shard
+        seed) is not flagged — only RNG-stream derivation is the
+        correlated-stream hazard.
+        """
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RESEED_METHODS
+            ):
+                continue
+            seed_args = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg == "seed"
+            ]
+            for arg in seed_args:
+                if _is_derived_seed(arg):
+                    findings.append(self.finding(
+                        module, node,
+                        f".{func.attr}() seeded with arithmetic "
+                        f"({ast.unparse(arg)}): per-worker streams must "
+                        "come from SeedSequence.spawn (see "
+                        "repro.core.rng), not seed arithmetic",
+                    ))
         return findings

@@ -31,6 +31,68 @@ class QualityResult:
         return self.best_quality
 
 
+def build_trainer(
+    spec: BenchmarkSpec,
+    compressor_name: str,
+    n_workers: int = 4,
+    seed: int = 0,
+    memory: str | None = None,
+    memory_params: dict | None = None,
+    compressor_params: dict | None = None,
+    tracer=None,
+    fusion_mb: float = 0.0,
+    overlap: bool = False,
+    faults: str | None = None,
+    recovery: str = "degrade",
+    checkpoint_every: int = 0,
+    straggler_policy: str = "wait",
+    sanitize: bool = False,
+    sanitize_every: int = 1,
+    communicator=None,
+    rank: int | None = None,
+):
+    """Build one cell's ``(trainer, run)`` pair.
+
+    This is the single construction path for sequential runs *and* for
+    each rank of the real-parallel backend: a worker process passes its
+    :class:`~repro.comm.parallel.ParallelWorkerCommunicator` plus its
+    ``rank`` and gets a trainer whose model, optimizer, compressors and
+    per-rank RNG streams are built bit-identically to the sequential
+    simulator's — which is what makes the sequential-vs-parallel
+    agreement check meaningful.
+    """
+    run = spec.build(n_workers=n_workers, seed=seed,
+                     compressor_name=compressor_name)
+    compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
+    if sanitize:
+        from repro.core.contract import ContractChecker
+
+        compressor = ContractChecker(compressor, check_every=sanitize_every)
+    params = dict(memory_params or {})
+    if compressor_name == "efsignsgd" and memory is None and not params:
+        # §V-A: EFsignSGD runs with beta=1 and gamma = the initial LR.
+        params = {"beta": 1.0, "gamma": run.task.optimizer.lr}
+    trainer = DistributedTrainer(
+        run.task,
+        compressor,
+        n_workers=n_workers,
+        memory=memory,
+        memory_params=params,
+        seed=seed,
+        tracer=tracer,
+        fusion_mb=fusion_mb,
+        perf_model=spec.make_perf_model() if overlap else None,
+        overlap=overlap,
+        faults=faults,
+        recovery=recovery,
+        checkpoint_every=checkpoint_every,
+        straggler_policy=straggler_policy,
+        communicator=communicator,
+        rank=rank,
+    )
+    return trainer, run
+
+
 def train_quality(
     spec: BenchmarkSpec,
     compressor_name: str,
@@ -62,32 +124,23 @@ def train_quality(
     so every compress call re-validates the §IV-B contract (the training
     math is unchanged; a violation raises ``ContractViolation``).
     """
-    run = spec.build(n_workers=n_workers, seed=seed,
-                     compressor_name=compressor_name)
-    compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
-    if sanitize:
-        from repro.core.contract import ContractChecker
-
-        compressor = ContractChecker(compressor, check_every=sanitize_every)
-    params = dict(memory_params or {})
-    if compressor_name == "efsignsgd" and memory is None and not params:
-        # §V-A: EFsignSGD runs with beta=1 and gamma = the initial LR.
-        params = {"beta": 1.0, "gamma": run.task.optimizer.lr}
-    trainer = DistributedTrainer(
-        run.task,
-        compressor,
+    trainer, run = build_trainer(
+        spec,
+        compressor_name,
         n_workers=n_workers,
-        memory=memory,
-        memory_params=params,
         seed=seed,
+        memory=memory,
+        memory_params=memory_params,
+        compressor_params=compressor_params,
         tracer=tracer,
         fusion_mb=fusion_mb,
-        perf_model=spec.make_perf_model() if overlap else None,
         overlap=overlap,
         faults=faults,
         recovery=recovery,
         checkpoint_every=checkpoint_every,
         straggler_policy=straggler_policy,
+        sanitize=sanitize,
+        sanitize_every=sanitize_every,
     )
     report = trainer.train(
         run.loader,

@@ -98,6 +98,8 @@ def cmd_train(args) -> int:
             f"choose from {', '.join(sorted(BENCHMARKS))}"
         )
     spec = get_benchmark(args.benchmark)
+    if args.backend == "parallel":
+        return _train_parallel(args, spec)
     tracing = bool(args.trace or args.chrome_trace or args.metrics_out)
     tracer = None
     if tracing:
@@ -159,6 +161,86 @@ def cmd_train(args) -> int:
     if tracing:
         _export_trace(args, tracer, report)
     return 0
+
+
+def _train_parallel(args, spec) -> int:
+    """Train one cell across real worker processes and print the report."""
+    from repro.comm.parallel import ParallelRunConfig, run_parallel
+
+    unsupported = [
+        flag for flag, used in (
+            ("--faults", bool(args.faults)),
+            ("--checkpoint-every", args.checkpoint_every > 0),
+            ("--straggler-policy", args.straggler_policy != "wait"),
+            ("--metrics-out", bool(args.metrics_out)),
+        ) if used
+    ]
+    if unsupported:
+        raise SystemExit(
+            f"--backend parallel does not support "
+            f"{', '.join(unsupported)}; use the sequential simulator "
+            f"(--backend sim) for those features"
+        )
+    config = ParallelRunConfig(
+        benchmark=args.benchmark,
+        compressor=args.compressor,
+        nproc=args.nproc,
+        seed=args.seed,
+        epochs=args.epochs,
+        compressor_params=_parse_params(args.param) or None,
+        fusion_mb=args.fusion_mb,
+        overlap=args.overlap,
+        sanitize=args.sanitize,
+        sanitize_every=args.sanitize_every,
+        trace=bool(args.trace or args.chrome_trace),
+        arena_bytes=int(args.arena_mb * 1024 * 1024),
+    )
+    result = run_parallel(config)
+    report = result.report
+    digest = next(iter(result.digests.values()))
+    quality = result.best_quality
+    if spec.paper.metric == "Test Perplexity":
+        quality = -quality
+    print(f"benchmark        : {spec.key} ({spec.model_name})")
+    print(f"compressor       : {args.compressor}")
+    print(f"backend          : parallel ({args.nproc} processes)")
+    print(f"epochs           : {len(report.epoch_losses)}")
+    print(f"final loss       : {report.epoch_losses[-1]:.4f}")
+    print(f"best {spec.paper.metric:<12}: {quality:.4f}")
+    print(f"bytes/worker/iter: "
+          f"{report.bytes_per_worker_per_iteration:,.0f}")
+    print(f"simulated comm   : {report.sim_comm_seconds:.3f} s")
+    print(f"wall clock       : {result.wall_seconds:.2f} s")
+    print(f"model digest     : {digest[:16]} "
+          f"(all {len(result.digests)} ranks agree)")
+    if args.overlap:
+        print(f"sim makespan     : {report.sim_makespan_seconds:.3f} s")
+        print(f"exposed comm     : {report.sim_exposed_comm_seconds:.3f} s")
+        print(f"hidden comm      : {report.sim_hidden_comm_seconds:.3f} s")
+        print(f"overlap fraction : {100.0 * report.overlap_fraction:.1f}%")
+    if args.trace:
+        _write_parallel_trace(args.trace, result.events)
+        print(f"trace            : {args.trace} "
+              f"({len(result.events)} events)")
+    if args.chrome_trace:
+        from repro.telemetry import write_chrome_trace
+
+        spans = write_chrome_trace(args.chrome_trace, result.events)
+        print(f"chrome trace     : {args.chrome_trace} ({spans} spans)")
+    return 0
+
+
+def _write_parallel_trace(path: str, events: list[dict]) -> None:
+    """Write merged per-rank span events as a standard JSONL trace."""
+    import json
+
+    from repro.telemetry.exporters import JSONL_VERSION
+
+    with open(path, "w", encoding="utf-8") as handle:
+        meta = {"type": "meta", "version": JSONL_VERSION,
+                "clock": "perf_counter"}
+        for event in [meta, *events]:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
 
 
 def _export_trace(args, tracer, report) -> None:
@@ -224,6 +306,9 @@ def _suite_params(args) -> dict:
         "n_workers": args.workers,
         "gbps": args.gbps,
         "seed": args.seed,
+        "parallel": True if args.parallel else None,
+        "nproc": args.nproc,
+        "parallel_fusion_mb": args.fusion_mb,
     }
 
 
@@ -419,7 +504,10 @@ def cmd_profile(args) -> int:
             raise SystemExit(
                 "profile needs --benchmark (to run) or --trace (to load)"
             )
-        profile, spans_source, meta = _profile_run(args)
+        if args.backend == "parallel":
+            profile, spans_source, meta = _profile_parallel(args)
+        else:
+            profile, spans_source, meta = _profile_run(args)
     print(profile.format())
     extras = []
     if args.folded:
@@ -465,6 +553,41 @@ def _profile_run(args):
     )
     tracer.finalize()
     return profile_tracer(tracer), tracer.spans, run_metadata(seed=args.seed)
+
+
+def _profile_parallel(args):
+    """Profile a real-parallel run: merged shards, per-rank memory.
+
+    Each worker rank runs under its own :class:`ProfilingTracer`
+    (child-process ``tracemalloc`` + ``ru_maxrss``); the parent merges
+    the span shards and prefixes every memory key with ``rank<r>/`` so
+    the profile attributes memory to the process that used it.
+    """
+    from repro.bench.metadata import run_metadata
+    from repro.bench.suite import BENCHMARKS
+    from repro.comm.parallel import ParallelRunConfig, run_parallel
+    from repro.telemetry.profile import profile_events
+
+    if args.benchmark not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r}; "
+            f"choose from {', '.join(sorted(BENCHMARKS))}"
+        )
+    result = run_parallel(ParallelRunConfig(
+        benchmark=args.benchmark,
+        compressor=args.compressor,
+        nproc=args.nproc,
+        seed=args.seed,
+        epochs=args.epochs,
+        compressor_params=_parse_params(args.param) or None,
+        fusion_mb=args.fusion_mb,
+        overlap=args.overlap,
+        profile=True,
+    ))
+    profile = profile_events(
+        result.events, memory=dict(sorted(result.memory_high_water.items()))
+    )
+    return profile, result.events, run_metadata(seed=args.seed)
 
 
 def cmd_lint(args) -> int:
@@ -580,6 +703,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(load in Perfetto / chrome://tracing)")
     train.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a Prometheus text snapshot here")
+    train.add_argument("--backend", choices=["sim", "parallel"],
+                       default="sim",
+                       help="execution backend: the sequential simulator "
+                            "(default) or real OS processes exchanging "
+                            "gradients through shared memory (bitwise the "
+                            "same model; see docs/PERFORMANCE.md)")
+    train.add_argument("--nproc", type=int, default=4, metavar="N",
+                       help="worker processes for --backend parallel "
+                            "(replaces --workers there; default 4)")
+    train.add_argument("--arena-mb", type=float, default=32.0, metavar="MB",
+                       help="per-rank shared-memory data segment size for "
+                            "--backend parallel (default 32)")
 
     bench = sub.add_parser(
         "bench",
@@ -641,6 +776,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "criteria hold AND no gated metric regresses "
                             "past its tolerance band vs the rolling "
                             "history baseline")
+    bench.add_argument("--parallel", action="store_true",
+                       help="throughput suite: measure real multiprocess "
+                            "wall clock (fused vs per-tensor) instead of "
+                            "the closed-form model")
+    bench.add_argument("--nproc", type=int, default=4, metavar="N",
+                       help="worker processes for --parallel (default 4)")
 
     report = sub.add_parser(
         "report", help="summarize a JSONL trace from train --trace"
@@ -677,6 +818,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="profile the overlapped exchange schedule")
     profile.add_argument("--param", action="append", default=[],
                          metavar="KEY=VALUE")
+    profile.add_argument("--backend", choices=["sim", "parallel"],
+                         default="sim",
+                         help="profile the sequential simulator (default) "
+                              "or the real-parallel backend (merged "
+                              "per-rank shards, rank-attributed memory)")
+    profile.add_argument("--nproc", type=int, default=4, metavar="N",
+                         help="worker processes for --backend parallel")
     profile.add_argument("--folded", default=None, metavar="PATH",
                          help="write flamegraph-compatible folded stacks "
                               "(feed to flamegraph.pl or speedscope)")

@@ -22,6 +22,11 @@ stack with an in-process simulation:
   realizing injected wire faults (CRC32-checked corruption, drops with
   timeout + exponential-backoff retransmits, link degradation, straggler
   stretch) around any communicator, with a bounded :class:`RetryPolicy`.
+* :mod:`repro.comm.shm` / :mod:`repro.comm.parallel` — the real-parallel
+  backend: N worker ranks as OS processes exchanging payloads through a
+  shared-memory arena behind the same :class:`Communicator` interface,
+  so fusion/overlap wins are measurable on actual wall clock while the
+  sim-clock accounting stays identical.
 """
 
 from repro.comm.network import NetworkModel, Transport, ethernet
@@ -46,8 +51,38 @@ from repro.comm.gossip import (
     random_regular_topology,
     ring_topology,
 )
+from repro.comm.shm import (
+    ArenaAbortedError,
+    ArenaOverflowError,
+    ArenaProtocolError,
+    ArenaSpec,
+    ArenaTimeoutError,
+    SharedArena,
+)
+from repro.comm.parallel import (
+    ParallelAsyncHandle,
+    ParallelCrashError,
+    ParallelDivergenceError,
+    ParallelResult,
+    ParallelRunConfig,
+    ParallelWorkerCommunicator,
+    run_parallel,
+)
 
 __all__ = [
+    "ArenaAbortedError",
+    "ArenaOverflowError",
+    "ArenaProtocolError",
+    "ArenaSpec",
+    "ArenaTimeoutError",
+    "SharedArena",
+    "ParallelAsyncHandle",
+    "ParallelCrashError",
+    "ParallelDivergenceError",
+    "ParallelResult",
+    "ParallelRunConfig",
+    "ParallelWorkerCommunicator",
+    "run_parallel",
     "GossipCommunicator",
     "Topology",
     "complete_topology",

@@ -1,0 +1,700 @@
+"""Real-parallel execution backend: one OS process per rank.
+
+The sequential simulator runs all ranks in one process, so every
+reported speedup is simulated-clock only.  This backend runs ``N``
+worker ranks as real processes (``multiprocessing`` *spawn* context)
+that exchange gradients through the POSIX shared-memory arena of
+:mod:`repro.comm.shm`, making fusion/overlap wins measurable on actual
+hardware while keeping the analytical sim-clock accounting intact.
+
+Three pieces:
+
+* :class:`ParallelWorkerCommunicator` — a drop-in
+  :class:`~repro.comm.collectives.Communicator` used *inside* a worker.
+  Each call takes the rank's **own** contribution (a one-element
+  per-rank list, matching the trainer's worker mode), publishes it to
+  the arena, reads all ``N`` contributions back **in rank order** and
+  reduces them with the exact expression the sequential communicator
+  uses — which is what makes the final model state bitwise identical
+  for deterministic compressors.  Dense single-part payloads are
+  reduced zero-copy through NumPy views over the shared segments;
+  variable-size compressed payloads travel as ``core.wire`` frames.
+  Simulated costs are charged from the same analytical model, so a
+  parallel run's sim-clock report matches the sequential run's.
+* :class:`ParallelAsyncHandle` — nonblocking-collective handle whose
+  gather/reduce work runs in ``wait()`` exactly once, no matter how
+  many processes hold sibling handles for the same sequence number.
+* :func:`run_parallel` — the parent orchestration: create the arena,
+  spawn workers, watch for crashes (surfacing
+  :class:`ParallelCrashError` instead of hanging), merge per-rank trace
+  shards and memory high-water marks, verify cross-rank model
+  agreement, and always unlink the shared segments.
+
+Wall clock and sim clock answer different questions here — see
+``docs/PERFORMANCE.md`` ("Real-parallel backend") for when they
+legitimately diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.backends import Backend, OPENMPI_TCP
+from repro.comm.collectives import (
+    AsyncHandle,
+    Communicator,
+    Payload,
+    payload_nbytes,
+)
+from repro.comm.cost import (
+    allgather_time,
+    fused_allreduce_time,
+    ring_allreduce_time,
+)
+from repro.comm.network import NetworkModel
+from repro.comm.shm import (
+    DEFAULT_DATA_BYTES,
+    DEFAULT_TIMEOUT,
+    KIND_DENSE,
+    KIND_WIRE,
+    STATUS_DONE,
+    STATUS_FAILED,
+    ArenaProtocolError,
+    ArenaSpec,
+    SharedArena,
+)
+from repro.comm.timeline import NETWORK, SimTimeline
+from repro.core.wire import deserialize_payload, serialize_payload
+from repro.faults.plan import WorkerCrashError
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class ParallelCrashError(WorkerCrashError):
+    """A worker process died mid-run (non-zero exit or lost heartbeat)."""
+
+
+class ParallelAsyncHandle(AsyncHandle):
+    """Nonblocking handle whose result is materialized by ``wait()``.
+
+    The sequential :class:`AsyncHandle` carries an eagerly computed
+    result; here the gather/reduce side of the collective is deferred
+    into ``finish`` so the worker can keep computing while peers post.
+    ``wait()`` runs ``finish`` exactly once — the arena sequence number
+    is drained on that first call and later waits return the cached
+    result, so double-draining cannot corrupt peer reclamation.
+    """
+
+    __slots__ = ("_finish",)
+
+    def __init__(self, finish, event=None):
+        super().__init__(None, event)
+        self._finish = finish
+
+    def wait(self):
+        if self._waited:
+            return self._result
+        finish, self._finish = self._finish, None
+        self._result = finish()
+        self._waited = True
+        return self._result
+
+
+class ParallelWorkerCommunicator(Communicator):
+    """Arena-backed collectives for one worker rank.
+
+    Every collective consumes one arena sequence number; because the
+    trainer issues collectives in deterministic program order, all
+    ranks agree on which sequence number names which collective without
+    any extra rendezvous traffic.  A peer posting a different payload
+    kind or byte count for the same sequence number means the ranks
+    have desynchronized and raises :class:`ArenaProtocolError`.
+    """
+
+    def __init__(
+        self,
+        arena: SharedArena,
+        rank: int,
+        network: NetworkModel | None = None,
+        backend: Backend = OPENMPI_TCP,
+        registry: MetricsRegistry | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        super().__init__(
+            arena.spec.n_ranks, network=network, backend=backend,
+            registry=registry,
+        )
+        if arena.rank != rank:
+            raise ValueError(
+                f"arena is attached as rank {arena.rank}, "
+                f"communicator wants rank {rank}"
+            )
+        self.arena = arena
+        self.rank = int(rank)
+        self.timeout = float(timeout)
+        self._seq = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _local(self, items: list, what: str):
+        """The caller's own contribution (worker mode passes exactly one)."""
+        if len(items) != 1:
+            raise ValueError(
+                f"parallel {what}: rank {self.rank} passes exactly its own "
+                f"contribution, got {len(items)} per-rank entries"
+            )
+        return items[0]
+
+    def _post_payload(self, seq: int, parts: Payload) -> bool:
+        """Publish a payload; returns True when the dense path was used."""
+        if len(parts) == 1:
+            # Dense fast path: the fused single-part case (a flat bucket
+            # buffer) ships raw bytes and is reduced through zero-copy
+            # views on the reader side.
+            self.arena.post(seq, parts[0], KIND_DENSE)
+            return True
+        self.arena.post(seq, serialize_payload(parts), KIND_WIRE)
+        return False
+
+    def _dense_view(self, seq: int, rank: int, ref: np.ndarray) -> np.ndarray:
+        """Peer ``rank``'s dense contribution as a view shaped like ``ref``."""
+        if rank == self.rank:
+            return ref
+        buf, kind = self.arena.view(seq, rank, timeout=self.timeout)
+        if kind != KIND_DENSE or buf.size != ref.nbytes:
+            raise ArenaProtocolError(
+                f"seq {seq}: expected a {ref.nbytes}-byte dense payload "
+                f"from rank {rank}, got kind={kind} nbytes={buf.size} — "
+                f"ranks have desynchronized"
+            )
+        return buf.view(ref.dtype).reshape(ref.shape)
+
+    def _wire_parts(self, seq: int, rank: int, local: Payload) -> Payload:
+        """Peer ``rank``'s wire-framed payload, deserialized."""
+        if rank == self.rank:
+            return local
+        data, kind = self.arena.read(seq, rank, timeout=self.timeout)
+        if kind != KIND_WIRE:
+            raise ArenaProtocolError(
+                f"seq {seq}: expected a wire-framed payload from rank "
+                f"{rank}, got kind={kind} — ranks have desynchronized"
+            )
+        return deserialize_payload(data)
+
+    def _gather_parts(
+        self, seq: int, local: Payload, dense: bool
+    ) -> list[Payload]:
+        """All ranks' payloads for ``seq``, in rank order."""
+        if dense:
+            return [
+                [self._dense_view(seq, rank, local[0])]
+                for rank in range(self.n_workers)
+            ]
+        return [
+            self._wire_parts(seq, rank, local)
+            for rank in range(self.n_workers)
+        ]
+
+    @staticmethod
+    def _reduce_parts(all_parts: list[Payload]) -> Payload:
+        """Per-part sum over ranks, bitwise matching the sequential path.
+
+        The sequential communicator computes
+        ``np.sum(np.stack([rank 0 .. rank N-1]), axis=0)`` per part;
+        reproducing that exact expression (same operand order, same
+        pairwise summation over a stacked axis) is what makes parallel
+        and sequential final model states bitwise comparable.
+        """
+        n_parts = len(all_parts[0])
+        for rank, parts in enumerate(all_parts[1:], start=1):
+            if len(parts) != len(all_parts[0]):
+                raise ArenaProtocolError(
+                    "fused allreduce part-count mismatch: rank 0 has "
+                    f"{n_parts}, rank {rank} has {len(parts)}"
+                )
+        return [
+            np.sum(
+                np.stack([np.asarray(parts[i]) for parts in all_parts]),
+                axis=0,
+            )
+            for i in range(n_parts)
+        ]
+
+    # -- blocking collectives ----------------------------------------------
+
+    def allreduce(self, tensors: list[np.ndarray]) -> np.ndarray:
+        local = np.ascontiguousarray(
+            np.asarray(self._local(tensors, "allreduce"))
+        )
+        seq = self._next_seq()
+        self.arena.post(seq, local, KIND_DENSE)
+        total = np.sum(
+            np.stack([
+                self._dense_view(seq, rank, local)
+                for rank in range(self.n_workers)
+            ]),
+            axis=0,
+        )
+        self.arena.drain(seq)
+        seconds = ring_allreduce_time(
+            local.nbytes, self.n_workers, self.network, self.backend
+        )
+        self.record.charge(bytes_per_worker=float(local.nbytes),
+                           seconds=seconds, op="allreduce")
+        return total
+
+    def allreduce_parts(self, payloads: list[Payload]) -> Payload:
+        local = [
+            np.ascontiguousarray(np.asarray(p))
+            for p in self._local(payloads, "fused allreduce")
+        ]
+        seq = self._next_seq()
+        dense = self._post_payload(seq, local)
+        summed = self._reduce_parts(self._gather_parts(seq, local, dense))
+        self.arena.drain(seq)
+        self._charge_allreduce_parts(local)
+        return summed
+
+    def allgather(self, payloads: list[Payload]) -> list[Payload]:
+        local = [
+            np.ascontiguousarray(np.asarray(p))
+            for p in self._local(payloads, "allgather")
+        ]
+        seq = self._next_seq()
+        self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+        gathered = [
+            list(self._wire_parts(seq, rank, local))
+            for rank in range(self.n_workers)
+        ]
+        self.arena.drain(seq)
+        self._charge_allgather(gathered)
+        return gathered
+
+    def sparse_allreduce(self, tensors, block_size: int = 256):
+        raise NotImplementedError(
+            "the parallel backend does not implement sparse_allreduce; "
+            "use the sequential simulator for block-sparse experiments"
+        )
+
+    def broadcast(self, payload: Payload, root: int = 0):
+        raise NotImplementedError(
+            "the parallel backend does not implement broadcast; it is "
+            "only used by fault recovery, which worker mode disallows"
+        )
+
+    # -- nonblocking collectives --------------------------------------------
+
+    def iallreduce_parts(
+        self,
+        payloads: list[Payload],
+        *,
+        ready_at: float = 0.0,
+        timeline: SimTimeline | None = None,
+    ) -> ParallelAsyncHandle:
+        """Post now, reduce at ``wait()``.
+
+        The fused-allreduce cost depends only on the local part sizes
+        (inputs are uniform across ranks), so the sim charge and the
+        timeline event happen at issue exactly like the sequential
+        nonblocking call — sim makespans match the simulator's.
+        """
+        local = [
+            np.ascontiguousarray(np.asarray(p))
+            for p in self._local(payloads, "fused allreduce")
+        ]
+        seq = self._next_seq()
+        dense = self._post_payload(seq, local)
+        seconds = self._charge_allreduce_parts(local)
+        event = None
+        if timeline is not None:
+            event = timeline.schedule(
+                NETWORK, seconds, not_before=ready_at, name="allreduce",
+            )
+
+        def finish() -> Payload:
+            summed = self._reduce_parts(
+                self._gather_parts(seq, local, dense)
+            )
+            self.arena.drain(seq)
+            return summed
+
+        return ParallelAsyncHandle(finish, event)
+
+    def iallgather(
+        self,
+        payloads: list[Payload],
+        *,
+        ready_at: float = 0.0,
+        timeline: SimTimeline | None = None,
+    ) -> ParallelAsyncHandle:
+        """Post now, gather at ``wait()``.
+
+        Peer payload sizes are unknown until gathered, so unlike
+        :meth:`iallreduce_parts` the sim charge and timeline event are
+        deferred to ``wait()``; the event still starts no earlier than
+        ``ready_at``, so the charged occupancy is identical — only
+        ``handle.event`` is unavailable between issue and wait (the
+        trainer's span sim-windows skip it, a cosmetic difference).
+        """
+        local = [
+            np.ascontiguousarray(np.asarray(p))
+            for p in self._local(payloads, "allgather")
+        ]
+        seq = self._next_seq()
+        self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+        handle = ParallelAsyncHandle(None, None)
+
+        def finish() -> list[Payload]:
+            gathered = [
+                list(self._wire_parts(seq, rank, local))
+                for rank in range(self.n_workers)
+            ]
+            self.arena.drain(seq)
+            seconds = self._charge_allgather(gathered)
+            if timeline is not None:
+                handle.event = timeline.schedule(
+                    NETWORK, seconds, not_before=ready_at, name="allgather",
+                )
+            return gathered
+
+        handle._finish = finish
+        return handle
+
+    # -- control plane ------------------------------------------------------
+
+    def exchange_objects(self, obj) -> list:
+        """Allgather a small pickled Python object (no sim cost charged).
+
+        Control-plane traffic only — the trainer gathers per-rank loss
+        scalars with this.  Consumes an arena sequence number so ranks
+        stay aligned, but charges nothing: the sequential simulator has
+        the losses in-process for free and the sim clocks must agree.
+        """
+        seq = self._next_seq()
+        self.arena.post_object(seq, obj)
+        gathered = [
+            obj if rank == self.rank
+            else self.arena.read_object(seq, rank, timeout=self.timeout)
+            for rank in range(self.n_workers)
+        ]
+        self.arena.drain(seq)
+        return gathered
+
+    # -- cost accounting ----------------------------------------------------
+
+    def _charge_allreduce_parts(self, local: Payload) -> float:
+        part_nbytes = [int(p.nbytes) for p in local]
+        seconds = fused_allreduce_time(
+            part_nbytes, self.n_workers, self.network, self.backend
+        )
+        self.record.charge(
+            bytes_per_worker=float(sum(part_nbytes)), seconds=seconds,
+            op="allreduce",
+        )
+        return seconds
+
+    def _charge_allgather(self, gathered: list[Payload]) -> float:
+        sizes = [payload_nbytes(p) for p in gathered]
+        if self.backend.requires_uniform_input and len(set(sizes)) > 1:
+            raise ValueError(
+                f"backend {self.backend.name!r} requires uniform input "
+                f"sizes, got {sizes}"
+            )
+        seconds = allgather_time(sizes, self.network, self.backend)
+        mean_contribution = float(np.mean(sizes)) if sizes else 0.0
+        self.record.charge(bytes_per_worker=mean_contribution,
+                           seconds=seconds, op="allgather")
+        return seconds
+
+
+# ---------------------------------------------------------------------------
+# Parent orchestration
+# ---------------------------------------------------------------------------
+
+
+class ParallelDivergenceError(RuntimeError):
+    """Worker ranks finished with different model states.
+
+    Every rank reduces the same contributions with the same expression,
+    so divergence means a real defect (scratch aliasing, RNG drift,
+    arena corruption) — never an expected outcome.
+    """
+
+
+@dataclass
+class ParallelRunConfig:
+    """Everything a worker needs to rebuild its rank deterministically.
+
+    The config is pickled to each spawned process; workers reconstruct
+    the benchmark, model and trainer from it (via
+    :func:`repro.bench.runner.build_trainer`) instead of receiving live
+    objects, which is what keeps parent and workers bit-identical.
+    """
+
+    benchmark: str
+    compressor: str
+    nproc: int
+    seed: int = 0
+    epochs: int | None = None
+    memory: str | None = None
+    memory_params: dict | None = None
+    compressor_params: dict | None = None
+    fusion_mb: float = 0.0
+    overlap: bool = False
+    sanitize: bool = False
+    sanitize_every: int = 1
+    profile: bool = False
+    trace: bool = False
+    arena_bytes: int = DEFAULT_DATA_BYTES
+    timeout: float = DEFAULT_TIMEOUT
+
+
+@dataclass
+class ParallelResult:
+    """Merged outcome of one real-parallel training run."""
+
+    report: object  # rank 0's TrainingReport (sim numbers match sequential)
+    best_quality: float
+    digests: dict[int, str]  # per-rank final-model SHA-256 (all equal)
+    params: dict[str, np.ndarray]  # rank 0's final model state
+    wall_seconds: float  # parent-measured end-to-end wall clock
+    events: list[dict] = field(default_factory=list)  # merged trace shards
+    memory_high_water: dict[str, int] = field(default_factory=dict)
+
+
+def model_digest(params: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the model state, byte-exact and name-ordered."""
+    h = hashlib.sha256()
+    for name in sorted(params):
+        array = np.ascontiguousarray(params[name])
+        h.update(name.encode())
+        h.update(str(array.dtype).encode())
+        h.update(str(array.shape).encode())
+        h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def _report_fields(report) -> dict:
+    from repro.core.trainer import TrainingReport
+
+    return {name: getattr(report, name) for name in TrainingReport._FIELDS}
+
+
+def _worker_main(
+    config: ParallelRunConfig, arena_spec: ArenaSpec, rank: int, out_queue
+) -> None:
+    """Entry point of one spawned worker rank (module-level for pickling)."""
+    arena = None
+    try:
+        arena = SharedArena.attach(arena_spec, rank)
+        tracer = None
+        if config.profile:
+            from repro.telemetry.profile import ProfilingTracer
+
+            tracer = ProfilingTracer()
+        elif config.trace:
+            from repro.telemetry.tracing import Tracer
+
+            tracer = Tracer()
+        from repro.bench.runner import build_trainer
+        from repro.bench.suite import get_benchmark
+
+        spec = get_benchmark(config.benchmark)
+        comm = ParallelWorkerCommunicator(
+            arena, rank, timeout=config.timeout
+        )
+        trainer, run = build_trainer(
+            spec,
+            config.compressor,
+            n_workers=config.nproc,
+            seed=config.seed,
+            memory=config.memory,
+            memory_params=config.memory_params,
+            compressor_params=config.compressor_params,
+            tracer=tracer,
+            fusion_mb=config.fusion_mb,
+            overlap=config.overlap,
+            sanitize=config.sanitize,
+            sanitize_every=config.sanitize_every,
+            communicator=comm,
+            rank=rank,
+        )
+        report = trainer.train(
+            run.loader,
+            epochs=(
+                config.epochs
+                if config.epochs is not None
+                else spec.lite_epochs
+            ),
+            eval_fn=run.eval_fn,
+        )
+        arena.set_status(STATUS_DONE)
+        params = {
+            name: np.asarray(param.data)
+            for name, param in run.model.named_parameters()
+        }
+        result = {
+            "rank": rank,
+            "digest": model_digest(params),
+            "report": _report_fields(report),
+            "best_quality": report.best_quality,
+        }
+        if rank == 0:
+            result["params"] = params
+        if tracer is not None:
+            result["events"] = [span.to_event() for span in tracer.spans]
+        if config.profile:
+            result["memory_high_water"] = tracer.finalize()
+        out_queue.put(("ok", rank, result))
+    except BaseException as exc:
+        if arena is not None:
+            arena.set_status(STATUS_FAILED)
+            arena.abort()
+        try:
+            out_queue.put((
+                "error", rank,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            ))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        raise SystemExit(1)
+    finally:
+        if arena is not None:
+            arena.close()
+
+
+def _merge_events(per_rank_events: dict[int, list[dict]]) -> list[dict]:
+    """Merge per-rank trace shards into one event stream.
+
+    Span ids are per-tracer counters, so shards collide; ids are
+    remapped to ``"r<rank>:<id>"`` strings (downstream profile code
+    treats ids opaquely) and every span gains a ``rank`` attribute.
+    """
+    merged: list[dict] = []
+    for rank in sorted(per_rank_events):
+        for event in per_rank_events[rank]:
+            remapped = dict(event)
+            remapped["id"] = f"r{rank}:{event['id']}"
+            if event.get("parent") is not None:
+                remapped["parent"] = f"r{rank}:{event['parent']}"
+            remapped["attrs"] = {**event.get("attrs", {}), "rank": rank}
+            merged.append(remapped)
+    return merged
+
+
+def run_parallel(config: ParallelRunConfig) -> ParallelResult:
+    """Train ``config.benchmark`` across ``config.nproc`` real processes.
+
+    Spawns one worker per rank, watches for crashes (a dead child sets
+    the arena abort flag so surviving ranks raise instead of hanging,
+    and the parent surfaces :class:`ParallelCrashError`), verifies all
+    ranks finished with byte-identical model states, merges telemetry,
+    and always unlinks the shared segments.
+    """
+    if config.nproc < 1:
+        raise ValueError(f"nproc must be >= 1, got {config.nproc}")
+    ctx = mp.get_context("spawn")
+    arena = SharedArena.create(config.nproc, data_bytes=config.arena_bytes)
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(config, arena.spec, rank, out_queue),
+            name=f"repro-rank{rank}",
+            daemon=True,
+        )
+        for rank in range(config.nproc)
+    ]
+    results: dict[int, dict] = {}
+    errors: dict[int, str] = {}
+    start = time.perf_counter()
+    try:
+        for worker in workers:
+            worker.start()
+        deadline = time.monotonic() + config.timeout + 3600.0
+        while len(results) + len(errors) < config.nproc:
+            try:
+                status, rank, payload = out_queue.get(timeout=0.2)
+                if status == "ok":
+                    results[rank] = payload
+                else:
+                    errors[rank] = payload
+                continue
+            except queue_module.Empty:
+                pass
+            for rank, worker in enumerate(workers):
+                if (
+                    rank not in results
+                    and rank not in errors
+                    and not worker.is_alive()
+                    and worker.exitcode not in (0, None)
+                ):
+                    # Died without reporting (segfault, SIGKILL):
+                    # unblock the survivors, record the crash.
+                    arena.abort()
+                    errors[rank] = (
+                        f"worker rank {rank} exited with code "
+                        f"{worker.exitcode} without reporting a result"
+                    )
+            if time.monotonic() > deadline:  # pragma: no cover - backstop
+                arena.abort()
+                raise ParallelCrashError(
+                    "parallel run deadlocked: "
+                    f"{sorted(set(range(config.nproc)) - set(results))} "
+                    "never reported"
+                )
+        wall_seconds = time.perf_counter() - start
+        for worker in workers:
+            worker.join(timeout=30.0)
+    finally:
+        started = [worker for worker in workers if worker.pid is not None]
+        if any(worker.is_alive() for worker in started):
+            arena.abort()
+        for worker in started:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - backstop
+                worker.terminate()
+                worker.join(timeout=5.0)
+        arena.close()
+    if errors:
+        detail = "\n".join(
+            f"rank {rank}: {message}" for rank, message in sorted(errors.items())
+        )
+        raise ParallelCrashError(
+            f"{len(errors)} of {config.nproc} workers failed:\n{detail}"
+        )
+    digests = {rank: results[rank]["digest"] for rank in results}
+    if len(set(digests.values())) != 1:
+        raise ParallelDivergenceError(
+            f"ranks finished with different model states: {digests}"
+        )
+    from repro.core.trainer import TrainingReport
+
+    report = TrainingReport(**results[0]["report"])
+    memory_high_water: dict[str, int] = {}
+    per_rank_events: dict[int, list[dict]] = {}
+    for rank, payload in results.items():
+        for key, value in payload.get("memory_high_water", {}).items():
+            memory_high_water[f"rank{rank}/{key}"] = value
+        if "events" in payload:
+            per_rank_events[rank] = payload["events"]
+    return ParallelResult(
+        report=report,
+        best_quality=results[0]["best_quality"],
+        digests=digests,
+        params=results[0]["params"],
+        wall_seconds=wall_seconds,
+        events=_merge_events(per_rank_events),
+        memory_high_water=memory_high_water,
+    )

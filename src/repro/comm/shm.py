@@ -1,0 +1,420 @@
+"""Shared-memory payload arena for the real-parallel backend.
+
+The sequential simulator hands payloads between ranks as in-process
+Python references.  The real-parallel backend (`repro.comm.parallel`)
+runs each rank in its own OS process, so contributions move through
+POSIX shared memory instead: one small int64 *control* segment carries
+the rendezvous state, and one per-rank uint8 *data* segment carries the
+actual bytes.  Every collective consumes one monotonically increasing
+**sequence number**; rank ``r``'s contribution to collective ``seq``
+is a (offset, nbytes, kind) record in the control segment's metadata
+ring plus the raw bytes in ``r``'s data segment.
+
+Protocol (per rank ``r``, collective ``seq``):
+
+1. *post* — copy the payload into ``r``'s data segment (bump allocation
+   with wraparound; a payload is never split across the wrap), write
+   the metadata slot ``[r][seq % meta_slots]``, then publish by storing
+   ``posted[r] = seq + 1``.  Publication is the last store, so a reader
+   that observes ``posted[r] > seq`` sees complete metadata and data.
+2. *read* — peers poll ``posted[r]`` until it exceeds ``seq`` (bounded
+   by a timeout), then copy the bytes out.
+3. *drain* — once a rank has finished reading every peer's contribution
+   for ``seq`` it stores ``drained[rank] = max(current, seq + 1)``
+   (idempotent, so a nonblocking handle finishing exactly once and a
+   defensive re-drain agree).  A writer reclaims the data bytes for
+   ``seq`` only when ``min(drained)`` over all ranks has passed it.
+
+The control layout is plain aligned int64 slots; on the platforms we
+target (CPython on x86-64/aarch64) aligned 8-byte loads/stores through
+NumPy are single machine accesses and the interpreter does not reorder
+them, which is the same assumption every Python shm ring-buffer makes.
+There are no locks: each control slot has exactly one writer.
+
+Failure handling is typed, never a hang: peers that fail set
+``status[rank] = STATUS_FAILED`` and the parent (or any rank) can set
+the global *abort* flag, which every poll loop checks —
+:class:`ArenaAbortedError` (a :class:`~repro.faults.WorkerCrashError`)
+for aborts, :class:`ArenaTimeoutError` (a
+:class:`~repro.faults.CollectiveTimeoutError`) for missing peers, and
+:class:`ArenaOverflowError` when a payload cannot fit even after
+waiting for reclamation.
+
+Lifecycle: the parent *creates* the segments and is the only process
+that *unlinks* them; workers *attach* and must only close.  Spawned
+workers share the parent's ``resource_tracker`` process, so a worker's
+duplicate attach-time registration is harmless and the owner's unlink
+clears the tracker entry — no segment outlives the parent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.faults.plan import CollectiveTimeoutError, WorkerCrashError
+
+# Payload kinds carried in the metadata ring.  Peers participating in
+# the same collective must agree on the kind; a mismatch means the
+# ranks have desynchronized and raises ArenaProtocolError.
+KIND_DENSE = 1  # raw little-endian float32 buffer (fused dense bucket)
+KIND_WIRE = 2  # core.wire-serialized compressed payload
+KIND_OBJECT = 3  # pickled Python object (control plane only)
+
+_KNOWN_KINDS = frozenset({KIND_DENSE, KIND_WIRE, KIND_OBJECT})
+
+STATUS_RUNNING = 0
+STATUS_DONE = 1
+STATUS_FAILED = 2
+
+# Control-segment slot indices (int64 each).
+_CTRL_ABORT = 0
+_CTRL_NRANKS = 1
+_CTRL_FIXED = 2  # posted[N], drained[N], status[N], then the meta ring
+
+_META_FIELDS = 3  # offset, nbytes, kind
+
+DEFAULT_DATA_BYTES = 32 * 1024 * 1024
+DEFAULT_META_SLOTS = 1024
+DEFAULT_TIMEOUT = 60.0
+
+_POLL_SLEEP = 50e-6  # 50 µs between control-word polls
+
+_ALIGN = 64  # data-segment allocation alignment (dtype-view friendly)
+
+
+class ArenaOverflowError(RuntimeError):
+    """A payload cannot fit in the data segment, even after reclamation."""
+
+
+class ArenaTimeoutError(CollectiveTimeoutError):
+    """A peer failed to post its contribution within the timeout."""
+
+
+class ArenaAbortedError(WorkerCrashError):
+    """The collective was aborted because a participant died or failed."""
+
+
+class ArenaProtocolError(RuntimeError):
+    """Peers disagreed about a collective's payload kind or framing."""
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable handle workers use to attach to an existing arena."""
+
+    control_name: str
+    data_names: tuple[str, ...]
+    n_ranks: int
+    data_bytes: int
+    meta_slots: int
+
+
+def _control_slots(n_ranks: int, meta_slots: int) -> int:
+    return _CTRL_FIXED + 3 * n_ranks + n_ranks * meta_slots * _META_FIELDS
+
+
+
+
+class SharedArena:
+    """One rank's (or the parent's) view of the shared payload arena."""
+
+    def __init__(
+        self,
+        spec: ArenaSpec,
+        rank: int | None,
+        control: shared_memory.SharedMemory,
+        data: list[shared_memory.SharedMemory],
+        owner: bool,
+    ):
+        self.spec = spec
+        self.rank = rank
+        self._control_shm = control
+        self._data_shm = data
+        self._owner = owner
+        self._closed = False
+        n = spec.n_ranks
+        ctrl = np.frombuffer(
+            control.buf, dtype=np.int64, count=_control_slots(n, spec.meta_slots)
+        )
+        self._ctrl = ctrl
+        self._posted = ctrl[_CTRL_FIXED:_CTRL_FIXED + n]
+        self._drained = ctrl[_CTRL_FIXED + n:_CTRL_FIXED + 2 * n]
+        self._status = ctrl[_CTRL_FIXED + 2 * n:_CTRL_FIXED + 3 * n]
+        self._meta = ctrl[_CTRL_FIXED + 3 * n:].reshape(
+            n, spec.meta_slots, _META_FIELDS
+        )
+        self._data = [
+            np.frombuffer(shm.buf, dtype=np.uint8, count=spec.data_bytes)
+            for shm in data
+        ]
+        # Writer-local bump-allocator state (only meaningful when
+        # rank is not None): blocks still owned by undrained seqs.
+        self._head = 0
+        self._outstanding: list[tuple[int, int, int]] = []  # (seq, off, nbytes)
+
+    # -- lifecycle
+
+    @classmethod
+    def create(
+        cls,
+        n_ranks: int,
+        data_bytes: int = DEFAULT_DATA_BYTES,
+        meta_slots: int = DEFAULT_META_SLOTS,
+    ) -> "SharedArena":
+        """Create the segments (parent side).  The result owns them."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if data_bytes < 4096:
+            raise ValueError(f"data_bytes too small: {data_bytes}")
+        control = shared_memory.SharedMemory(
+            create=True, size=_control_slots(n_ranks, meta_slots) * 8
+        )
+        data = [
+            shared_memory.SharedMemory(create=True, size=data_bytes)
+            for _ in range(n_ranks)
+        ]
+        spec = ArenaSpec(
+            control_name=control.name,
+            data_names=tuple(shm.name for shm in data),
+            n_ranks=n_ranks,
+            data_bytes=data_bytes,
+            meta_slots=meta_slots,
+        )
+        arena = cls(spec, rank=None, control=control, data=data, owner=True)
+        arena._ctrl[:] = 0
+        arena._ctrl[_CTRL_NRANKS] = n_ranks
+        return arena
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec, rank: int | None) -> "SharedArena":
+        """Attach to an existing arena (worker side; parent owns it)."""
+        if rank is not None and not 0 <= rank < spec.n_ranks:
+            raise ValueError(
+                f"rank {rank} out of range for {spec.n_ranks} ranks"
+            )
+        # On Python 3.11 attaching registers the segment with the
+        # resource tracker a second time.  Spawned workers inherit the
+        # parent's tracker process, whose name cache is a set — the
+        # duplicate registration is a no-op and the owner's unlink()
+        # clears it, so no explicit unregister is needed (and calling
+        # it would strip the parent's own registration).
+        control = shared_memory.SharedMemory(name=spec.control_name)
+        data = [
+            shared_memory.SharedMemory(name=name)
+            for name in spec.data_names
+        ]
+        return cls(spec, rank=rank, control=control, data=data, owner=False)
+
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop numpy views before closing the underlying mmaps.
+        self._ctrl = self._posted = self._drained = None
+        self._status = self._meta = None
+        self._data = []
+        for shm in [self._control_shm, *self._data_shm]:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - interpreter quirk
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    # -- failure signalling
+
+    def abort(self) -> None:
+        """Raise the global abort flag; every poll loop will bail out."""
+        if self._ctrl is not None:
+            self._ctrl[_CTRL_ABORT] = 1
+
+    @property
+    def aborted(self) -> bool:
+        return self._ctrl is not None and bool(self._ctrl[_CTRL_ABORT])
+
+    def set_status(self, status: int) -> None:
+        """Record this rank's terminal status (done/failed)."""
+        if self.rank is not None:
+            self._status[self.rank] = status
+
+    def status(self, rank: int) -> int:
+        return int(self._status[rank])
+
+    def _check_abort(self, context: str) -> None:
+        if self.aborted:
+            failed = [
+                r for r in range(self.spec.n_ranks)
+                if self._status[r] == STATUS_FAILED
+            ]
+            detail = f" (failed ranks: {failed})" if failed else ""
+            raise ArenaAbortedError(
+                f"collective aborted during {context}: a participant "
+                f"died or failed{detail}"
+            )
+
+    # -- posting
+
+    def post(self, seq: int, data, kind: int) -> None:
+        """Publish this rank's contribution to collective ``seq``.
+
+        ``data`` is anything exposing a C-contiguous buffer (bytes or a
+        contiguous ndarray).  The bytes are copied into the shared data
+        segment, so the caller's buffer can be reused immediately.
+        """
+        if self.rank is None:
+            raise RuntimeError("the parent arena view cannot post")
+        if kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown payload kind {kind}")
+        raw = np.frombuffer(data, dtype=np.uint8)
+        nbytes = int(raw.size)
+        self._wait_meta_slot(seq)
+        offset = self._allocate(seq, nbytes)
+        if nbytes:
+            self._data[self.rank][offset:offset + nbytes] = raw
+        slot = self._meta[self.rank, seq % self.spec.meta_slots]
+        slot[0] = offset
+        slot[1] = nbytes
+        slot[2] = kind
+        # Publication barrier: posted[r] is stored last, so any reader
+        # observing it sees the metadata and bytes written above.
+        self._posted[self.rank] = seq + 1
+
+    def post_object(self, seq: int, obj) -> None:
+        """Post a pickled control-plane object (no cost accounting)."""
+        self.post(seq, pickle.dumps(obj), KIND_OBJECT)
+
+    def _wait_meta_slot(self, seq: int, timeout: float = DEFAULT_TIMEOUT):
+        """Block until the ring slot for ``seq`` is reusable."""
+        horizon = seq - self.spec.meta_slots
+        if horizon < 0:
+            return
+        deadline = time.monotonic() + timeout
+        while int(self._drained.min()) <= horizon:
+            self._check_abort(f"meta-slot wait (seq={seq})")
+            if time.monotonic() > deadline:
+                raise ArenaTimeoutError(
+                    f"rank {self.rank}: metadata ring full at seq {seq}; "
+                    f"peers stopped draining (drained={self._drained.tolist()})"
+                )
+            time.sleep(_POLL_SLEEP)
+
+    def _allocate(
+        self, seq: int, nbytes: int, timeout: float = DEFAULT_TIMEOUT
+    ) -> int:
+        """Bump-allocate ``nbytes`` in this rank's data segment."""
+        capacity = self.spec.data_bytes
+        if nbytes > capacity:
+            raise ArenaOverflowError(
+                f"payload of {nbytes} bytes exceeds the {capacity}-byte "
+                f"data segment; raise --arena-mb"
+            )
+        if nbytes == 0:
+            self._outstanding.append((seq, 0, 0))
+            return 0
+        deadline = time.monotonic() + timeout
+        while True:
+            self._reclaim()
+            # Align starts so dense payloads can be reinterpreted as
+            # wider dtypes through zero-copy views.
+            start = -(-self._head // _ALIGN) * _ALIGN
+            if start + nbytes > capacity:
+                start = 0  # wrap; payloads are never split
+            end = start + nbytes
+            if not any(
+                start < off + nb and off < end
+                for _, off, nb in self._outstanding
+                if nb
+            ):
+                self._head = end
+                self._outstanding.append((seq, start, nbytes))
+                return start
+            self._check_abort(f"allocation (seq={seq})")
+            if time.monotonic() > deadline:
+                raise ArenaOverflowError(
+                    f"rank {self.rank}: no room for {nbytes} bytes at seq "
+                    f"{seq}; {len(self._outstanding)} undrained payloads "
+                    f"occupy the segment (drained={self._drained.tolist()})"
+                )
+            time.sleep(_POLL_SLEEP)
+
+    def _reclaim(self) -> None:
+        """Free blocks whose seq every rank has drained past."""
+        floor = int(self._drained.min())
+        if floor:
+            self._outstanding = [
+                entry for entry in self._outstanding if entry[0] >= floor
+            ]
+
+    # -- reading
+
+    def _wait_posted(self, seq: int, rank: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while int(self._posted[rank]) <= seq:
+            self._check_abort(f"read of rank {rank} (seq={seq})")
+            if self._status[rank] == STATUS_FAILED:
+                raise ArenaAbortedError(
+                    f"rank {rank} failed before posting seq {seq}"
+                )
+            if time.monotonic() > deadline:
+                raise ArenaTimeoutError(
+                    f"waited {timeout:.1f}s for rank {rank} to post "
+                    f"collective seq {seq} "
+                    f"(posted={self._posted.tolist()})"
+                )
+            time.sleep(_POLL_SLEEP)
+
+    def view(
+        self, seq: int, rank: int, timeout: float = DEFAULT_TIMEOUT
+    ) -> tuple[np.ndarray, int]:
+        """Zero-copy uint8 view of ``rank``'s contribution to ``seq``.
+
+        The view aliases the shared data segment directly: it is valid
+        only until this rank drains ``seq`` (the writer may then reuse
+        the bytes), so callers must finish reducing before draining.
+        """
+        self._wait_posted(seq, rank, timeout)
+        slot = self._meta[rank, seq % self.spec.meta_slots]
+        offset, nbytes, kind = int(slot[0]), int(slot[1]), int(slot[2])
+        if kind not in _KNOWN_KINDS:
+            raise ArenaProtocolError(
+                f"rank {rank} posted unknown payload kind {kind} at seq "
+                f"{seq} — ranks have desynchronized"
+            )
+        return self._data[rank][offset:offset + nbytes], kind
+
+    def read(
+        self, seq: int, rank: int, timeout: float = DEFAULT_TIMEOUT
+    ) -> tuple[bytes, int]:
+        """Wait for and copy out ``rank``'s contribution to ``seq``."""
+        view, kind = self.view(seq, rank, timeout=timeout)
+        return bytes(view), kind
+
+    def read_object(self, seq: int, rank: int, timeout: float = DEFAULT_TIMEOUT):
+        data, kind = self.read(seq, rank, timeout=timeout)
+        if kind != KIND_OBJECT:
+            raise ArenaProtocolError(
+                f"expected pickled object from rank {rank} at seq {seq}, "
+                f"got kind {kind}"
+            )
+        return pickle.loads(data)
+
+    def drain(self, seq: int) -> None:
+        """Mark every read for ``seq`` complete (idempotent)."""
+        if self.rank is None:
+            raise RuntimeError("the parent arena view cannot drain")
+        current = int(self._drained[self.rank])
+        if seq + 1 > current:
+            self._drained[self.rank] = seq + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SharedArena(rank={self.rank}, n_ranks={self.spec.n_ranks}, "
+                f"data_bytes={self.spec.data_bytes}, owner={self._owner})")

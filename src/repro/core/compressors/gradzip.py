@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
 from repro.core.compressors.powersgd import _matrix_view
+from repro.core.rng import name_seed
 
 
 class GradZipCompressor(Compressor):
@@ -67,7 +68,7 @@ class GradZipCompressor(Compressor):
         rank = min(self.rank, m, length)
         r_factor = self._r_memory.get(name)
         if r_factor is None or r_factor.shape != (length, rank):
-            start_rng = np.random.default_rng(abs(hash(name)) % (2**32))
+            start_rng = np.random.default_rng(name_seed(name))
             r_factor = start_rng.standard_normal((length, rank))
         eye = self.regularization * np.eye(rank)
         p_factor = np.zeros((m, rank))

@@ -18,7 +18,11 @@ class NoneCompressor(Compressor):
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
-        array = np.asarray(tensor, dtype=np.float32)
+        # Copy even when the input is already float32: the payload must
+        # not alias the trainer's reusable scratch buffers (the
+        # ContractChecker's scratch-aliasing check enforces this for
+        # every compressor).
+        array = np.array(tensor, dtype=np.float32)
         return CompressedTensor(payload=[array], ctx=(array.shape,))
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:

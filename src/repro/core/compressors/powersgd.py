@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.rng import name_seed
 
 
 def _orthonormalize(matrix: np.ndarray) -> np.ndarray:
@@ -67,7 +68,7 @@ class PowerSGDCompressor(Compressor):
             # All workers construct the same deterministic start so their Q
             # factors stay synchronized, as the reference implementation's
             # shared seed does.
-            start_rng = np.random.default_rng(abs(hash(name)) % (2**32))
+            start_rng = np.random.default_rng(name_seed(name))
             q_prev = _orthonormalize(start_rng.standard_normal((length, rank)))
         p = matrix @ q_prev
         p = _orthonormalize(p)

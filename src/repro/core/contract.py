@@ -191,6 +191,29 @@ class ContractChecker(Compressor):
                 "payload does not survive serialize/deserialize bitwise",
             )
 
+    def _check_aliasing(
+        self, compressed: CompressedTensor, source: np.ndarray, what: str
+    ) -> None:
+        """No payload part may alias the compress input buffer.
+
+        The trainer hands compressors *reusable* scratch buffers (the
+        per-rank :class:`~repro.core.fusion.ScratchPool`), and the
+        real-parallel backend additionally keeps payload bytes alive
+        across nonblocking collectives.  A payload that aliases its
+        input would silently change when the scratch is overwritten for
+        the next bucket/iteration — so a compressor must always copy
+        (slicing, ``compressed = buffer[idx]`` views, and identity
+        returns are all violations).
+        """
+        for index, part in enumerate(compressed.payload):
+            if np.may_share_memory(part, source):
+                self._fail(
+                    "scratch-aliasing",
+                    f"payload part {index} shares memory with the "
+                    f"{what} — compressors must not retain references "
+                    f"into reusable scratch buffers across calls",
+                )
+
     def _due(self) -> bool:
         self._calls += 1
         return (self._calls - 1) % self.check_every == 0
@@ -206,6 +229,7 @@ class ContractChecker(Compressor):
         compressed = self.inner.compress(tensor, name)
 
         self._check_structure(compressed)
+        self._check_aliasing(compressed, tensor, f"input tensor {name!r}")
         self._check_wire(compressed)
         if not expensive:
             return compressed
@@ -251,6 +275,7 @@ class ContractChecker(Compressor):
         compressed = self.inner.compress_fused(buffer, bucket)
 
         self._check_structure(compressed)
+        self._check_aliasing(compressed, buffer, "fused scratch buffer")
         self._check_wire(compressed)
         if not expensive:
             return compressed

@@ -29,6 +29,7 @@ from repro.comm.gossip import GossipCommunicator, Topology
 from repro.core.api import Compressor
 from repro.core.memory import Memory, make_memory
 from repro.core.trainer import DistributedTask
+from repro.core.rng import spawn_worker_seeds
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracing import NULL_TRACER
 
@@ -95,8 +96,10 @@ class DecentralizedTrainer:
             raise ValueError("communicator and topology disagree on size")
         self.n_workers = topology.n_nodes
         self.consensus_period = int(consensus_period)
+        node_seeds = spawn_worker_seeds(seed, self.n_workers)
         self.compressors = [
-            compressor.clone(seed=seed + node) for node in range(self.n_workers)
+            compressor.clone(seed=node_seeds[node])
+            for node in range(self.n_workers)
         ]
         memory_kind = memory if memory is not None else compressor.default_memory
         self.memories: list[Memory] = [

@@ -214,9 +214,19 @@ class ScratchPool:
     size still matches, else (re)allocates.  Contents are *not* cleared:
     callers fully overwrite the buffer (``FusionBucket.pack`` writes
     every element), which is what makes reuse free.
+
+    Pools are **owned**: each simulated rank gets its own pool (plus one
+    aggregation-side pool shared by the decode path), declared via
+    ``owner``.  Buffers are process-local mutable state, so nothing may
+    hand a reference into a pool buffer across rank boundaries — the
+    real-parallel backend runs each rank in its own OS process, where a
+    leaked scratch reference would silently read another iteration's
+    bytes.  :class:`repro.core.contract.ContractChecker` enforces the
+    compressor side of this (payloads must not alias the scratch input).
     """
 
-    def __init__(self):
+    def __init__(self, owner: object = None):
+        self.owner = owner  # rank index, "aggregate", or None (untagged)
         self._buffers: dict[object, np.ndarray] = {}
         self.allocations = 0  # diagnosed by tests and telemetry
 
@@ -230,3 +240,7 @@ class ScratchPool:
 
     def clear(self) -> None:
         self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ScratchPool(owner={self.owner!r}, "
+                f"buffers={len(self._buffers)})")

@@ -22,6 +22,7 @@ from repro.comm.collectives import Communicator
 from repro.core.api import Compressor
 from repro.core.memory import Memory, make_memory
 from repro.core.trainer import DistributedTask
+from repro.core.rng import spawn_worker_seeds
 
 
 @dataclass
@@ -74,8 +75,10 @@ class LocalSGDTrainer:
         )
         if self.comm.n_workers != self.n_workers:
             raise ValueError("communicator size disagrees with task count")
+        node_seeds = spawn_worker_seeds(seed, self.n_workers)
         self.compressors = [
-            compressor.clone(seed=seed + node) for node in range(self.n_workers)
+            compressor.clone(seed=node_seeds[node])
+            for node in range(self.n_workers)
         ]
         memory_kind = memory if memory is not None else compressor.default_memory
         self.memories: list[Memory] = [

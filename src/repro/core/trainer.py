@@ -44,6 +44,7 @@ from repro.core.api import (
 from repro.core.checkpoint import Checkpoint
 from repro.core.fusion import FusionBucket, FusionPlan, ScratchPool
 from repro.core.memory import Memory, make_memory
+from repro.core.rng import spawn_worker_seeds
 from repro.core.wire import framing_header_bytes
 from repro.faults import (
     CollectiveTimeoutError,
@@ -377,6 +378,20 @@ class DistributedTrainer:
     retry:
         :class:`~repro.comm.resilience.RetryPolicy` bounding the
         resilient wrapper's retransmits; ``None`` uses its defaults.
+    rank:
+        ``None`` (the default) runs the driver-style simulator: this
+        process computes *every* rank.  An integer puts the trainer in
+        **worker mode** for the real-parallel backend: this process
+        computes only rank ``rank``'s forward/backward, compensate and
+        compress, and the communicator (a
+        :class:`repro.comm.parallel.ParallelWorkerCommunicator`) moves
+        only this rank's contribution — peers run in their own
+        processes.  Per-rank state (compressor clones, memories, seeds,
+        fusion plans) is still built for all ``n_workers`` ranks so
+        layouts and random streams match the sequential run exactly;
+        only rank ``rank``'s state advances.  Worker mode excludes the
+        fault-injection and checkpoint machinery (both assume one
+        process owns every rank's state).
     """
 
     def __init__(
@@ -403,9 +418,24 @@ class DistributedTrainer:
         staleness_bound: int = 1,
         ef_restore: bool = True,
         retry=None,
+        rank: int | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if rank is not None and not 0 <= rank < n_workers:
+            raise ValueError(
+                f"rank must be in [0, {n_workers}), got {rank}"
+            )
+        if rank is not None and faults is not None:
+            raise ValueError(
+                "worker mode (rank=...) cannot inject faults — the fault "
+                "machinery assumes one process owns every rank's state"
+            )
+        if rank is not None and checkpoint_every:
+            raise ValueError(
+                "worker mode (rank=...) cannot checkpoint — peer ranks' "
+                "memories live in other processes"
+            )
         if fusion_mb < 0:
             raise ValueError(f"fusion_mb must be >= 0, got {fusion_mb}")
         if bucket_order not in ("ready", "declaration"):
@@ -415,6 +445,7 @@ class DistributedTrainer:
             )
         self.task = task
         self.n_workers = int(n_workers)
+        self.rank = int(rank) if rank is not None else None
         self.comm = (
             communicator
             if communicator is not None
@@ -439,8 +470,14 @@ class DistributedTrainer:
         # One registry per run: pull the communicator's accounting in so
         # bytes/seconds are counted (and reset) in exactly one place.
         self.comm.record.bind(self.metrics)
+        # SeedSequence.spawn, not seed+rank arithmetic: spawned children
+        # are independent and collision-free across runs (see
+        # repro.core.rng), and a parallel worker process re-derives
+        # exactly its own rank's stream from (seed, n_workers).
+        worker_seeds = spawn_worker_seeds(seed, self.n_workers)
         self.compressors = [
-            compressor.clone(seed=seed + rank) for rank in range(self.n_workers)
+            compressor.clone(seed=worker_seeds[r])
+            for r in range(self.n_workers)
         ]
         memory_kind = memory if memory is not None else compressor.default_memory
         params = dict(memory_params or {})
@@ -453,7 +490,14 @@ class DistributedTrainer:
         self.fusion_mb = float(fusion_mb)
         self._fusion_max_bytes = int(self.fusion_mb * (1 << 20))
         self._fusion_plan: FusionPlan | None = None
-        self._scratch = ScratchPool()
+        # Scratch is per-rank-owned: rank r's compress-side buffers come
+        # from its own pool and the decode/aggregate side has a separate
+        # pool, so no buffer is ever shared across rank boundaries (the
+        # invariant the real-parallel backend's process split relies on).
+        self._rank_scratch = [
+            ScratchPool(owner=r) for r in range(self.n_workers)
+        ]
+        self._agg_scratch = ScratchPool(owner="aggregate")
         self.overlap = bool(overlap)
         self.bucket_order = bucket_order
         self._overlap_plan: FusionPlan | None = None
@@ -555,6 +599,12 @@ class DistributedTrainer:
             for rank, (inputs, targets) in enumerate(batches):
                 if rank in crashed:
                     continue  # a down worker computes nothing
+                if self.rank is not None and rank != self.rank:
+                    # Worker mode: peers compute in their own processes;
+                    # this process only accounts their sample counts (the
+                    # cohort totals must match the sequential run).
+                    n_samples += _batch_size(inputs)
+                    continue
                 with tracer.span("compute", rank=rank) as span:
                     loss, grads = self.task.forward_backward(inputs, targets)
                 if compute_span is None:
@@ -568,10 +618,18 @@ class DistributedTrainer:
                 losses.append(loss)
                 grads_by_rank[rank] = grads
                 n_samples += _batch_size(inputs)
+            if self.rank is not None:
+                # Control-plane gather so every process reports the same
+                # cohort-mean loss the sequential simulator computes.
+                losses = self.comm.exchange_objects(losses[0])
             sim_compute = 0.0
             if self.perf_model is not None:
+                computing = (
+                    self.n_workers if self.rank is not None
+                    else max(1, len(grads_by_rank))
+                )
                 sim_compute = self.perf_model.compute_seconds(
-                    n_samples // max(1, len(grads_by_rank))
+                    n_samples // computing
                 )  # ranks compute in parallel: charge one rank's batch
                 if faults is not None:
                     # A synchronous iteration finishes with its slowest
@@ -789,6 +847,47 @@ class DistributedTrainer:
             help="iterations aborted by exhausted retry budgets",
         ).inc(1)
 
+    # -- worker-mode helpers -------------------------------------------
+
+    def _exchange_pairs(self) -> list[tuple[int, int]]:
+        """(position, rank) pairs this process compresses.
+
+        ``position`` indexes ``grads_per_rank`` (the cohort-aligned
+        gradient list).  The sequential simulator walks every active
+        rank; a worker process walks exactly one — its own.
+        """
+        if self.rank is not None:
+            return [(0, self.rank)]
+        return list(enumerate(self._active_ranks))
+
+    def _gathered_compressed(
+        self,
+        compressed: list[CompressedTensor],
+        gathered: list[list[np.ndarray]],
+    ) -> list[CompressedTensor]:
+        """All-rank compressed tensors for the Allgather decode path.
+
+        Sequentially, ``compressed`` already holds every rank's tensor
+        and the communicator's gather result is a mirror of it.  In
+        worker mode ``compressed`` holds only this rank's contribution,
+        so peers' payloads come from the gather; their ctx is this
+        rank's own — ctx is *receiver-known metadata* by the §IV-B
+        honesty contract (shapes, parameters), identical on every rank.
+        """
+        if self.rank is None:
+            return compressed
+        ctx = compressed[0].ctx
+        return [
+            CompressedTensor(payload=list(payload), ctx=ctx)
+            for payload in gathered
+        ]
+
+    def _clear_scratch(self) -> None:
+        """Drop every rank-owned and aggregate-side scratch buffer."""
+        for pool in self._rank_scratch:
+            pool.clear()
+        self._agg_scratch.clear()
+
     def _exchange(
         self, grads_per_rank: list[dict[str, np.ndarray]]
     ) -> dict[str, np.ndarray]:
@@ -806,7 +905,7 @@ class DistributedTrainer:
             compressed: list[CompressedTensor] = []
             first_compress_span = None
             kernel_start = time.perf_counter()
-            for position, rank in enumerate(self._active_ranks):
+            for position, rank in self._exchange_pairs():
                 memory = self.memories[rank]
                 with tracer.span("memory_compensate", rank=rank, tensor=name):
                     compensated = memory.compensate(
@@ -874,7 +973,7 @@ class DistributedTrainer:
         ):
             plan = FusionPlan.from_gradients(grads0, self._fusion_max_bytes)
             self._fusion_plan = plan
-            self._scratch.clear()
+            self._clear_scratch()
         record = self.comm.record
         comm_before = record.simulated_seconds
         bytes_before = record.bytes_sent_per_worker
@@ -933,10 +1032,10 @@ class DistributedTrainer:
         ).observe(float(bucket.nbytes))
         compressed: list[CompressedTensor] = []
         first_compress_span = None
-        for position, rank in enumerate(self._active_ranks):
+        for position, rank in self._exchange_pairs():
             memory = self.memories[rank]
-            buffer = self._scratch.take(("pack", rank, bucket.index),
-                                        bucket.numel)
+            buffer = self._rank_scratch[rank].take(("pack", bucket.index),
+                                                   bucket.numel)
             with tracer.span("memory_compensate", rank=rank,
                              bucket=bucket.index):
                 memory.compensate_fused(
@@ -1109,7 +1208,10 @@ class DistributedTrainer:
                     bucket, compressed, result, aggregated
                 )
             else:
-                self._finish_bucket_allgather(bucket, compressed, aggregated)
+                self._finish_bucket_allgather(
+                    bucket, self._gathered_compressed(compressed, result),
+                    aggregated,
+                )
         self.report.measured_compression_seconds += (
             time.perf_counter() - drain_start
         )
@@ -1154,7 +1256,7 @@ class DistributedTrainer:
             max_bytes,
         )
         self._overlap_plan = plan
-        self._scratch.clear()
+        self._clear_scratch()
         sizes = {
             name: int(np.asarray(grad).size) for name, grad in grads0.items()
         }
@@ -1196,8 +1298,9 @@ class DistributedTrainer:
         if memory.fused_needs_transmitted:
             transmitted = self.compressors[rank].decompress_fused(
                 packed,
-                out=self._scratch.take(("transmit", rank, bucket.index),
-                                       bucket.numel),
+                out=self._rank_scratch[rank].take(
+                    ("transmit", bucket.index), bucket.numel
+                ),
             )
         memory.update_fused(buffer, bucket, transmitted)
 
@@ -1233,12 +1336,17 @@ class DistributedTrainer:
                              op="allgather", fused=True) as span:
                 sim_before = record.simulated_seconds
                 sent_before = record.bytes_sent_per_worker
-                self.comm.allgather([c.payload for c in compressed])
+                gathered = self.comm.allgather(
+                    [c.payload for c in compressed]
+                )
                 span.add_sim(record.simulated_seconds - sim_before)
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before
                 )
-            self._finish_bucket_allgather(bucket, compressed, aggregated)
+            self._finish_bucket_allgather(
+                bucket, self._gathered_compressed(compressed, gathered),
+                aggregated,
+            )
             return
         raise ValueError(f"unknown communication strategy {strategy!r}")
 
@@ -1257,8 +1365,8 @@ class DistributedTrainer:
         with tracer.span("decompress", bucket=bucket.index):
             flat = decoder.decompress_fused(
                 summed,
-                out=self._scratch.take(("reduce", bucket.index),
-                                       bucket.numel),
+                out=self._agg_scratch.take(("reduce", bucket.index),
+                                           bucket.numel),
             )
         with tracer.span("aggregate", bucket=bucket.index):
             mean_flat = flat / self._n_active
@@ -1281,7 +1389,7 @@ class DistributedTrainer:
             flats = [
                 decoder.decompress_fused(
                     c,
-                    out=self._scratch.take(
+                    out=self._agg_scratch.take(
                         ("gather", rank, bucket.index), bucket.numel
                     ),
                 )
@@ -1403,11 +1511,14 @@ class DistributedTrainer:
             with tracer.span("collective", tensor=name, op="allgather") as span:
                 sim_before = record.simulated_seconds
                 sent_before = record.bytes_sent_per_worker
-                self.comm.allgather([c.payload for c in compressed])
+                gathered = self.comm.allgather(
+                    [c.payload for c in compressed]
+                )
                 span.add_sim(record.simulated_seconds - sim_before)
                 span.set(
                     bytes_per_worker=record.bytes_sent_per_worker - sent_before
                 )
+            compressed = self._gathered_compressed(compressed, gathered)
             with tracer.span("decompress", tensor=name, ranks=len(compressed)):
                 decompressed = [decoder.decompress(c) for c in compressed]
             with tracer.span("aggregate", tensor=name):

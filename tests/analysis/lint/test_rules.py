@@ -69,6 +69,52 @@ class TestGR001UnseededRng:
         """)
         assert findings == []
 
+    def test_flags_derived_seed_at_constructors(self):
+        findings = _lint(UnseededRngRule(), """
+            import numpy as np
+
+            def f(seed, rank, node):
+                a = np.random.default_rng(seed + rank)
+                b = np.random.SeedSequence(seed * 31)
+                c = np.random.default_rng(seed=seed - node)
+                return a, b, c
+        """)
+        assert [f.rule_id for f in findings] == ["GR001"] * 3
+        assert all("correlated" in f.message for f in findings)
+
+    def test_flags_derived_seed_at_clone_and_reseed(self):
+        findings = _lint(UnseededRngRule(), """
+            def f(compressor, seed, rank, node):
+                worker = compressor.clone(seed=seed + node)
+                compressor.reseed(seed + rank)
+                return worker
+        """)
+        assert [f.rule_id for f in findings] == ["GR001"] * 2
+        assert "SeedSequence.spawn" in findings[0].message
+
+    def test_constant_arithmetic_and_spawned_seeds_are_clean(self):
+        findings = _lint(UnseededRngRule(), """
+            import numpy as np
+            from repro.core.rng import spawn_worker_seeds
+
+            def f(seed, n_workers, rank):
+                mask = np.random.default_rng(2 ** 32 - 1)
+                seeds = spawn_worker_seeds(seed, n_workers)
+                rng = np.random.default_rng(seeds[rank])
+                return mask, rng
+        """)
+        assert findings == []
+
+    def test_non_rng_seed_arithmetic_is_clean(self):
+        # A data loader deriving a shard seed is not an RNG-stream
+        # construction site; only clone/reseed and the numpy constructors
+        # are in scope.
+        findings = _lint(UnseededRngRule(), """
+            def f(loader, seed, shard):
+                return loader.shard(seed + shard)
+        """)
+        assert findings == []
+
 
 class TestGR002Float64Leak:
     def test_flags_float_widened_reductions(self):

@@ -1,0 +1,305 @@
+"""Real-parallel backend (`repro.comm.parallel`).
+
+Three tiers, cheapest first:
+
+* in-process two-rank collectives — two attached communicators driven
+  by threads over one arena, exercising dense/wire paths and rank-order
+  reduction without spawn costs;
+* single-rank nonblocking handles — drain-exactly-once semantics;
+* real spawn tests — the ISSUE acceptance check (sequential vs parallel
+  bitwise model-state agreement for topk and signsgd on the fig6a
+  workload) plus the typed crash paths.  These pay process spawn +
+  import costs (seconds each), so they are deliberately few.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.parallel import (
+    ParallelCrashError,
+    ParallelRunConfig,
+    ParallelWorkerCommunicator,
+    model_digest,
+    run_parallel,
+)
+from repro.comm.shm import (
+    STATUS_FAILED,
+    ArenaProtocolError,
+    SharedArena,
+)
+from repro.comm.timeline import SimTimeline
+from repro.faults.plan import WorkerCrashError
+
+FIG6A = "resnet20-cifar10"
+
+
+@pytest.fixture
+def two_rank_comms():
+    owner = SharedArena.create(n_ranks=2, data_bytes=1 << 20, meta_slots=64)
+    arenas = [SharedArena.attach(owner.spec, rank=r) for r in range(2)]
+    comms = [
+        ParallelWorkerCommunicator(arena, rank, timeout=10.0)
+        for rank, arena in enumerate(arenas)
+    ]
+    yield comms
+    for arena in arenas:
+        arena.close()
+    owner.close()
+
+
+def _both(comms, fn):
+    """Run ``fn(comm)`` on both ranks concurrently; return rank-indexed."""
+    results: dict[int, object] = {}
+    failures: dict[int, BaseException] = {}
+
+    def target(comm):
+        try:
+            results[comm.rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            failures[comm.rank] = exc
+            comm.arena.abort()
+
+    threads = [threading.Thread(target=target, args=(c,)) for c in comms]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    if failures:
+        raise failures[min(failures)]
+    return [results[rank] for rank in range(len(comms))]
+
+
+class TestInProcessCollectives:
+    def test_allreduce_dense_bitwise(self, two_rank_comms):
+        rng = np.random.default_rng(0)
+        contributions = [
+            rng.standard_normal(37).astype(np.float32) for _ in range(2)
+        ]
+        expected = np.sum(np.stack(contributions), axis=0)
+        totals = _both(
+            two_rank_comms,
+            lambda c: c.allreduce([contributions[c.rank]]),
+        )
+        for total in totals:
+            assert total.tobytes() == expected.tobytes()
+
+    def test_allreduce_parts_wire_path(self, two_rank_comms):
+        rng = np.random.default_rng(1)
+        payloads = [
+            [rng.standard_normal(8).astype(np.float32),
+             rng.integers(0, 9, 5).astype(np.int64)]
+            for _ in range(2)
+        ]
+        expected = [
+            np.sum(np.stack([payloads[r][i] for r in range(2)]), axis=0)
+            for i in range(2)
+        ]
+        summed = _both(
+            two_rank_comms,
+            lambda c: c.allreduce_parts([payloads[c.rank]]),
+        )
+        for parts in summed:
+            for got, want in zip(parts, expected):
+                assert got.tobytes() == want.tobytes()
+
+    def test_allgather_rank_order(self, two_rank_comms):
+        payloads = [
+            [np.full(3 + rank, rank, dtype=np.float32)] for rank in range(2)
+        ]
+        gathered = _both(
+            two_rank_comms, lambda c: c.allgather([payloads[c.rank]])
+        )
+        for per_rank in gathered:
+            assert len(per_rank) == 2
+            for rank, parts in enumerate(per_rank):
+                np.testing.assert_array_equal(parts[0], payloads[rank][0])
+
+    def test_exchange_objects(self, two_rank_comms):
+        gathered = _both(
+            two_rank_comms,
+            lambda c: c.exchange_objects({"rank": c.rank, "loss": c.rank / 4}),
+        )
+        assert gathered[0] == gathered[1] == [
+            {"rank": 0, "loss": 0.0}, {"rank": 1, "loss": 0.25},
+        ]
+
+    def test_part_count_mismatch_is_protocol_error(self, two_rank_comms):
+        ones = np.ones(4, dtype=np.float32)
+        payloads = [[ones, ones], [ones, ones, ones]]
+        with pytest.raises((ArenaProtocolError, WorkerCrashError)):
+            _both(
+                two_rank_comms,
+                lambda c: c.allreduce_parts([payloads[c.rank]]),
+            )
+
+    def test_requires_single_contribution(self, two_rank_comms):
+        comm = two_rank_comms[0]
+        with pytest.raises(ValueError, match="exactly its own"):
+            comm.allreduce([np.ones(2, np.float32), np.ones(2, np.float32)])
+
+    def test_simulator_only_collectives_are_refused(self, two_rank_comms):
+        comm = two_rank_comms[0]
+        with pytest.raises(NotImplementedError):
+            comm.broadcast([np.ones(2, np.float32)])
+        with pytest.raises(NotImplementedError):
+            comm.sparse_allreduce([np.ones(2, np.float32)])
+
+
+@pytest.fixture
+def solo_comm():
+    owner = SharedArena.create(n_ranks=1, data_bytes=1 << 20, meta_slots=64)
+    arena = SharedArena.attach(owner.spec, rank=0)
+    yield ParallelWorkerCommunicator(arena, 0, timeout=5.0)
+    arena.close()
+    owner.close()
+
+
+class TestNonblockingHandles:
+    def test_iallreduce_parts_drained_exactly_once(self, solo_comm):
+        arena = solo_comm.arena
+        part = np.arange(6, dtype=np.float32)
+        handle = solo_comm.iallreduce_parts([[part]])
+        assert int(arena._drained[0]) == 0  # not drained until wait()
+        first = handle.wait()
+        assert int(arena._drained[0]) == 1
+        second = handle.wait()  # cached — must not re-drain or re-reduce
+        assert second is first
+        assert int(arena._drained[0]) == 1
+        assert first[0].tobytes() == part.tobytes()
+
+    def test_iallreduce_parts_charges_and_schedules_at_issue(self, solo_comm):
+        timeline = SimTimeline()
+        before = solo_comm.record.simulated_seconds
+        handle = solo_comm.iallreduce_parts(
+            [[np.ones(4, dtype=np.float32)]],
+            ready_at=1.0, timeline=timeline,
+        )
+        assert solo_comm.record.simulated_seconds > before  # charged at issue
+        assert handle.event is not None
+        assert handle.event.start >= 1.0
+        handle.wait()
+
+    def test_iallgather_defers_charge_to_wait(self, solo_comm):
+        timeline = SimTimeline()
+        before = solo_comm.record.simulated_seconds
+        handle = solo_comm.iallgather(
+            [[np.ones(4, dtype=np.float32)]],
+            ready_at=2.0, timeline=timeline,
+        )
+        # Peer sizes are unknown at issue: no charge, no event yet.
+        assert solo_comm.record.simulated_seconds == before
+        assert handle.event is None
+        (gathered,) = handle.wait()
+        np.testing.assert_array_equal(gathered[0], 1.0)
+        assert solo_comm.record.simulated_seconds > before
+        assert handle.event is not None
+        assert handle.event.start >= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Spawn tests (expensive: real processes, real imports)
+# ---------------------------------------------------------------------------
+
+
+def _sequential_run(compressor: str):
+    from repro.bench.runner import build_trainer
+    from repro.bench.suite import get_benchmark
+
+    spec = get_benchmark(FIG6A)
+    trainer, run = build_trainer(spec, compressor, n_workers=4, seed=0)
+    report = trainer.train(run.loader, epochs=1, eval_fn=run.eval_fn)
+    params = {
+        name: np.asarray(param.data)
+        for name, param in run.model.named_parameters()
+    }
+    return report, params
+
+
+class TestRunParallel:
+    @pytest.mark.parametrize("compressor", ["topk", "signsgd"])
+    def test_bitwise_matches_sequential(self, compressor):
+        """ISSUE acceptance: fig6a workload, 4 real processes, 1 epoch."""
+        seq_report, seq_params = _sequential_run(compressor)
+        result = run_parallel(ParallelRunConfig(
+            benchmark=FIG6A, compressor=compressor, nproc=4,
+            seed=0, epochs=1, arena_bytes=8 * 1024 * 1024,
+        ))
+        assert set(result.digests.values()) == {model_digest(seq_params)}
+        assert result.report.losses == seq_report.losses
+        assert (
+            result.report.sim_comm_seconds == seq_report.sim_comm_seconds
+        )
+        assert (
+            result.report.bytes_per_worker == seq_report.bytes_per_worker
+        )
+
+    def test_worker_failure_is_typed_not_a_hang(self):
+        with pytest.raises(ParallelCrashError) as excinfo:
+            run_parallel(ParallelRunConfig(
+                benchmark=FIG6A, compressor="no-such-compressor", nproc=2,
+                epochs=1,
+            ))
+        assert isinstance(excinfo.value, WorkerCrashError)
+        assert "2 of 2 workers failed" in str(excinfo.value)
+
+
+def _surviving_rank(spec, rank, out_queue):
+    """Spawn target: two allreduces; the second outlives its peer."""
+    arena = SharedArena.attach(spec, rank)
+    try:
+        comm = ParallelWorkerCommunicator(arena, rank, timeout=30.0)
+        ones = np.ones(4, dtype=np.float32)
+        comm.allreduce([ones])
+        try:
+            comm.allreduce([ones])
+            out_queue.put(("completed", rank))
+        except WorkerCrashError as exc:
+            out_queue.put(("typed-crash", type(exc).__name__))
+    finally:
+        arena.close()
+
+
+def _crashing_rank(spec, rank, out_queue):
+    """Spawn target: one allreduce, then die the way `_worker_main` does."""
+    arena = SharedArena.attach(spec, rank)
+    try:
+        comm = ParallelWorkerCommunicator(arena, rank, timeout=30.0)
+        comm.allreduce([np.ones(4, dtype=np.float32)])
+        arena.set_status(STATUS_FAILED)
+        arena.abort()
+        out_queue.put(("crashed", rank))
+    finally:
+        arena.close()
+
+
+class TestCrashMidCollective:
+    def test_survivor_raises_typed_error_instead_of_hanging(self):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        owner = SharedArena.create(n_ranks=2, data_bytes=1 << 20)
+        out_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_surviving_rank, args=(owner.spec, 0, out_queue)
+            ),
+            ctx.Process(
+                target=_crashing_rank, args=(owner.spec, 1, out_queue)
+            ),
+        ]
+        try:
+            for proc in procs:
+                proc.start()
+            outcomes = {tuple(out_queue.get(timeout=60.0)) for _ in procs}
+            for proc in procs:
+                proc.join(timeout=30.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - backstop
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            owner.close()
+        assert ("crashed", 1) in outcomes
+        assert ("typed-crash", "ArenaAbortedError") in outcomes

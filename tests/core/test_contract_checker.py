@@ -91,6 +91,22 @@ class NondeterministicCompressor(IdentityCompressor):
         return CompressedTensor(payload=[part], ctx=(shape,))
 
 
+class AliasingCompressor(IdentityCompressor):
+    """Returns a view of the input — retains a reference into scratch."""
+
+    def compress(self, tensor, name):
+        flat = np.asarray(tensor, dtype=np.float32).ravel()
+        return CompressedTensor(payload=[flat], ctx=(tensor.shape,))
+
+
+class AliasingFusedCompressor(IdentityCompressor):
+    fused_kernel = True
+
+    def compress_fused(self, buffer, bucket):
+        half = np.asarray(buffer, dtype=np.float32)[: bucket.numel // 2]
+        return CompressedTensor(payload=[half], ctx=(bucket.numel,))
+
+
 class BrokenFusedCompressor(IdentityCompressor):
     fused_kernel = True
 
@@ -140,6 +156,34 @@ class TestViolationDetection:
 
     def test_nondeterministic_replay(self):
         assert _violation(NondeterministicCompressor()).check == "determinism"
+
+    def test_payload_aliasing_input(self):
+        # The per-rank ScratchPool reuses its buffers across calls, so a
+        # payload view into the input would silently change later.
+        assert _violation(AliasingCompressor()).check == "scratch-aliasing"
+
+    def test_payload_aliasing_is_always_on(self):
+        checker = ContractChecker(AliasingCompressor(), check_every=1000)
+        checker_input = _tensor()
+        with pytest.raises(ContractViolation):
+            checker.compress(checker_input, "a")  # expensive call
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.compress(checker_input, "b")  # off-cycle: still caught
+        assert excinfo.value.check == "scratch-aliasing"
+
+    def test_payload_aliasing_fused_buffer(self):
+        from repro.core.fusion import FusionPlan
+
+        grads = {"a": _tensor(), "b": np.ones(5, dtype=np.float32)}
+        plan = FusionPlan.from_gradients(grads, 1 << 20)
+        (bucket,) = plan.buckets
+        buffer = np.empty(bucket.numel, dtype=np.float32)
+        for seg in bucket.segments:
+            buffer[seg.offset:seg.end] = grads[seg.name].ravel()
+        checker = ContractChecker(AliasingFusedCompressor())
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.compress_fused(buffer, bucket)
+        assert excinfo.value.check == "scratch-aliasing"
 
     def test_broken_fused_parity(self):
         from repro.core.fusion import FusionPlan

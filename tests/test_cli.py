@@ -59,3 +59,43 @@ class TestCommands:
     def test_experiment_unknown(self):
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["experiment", "fig99"])
+
+
+class TestParallelBackendFlags:
+    """Flag validation for --backend parallel (no processes spawned)."""
+
+    def test_rejects_faults(self):
+        with pytest.raises(SystemExit, match="--faults"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--faults", "crash@3:rank=1"])
+
+    def test_rejects_checkpointing_and_metrics_out(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--checkpoint-every", "2",
+                  "--metrics-out", str(tmp_path / "m.jsonl")])
+        message = str(excinfo.value)
+        assert "--checkpoint-every" in message
+        assert "--metrics-out" in message
+        assert "--backend sim" in message
+
+    def test_rejects_straggler_policy(self):
+        with pytest.raises(SystemExit, match="--straggler-policy"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--straggler-policy", "drop"])
+
+    def test_parallel_flags_parse(self, capsys):
+        # --nproc/--arena-mb/--backend must parse; an unknown benchmark
+        # exits before any worker processes spawn.
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["train", "--benchmark", "alexnet",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--nproc", "2", "--arena-mb", "8"])
+
+    def test_bench_parallel_flag_parses(self):
+        with pytest.raises(ValueError, match="has no benchmark"):
+            main(["bench", "throughput", "--benchmark", "alexnet",
+                  "--parallel", "--nproc", "2"])
