@@ -50,6 +50,9 @@ def build_trainer(
     sanitize_every: int = 1,
     communicator=None,
     rank: int | None = None,
+    topology: str = "flat",
+    racks: int = 2,
+    aggregation: str = "auto",
 ):
     """Build one cell's ``(trainer, run)`` pair.
 
@@ -60,7 +63,28 @@ def build_trainer(
     per-rank RNG streams are built bit-identically to the sequential
     simulator's — which is what makes the sequential-vs-parallel
     agreement check meaningful.
+
+    ``topology`` selects the simulated reduction substrate: ``flat``
+    (the default ring/allgather communicator), ``ps`` (a central
+    parameter server) or ``hier`` (a two-tier rack-then-root tree with
+    ``racks`` groups).  ``ps`` and ``hier`` both advertise
+    compressed-domain aggregation; ``aggregation`` forwards the
+    trainer's auto/off/all policy for using it.
     """
+    if topology not in ("flat", "ps", "hier"):
+        raise ValueError(
+            f"topology must be 'flat', 'ps' or 'hier', got {topology!r}"
+        )
+    if communicator is None and topology == "ps":
+        from repro.comm import ParameterServerCommunicator
+
+        communicator = ParameterServerCommunicator(n_workers=n_workers)
+    elif communicator is None and topology == "hier":
+        from repro.comm import HierarchicalCommunicator
+
+        communicator = HierarchicalCommunicator(
+            n_workers=n_workers, n_racks=racks
+        )
     run = spec.build(n_workers=n_workers, seed=seed,
                      compressor_name=compressor_name)
     compressor = create(compressor_name, seed=seed, **(compressor_params or {}))
@@ -89,6 +113,7 @@ def build_trainer(
         straggler_policy=straggler_policy,
         communicator=communicator,
         rank=rank,
+        aggregation=aggregation,
     )
     return trainer, run
 
@@ -111,6 +136,9 @@ def train_quality(
     straggler_policy: str = "wait",
     sanitize: bool = False,
     sanitize_every: int = 1,
+    topology: str = "flat",
+    racks: int = 2,
+    aggregation: str = "auto",
 ) -> QualityResult:
     """Train one benchmark with one compressor; return best quality.
 
@@ -141,6 +169,9 @@ def train_quality(
         straggler_policy=straggler_policy,
         sanitize=sanitize,
         sanitize_every=sanitize_every,
+        topology=topology,
+        racks=racks,
+        aggregation=aggregation,
     )
     report = trainer.train(
         run.loader,

@@ -60,6 +60,9 @@ class ThroughputSuite(BenchmarkSuite):
             "parallel_epochs": 4,
             "parallel_compressor": "none",
             "parallel_fusion_mb": 64.0,
+            "hier_workers": 16,
+            "hier_racks": 4,
+            "hier_compressor": "topk",
         }
 
     def _execute_parallel(self, benchmark: str, params: dict) -> Execution:
@@ -169,7 +172,109 @@ class ThroughputSuite(BenchmarkSuite):
                     f"{name}: modelled iteration time is "
                     f"{cost.total_seconds} (must be positive)"
                 )
+        self._hier_section(params, metrics, raw, lines, failures)
         return Execution(
             metrics=metrics, raw=raw, text="\n".join(lines),
             failures=failures,
         )
+
+    def _hier_section(
+        self,
+        params: dict,
+        metrics: list[Metric],
+        raw: dict,
+        lines: list[str],
+        failures: list[str],
+    ) -> None:
+        """Flat-PS relay vs two-tier compressed-domain aggregation.
+
+        One simulated exchange of correlated sparse gradients — the
+        regime in-network aggregation targets — priced both ways.  The
+        simulation is closed-form (seeded gradients, analytic costs),
+        so both gated metrics are deterministic: ``root_bytes_ratio``
+        is the root's egress under hierarchical aggregation over the
+        flat relay's, and ``sim_wall_speedup`` must stay above 1 or
+        the two-tier topology stopped paying for itself.
+        """
+        import numpy as np
+
+        from repro.comm import (
+            HierarchicalCommunicator,
+            ParameterServerCommunicator,
+        )
+        from repro.core.registry import create
+
+        n_workers = int(params["hier_workers"])
+        n_racks = int(params["hier_racks"])
+        name = str(params["hier_compressor"])
+        network = ethernet(float(params["gbps"]))
+        rng = np.random.default_rng(int(params["seed"]))
+        # Correlated per-worker gradients: a shared signal plus small
+        # noise, so sparsifier supports overlap the way real replicas'
+        # heavy hitters do.
+        base = rng.standard_normal(1 << 14).astype(np.float32)
+        compressors = [create(name, seed=r) for r in range(n_workers)]
+        compressed = [
+            compressors[rank].compress(
+                base + 0.05 * rng.standard_normal(base.size).astype(
+                    np.float32
+                ),
+                "hier_bench",
+            )
+            for rank in range(n_workers)
+        ]
+
+        def root_egress(comm) -> float:
+            return comm.record.registry.value(
+                "comm_root_bytes_total", {"direction": "egress"}
+            )
+
+        flat = ParameterServerCommunicator(
+            n_workers=n_workers, network=network
+        )
+        flat.allgather([list(c.payload) for c in compressed])
+        flat_seconds = flat.record.simulated_seconds
+        flat_bytes = root_egress(flat)
+        hier = HierarchicalCommunicator(
+            n_workers=n_workers, n_racks=n_racks, network=network
+        )
+        hier.allreduce_compressed(list(compressed), compressors[0])
+        hier_seconds = hier.record.simulated_seconds
+        hier_bytes = root_egress(hier)
+        bytes_ratio = hier_bytes / flat_bytes
+        speedup = flat_seconds / hier_seconds
+        raw["hier"] = {
+            "n_workers": n_workers, "n_racks": n_racks,
+            "compressor": name,
+            "flat_ps_seconds": flat_seconds,
+            "hier_seconds": hier_seconds,
+            "flat_root_egress_bytes": flat_bytes,
+            "hier_root_egress_bytes": hier_bytes,
+            "root_bytes_ratio": bytes_ratio,
+            "sim_wall_speedup": speedup,
+        }
+        lines += [
+            f"hier topology     : {n_workers} workers / {n_racks} racks "
+            f"({name})",
+            f"flat PS relay     : {flat_seconds * 1e3:>8.3f} ms, "
+            f"{flat_bytes:,.0f} B root egress",
+            f"hier aggregated   : {hier_seconds * 1e3:>8.3f} ms, "
+            f"{hier_bytes:,.0f} B root egress",
+            f"root bytes ratio  : {bytes_ratio:>8.3f}",
+            f"sim wall speedup  : {speedup:>8.2f}x",
+        ]
+        metrics += [
+            Metric("hier/root_bytes_ratio", bytes_ratio, "ratio",
+                   "lower", tolerance=0.02),
+            Metric("hier/sim_wall_speedup", speedup, "ratio",
+                   "higher", tolerance=0.02),
+            Metric("hier/flat_ps_seconds", flat_seconds, "seconds",
+                   "info"),
+            Metric("hier/seconds", hier_seconds, "seconds", "info"),
+        ]
+        if speedup <= 1.0:
+            failures.append(
+                f"hierarchical aggregation must beat the flat PS relay "
+                f"({speedup:.2f}x; flat {flat_seconds * 1e3:.3f} ms vs "
+                f"hier {hier_seconds * 1e3:.3f} ms)"
+            )

@@ -130,10 +130,25 @@ def cmd_train(args) -> int:
         straggler_policy=args.straggler_policy,
         sanitize=args.sanitize,
         sanitize_every=args.sanitize_every,
+        topology=args.topology,
+        racks=args.racks,
+        aggregation=args.aggregation,
     )
     report = result.report
     print(f"benchmark        : {spec.key} ({spec.model_name})")
     print(f"compressor       : {args.compressor}")
+    if args.topology != "flat":
+        label = args.topology
+        if args.topology == "hier":
+            label = f"hier ({args.racks} racks)"
+        print(f"topology         : {label}")
+        root_in = report.metrics.value(
+            "comm_root_bytes_total", {"direction": "ingress"}
+        )
+        root_out = report.metrics.value(
+            "comm_root_bytes_total", {"direction": "egress"}
+        )
+        print(f"root bytes       : {root_in:,.0f} in / {root_out:,.0f} out")
     print(f"epochs           : {len(report.epoch_losses)}")
     print(f"final loss       : {report.epoch_losses[-1]:.4f}")
     print(f"best {spec.paper.metric:<12}: "
@@ -173,6 +188,7 @@ def _train_parallel(args, spec) -> int:
             ("--checkpoint-every", args.checkpoint_every > 0),
             ("--straggler-policy", args.straggler_policy != "wait"),
             ("--metrics-out", bool(args.metrics_out)),
+            ("--topology", args.topology != "flat"),
         ) if used
     ]
     if unsupported:
@@ -309,6 +325,9 @@ def _suite_params(args) -> dict:
         "parallel": True if args.parallel else None,
         "nproc": args.nproc,
         "parallel_fusion_mb": args.fusion_mb,
+        "hier_workers": args.hier_workers,
+        "hier_racks": args.hier_racks,
+        "hier_compressor": args.hier_compressor,
     }
 
 
@@ -656,6 +675,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
+    train.add_argument("--topology", choices=["flat", "ps", "hier"],
+                       default="flat",
+                       help="reduction substrate: flat collectives, a "
+                            "central parameter server, or a two-tier "
+                            "rack-then-root tree (default: flat)")
+    train.add_argument("--racks", type=int, default=2, metavar="K",
+                       help="rack count for --topology hier (default: 2)")
+    train.add_argument("--aggregation", choices=["auto", "off", "all"],
+                       default="auto",
+                       help="compressed-domain aggregation policy on "
+                            "ps/hier topologies: auto uses it for "
+                            "exact-linear schemes, all extends it to "
+                            "codebook/sketch schemes, off disables it "
+                            "(default: auto)")
     train.add_argument("--fusion-mb", type=float, default=0.0,
                        metavar="MB",
                        help="tensor-fusion buffer budget in MiB; 0 keeps "
@@ -748,6 +781,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gbps", type=float, default=10.0,
                        help="link bandwidth for the throughput suite")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--hier-workers", type=int, default=None, metavar="N",
+                       help="worker count for the throughput suite's "
+                            "hierarchical section (default: 16)")
+    bench.add_argument("--hier-racks", type=int, default=None, metavar="K",
+                       help="rack count for the throughput suite's "
+                            "hierarchical section (default: 4)")
+    bench.add_argument("--hier-compressor", default=None, metavar="NAME",
+                       help="compressor for the hierarchical section "
+                            "(default: topk)")
     bench.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
     bench.add_argument("--warm-runs", type=int, default=0, metavar="N",

@@ -35,8 +35,11 @@ from repro.comm.cost import (
     ring_allreduce_time,
     allgather_time,
     broadcast_time,
+    hierarchical_reduce_time,
+    ps_aggregated_round_trip_time,
     sparse_allreduce_time,
 )
+from repro.comm.hierarchy import HierarchicalCommunicator
 from repro.comm.collectives import AsyncHandle, Communicator, CommRecord
 from repro.comm.resilience import ResilientCommunicator, RetryPolicy
 from repro.comm.timeline import OverlapStats, SimEvent, SimTimeline
@@ -90,6 +93,9 @@ __all__ = [
     "ring_topology",
     "ParameterServerCommunicator",
     "ps_round_trip_time",
+    "ps_aggregated_round_trip_time",
+    "hierarchical_reduce_time",
+    "HierarchicalCommunicator",
     "NetworkModel",
     "Transport",
     "ethernet",

@@ -55,6 +55,7 @@ from repro.comm.collectives import (
 )
 from repro.comm.cost import (
     allgather_time,
+    broadcast_time,
     fused_allreduce_time,
     ring_allreduce_time,
 )
@@ -287,11 +288,35 @@ class ParallelWorkerCommunicator(Communicator):
             "use the sequential simulator for block-sparse experiments"
         )
 
-    def broadcast(self, payload: Payload, root: int = 0):
-        raise NotImplementedError(
-            "the parallel backend does not implement broadcast; it is "
-            "only used by fault recovery, which worker mode disallows"
+    def broadcast(self, payload: Payload, root: int = 0) -> list[Payload]:
+        """One-to-all over the arena: only ``root`` publishes.
+
+        MPI-style buffer semantics — the non-root ranks' ``payload``
+        argument is ignored; every rank reads the root's wire frame for
+        this sequence number.  Skipping the post on non-root ranks is
+        protocol-safe: ``post`` publishes an absolute sequence number
+        (not an increment) and reclamation keys on every rank's drain,
+        which all ranks still perform.  Accounting matches the
+        sequential communicator's binomial-tree broadcast.
+        """
+        if not 0 <= root < self.n_workers:
+            raise ValueError(
+                f"root {root} out of range for {self.n_workers} ranks"
+            )
+        seq = self._next_seq()
+        local: Payload = []
+        if self.rank == root:
+            local = [np.ascontiguousarray(np.asarray(p)) for p in payload]
+            self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+        parts = self._wire_parts(seq, root, local)
+        self.arena.drain(seq)
+        nbytes = float(payload_nbytes(parts))
+        seconds = broadcast_time(
+            nbytes, self.n_workers, self.network, self.backend
         )
+        self.record.charge(bytes_per_worker=nbytes / self.n_workers,
+                           seconds=seconds, op="broadcast")
+        return [list(parts) for _ in range(self.n_workers)]
 
     # -- nonblocking collectives --------------------------------------------
 

@@ -16,29 +16,11 @@ import numpy as np
 
 from repro.comm.backends import Backend, OPENMPI_TCP
 from repro.comm.collectives import Communicator, Payload, payload_nbytes
+from repro.comm.cost import ps_aggregated_round_trip_time, ps_round_trip_time
 from repro.comm.network import NetworkModel, ethernet
+from repro.core.api import CompressedTensor
 
-
-def ps_round_trip_time(
-    upload_nbytes: list[float],
-    download_nbytes: list[float],
-    net: NetworkModel,
-    backend: Backend,
-) -> float:
-    """Push-then-pull time through a single parameter server.
-
-    Uploads serialize on the server's ingress link; downloads serialize
-    on its egress.  Each direction pays one message latency per worker.
-    """
-    if len(upload_nbytes) != len(download_nbytes):
-        raise ValueError("upload and download lists must align per worker")
-    if any(b < 0 for b in upload_nbytes + download_nbytes):
-        raise ValueError("byte counts must be non-negative")
-    rate = net.effective_bytes_per_second * backend.collective_efficiency
-    n_workers = len(upload_nbytes)
-    push = n_workers * net.message_latency_s + sum(upload_nbytes) / rate
-    pull = n_workers * net.message_latency_s + sum(download_nbytes) / rate
-    return backend.per_op_overhead_s + push + pull
+__all__ = ["ParameterServerCommunicator", "ps_round_trip_time"]
 
 
 class ParameterServerCommunicator(Communicator):
@@ -51,7 +33,17 @@ class ParameterServerCommunicator(Communicator):
       decompresses and aggregates locally exactly as in the collective
       path — so compressed methods behave identically, only the cost
       model changes.
+    * ``allreduce_compressed``: for compressors with a compressed-domain
+      aggregation capability, the server sums payloads *without
+      decompressing* and fans out the one aggregated payload — egress
+      drops from ``n · relay`` to ``n · aggregated`` bytes.
+
+    Server-side link pressure is observable via the
+    ``comm_root_bytes_total{direction=ingress|egress}`` counters every
+    method maintains.
     """
+
+    supports_compressed_aggregation = True
 
     def __init__(
         self,
@@ -64,6 +56,23 @@ class ParameterServerCommunicator(Communicator):
             network if network is not None else ethernet(10.0),
             backend,
         )
+
+    def _count_root_bytes(self, ingress: float, egress: float) -> None:
+        """Account bytes crossing the server's own links.
+
+        These counters are what make the aggregated fan-out's saving
+        measurable: legacy relay egress is ``n · sum(uploads)`` while
+        aggregated egress is ``n · aggregated``.
+        """
+        registry = self.record.registry
+        registry.counter(
+            "comm_root_bytes_total", {"direction": "ingress"}, unit="bytes",
+            help="bytes entering the aggregation root",
+        ).inc(float(ingress))
+        registry.counter(
+            "comm_root_bytes_total", {"direction": "egress"}, unit="bytes",
+            help="bytes leaving the aggregation root",
+        ).inc(float(egress))
 
     def allreduce(self, tensors: list[np.ndarray]) -> np.ndarray:
         """Sum uniform tensors across ranks via the server."""
@@ -86,6 +95,10 @@ class ParameterServerCommunicator(Communicator):
         )
         self.record.charge(bytes_per_worker=float(first.nbytes),
                            seconds=seconds, op="ps_allreduce")
+        self._count_root_bytes(
+            ingress=float(first.nbytes) * self.n_workers,
+            egress=float(first.nbytes) * self.n_workers,
+        )
         return total
 
     def allreduce_parts(self, payloads: list[Payload]) -> Payload:
@@ -131,6 +144,10 @@ class ParameterServerCommunicator(Communicator):
         )
         self.record.charge(bytes_per_worker=float(total_nbytes),
                            seconds=seconds, op="ps_allreduce")
+        self._count_root_bytes(
+            ingress=float(total_nbytes) * self.n_workers,
+            egress=float(total_nbytes) * self.n_workers,
+        )
         return summed
 
     def allgather(self, payloads: list[Payload]) -> list[Payload]:
@@ -144,7 +161,39 @@ class ParameterServerCommunicator(Communicator):
         mean_contribution = float(np.mean(sizes)) if sizes else 0.0
         self.record.charge(bytes_per_worker=mean_contribution,
                            seconds=seconds, op="ps_allgather")
+        self._count_root_bytes(
+            ingress=float(sum(sizes)), egress=relay * self.n_workers,
+        )
         return [list(p) for p in payloads]
+
+    def allreduce_compressed(
+        self, compressed: list[CompressedTensor], compressor
+    ) -> CompressedTensor:
+        """Sum payloads in the compressed domain; fan out ONE aggregate.
+
+        The uploads are unchanged relative to :meth:`allgather`, but the
+        server runs ``compressor.aggregate_compressed`` and every worker
+        pulls the single summed payload, so the egress bandwidth term is
+        ``n · aggregated`` instead of ``n · sum(uploads)``.  Raises the
+        compressor's typed
+        :class:`~repro.core.api.AggregationUnsupportedError` when the
+        scheme declares no aggregation capability — callers probe the
+        :attr:`~repro.core.api.Compressor.aggregation` flag first.
+        """
+        self._check_rank_count(compressed)
+        sizes = [float(payload_nbytes(c.payload)) for c in compressed]
+        aggregated = compressor.aggregate_compressed(list(compressed))
+        agg_nbytes = float(payload_nbytes(aggregated.payload))
+        seconds = ps_aggregated_round_trip_time(
+            sizes, agg_nbytes, self.network, self.backend
+        )
+        mean_contribution = float(np.mean(sizes)) if sizes else 0.0
+        self.record.charge(bytes_per_worker=mean_contribution,
+                           seconds=seconds, op="ps_aggregated")
+        self._count_root_bytes(
+            ingress=float(sum(sizes)), egress=agg_nbytes * self.n_workers,
+        )
+        return aggregated
 
     def broadcast(self, payload: Payload, root: int = 0) -> list[Payload]:
         """Send one payload from root to all ranks via the server."""
@@ -161,4 +210,7 @@ class ParameterServerCommunicator(Communicator):
         )
         self.record.charge(bytes_per_worker=nbytes / self.n_workers,
                            seconds=seconds, op="ps_broadcast")
+        self._count_root_bytes(
+            ingress=nbytes, egress=nbytes * self.n_workers,
+        )
         return [list(payload) for _ in range(self.n_workers)]

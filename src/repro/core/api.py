@@ -135,6 +135,142 @@ def concat_compressed(bucket, compressed: list[CompressedTensor]) -> CompressedT
     )
 
 
+class AggregationUnsupportedError(NotImplementedError):
+    """The compressor declares no compressed-domain aggregation.
+
+    Raised by :meth:`Compressor.aggregate_compressed` for schemes whose
+    ``aggregation`` capability is ``"none"`` — a typed signal callers
+    (parameter server, hierarchical reducer, property tests) can probe
+    for, as opposed to an accidental ``NotImplementedError`` from a
+    half-built subclass.
+    """
+
+
+#: Legal values of :attr:`Compressor.aggregation` (the capability flag).
+#:
+#: * ``"none"`` — no compressed-domain aggregation; the server must
+#:   relay payloads and every rank decompresses all of them.
+#: * ``"exact-linear"`` — summation commutes with decompression bitwise
+#:   on float32 (coordinate lists, low-rank factor blocks, raw tensors).
+#: * ``"codebook"`` — THC-style re-quantization onto a shared uniform
+#:   lattice; approximate, with a declared per-element error bound of
+#:   ``n_summands·δ*`` carried by the aggregated payload itself.
+#: * ``"sketch"`` — aggregation is exact-linear in *sketch space* (the
+#:   tables sum bitwise) but the decode is nonlinear, so decompressed
+#:   outputs are not the sum of per-worker decompressions.
+AGGREGATION_KINDS = ("none", "exact-linear", "codebook", "sketch")
+
+#: Resolution of the generic shared codebook: the largest magnitude in a
+#: payload maps to this many lattice steps (≈8-bit signed resolution).
+LATTICE_STEPS = 128
+
+
+def summand_count(compressed: CompressedTensor) -> int:
+    """Worker gradients an aggregated payload stands for (1 if plain)."""
+    return int(getattr(compressed.ctx, "n_summands", 1))
+
+
+class AggregatedDenseCtx:
+    """Ctx of an aggregated dense payload: ``[summed_flat float32]``."""
+
+    __slots__ = ("shape", "n_summands")
+
+    def __init__(self, shape, n_summands: int):
+        self.shape = tuple(shape)
+        self.n_summands = int(n_summands)
+
+
+class AggregatedCoordsCtx:
+    """Ctx of an aggregated coordinate list: ``[values f32, indices i64]``.
+
+    Duplicated indices are intentional — the decode is a scatter-*add*
+    (:func:`numpy.add.at`), which is what makes concatenation an exact
+    compressed-domain sum for sparsifiers.
+    """
+
+    __slots__ = ("shape", "size", "n_summands")
+
+    def __init__(self, shape, size: int, n_summands: int):
+        self.shape = tuple(shape)
+        self.size = int(size)
+        self.n_summands = int(n_summands)
+
+
+class AggregatedLatticeCtx:
+    """Ctx of a shared-codebook sum: ``[deltas f32, summed codes i64]``.
+
+    ``deltas`` holds the lattice step per segment (one segment for a
+    plain tensor, per-bucket-segment for fused payloads); element ``i``
+    of the summed codes decodes to ``delta_of(i) * codes[i]``.  The
+    per-element aggregation error is bounded by ``n_summands·δ`` —
+    receivers can derive the tolerance from the payload alone.
+    """
+
+    __slots__ = ("shape", "size", "seg_sizes", "n_summands")
+
+    def __init__(self, shape, size: int, seg_sizes, n_summands: int):
+        self.shape = tuple(shape)
+        self.size = int(size)
+        self.seg_sizes = tuple(int(s) for s in seg_sizes)
+        self.n_summands = int(n_summands)
+
+
+class AggregatedFusedCtx:
+    """Ctx of a segment-wise aggregated fused-concat payload.
+
+    Mirrors :class:`FusedConcatCtx` without holding the bucket object:
+    ``splits[i]`` payload parts belong to segment ``i``, whose aggregated
+    ctx is ``ctxs[i]`` and whose flat slice is
+    ``[offsets[i], offsets[i]+sizes[i])``.
+    """
+
+    __slots__ = ("numel", "offsets", "sizes", "splits", "ctxs", "n_summands")
+
+    def __init__(self, numel, offsets, sizes, splits, ctxs, n_summands: int):
+        self.numel = int(numel)
+        self.offsets = tuple(int(o) for o in offsets)
+        self.sizes = tuple(int(s) for s in sizes)
+        self.splits = tuple(int(s) for s in splits)
+        self.ctxs = tuple(ctxs)
+        self.n_summands = int(n_summands)
+
+
+def sum_dense(arrays: list[np.ndarray]) -> np.ndarray:
+    """Float32 sum in list order, bitwise matching ``np.sum(np.stack(...))``.
+
+    Seeding the accumulator with a copy of the first operand (instead of
+    zeros) keeps even signed-zero results identical to the stacked sum
+    the sequential collectives compute.
+    """
+    if not arrays:
+        raise ValueError("nothing to sum")
+    out = np.array(arrays[0], dtype=np.float32, copy=True)
+    for array in arrays[1:]:
+        out += np.asarray(array, dtype=np.float32).reshape(out.shape)
+    return out
+
+
+def _fused_layout(ctx):
+    """(numel, offsets, sizes, splits, ctxs) of either fused ctx flavor."""
+    if isinstance(ctx, FusedConcatCtx):
+        segments = ctx.bucket.segments
+        return (
+            ctx.bucket.numel,
+            tuple(seg.offset for seg in segments),
+            tuple(seg.size for seg in segments),
+            ctx.splits,
+            ctx.ctxs,
+        )
+    if isinstance(ctx, AggregatedFusedCtx):
+        return ctx.numel, ctx.offsets, ctx.sizes, ctx.splits, ctx.ctxs
+    raise TypeError(f"not a fused ctx: {type(ctx).__name__}")
+
+
+def is_fused_concat_ctx(ctx) -> bool:
+    """Whether ``ctx`` is a (possibly aggregated) generic fused-concat ctx."""
+    return isinstance(ctx, (FusedConcatCtx, AggregatedFusedCtx))
+
+
 class Compressor(abc.ABC):
     """Base class for all compression operators Q.
 
@@ -167,6 +303,13 @@ class Compressor(abc.ABC):
     #: kernel; False means fusion falls back to the generic concatenation
     #: of per-tensor calls (still one collective per bucket).
     fused_kernel: bool = False
+    #: Compressed-domain aggregation capability — one of
+    #: :data:`AGGREGATION_KINDS`.  ``"none"`` means
+    #: :meth:`aggregate_compressed` raises the typed
+    #: :class:`AggregationUnsupportedError`; anything else means a
+    #: parameter server or in-network switch can sum this scheme's
+    #: payloads without decompressing them.
+    aggregation: str = "none"
 
     def __init__(self, seed: int = 0):
         self._rng = np.random.default_rng(seed)
@@ -239,6 +382,272 @@ class Compressor(abc.ABC):
         if not tensors:
             raise ValueError("nothing to aggregate")
         return np.mean(np.stack(tensors), axis=0)
+
+    # -- compressed-domain aggregation ---------------------------------------
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Sum per-worker payloads without decompressing (THC-style).
+
+        The result is itself a :class:`CompressedTensor` whose ctx
+        carries ``n_summands``, so aggregates can be re-aggregated (the
+        hierarchical reducer feeds rack-level sums into the root) and a
+        receiver can turn the sum into a mean.  Schemes whose
+        :attr:`aggregation` capability is ``"none"`` raise the typed
+        :class:`AggregationUnsupportedError`.
+        """
+        raise AggregationUnsupportedError(
+            f"compressor {self.name!r} declares no compressed-domain "
+            f"aggregation (capability {self.aggregation!r})"
+        )
+
+    def decompress_aggregated(
+        self, compressed: CompressedTensor
+    ) -> np.ndarray:
+        """Decode an :meth:`aggregate_compressed` result to the dense sum.
+
+        Handles the framework-level aggregated ctx types; anything else
+        is assumed to decode through the scheme's own
+        :meth:`decompress` (true for schemes like sketches whose
+        aggregated form is structurally a regular payload).
+        """
+        ctx = compressed.ctx
+        if isinstance(ctx, AggregatedDenseCtx):
+            return np.asarray(
+                compressed.payload[0], dtype=np.float32
+            ).reshape(ctx.shape)
+        if isinstance(ctx, AggregatedCoordsCtx):
+            values, indices = compressed.payload
+            dense = np.zeros(ctx.size, dtype=np.float32)
+            np.add.at(dense, np.asarray(indices, dtype=np.int64),
+                      np.asarray(values, dtype=np.float32))
+            return dense.reshape(ctx.shape)
+        if isinstance(ctx, AggregatedLatticeCtx):
+            deltas, codes = compressed.payload
+            step = np.repeat(
+                np.asarray(deltas, dtype=np.float64),
+                np.asarray(ctx.seg_sizes, dtype=np.int64),
+            )
+            values = (step * np.asarray(codes, dtype=np.float64)).astype(
+                np.float32
+            )
+            return values.reshape(ctx.shape)
+        if isinstance(ctx, AggregatedFusedCtx):
+            out = np.empty(ctx.numel, dtype=np.float32)
+            start = 0
+            for offset, size, n_parts, seg_ctx in zip(
+                ctx.offsets, ctx.sizes, ctx.splits, ctx.ctxs
+            ):
+                sub = CompressedTensor(
+                    payload=compressed.payload[start:start + n_parts],
+                    ctx=seg_ctx,
+                )
+                out[offset:offset + size] = np.ravel(
+                    self.decompress_aggregated(sub)
+                )
+                start += n_parts
+            return out
+        return self.decompress(compressed)
+
+    def _aggregate_fused_segments(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Generic fused-concat aggregation: per-segment, then re-concat.
+
+        Accepts any mix of :class:`FusedConcatCtx` payloads (fresh from
+        workers) and :class:`AggregatedFusedCtx` payloads (rack-level
+        sums being re-aggregated), as long as they describe the same
+        bucket layout.
+        """
+        numel, offsets, sizes, _, _ = _fused_layout(items[0].ctx)
+        per_item: list[list[CompressedTensor]] = []
+        for item in items:
+            n2, o2, s2, splits, ctxs = _fused_layout(item.ctx)
+            if (n2, o2, s2) != (numel, offsets, sizes):
+                raise ValueError(
+                    "cannot aggregate fused payloads with different "
+                    "bucket layouts"
+                )
+            subs = []
+            start = 0
+            for n_parts, seg_ctx in zip(splits, ctxs):
+                subs.append(CompressedTensor(
+                    payload=item.payload[start:start + n_parts],
+                    ctx=seg_ctx,
+                ))
+                start += n_parts
+            per_item.append(subs)
+        parts: Payload = []
+        agg_splits = []
+        agg_ctxs = []
+        for seg_idx in range(len(offsets)):
+            seg_agg = self.aggregate_compressed(
+                [subs[seg_idx] for subs in per_item]
+            )
+            parts.extend(seg_agg.payload)
+            agg_splits.append(len(seg_agg.payload))
+            agg_ctxs.append(seg_agg.ctx)
+        total = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=parts,
+            ctx=AggregatedFusedCtx(
+                numel, offsets, sizes, agg_splits, agg_ctxs, total
+            ),
+        )
+
+    def _aggregate_dense(
+        self, items: list[CompressedTensor], shape
+    ) -> CompressedTensor:
+        """Exact dense aggregation: elementwise float32 part sum."""
+        total = sum_dense([
+            np.ravel(np.asarray(item.payload[0])) for item in items
+        ])
+        n = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=[total], ctx=AggregatedDenseCtx(shape, n)
+        )
+
+    def _coords_form(
+        self, compressed: CompressedTensor
+    ) -> tuple[tuple, int, np.ndarray, np.ndarray]:
+        """Coordinate-list view ``(shape, size, values f32, indices i64)``.
+
+        Sparsifiers override this to expose their native payload (and
+        their fused-kernel payloads) as flat coordinates; the base class
+        only understands already-aggregated coordinate payloads.
+        """
+        ctx = compressed.ctx
+        if isinstance(ctx, AggregatedCoordsCtx):
+            values, indices = compressed.payload
+            return (
+                ctx.shape,
+                ctx.size,
+                np.asarray(values, dtype=np.float32),
+                np.asarray(indices, dtype=np.int64),
+            )
+        raise AggregationUnsupportedError(
+            f"compressor {self.name!r} has no coordinate form for ctx "
+            f"{type(ctx).__name__}"
+        )
+
+    def _aggregate_coords(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact sparse aggregation on the union support.
+
+        Coordinate lists are scatter-added in worker order — bitwise
+        identical to the sequential dense sum a decompress-then-add
+        reducer computes — and only the union of the supports is kept.
+        Sparsifiers' heavy hitters coincide heavily across workers
+        (correlated gradients select the same coordinates), so the
+        aggregate stays near one worker's payload size instead of
+        growing as the concatenation of all N.
+        """
+        forms = [self._coords_form(item) for item in items]
+        shape, size = forms[0][0], forms[0][1]
+        for other_shape, other_size, _, _ in forms[1:]:
+            if other_shape != shape or other_size != size:
+                raise ValueError(
+                    "cannot aggregate sparse payloads with different "
+                    f"shapes: {shape}/{size} vs {other_shape}/{other_size}"
+                )
+        values = np.concatenate(
+            [form[2] for form in forms]
+        ).astype(np.float32, copy=False)
+        indices = np.concatenate(
+            [form[3] for form in forms]
+        ).astype(np.int64, copy=False)
+        dense = np.zeros(size, dtype=np.float32)
+        np.add.at(dense, indices, values)
+        union = np.unique(indices)
+        if size <= np.iinfo(np.int32).max:
+            union = union.astype(np.int32)
+        total = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=[dense[union], union],
+            ctx=AggregatedCoordsCtx(shape, size, total),
+        )
+
+    # -- shared-codebook (uniform lattice) machinery -------------------------
+
+    def _lattice_form(
+        self, compressed: CompressedTensor
+    ) -> tuple[tuple, int, np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical uniform-lattice view of one payload.
+
+        Returns ``(shape, size, deltas, seg_sizes, codes)`` with
+        ``value[i] ≈ delta_of(i) * codes[i]``.  The default decodes the
+        payload to dense float32 and snaps it onto a per-payload lattice
+        whose step is ``max|v| / LATTICE_STEPS`` — correct for any
+        scheme; quantizers whose values already live on a lattice (QSGD)
+        override this with the exact native form.
+        """
+        ctx = compressed.ctx
+        if isinstance(ctx, AggregatedLatticeCtx):
+            deltas, codes = compressed.payload
+            return (
+                ctx.shape,
+                ctx.size,
+                np.asarray(deltas, dtype=np.float32),
+                np.asarray(ctx.seg_sizes, dtype=np.int64),
+                np.asarray(codes, dtype=np.int64),
+            )
+        dense = np.asarray(self.decompress(compressed), dtype=np.float32)
+        flat = np.ravel(dense).astype(np.float64)
+        peak = np.max(np.abs(flat)) if flat.size else np.float64(0.0)
+        delta = np.float32(peak / LATTICE_STEPS)
+        if delta > 0:
+            codes = np.rint(flat / float(delta)).astype(np.int64)
+        else:
+            codes = np.zeros(flat.size, dtype=np.int64)
+        return (
+            dense.shape,
+            int(flat.size),
+            np.array([delta], dtype=np.float32),
+            np.array([flat.size], dtype=np.int64),
+            codes,
+        )
+
+    def _aggregate_lattice(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """THC-style codebook sum: rescale codes onto max-δ, add integers.
+
+        The shared codebook is the elementwise-max lattice step δ* over
+        all summands; each worker's codes are re-quantized onto it
+        (error ≤ δ*/2 per element per summand) and summed as int64 —
+        the operation an aggregation switch performs without ever
+        touching floats.
+        """
+        forms = [self._lattice_form(item) for item in items]
+        shape, size, _, seg_sizes, _ = forms[0]
+        for other_shape, other_size, deltas, other_segs, _ in forms[1:]:
+            if (
+                other_shape != shape
+                or other_size != size
+                or not np.array_equal(other_segs, seg_sizes)
+            ):
+                raise ValueError(
+                    "cannot aggregate codebook payloads with different "
+                    "shapes or segment layouts"
+                )
+        delta_star = forms[0][2].copy()
+        for _, _, deltas, _, _ in forms[1:]:
+            np.maximum(delta_star, deltas, out=delta_star)
+        summed = np.zeros(size, dtype=np.int64)
+        safe = delta_star.astype(np.float64)
+        safe[safe == 0.0] = 1.0  # zero-δ segments carry all-zero codes
+        for _, _, deltas, _, codes in forms:
+            ratio = deltas.astype(np.float64) / safe
+            summed += np.rint(
+                codes * np.repeat(ratio, seg_sizes)
+            ).astype(np.int64)
+        total = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=[delta_star, summed],
+            ctx=AggregatedLatticeCtx(shape, size, seg_sizes, total),
+        )
 
     def reseed(self, seed: int) -> None:
         """Replace the compressor's random stream (per-worker seeding)."""

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import dequantize_float8, quantize_float8
 
 
@@ -21,6 +26,7 @@ class EightBitCompressor(Compressor):
     stochastic = False
     communication = "allgather"
     default_memory = "residual"
+    aggregation = "codebook"
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
@@ -34,3 +40,17 @@ class EightBitCompressor(Compressor):
         (shape,) = compressed.ctx
         codes, scale = compressed.payload
         return dequantize_float8(codes, float(scale[0])).reshape(shape)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Shared-codebook sum on the generic max-δ lattice.
+
+        Float8 values are not equally spaced, so the generic dense-decode
+        lattice snap applies — approximate, bounded by ``n·δ*``.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        if is_fused_concat_ctx(items[0].ctx):
+            return self._aggregate_fused_segments(items)
+        return self._aggregate_lattice(items)

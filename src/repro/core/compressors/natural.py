@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import pack_signs, stochastic_power_of_two, unpack_signs
 
 _EXP_BIAS = 127
@@ -25,6 +30,7 @@ class NaturalCompressor(Compressor):
     stochastic = True
     communication = "allgather"
     default_memory = "residual"
+    aggregation = "codebook"
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
@@ -51,3 +57,18 @@ class NaturalCompressor(Compressor):
             exponents[nonzero].astype(np.float64) - _EXP_BIAS
         ).astype(np.float32)
         return (signs * values).reshape(shape)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Shared-codebook sum on the generic max-δ lattice.
+
+        Powers of two are geometrically, not uniformly, spaced, so the
+        generic dense-decode lattice snap applies — approximate, bounded
+        by ``n·δ*``.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        if is_fused_concat_ctx(items[0].ctx):
+            return self._aggregate_fused_segments(items)
+        return self._aggregate_lattice(items)

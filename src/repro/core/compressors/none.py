@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor
+from repro.core.api import (
+    AggregatedDenseCtx,
+    CompressedTensor,
+    Compressor,
+    is_fused_concat_ctx,
+)
 
 
 class NoneCompressor(Compressor):
@@ -15,6 +20,7 @@ class NoneCompressor(Compressor):
     stochastic = False
     communication = "allreduce"
     default_memory = "none"
+    aggregation = "exact-linear"
 
     def compress(self, tensor: np.ndarray, name: str) -> CompressedTensor:
         """Apply Q: returns the wire payload plus decompression ctx."""
@@ -29,3 +35,15 @@ class NoneCompressor(Compressor):
         """Apply Q^-1: rebuild a dense tensor of the original shape."""
         (shape,) = compressed.ctx
         return np.asarray(compressed.payload[0], dtype=np.float32).reshape(shape)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact compressed-domain sum: plain float32 elementwise add."""
+        if not items:
+            raise ValueError("nothing to aggregate")
+        ctx = items[0].ctx
+        if is_fused_concat_ctx(ctx):
+            return self._aggregate_fused_segments(items)
+        shape = ctx.shape if isinstance(ctx, AggregatedDenseCtx) else ctx[0]
+        return self._aggregate_dense(items, shape)

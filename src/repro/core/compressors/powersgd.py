@@ -15,8 +15,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    AggregatedDenseCtx,
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+    summand_count,
+)
 from repro.core.rng import name_seed
+
+
+class _AggFactorsCtx:
+    """Ctx of an aggregated factor payload ``[P m×R, Q L×R]``.
+
+    ``blocks`` holds each summand's rank: columns ``[c, c+r)`` of both
+    factors form one worker's contribution, and the decode sums the
+    per-block float32 products in block order — the same cast-then-add
+    sequence the legacy decompress-every-payload path performs.
+    """
+
+    __slots__ = ("shape", "size", "blocks", "n_summands")
+
+    def __init__(self, shape, size, blocks, n_summands):
+        self.shape = tuple(shape)
+        self.size = int(size)
+        self.blocks = tuple(int(b) for b in blocks)
+        self.n_summands = int(n_summands)
 
 
 def _orthonormalize(matrix: np.ndarray) -> np.ndarray:
@@ -41,6 +66,7 @@ class PowerSGDCompressor(Compressor):
     stochastic = False
     communication = "allgather"
     default_memory = "residual"
+    aggregation = "exact-linear"
 
     def __init__(self, rank: int = 1, min_compress_size: int = 1024, seed: int = 0):
         super().__init__(seed=seed)
@@ -85,3 +111,70 @@ class PowerSGDCompressor(Compressor):
         p, q = compressed.payload
         matrix = p.astype(np.float64) @ q.astype(np.float64).T
         return matrix.astype(np.float32).reshape(shape)
+
+    def _factor_blocks(self, compressed: CompressedTensor):
+        """(P, Q, per-summand ranks) of a plain or aggregated payload."""
+        ctx = compressed.ctx
+        p, q = compressed.payload
+        if isinstance(ctx, _AggFactorsCtx):
+            return p, q, ctx.blocks
+        return p, q, (p.shape[1],)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact factor accumulation: column-concatenate P and Q blocks.
+
+        The sum of rank-r outer products is a rank-``n·r`` factorization,
+        so the server never reconstructs the dense matrix.  Each block's
+        float32 product is summed at decode time in worker order, which
+        matches the legacy decompress-then-sum path bitwise.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        ctx = items[0].ctx
+        if is_fused_concat_ctx(ctx):
+            return self._aggregate_fused_segments(items)
+        if isinstance(ctx, AggregatedDenseCtx):
+            # Re-aggregating dense rack sums (hierarchical reduction).
+            return self._aggregate_dense(items, ctx.shape)
+        if isinstance(ctx, tuple) and not ctx[2]:
+            # Small tensors travel uncompressed; their sum is dense.
+            # The size threshold is receiver-known, so every summand
+            # took the same branch.
+            return self._aggregate_dense(items, ctx[0])
+        shape = ctx.shape if isinstance(ctx, _AggFactorsCtx) else ctx[0]
+        size = ctx.size if isinstance(ctx, _AggFactorsCtx) else ctx[1]
+        ps, qs, blocks = [], [], []
+        for item in items:
+            p, q, item_blocks = self._factor_blocks(item)
+            ps.append(np.asarray(p, dtype=np.float32))
+            qs.append(np.asarray(q, dtype=np.float32))
+            blocks.extend(item_blocks)
+        total = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=[np.concatenate(ps, axis=1), np.concatenate(qs, axis=1)],
+            ctx=_AggFactorsCtx(shape, size, blocks, total),
+        )
+
+    def decompress_aggregated(
+        self, compressed: CompressedTensor
+    ) -> np.ndarray:
+        ctx = compressed.ctx
+        if not isinstance(ctx, _AggFactorsCtx):
+            return super().decompress_aggregated(compressed)
+        p, q = compressed.payload
+        p64 = np.asarray(p, dtype=np.float64)
+        q64 = np.asarray(q, dtype=np.float64)
+        total: np.ndarray | None = None
+        col = 0
+        for rank in ctx.blocks:
+            # Per-block f64 matmul + f32 cast, then f32 accumulation:
+            # the exact operation sequence of decompressing each
+            # summand and summing the results.
+            block = (
+                p64[:, col:col + rank] @ q64[:, col:col + rank].T
+            ).astype(np.float32)
+            total = block if total is None else total + block
+            col += rank
+        return total.reshape(ctx.shape)

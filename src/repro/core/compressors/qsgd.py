@@ -13,7 +13,13 @@ import math
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    _fused_layout,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import (
     pack_bits,
     pack_signs,
@@ -42,6 +48,7 @@ class QSGDCompressor(Compressor):
     communication = "allgather"
     default_memory = "none"
     fused_kernel = True
+    aggregation = "codebook"
 
     def __init__(self, levels: int = 64, seed: int = 0):
         super().__init__(seed=seed)
@@ -132,3 +139,80 @@ class QSGDCompressor(Compressor):
             return values
         out[:] = values
         return out
+
+    def _lattice_form(self, compressed: CompressedTensor):
+        """Native lattice view: QSGD values already live on ``norm/s · Z``.
+
+        ``delta = ‖g‖₂ / levels`` is receiver-computable from the wire
+        norm, and the signed level codes are the integer coordinates —
+        no re-quantization, so a one-summand aggregate is exact.
+        """
+        ctx = compressed.ctx
+        if isinstance(ctx, _FusedQSGDCtx):
+            bucket = ctx.bucket
+            norms, packed_signs, packed_codes = compressed.payload
+            signs = unpack_signs(packed_signs, bucket.numel)
+            codes = unpack_bits(
+                packed_codes, bits=self.code_bits, count=bucket.numel
+            )
+            deltas = (
+                np.asarray(norms, dtype=np.float32)
+                / np.float32(self.levels)
+            )
+            signed = codes.astype(np.int64) * signs.astype(np.int64)
+            signed[np.repeat(deltas, bucket.sizes) == 0.0] = 0
+            return (
+                (int(bucket.numel),),
+                int(bucket.numel),
+                deltas,
+                bucket.sizes.astype(np.int64),
+                signed,
+            )
+        if is_fused_concat_ctx(ctx):
+            # Generic fused fallback payload: per-segment native forms,
+            # concatenated into one multi-segment lattice.
+            numel, offsets, sizes, splits, ctxs = _fused_layout(ctx)
+            deltas_parts, seg_parts, code_parts = [], [], []
+            start = 0
+            for n_parts, seg_ctx in zip(splits, ctxs):
+                sub = CompressedTensor(
+                    payload=compressed.payload[start:start + n_parts],
+                    ctx=seg_ctx,
+                )
+                start += n_parts
+                _, _, deltas, seg_sizes, codes = self._lattice_form(sub)
+                deltas_parts.append(deltas)
+                seg_parts.append(seg_sizes)
+                code_parts.append(codes)
+            return (
+                (int(numel),),
+                int(numel),
+                np.concatenate(deltas_parts),
+                np.concatenate(seg_parts),
+                np.concatenate(code_parts),
+            )
+        if isinstance(ctx, tuple):
+            shape, size = ctx
+            norm_arr, packed_signs, packed_codes = compressed.payload
+            signs = unpack_signs(packed_signs, size)
+            codes = unpack_bits(packed_codes, bits=self.code_bits, count=size)
+            delta = np.float32(norm_arr[0]) / np.float32(self.levels)
+            signed = codes.astype(np.int64) * signs.astype(np.int64)
+            if delta == 0.0:
+                signed[:] = 0
+            return (
+                tuple(shape),
+                int(size),
+                np.array([delta], dtype=np.float32),
+                np.array([size], dtype=np.int64),
+                signed,
+            )
+        return super()._lattice_form(compressed)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Shared-codebook (THC-style) sum on the max-δ lattice."""
+        if not items:
+            raise ValueError("nothing to aggregate")
+        return self._aggregate_lattice(items)

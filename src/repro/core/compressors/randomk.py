@@ -11,7 +11,12 @@ import math
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import desparsify, sparsify_randomk
 
 
@@ -34,6 +39,7 @@ class RandomKCompressor(Compressor):
     communication = "allgather"
     default_memory = "residual"
     fused_kernel = True
+    aggregation = "exact-linear"
 
     def __init__(self, ratio: float = 0.01, unbiased: bool = False, seed: int = 0):
         super().__init__(seed=seed)
@@ -107,6 +113,41 @@ class RandomKCompressor(Compressor):
         shape, size = compressed.ctx
         values, indices = compressed.payload
         return desparsify(values, indices.astype(np.int64), size).reshape(shape)
+
+    def _coords_form(self, compressed: CompressedTensor):
+        ctx = compressed.ctx
+        if isinstance(ctx, _FusedRandomKCtx):
+            values, local = compressed.payload
+            bucket = ctx.bucket
+            flat_idx = local.astype(np.int64) + np.repeat(
+                bucket.offsets, ctx.ks
+            )
+            return (
+                (int(bucket.numel),),
+                int(bucket.numel),
+                np.asarray(values, dtype=np.float32),
+                flat_idx,
+            )
+        if isinstance(ctx, tuple):
+            shape, size = ctx
+            values, indices = compressed.payload
+            return (
+                tuple(shape),
+                int(size),
+                np.asarray(values, dtype=np.float32),
+                np.asarray(indices, dtype=np.int64),
+            )
+        return super()._coords_form(compressed)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact compressed-domain sum: coordinate-list concatenation."""
+        if not items:
+            raise ValueError("nothing to aggregate")
+        if is_fused_concat_ctx(items[0].ctx):
+            return self._aggregate_fused_segments(items)
+        return self._aggregate_coords(items)
 
     def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
         """Flat indices sent on the wire."""

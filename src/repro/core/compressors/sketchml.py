@@ -13,7 +13,12 @@ import math
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import QuantileSketch, pack_bits, unpack_bits
 
 
@@ -25,6 +30,7 @@ class SketchMLCompressor(Compressor):
     stochastic = True
     communication = "allgather"
     default_memory = "residual"
+    aggregation = "exact-linear"
 
     def __init__(self, num_buckets: int = 64, sketch_size: int = 2048, seed: int = 0):
         super().__init__(seed=seed)
@@ -90,6 +96,49 @@ class SketchMLCompressor(Compressor):
                 indices = compressed.payload[2]
                 dense[indices.astype(np.int64)] = representatives[codes]
         return dense.reshape(shape)
+
+    def _coords_form(self, compressed: CompressedTensor):
+        ctx = compressed.ctx
+        if isinstance(ctx, tuple):
+            shape, size, nnz, is_dense = ctx
+            if not nnz:
+                return (
+                    tuple(shape), int(size),
+                    np.zeros(0, dtype=np.float32),
+                    np.zeros(0, dtype=np.int64),
+                )
+            representatives = compressed.payload[0]
+            codes = unpack_bits(
+                compressed.payload[1], bits=self.code_bits, count=nnz
+            )
+            # The table lookup is the whole decode for selected
+            # positions, so the coordinate list carries exactly the
+            # values a local decompress would scatter — exact linearity.
+            values = np.asarray(
+                representatives[codes], dtype=np.float32
+            )
+            if is_dense:
+                indices = np.arange(size, dtype=np.int64)
+            else:
+                indices = compressed.payload[2].astype(np.int64)
+            return tuple(shape), int(size), values, indices
+        return super()._coords_form(compressed)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact compressed-domain sum via bucket-table lookups.
+
+        Each worker's codes are mapped through its own representative
+        table (a pure table lookup, no dense reconstruction) and the
+        resulting coordinate lists concatenate — the scatter-add decode
+        then equals the sum of per-worker decompressions bitwise.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        if is_fused_concat_ctx(items[0].ctx):
+            return self._aggregate_fused_segments(items)
+        return self._aggregate_coords(items)
 
     def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
         """Flat indices sent on the wire (all positions when dense)."""

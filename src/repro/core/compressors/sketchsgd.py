@@ -14,8 +14,27 @@ import math
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+    sum_dense,
+    summand_count,
+)
 from repro.tensorlib import CountSketch, desparsify
+
+
+class _AggSketchCtx:
+    """Ctx of an aggregated count-sketch table payload ``[table f32]``."""
+
+    __slots__ = ("shape", "size", "k", "n_summands")
+
+    def __init__(self, shape, size, k, n_summands):
+        self.shape = tuple(shape)
+        self.size = int(size)
+        self.k = int(k)
+        self.n_summands = int(n_summands)
 
 
 class SketchedSGDCompressor(Compressor):
@@ -26,6 +45,7 @@ class SketchedSGDCompressor(Compressor):
     stochastic = False  # hash functions are fixed
     communication = "allgather"
     default_memory = "residual"
+    aggregation = "sketch"
 
     def __init__(
         self,
@@ -85,3 +105,53 @@ class SketchedSGDCompressor(Compressor):
         indices = sketch.heavy_hitters(k)
         values = sketch.query(indices).astype(np.float32)
         return desparsify(values, indices.astype(np.int64), size).reshape(shape)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Sum count-sketch tables — exact in sketch space.
+
+        Count sketches are linear, so adding the float32 tables gives
+        exactly the sketch of the summed gradient stream.  Heavy-hitter
+        *recovery* from the merged table is still approximate, hence
+        ``aggregation = "sketch"`` rather than ``"exact-linear"``.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        ctx = items[0].ctx
+        if is_fused_concat_ctx(ctx):
+            return self._aggregate_fused_segments(items)
+        if isinstance(ctx, _AggSketchCtx):
+            shape, size, k = ctx.shape, ctx.size, ctx.k
+        else:
+            shape, size, k = ctx
+        for item in items[1:]:
+            other = item.ctx
+            other_key = (
+                (other.shape, other.size, other.k)
+                if isinstance(other, _AggSketchCtx)
+                else (tuple(other[0]), int(other[1]), int(other[2]))
+            )
+            if other_key != (tuple(shape), int(size), int(k)):
+                raise ValueError("mismatched sketch layouts in aggregation")
+        table = sum_dense(
+            [np.asarray(item.payload[0], dtype=np.float32) for item in items]
+        )
+        total = sum(summand_count(item) for item in items)
+        return CompressedTensor(
+            payload=[table],
+            ctx=_AggSketchCtx(shape, size, k, total),
+        )
+
+    def decompress_aggregated(
+        self, compressed: CompressedTensor
+    ) -> np.ndarray:
+        ctx = compressed.ctx
+        if not isinstance(ctx, _AggSketchCtx):
+            return super().decompress_aggregated(compressed)
+        return self.decompress(
+            CompressedTensor(
+                payload=compressed.payload,
+                ctx=(ctx.shape, ctx.size, ctx.k),
+            )
+        )

@@ -14,7 +14,12 @@ import math
 
 import numpy as np
 
-from repro.core.api import CompressedTensor, Compressor, flatten_with_shape
+from repro.core.api import (
+    CompressedTensor,
+    Compressor,
+    flatten_with_shape,
+    is_fused_concat_ctx,
+)
 from repro.tensorlib import desparsify, sparsify_topk
 from repro.tensorlib.indices import decode_indices, encode_indices
 
@@ -45,6 +50,7 @@ class TopKCompressor(Compressor):
     communication = "allgather"
     default_memory = "residual"
     fused_kernel = True
+    aggregation = "exact-linear"
 
     def __init__(
         self, ratio: float = 0.01, index_encoding: str = "int32",
@@ -150,6 +156,46 @@ class TopKCompressor(Compressor):
         values = compressed.payload[0]
         indices = self._indices(compressed)
         return desparsify(values, indices, size).reshape(shape)
+
+    def _coords_form(self, compressed: CompressedTensor):
+        ctx = compressed.ctx
+        if isinstance(ctx, _FusedTopKCtx):
+            values, local = compressed.payload
+            bucket = ctx.bucket
+            flat_idx = local.astype(np.int64) + np.repeat(
+                bucket.offsets, ctx.ks
+            )
+            return (
+                (int(bucket.numel),),
+                int(bucket.numel),
+                np.asarray(values, dtype=np.float32),
+                flat_idx,
+            )
+        if isinstance(ctx, tuple):
+            shape, size, _, _ = ctx
+            return (
+                tuple(shape),
+                int(size),
+                np.asarray(compressed.payload[0], dtype=np.float32),
+                self._indices(compressed),
+            )
+        return super()._coords_form(compressed)
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Exact compressed-domain sum: coordinate-list concatenation.
+
+        The aggregated form always carries plain int64 indices — bitmap
+        and delta-varint encodings are decoded server-side, since
+        duplicate coordinates across workers cannot be represented by a
+        bitmap and the aggregate is what fans out.
+        """
+        if not items:
+            raise ValueError("nothing to aggregate")
+        if is_fused_concat_ctx(items[0].ctx):
+            return self._aggregate_fused_segments(items)
+        return self._aggregate_coords(items)
 
     def transmitted_indices(self, compressed: CompressedTensor) -> np.ndarray:
         """Flat indices sent on the wire (consumed by DGC-style memories)."""

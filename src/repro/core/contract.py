@@ -21,6 +21,14 @@ determinism         replaying ``compress`` on a deep-copied snapshot
                     payload bitwise
 fused-parity        ``compress_fused`` decompresses bitwise-equal to the
                     generic per-tensor concatenation on the same snapshot
+aggregate-*         ``aggregate_compressed`` honours its declared
+                    capability: exact-linear schemes must decode bitwise
+                    to the decompress-then-sum reference (signed zeros
+                    normalized); codebook schemes must return a lattice
+                    payload carrying its own ``n·δ*`` tolerance and stay
+                    within it; sketch schemes must satisfy the doubling
+                    law ``aggregate([c, c]) == compress(2t)`` bitwise in
+                    sketch space — approximation may never pass silently
 ==================  =====================================================
 
 Enable it end-to-end with ``repro train --sanitize``; the registry-wide
@@ -43,9 +51,12 @@ from typing import Any
 import numpy as np
 
 from repro.core.api import (
+    AggregatedFusedCtx,
+    AggregatedLatticeCtx,
     CompressedTensor,
     Compressor,
     PayloadTypeError,
+    summand_count,
     validate_payload,
 )
 from repro.core.wire import deserialize_payload, serialize_payload
@@ -129,6 +140,7 @@ class ContractChecker(Compressor):
         self.communication = inner.communication
         self.default_memory = inner.default_memory
         self.fused_kernel = inner.fused_kernel
+        self.aggregation = inner.aggregation
 
     # -- delegation ----------------------------------------------------------
 
@@ -149,6 +161,11 @@ class ContractChecker(Compressor):
 
     def aggregate(self, tensors: list[np.ndarray]) -> np.ndarray:
         return self.inner.aggregate(tensors)
+
+    def decompress_aggregated(
+        self, compressed: CompressedTensor
+    ) -> np.ndarray:
+        return self.inner.decompress_aggregated(compressed)
 
     # -- checks --------------------------------------------------------------
 
@@ -224,6 +241,11 @@ class ContractChecker(Compressor):
         tensor = np.asarray(tensor)
         expensive = self._due()
         snapshot = copy.deepcopy(self.inner) if expensive else None
+        sketch_snapshot = (
+            copy.deepcopy(self.inner)
+            if expensive and self.inner.aggregation == "sketch"
+            else None
+        )
         before = tensor.copy() if expensive else None
 
         compressed = self.inner.compress(tensor, name)
@@ -261,6 +283,22 @@ class ContractChecker(Compressor):
                 "replaying compress on a state-snapshot did not reproduce "
                 "the payload — hidden state or unseeded randomness",
             )
+        if self.inner.aggregation == "sketch":
+            # Sketch aggregation is exact in *sketch space*: doubling a
+            # gradient doubles every table entry bitwise (a pure exponent
+            # shift), so aggregate([c, c]) must equal compress(2t).
+            doubled_ref = sketch_snapshot.compress(
+                before * np.float32(2.0), name
+            )
+            doubled = self.inner.aggregate_compressed(
+                [compressed, compressed]
+            )
+            if not _payloads_equal(doubled.payload, doubled_ref.payload):
+                self._fail(
+                    "aggregate-sketch-linearity",
+                    "aggregate_compressed([c, c]) is not bitwise equal to "
+                    "compress(2·t) — the sketch tables do not sum linearly",
+                )
         return compressed
 
     def decompress(self, compressed: CompressedTensor) -> np.ndarray:
@@ -304,6 +342,102 @@ class ContractChecker(Compressor):
         self, compressed: CompressedTensor, out: np.ndarray | None = None
     ) -> np.ndarray:
         return self.inner.decompress_fused(compressed, out=out)
+
+    # -- compressed-domain aggregation ---------------------------------------
+
+    def _decode_summand(self, item: CompressedTensor) -> np.ndarray:
+        """Flat dense decode of one aggregation input (plain or fused).
+
+        Fresh fused payloads — the generic concat and every native
+        fused-kernel ctx — carry the bucket plan and decode through
+        ``decompress_fused``; everything else (plain payloads and
+        already-aggregated ones being re-aggregated) decodes through
+        ``decompress_aggregated``.
+        """
+        if hasattr(item.ctx, "bucket"):
+            return np.ravel(self.inner.decompress_fused(item))
+        return np.ravel(self.inner.decompress_aggregated(item))
+
+    def _lattice_tolerance(self, result: CompressedTensor) -> np.ndarray:
+        """The ``n_summands·δ*`` per-element bound a codebook sum declares."""
+        ctx = result.ctx
+        n = summand_count(result)
+        if isinstance(ctx, AggregatedLatticeCtx):
+            deltas = np.asarray(result.payload[0], dtype=np.float64)
+            return n * np.repeat(
+                deltas, np.asarray(ctx.seg_sizes, dtype=np.int64)
+            )
+        if isinstance(ctx, AggregatedFusedCtx):
+            out = np.empty(ctx.numel, dtype=np.float64)
+            start = 0
+            for offset, size, n_parts, seg_ctx in zip(
+                ctx.offsets, ctx.sizes, ctx.splits, ctx.ctxs
+            ):
+                sub = CompressedTensor(
+                    payload=result.payload[start:start + n_parts],
+                    ctx=seg_ctx,
+                )
+                out[offset:offset + size] = self._lattice_tolerance(sub)
+                start += n_parts
+            return out
+        self._fail(
+            "aggregate-tolerance",
+            f"codebook aggregation returned a {type(ctx).__name__} payload "
+            "— approximate sums must carry their δ* tolerance in a lattice "
+            "ctx instead of silently passing as exact",
+        )
+
+    def aggregate_compressed(
+        self, items: list[CompressedTensor]
+    ) -> CompressedTensor:
+        """Validate the declared aggregation capability on a real sum."""
+        kind = self.inner.aggregation
+        expensive = self._due()
+        result = self.inner.aggregate_compressed(list(items))
+
+        self._check_structure(result)
+        self._check_wire(result)
+        claimed = summand_count(result)
+        actual = sum(summand_count(item) for item in items)
+        if claimed != actual:
+            self._fail(
+                "aggregate-summands",
+                f"aggregate of {actual} worker gradients claims "
+                f"n_summands={claimed}",
+            )
+        if not expensive or kind == "sketch":
+            # Sketch-space exactness is checked by the doubling law in
+            # :meth:`compress` (the dense decode is legitimately
+            # nonlinear, so there is no dense reference to compare here).
+            return result
+
+        decoded = np.ravel(self.inner.decompress_aggregated(result))
+        parts = [self._decode_summand(item) for item in items]
+        reference = np.sum(np.stack(parts), axis=0)
+        if kind == "exact-linear":
+            # +0.0 normalizes signed zeros: scatter-add and stacked sum
+            # legitimately disagree only on -0.0 vs +0.0.
+            if (decoded + 0.0).tobytes() != (reference + 0.0).tobytes():
+                self._fail(
+                    "aggregate-exactness",
+                    "exact-linear aggregate does not decode bitwise to "
+                    "the decompress-then-sum reference",
+                )
+        elif kind == "codebook":
+            tolerance = self._lattice_tolerance(result)
+            reference64 = np.sum(
+                np.stack([p.astype(np.float64) for p in parts]), axis=0
+            )
+            error = np.abs(decoded.astype(np.float64) - reference64)
+            # Tiny relative slack for the decode's own f64→f32 rounding.
+            if np.any(error > tolerance * (1.0 + 1e-6) + 1e-9):
+                self._fail(
+                    "aggregate-tolerance",
+                    f"codebook aggregate exceeds its declared n·δ* bound: "
+                    f"max error {float(error.max()):.3e} vs tolerance "
+                    f"{float(tolerance.max()):.3e}",
+                )
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ContractChecker({self.inner!r}, check_every={self.check_every})"

@@ -175,6 +175,23 @@ def compressor_info(name: str) -> CompressorInfo:
     return _REGISTRY[name]
 
 
+def aggregation_kind(name: str) -> str:
+    """Compressed-domain aggregation capability of a registered scheme.
+
+    One of :data:`repro.core.api.AGGREGATION_KINDS` — ``"none"`` when
+    the scheme only supports decompress-then-sum.  Callers (parameter
+    server, hierarchical reducer, benches) probe this instead of calling
+    :meth:`~repro.core.api.Compressor.aggregate_compressed` and catching
+    the typed error.
+    """
+    return compressor_info(name).cls.aggregation
+
+
+def supports_compressed_aggregation(name: str) -> bool:
+    """Whether ``name`` can sum payloads without decompressing."""
+    return aggregation_kind(name) != "none"
+
+
 def create(name: str, seed: int = 0, **params) -> Compressor:
     """Instantiate a compressor by registry name."""
     info = compressor_info(name)

@@ -419,9 +419,15 @@ class DistributedTrainer:
         ef_restore: bool = True,
         retry=None,
         rank: int | None = None,
+        aggregation: str = "auto",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if aggregation not in ("auto", "off", "all"):
+            raise ValueError(
+                f"aggregation must be 'auto', 'off' or 'all', "
+                f"got {aggregation!r}"
+            )
         if rank is not None and not 0 <= rank < n_workers:
             raise ValueError(
                 f"rank must be in [0, {n_workers}), got {rank}"
@@ -547,6 +553,7 @@ class DistributedTrainer:
             )
             if self.recovery == "restart" and self.checkpoint_every == 0:
                 self.checkpoint_every = 1
+        self.aggregation = aggregation
         self._all_ranks = list(range(self.n_workers))
         self._active_ranks: list[int] = self._all_ranks
         self._n_active = self.n_workers
@@ -1304,6 +1311,32 @@ class DistributedTrainer:
             )
         memory.update_fused(buffer, bucket, transmitted)
 
+    def _aggregation_active(self, decoder: Compressor) -> bool:
+        """Whether the compressed-domain aggregation fast path applies.
+
+        Requires a sequential run (worker mode ships payloads between
+        processes, not decoded results), a communicator advertising
+        ``supports_compressed_aggregation`` (the resilient wrapper does
+        not, so fault injection auto-disables the path), a gather-style
+        strategy, and the default mean :meth:`Compressor.aggregate`
+        (the compressed-domain sum realizes exactly that mean).  Under
+        ``auto`` only ``exact-linear`` schemes qualify — the fast path
+        then cannot change training numerics; ``all`` extends it to any
+        declared kind (codebook/sketch), trading bounded decode error
+        for the single-fan-out download.
+        """
+        if self.aggregation == "off" or self.rank is not None:
+            return False
+        if not getattr(self.comm, "supports_compressed_aggregation", False):
+            return False
+        if decoder.communication not in ("allgather", "broadcast"):
+            return False
+        if type(decoder).aggregate is not Compressor.aggregate:
+            return False
+        if self.aggregation == "all":
+            return decoder.aggregation != "none"
+        return decoder.aggregation == "exact-linear"
+
     def _communicate_bucket(
         self,
         bucket: FusionBucket,
@@ -1332,8 +1365,26 @@ class DistributedTrainer:
             )
             return
         if strategy in ("allgather", "broadcast"):
+            if self._aggregation_active(decoder):
+                with tracer.span("collective", bucket=bucket.index,
+                                 op="allgather", fused=True,
+                                 aggregation="compressed") as span:
+                    sim_before = record.simulated_seconds
+                    sent_before = record.bytes_sent_per_worker
+                    root = self.comm.allreduce_compressed(
+                        list(compressed), decoder
+                    )
+                    span.add_sim(record.simulated_seconds - sim_before)
+                    span.set(
+                        bytes_per_worker=(
+                            record.bytes_sent_per_worker - sent_before
+                        )
+                    )
+                self._finish_bucket_aggregated(bucket, root, aggregated)
+                return
             with tracer.span("collective", bucket=bucket.index,
-                             op="allgather", fused=True) as span:
+                             op="allgather", fused=True,
+                             aggregation="legacy") as span:
                 sim_before = record.simulated_seconds
                 sent_before = record.bytes_sent_per_worker
                 gathered = self.comm.allgather(
@@ -1368,6 +1419,29 @@ class DistributedTrainer:
                 out=self._agg_scratch.take(("reduce", bucket.index),
                                            bucket.numel),
             )
+        with tracer.span("aggregate", bucket=bucket.index):
+            mean_flat = flat / self._n_active
+            for seg in bucket.segments:
+                aggregated[seg.name] = (
+                    mean_flat[seg.offset:seg.end].reshape(seg.shape)
+                )
+
+    def _finish_bucket_aggregated(
+        self,
+        bucket: FusionBucket,
+        root: CompressedTensor,
+        aggregated: dict[str, np.ndarray],
+    ) -> None:
+        """Decode ONE compressed-domain aggregate for the whole bucket.
+
+        The communicator already summed the cohort's payloads server
+        side, so decode cost is a single pass regardless of rank count
+        and the mean falls out of the summand-count division.
+        """
+        decoder = self.compressors[0]
+        tracer = self.tracer
+        with tracer.span("decompress", bucket=bucket.index):
+            flat = np.ravel(decoder.decompress_aggregated(root))
         with tracer.span("aggregate", bucket=bucket.index):
             mean_flat = flat / self._n_active
             for seg in bucket.segments:
@@ -1508,7 +1582,26 @@ class DistributedTrainer:
             with tracer.span("aggregate", tensor=name):
                 return restored / self._n_active
         if strategy in ("allgather", "broadcast"):
-            with tracer.span("collective", tensor=name, op="allgather") as span:
+            if self._aggregation_active(decoder):
+                with tracer.span("collective", tensor=name, op="allgather",
+                                 aggregation="compressed") as span:
+                    sim_before = record.simulated_seconds
+                    sent_before = record.bytes_sent_per_worker
+                    root = self.comm.allreduce_compressed(
+                        list(compressed), decoder
+                    )
+                    span.add_sim(record.simulated_seconds - sim_before)
+                    span.set(
+                        bytes_per_worker=(
+                            record.bytes_sent_per_worker - sent_before
+                        )
+                    )
+                with tracer.span("decompress", tensor=name):
+                    restored = decoder.decompress_aggregated(root)
+                with tracer.span("aggregate", tensor=name):
+                    return restored / self._n_active
+            with tracer.span("collective", tensor=name, op="allgather",
+                             aggregation="legacy") as span:
                 sim_before = record.simulated_seconds
                 sent_before = record.bytes_sent_per_worker
                 gathered = self.comm.allgather(

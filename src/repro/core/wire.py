@@ -176,6 +176,49 @@ def serialize_compressed(compressed: CompressedTensor) -> bytes:
     return serialize_payload(compressed.payload)
 
 
+#: Leading magic of an aggregated-payload frame (version 1).
+AGGREGATED_MAGIC = b"AGG1"
+
+
+def serialize_aggregated(payload: Payload, n_summands: int) -> bytes:
+    """Frame a compressed-domain aggregate with its summand count.
+
+    Layout is the 4-byte magic ``AGG1``, a little-endian u32 summand
+    count, then :func:`serialize_payload`'s byte stream.  The count is
+    the one piece of aggregation state a receiver cannot reconstruct
+    (it turns the fanned-out sum into a mean), so it travels in the
+    frame rather than in receiver-side ctx.
+    """
+    if n_summands < 1:
+        raise ValueError(f"n_summands must be >= 1, got {n_summands}")
+    if n_summands > _MAX_PARTS:
+        raise ValueError(f"n_summands {n_summands} exceeds wire limit")
+    return (
+        AGGREGATED_MAGIC
+        + struct.pack("<I", n_summands)
+        + serialize_payload(payload)
+    )
+
+
+def deserialize_aggregated(buffer: bytes) -> tuple[Payload, int]:
+    """Inverse of :func:`serialize_aggregated`: ``(payload, n_summands)``.
+
+    Raises :class:`WireFormatError` on a missing/foreign magic, a zero
+    summand count, or any structural damage to the embedded payload.
+    """
+    header = len(AGGREGATED_MAGIC) + 4
+    if len(buffer) < header:
+        raise WireFormatError("truncated aggregated frame (header)")
+    if buffer[: len(AGGREGATED_MAGIC)] != AGGREGATED_MAGIC:
+        raise WireFormatError(
+            f"bad aggregated-frame magic {buffer[:len(AGGREGATED_MAGIC)]!r}"
+        )
+    (n_summands,) = struct.unpack_from("<I", buffer, len(AGGREGATED_MAGIC))
+    if n_summands < 1:
+        raise WireFormatError("aggregated frame with zero summands")
+    return deserialize_payload(buffer[header:]), int(n_summands)
+
+
 #: Size of the CRC32 trailer a checksummed frame appends.
 CHECKSUM_NBYTES = 4
 

@@ -139,10 +139,39 @@ class TestInProcessCollectives:
         with pytest.raises(ValueError, match="exactly its own"):
             comm.allreduce([np.ones(2, np.float32), np.ones(2, np.float32)])
 
+    def test_broadcast_ships_root_payload(self, two_rank_comms):
+        payload = [
+            np.arange(5, dtype=np.float32),
+            np.array([3, 1], dtype=np.int32),
+        ]
+        results = _both(
+            two_rank_comms,
+            # MPI buffer semantics: the non-root rank's argument is
+            # ignored; both must receive the root's exact parts.
+            lambda c: c.broadcast(
+                [p.copy() for p in payload] if c.rank == 1 else [], root=1
+            ),
+        )
+        for per_rank in results:
+            assert len(per_rank) == 2
+            for dest in per_rank:
+                np.testing.assert_array_equal(dest[0], payload[0])
+                np.testing.assert_array_equal(dest[1], payload[1])
+                assert dest[1].dtype == np.int32
+
+    def test_broadcast_charges_and_validates_root(self, two_rank_comms):
+        with pytest.raises(ValueError, match="root"):
+            two_rank_comms[0].broadcast([np.ones(2, np.float32)], root=7)
+        before = [c.record.simulated_seconds for c in two_rank_comms]
+        _both(
+            two_rank_comms,
+            lambda c: c.broadcast([np.ones(8, np.float32)], root=0),
+        )
+        for comm, prior in zip(two_rank_comms, before):
+            assert comm.record.simulated_seconds > prior
+
     def test_simulator_only_collectives_are_refused(self, two_rank_comms):
         comm = two_rank_comms[0]
-        with pytest.raises(NotImplementedError):
-            comm.broadcast([np.ones(2, np.float32)])
         with pytest.raises(NotImplementedError):
             comm.sparse_allreduce([np.ones(2, np.float32)])
 

@@ -5,13 +5,16 @@ import pytest
 
 from repro.core import available_compressors, create
 from repro.core.wire import (
+    AGGREGATED_MAGIC,
     CHECKSUM_NBYTES,
     WireChecksumError,
     WireFormatError,
+    deserialize_aggregated,
     deserialize_payload,
     frame_checksum_ok,
     frame_payload,
     framing_overhead_bytes,
+    serialize_aggregated,
     serialize_compressed,
     serialize_payload,
     unframe_payload,
@@ -203,3 +206,53 @@ class TestChecksumFrames:
         with pytest.raises(WireFormatError):
             unframe_payload(b"\x00\x01")
         assert not frame_checksum_ok(b"\x00\x01")
+
+
+class TestAggregatedFrames:
+    """The AGG1 frame: an aggregate travels with its summand count."""
+
+    def test_roundtrip_preserves_payload_and_count(self):
+        payload = [
+            np.arange(12, dtype=np.float32),
+            np.array([4, 9, 11], dtype=np.int32),
+        ]
+        restored, n_summands = deserialize_aggregated(
+            serialize_aggregated(payload, 16)
+        )
+        assert n_summands == 16
+        for original, copy in zip(payload, restored):
+            np.testing.assert_array_equal(copy, original)
+            assert copy.dtype == original.dtype
+
+    def test_magic_distinguishes_frame_kinds(self):
+        frame = serialize_aggregated([np.ones(2, np.float32)], 3)
+        assert frame.startswith(AGGREGATED_MAGIC)
+        # A plain payload stream is NOT an aggregated frame.
+        with pytest.raises(WireFormatError, match="magic"):
+            deserialize_aggregated(
+                serialize_payload([np.ones(2, np.float32)])
+            )
+
+    def test_rejects_bad_summand_counts(self):
+        payload = [np.ones(1, np.float32)]
+        with pytest.raises(ValueError, match="n_summands"):
+            serialize_aggregated(payload, 0)
+        with pytest.raises(ValueError, match="n_summands"):
+            serialize_aggregated(payload, -2)
+        with pytest.raises(ValueError, match="wire limit"):
+            serialize_aggregated(payload, 2**32)
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(WireFormatError, match="truncated"):
+            deserialize_aggregated(AGGREGATED_MAGIC + b"\x01")
+
+    def test_rejects_zero_summands_on_the_wire(self):
+        frame = bytearray(serialize_aggregated([np.ones(1, np.float32)], 1))
+        frame[4:8] = (0).to_bytes(4, "little")
+        with pytest.raises(WireFormatError, match="zero summands"):
+            deserialize_aggregated(bytes(frame))
+
+    def test_damaged_body_is_a_format_error(self):
+        frame = serialize_aggregated([np.arange(8, dtype=np.float32)], 2)
+        with pytest.raises(WireFormatError):
+            deserialize_aggregated(frame[:-3])
