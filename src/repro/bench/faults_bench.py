@@ -159,6 +159,13 @@ class FaultsBenchResult:
                     f"{cell.scenario}: the plan injected no faults "
                     f"(window/probability bug?)"
                 )
+        restart = {c.scenario: c for c in self.cells}.get("crash-restart")
+        if restart is not None and not restart.recovery_seconds > 0:
+            failures.append(
+                "crash-restart: the outage was not priced — "
+                "sim recovery seconds is "
+                f"{restart.recovery_seconds:.6f} (expected > 0)"
+            )
         corrupt = {c.scenario: c for c in self.cells}.get("corrupt")
         if corrupt is not None:
             if corrupt.checksum_failures == 0:

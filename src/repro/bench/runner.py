@@ -45,11 +45,14 @@ def build_trainer(
     faults: str | None = None,
     recovery: str = "degrade",
     checkpoint_every: int = 0,
+    checkpoint_dir: str | None = None,
     straggler_policy: str = "wait",
     sanitize: bool = False,
     sanitize_every: int = 1,
     communicator=None,
     rank: int | None = None,
+    active_ranks: list[int] | None = None,
+    consumed_faults=(),
     topology: str = "flat",
     racks: int = 2,
     aggregation: str = "auto",
@@ -110,9 +113,12 @@ def build_trainer(
         faults=faults,
         recovery=recovery,
         checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
         straggler_policy=straggler_policy,
         communicator=communicator,
         rank=rank,
+        active_ranks=active_ranks,
+        consumed_faults=consumed_faults,
         aggregation=aggregation,
     )
     return trainer, run

@@ -100,6 +100,11 @@ def cmd_train(args) -> int:
     spec = get_benchmark(args.benchmark)
     if args.backend == "parallel":
         return _train_parallel(args, spec)
+    if args.checkpoint_dir:
+        raise SystemExit(
+            "--checkpoint-dir requires --backend parallel (sequential "
+            "restart recovery keeps its checkpoint in memory)"
+        )
     tracing = bool(args.trace or args.chrome_trace or args.metrics_out)
     tracer = None
     if tracing:
@@ -182,20 +187,10 @@ def _train_parallel(args, spec) -> int:
     """Train one cell across real worker processes and print the report."""
     from repro.comm.parallel import ParallelRunConfig, run_parallel
 
-    unsupported = [
-        flag for flag, used in (
-            ("--faults", bool(args.faults)),
-            ("--checkpoint-every", args.checkpoint_every > 0),
-            ("--straggler-policy", args.straggler_policy != "wait"),
-            ("--metrics-out", bool(args.metrics_out)),
-            ("--topology", args.topology != "flat"),
-        ) if used
-    ]
-    if unsupported:
+    if args.topology != "flat":
         raise SystemExit(
-            f"--backend parallel does not support "
-            f"{', '.join(unsupported)}; use the sequential simulator "
-            f"(--backend sim) for those features"
+            "--backend parallel supports only the flat topology; use the "
+            "sequential simulator (--backend sim) for ps/hier"
         )
     config = ParallelRunConfig(
         benchmark=args.benchmark,
@@ -210,8 +205,20 @@ def _train_parallel(args, spec) -> int:
         sanitize_every=args.sanitize_every,
         trace=bool(args.trace or args.chrome_trace),
         arena_bytes=int(args.arena_mb * 1024 * 1024),
+        faults=args.faults,
+        recovery=args.recovery,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        straggler_policy=args.straggler_policy,
+        metrics=bool(args.metrics_out),
+        stall_timeout=args.stall_timeout,
     )
-    result = run_parallel(config)
+    try:
+        result = run_parallel(config)
+    except ValueError as error:
+        # Config the parallel backend rejects (sim-only fault kinds,
+        # the backup straggler policy, rejoin under degrade, ...).
+        raise SystemExit(str(error))
     report = result.report
     digest = next(iter(result.digests.values()))
     quality = result.best_quality
@@ -229,6 +236,18 @@ def _train_parallel(args, spec) -> int:
     print(f"wall clock       : {result.wall_seconds:.2f} s")
     print(f"model digest     : {digest[:16]} "
           f"(all {len(result.digests)} ranks agree)")
+    if args.faults or result.recoveries:
+        print(f"recoveries       : {len(result.recoveries)}")
+        for rec in result.recoveries:
+            print(f"  incarnation {rec['incarnation']}: ranks "
+                  f"{rec['dead_ranks']} died, cohort {rec['cohort']} "
+                  f"resumed from iteration {rec['restored_iteration']}")
+        print(f"recovery time    : {report.sim_recovery_seconds:.3f} s")
+    if args.metrics_out:
+        from repro.telemetry import write_prometheus
+
+        write_prometheus(args.metrics_out, result.metrics)
+        print(f"metrics          : {args.metrics_out}")
     if args.overlap:
         print(f"sim makespan     : {report.sim_makespan_seconds:.3f} s")
         print(f"exposed comm     : {report.sim_exposed_comm_seconds:.3f} s")
@@ -283,6 +302,27 @@ def _export_trace(args, tracer, report) -> None:
     if args.metrics_out:
         write_prometheus(args.metrics_out, metrics)
         print(f"metrics          : {args.metrics_out}")
+
+
+def cmd_chaos(args) -> int:
+    """Run a seeded kill campaign and report the recovery verdicts."""
+    from repro.faults.chaos import run_chaos
+
+    result = run_chaos(
+        benchmark=args.benchmark,
+        compressor=args.compressor,
+        nproc=args.nproc,
+        trials=args.trials,
+        seed=args.seed,
+        epochs=args.epochs,
+        recovery=args.recovery,
+        checkpoint_every=args.checkpoint_every,
+        loss_tolerance=args.loss_tolerance,
+        arena_bytes=int(args.arena_mb * 1024 * 1024),
+        stall_timeout=args.stall_timeout,
+    )
+    print(result.describe())
+    return 0 if result.passed else 1
 
 
 def _suite_params(args) -> dict:
@@ -748,6 +788,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--arena-mb", type=float, default=32.0, metavar="MB",
                        help="per-rank shared-memory data segment size for "
                             "--backend parallel (default 32)")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for per-rank worker checkpoints "
+                            "under --backend parallel (default: a "
+                            "temporary directory, removed after the run)")
+    train.add_argument("--stall-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="parallel watchdog: convict a rank whose "
+                            "heartbeat has been silent this long "
+                            "(default 30)")
 
     bench = sub.add_parser(
         "bench",
@@ -876,6 +925,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the profile (with run metadata) as "
                               "JSON")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded kill-schedule campaign against the real-parallel "
+             "backend: every trial SIGKILLs one worker mid-run and "
+             "asserts recovery (see docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument("--benchmark", default="ncf-movielens",
+                       help="training benchmark key (default: the "
+                            "cheapest spawn-friendly cell)")
+    chaos.add_argument("--compressor", default="topk")
+    chaos.add_argument("--nproc", type=int, default=2, metavar="N",
+                       help="worker processes per trial (default 2)")
+    chaos.add_argument("--trials", type=int, default=3, metavar="N",
+                       help="seeded kills to run (default 3)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="kill-schedule seed (also the training seed)")
+    chaos.add_argument("--epochs", type=int, default=1)
+    chaos.add_argument("--recovery", choices=["degrade", "restart"],
+                       default="restart",
+                       help="recovery mode under test (default restart, "
+                            "which must reproduce the clean run bitwise)")
+    chaos.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="N",
+                       help="per-rank checkpoint cadence (default 1)")
+    chaos.add_argument("--loss-tolerance", type=float, default=0.15,
+                       metavar="GAP",
+                       help="max |final loss - clean loss| for degrade "
+                            "recovery (default 0.15)")
+    chaos.add_argument("--arena-mb", type=float, default=8.0, metavar="MB")
+    chaos.add_argument("--stall-timeout", type=float, default=30.0,
+                       metavar="SECONDS")
+
     lint = sub.add_parser(
         "lint",
         help="run the repo's AST contract rules (GR001-GR006) over "
@@ -908,6 +989,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "report": cmd_report,
         "profile": cmd_profile,
+        "chaos": cmd_chaos,
         "lint": cmd_lint,
         "experiment": cmd_experiment,
     }

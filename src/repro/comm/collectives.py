@@ -233,6 +233,14 @@ class Communicator:
         self.backend = backend
         self.record = CommRecord(registry)
 
+    def heartbeat(self, progress: int | None = None) -> None:
+        """Liveness hook; a no-op for the in-process simulator.
+
+        The real-parallel worker communicator overrides this to refresh
+        its rank's heartbeat words in the shared arena, so the trainer
+        can call it unconditionally at every iteration boundary.
+        """
+
     # -- primitives ---------------------------------------------------------
 
     def allreduce(self, tensors: list[np.ndarray]) -> np.ndarray:

@@ -7,42 +7,72 @@ that exchange gradients through the POSIX shared-memory arena of
 :mod:`repro.comm.shm`, making fusion/overlap wins measurable on actual
 hardware while keeping the analytical sim-clock accounting intact.
 
-Three pieces:
+Pieces:
 
 * :class:`ParallelWorkerCommunicator` — a drop-in
   :class:`~repro.comm.collectives.Communicator` used *inside* a worker.
   Each call takes the rank's **own** contribution (a one-element
   per-rank list, matching the trainer's worker mode), publishes it to
-  the arena, reads all ``N`` contributions back **in rank order** and
-  reduces them with the exact expression the sequential communicator
-  uses — which is what makes the final model state bitwise identical
-  for deterministic compressors.  Dense single-part payloads are
-  reduced zero-copy through NumPy views over the shared segments;
-  variable-size compressed payloads travel as ``core.wire`` frames.
-  Simulated costs are charged from the same analytical model, so a
-  parallel run's sim-clock report matches the sequential run's.
+  the arena, reads back every **active** rank's contribution in rank
+  order and reduces them with the exact expression the sequential
+  communicator uses — which is what makes the final model state bitwise
+  identical for deterministic compressors.  Dense single-part payloads
+  are reduced zero-copy through NumPy views over the shared segments;
+  variable-size compressed payloads travel as CRC32-framed
+  ``core.wire`` byte streams, so a flipped bit in shared memory
+  surfaces as :class:`~repro.core.wire.WireChecksumError` instead of a
+  silently wrong gradient.
 * :class:`ParallelAsyncHandle` — nonblocking-collective handle whose
   gather/reduce work runs in ``wait()`` exactly once, no matter how
   many processes hold sibling handles for the same sequence number.
 * :func:`run_parallel` — the parent orchestration: create the arena,
-  spawn workers, watch for crashes (surfacing
-  :class:`ParallelCrashError` instead of hanging), merge per-rank trace
-  shards and memory high-water marks, verify cross-rank model
-  agreement, and always unlink the shared segments.
+  spawn workers, watch their liveness, merge per-rank trace shards,
+  metric registries and memory high-water marks, verify cross-rank
+  model agreement, and always unlink the shared segments.
+
+Survivability
+-------------
+
+A :class:`_Watchdog` thread in the parent samples each worker's
+exitcode and heartbeat (ranks beat once per training iteration and
+inside every arena poll loop).  A non-zero exit or a heartbeat silent
+past the stall deadline convicts the rank: the watchdog marks it
+failed, flips the arena abort flag so blocked survivors raise a typed
+error instead of hanging, and hands the parent the victim set with each
+victim's last-started iteration.
+
+When checkpointing is enabled (``checkpoint_every > 0`` — every rank
+snapshots its shard of trainer state to ``checkpoint_dir``), the parent
+then *recovers* instead of failing: workers are torn down with an
+escalating join/terminate/kill ladder, consumed crash/stall fault
+clauses are retired so they do not re-fire, a fresh arena is created
+under a bumped incarnation number with the next cohort (the full rank
+set under ``recovery='restart'``, the survivors under ``'degrade'``),
+and workers respawn from the latest checkpoint iteration common to the
+new cohort.  The outage is priced into the merged report's
+``sim_recovery_seconds`` (lost iterations at the run's mean sim
+iteration cost, plus shipping the restored checkpoint bytes over the
+modeled network).  Without checkpointing the failure stays fail-stop:
+a :class:`ParallelCrashError` naming every failed rank.
 
 Wall clock and sim clock answer different questions here — see
 ``docs/PERFORMANCE.md`` ("Real-parallel backend") for when they
-legitimately diverge.
+legitimately diverge, and ``docs/ROBUSTNESS.md`` ("Resilience on the
+real-parallel backend") for the recovery semantics.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
+import os
 import queue as queue_module
+import shutil
+import tempfile
+import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -59,7 +89,7 @@ from repro.comm.cost import (
     fused_allreduce_time,
     ring_allreduce_time,
 )
-from repro.comm.network import NetworkModel
+from repro.comm.network import NetworkModel, ethernet
 from repro.comm.shm import (
     DEFAULT_DATA_BYTES,
     DEFAULT_TIMEOUT,
@@ -72,9 +102,27 @@ from repro.comm.shm import (
     SharedArena,
 )
 from repro.comm.timeline import NETWORK, SimTimeline
-from repro.core.wire import deserialize_payload, serialize_payload
-from repro.faults.plan import WorkerCrashError
-from repro.telemetry.metrics import MetricsRegistry
+from repro.core.checkpoint import (
+    latest_common_iteration,
+    worker_checkpoint_path,
+)
+from repro.core.wire import frame_payload, unframe_payload
+from repro.faults.plan import FaultPlan, WorkerCrashError
+from repro.faults.real import validate_worker_plan
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    load_snapshot,
+    snapshot_registry,
+)
+
+#: How long the parent waits, after aborting the arena, for surviving
+#: workers to notice and report their typed abort errors before it
+#: synthesizes messages for them and proceeds to teardown.
+_DRAIN_GRACE = 10.0
+
+#: Network used to price shipping the restored checkpoint during a
+#: recovery — the same default the communicators assume.
+_RECOVERY_NETWORK_GBPS = 10.0
 
 
 class ParallelCrashError(WorkerCrashError):
@@ -116,6 +164,12 @@ class ParallelWorkerCommunicator(Communicator):
     any extra rendezvous traffic.  A peer posting a different payload
     kind or byte count for the same sequence number means the ranks
     have desynchronized and raises :class:`ArenaProtocolError`.
+
+    Collectives span the arena's **active cohort** (all ranks in a
+    first incarnation; the survivors after a degrade recovery), always
+    iterated in ascending rank order so reductions stay bit-stable.
+    Simulated costs are charged for the cohort that actually
+    communicates.
     """
 
     def __init__(
@@ -140,6 +194,19 @@ class ParallelWorkerCommunicator(Communicator):
         self.rank = int(rank)
         self.timeout = float(timeout)
         self._seq = 0
+        self._cohort = tuple(arena.active_ranks())
+        if self.rank not in self._cohort:
+            raise ValueError(
+                f"rank {rank} is not in the arena's active cohort "
+                f"{list(self._cohort)}"
+            )
+        self._n_active = len(self._cohort)
+
+    # -- liveness -----------------------------------------------------------
+
+    def heartbeat(self, progress: int | None = None) -> None:
+        """Refresh this rank's arena heartbeat (and progress word)."""
+        self.arena.heartbeat(progress)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -165,7 +232,7 @@ class ParallelWorkerCommunicator(Communicator):
             # views on the reader side.
             self.arena.post(seq, parts[0], KIND_DENSE)
             return True
-        self.arena.post(seq, serialize_payload(parts), KIND_WIRE)
+        self.arena.post(seq, frame_payload(parts), KIND_WIRE)
         return False
 
     def _dense_view(self, seq: int, rank: int, ref: np.ndarray) -> np.ndarray:
@@ -182,7 +249,7 @@ class ParallelWorkerCommunicator(Communicator):
         return buf.view(ref.dtype).reshape(ref.shape)
 
     def _wire_parts(self, seq: int, rank: int, local: Payload) -> Payload:
-        """Peer ``rank``'s wire-framed payload, deserialized."""
+        """Peer ``rank``'s CRC-framed payload, validated and deserialized."""
         if rank == self.rank:
             return local
         data, kind = self.arena.read(seq, rank, timeout=self.timeout)
@@ -191,20 +258,20 @@ class ParallelWorkerCommunicator(Communicator):
                 f"seq {seq}: expected a wire-framed payload from rank "
                 f"{rank}, got kind={kind} — ranks have desynchronized"
             )
-        return deserialize_payload(data)
+        return unframe_payload(data)
 
     def _gather_parts(
         self, seq: int, local: Payload, dense: bool
     ) -> list[Payload]:
-        """All ranks' payloads for ``seq``, in rank order."""
+        """Every active rank's payload for ``seq``, in rank order."""
         if dense:
             return [
                 [self._dense_view(seq, rank, local[0])]
-                for rank in range(self.n_workers)
+                for rank in self._cohort
             ]
         return [
             self._wire_parts(seq, rank, local)
-            for rank in range(self.n_workers)
+            for rank in self._cohort
         ]
 
     @staticmethod
@@ -243,13 +310,13 @@ class ParallelWorkerCommunicator(Communicator):
         total = np.sum(
             np.stack([
                 self._dense_view(seq, rank, local)
-                for rank in range(self.n_workers)
+                for rank in self._cohort
             ]),
             axis=0,
         )
         self.arena.drain(seq)
         seconds = ring_allreduce_time(
-            local.nbytes, self.n_workers, self.network, self.backend
+            local.nbytes, self._n_active, self.network, self.backend
         )
         self.record.charge(bytes_per_worker=float(local.nbytes),
                            seconds=seconds, op="allreduce")
@@ -273,10 +340,10 @@ class ParallelWorkerCommunicator(Communicator):
             for p in self._local(payloads, "allgather")
         ]
         seq = self._next_seq()
-        self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+        self.arena.post(seq, frame_payload(local), KIND_WIRE)
         gathered = [
             list(self._wire_parts(seq, rank, local))
-            for rank in range(self.n_workers)
+            for rank in self._cohort
         ]
         self.arena.drain(seq)
         self._charge_allgather(gathered)
@@ -299,24 +366,25 @@ class ParallelWorkerCommunicator(Communicator):
         which all ranks still perform.  Accounting matches the
         sequential communicator's binomial-tree broadcast.
         """
-        if not 0 <= root < self.n_workers:
+        if root not in self._cohort:
             raise ValueError(
-                f"root {root} out of range for {self.n_workers} ranks"
+                f"root {root} is not an active rank "
+                f"(cohort {list(self._cohort)})"
             )
         seq = self._next_seq()
         local: Payload = []
         if self.rank == root:
             local = [np.ascontiguousarray(np.asarray(p)) for p in payload]
-            self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+            self.arena.post(seq, frame_payload(local), KIND_WIRE)
         parts = self._wire_parts(seq, root, local)
         self.arena.drain(seq)
         nbytes = float(payload_nbytes(parts))
         seconds = broadcast_time(
-            nbytes, self.n_workers, self.network, self.backend
+            nbytes, self._n_active, self.network, self.backend
         )
-        self.record.charge(bytes_per_worker=nbytes / self.n_workers,
+        self.record.charge(bytes_per_worker=nbytes / self._n_active,
                            seconds=seconds, op="broadcast")
-        return [list(parts) for _ in range(self.n_workers)]
+        return [list(parts) for _ in self._cohort]
 
     # -- nonblocking collectives --------------------------------------------
 
@@ -377,13 +445,13 @@ class ParallelWorkerCommunicator(Communicator):
             for p in self._local(payloads, "allgather")
         ]
         seq = self._next_seq()
-        self.arena.post(seq, serialize_payload(local), KIND_WIRE)
+        self.arena.post(seq, frame_payload(local), KIND_WIRE)
         handle = ParallelAsyncHandle(None, None)
 
         def finish() -> list[Payload]:
             gathered = [
                 list(self._wire_parts(seq, rank, local))
-                for rank in range(self.n_workers)
+                for rank in self._cohort
             ]
             self.arena.drain(seq)
             seconds = self._charge_allgather(gathered)
@@ -411,7 +479,7 @@ class ParallelWorkerCommunicator(Communicator):
         gathered = [
             obj if rank == self.rank
             else self.arena.read_object(seq, rank, timeout=self.timeout)
-            for rank in range(self.n_workers)
+            for rank in self._cohort
         ]
         self.arena.drain(seq)
         return gathered
@@ -421,7 +489,7 @@ class ParallelWorkerCommunicator(Communicator):
     def _charge_allreduce_parts(self, local: Payload) -> float:
         part_nbytes = [int(p.nbytes) for p in local]
         seconds = fused_allreduce_time(
-            part_nbytes, self.n_workers, self.network, self.backend
+            part_nbytes, self._n_active, self.network, self.backend
         )
         self.record.charge(
             bytes_per_worker=float(sum(part_nbytes)), seconds=seconds,
@@ -465,6 +533,15 @@ class ParallelRunConfig:
     the benchmark, model and trainer from it (via
     :func:`repro.bench.runner.build_trainer`) instead of receiving live
     objects, which is what keeps parent and workers bit-identical.
+
+    The resilience knobs: ``faults`` is the usual clause grammar
+    restricted to the real kinds (``crash``/``straggler``/``stall``);
+    ``checkpoint_every > 0`` turns on per-rank checkpointing *and*
+    crash recovery (``recovery`` picks restart-the-full-cohort vs
+    degrade-to-survivors); the watchdog convicts a rank whose heartbeat
+    has been silent for ``stall_timeout`` seconds (tightened to
+    ``straggler_timeout`` under the ``drop`` straggler policy); and the
+    ``join/term/kill`` graces bound each rung of the teardown ladder.
     """
 
     benchmark: str
@@ -483,19 +560,34 @@ class ParallelRunConfig:
     trace: bool = False
     arena_bytes: int = DEFAULT_DATA_BYTES
     timeout: float = DEFAULT_TIMEOUT
+    faults: str | None = None
+    recovery: str = "degrade"
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    straggler_policy: str = "wait"
+    metrics: bool = False
+    watchdog_interval: float = 0.25
+    stall_timeout: float = 30.0
+    straggler_timeout: float | None = None
+    max_recoveries: int = 8
+    join_grace: float = 10.0
+    term_grace: float = 5.0
+    kill_grace: float = 5.0
 
 
 @dataclass
 class ParallelResult:
     """Merged outcome of one real-parallel training run."""
 
-    report: object  # rank 0's TrainingReport (sim numbers match sequential)
+    report: object  # leader's TrainingReport (sim numbers match sequential)
     best_quality: float
     digests: dict[int, str]  # per-rank final-model SHA-256 (all equal)
-    params: dict[str, np.ndarray]  # rank 0's final model state
+    params: dict[str, np.ndarray]  # leader's final model state
     wall_seconds: float  # parent-measured end-to-end wall clock
     events: list[dict] = field(default_factory=list)  # merged trace shards
     memory_high_water: dict[str, int] = field(default_factory=dict)
+    recoveries: list[dict] = field(default_factory=list)  # one per respawn
+    metrics: MetricsRegistry | None = None  # merged per-rank registries
 
 
 def model_digest(params: dict[str, np.ndarray]) -> str:
@@ -517,9 +609,21 @@ def _report_fields(report) -> dict:
 
 
 def _worker_main(
-    config: ParallelRunConfig, arena_spec: ArenaSpec, rank: int, out_queue
+    config: ParallelRunConfig,
+    arena_spec: ArenaSpec,
+    rank: int,
+    out_queue,
+    start_iteration: int = 0,
+    consumed_faults: tuple = (),
 ) -> None:
-    """Entry point of one spawned worker rank (module-level for pickling)."""
+    """Entry point of one spawned worker rank (module-level for pickling).
+
+    ``start_iteration``/``consumed_faults`` are non-zero only on
+    recovery respawns: the worker restores its checkpoint shard for
+    ``start_iteration`` before training, and inherits the clause
+    indices earlier incarnations already paid for so a handled crash
+    does not re-fire.
+    """
     arena = None
     try:
         arena = SharedArena.attach(arena_spec, rank)
@@ -534,11 +638,13 @@ def _worker_main(
             tracer = Tracer()
         from repro.bench.runner import build_trainer
         from repro.bench.suite import get_benchmark
+        from repro.core.checkpoint import WorkerCheckpoint
 
         spec = get_benchmark(config.benchmark)
         comm = ParallelWorkerCommunicator(
             arena, rank, timeout=config.timeout
         )
+        active = arena.active_ranks()
         trainer, run = build_trainer(
             spec,
             config.compressor,
@@ -550,11 +656,23 @@ def _worker_main(
             tracer=tracer,
             fusion_mb=config.fusion_mb,
             overlap=config.overlap,
+            faults=config.faults,
+            recovery=config.recovery,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_dir=config.checkpoint_dir,
+            straggler_policy=config.straggler_policy,
             sanitize=config.sanitize,
             sanitize_every=config.sanitize_every,
             communicator=comm,
             rank=rank,
+            active_ranks=active,
+            consumed_faults=consumed_faults,
         )
+        if start_iteration > 0:
+            checkpoint = WorkerCheckpoint.load(
+                config.checkpoint_dir, rank, start_iteration
+            )
+            checkpoint.restore(trainer)
         report = trainer.train(
             run.loader,
             epochs=(
@@ -563,6 +681,7 @@ def _worker_main(
                 else spec.lite_epochs
             ),
             eval_fn=run.eval_fn,
+            start_iteration=start_iteration,
         )
         arena.set_status(STATUS_DONE)
         params = {
@@ -575,8 +694,10 @@ def _worker_main(
             "report": _report_fields(report),
             "best_quality": report.best_quality,
         }
-        if rank == 0:
+        if rank == min(active):
             result["params"] = params
+        if config.metrics:
+            result["metrics"] = snapshot_registry(trainer.metrics)
         if tracer is not None:
             result["events"] = [span.to_event() for span in tracer.spans]
         if config.profile:
@@ -599,6 +720,472 @@ def _worker_main(
             arena.close()
 
 
+class _Watchdog(threading.Thread):
+    """Parent-side liveness monitor for one incarnation's workers.
+
+    Convicts a rank on either signal a dead-but-unreported worker can
+    still emit: a non-zero exitcode (SIGKILL, segfault, OOM kill) or a
+    heartbeat silent past ``stall_timeout`` (a wedged process that is
+    technically alive).  On the first conviction sweep it records every
+    victim's last-started iteration, marks them failed in the arena,
+    flips the abort flag so blocked survivors raise instead of hanging,
+    and stops scanning — deaths after the abort are collateral, not new
+    verdicts, and must not shrink the survivor set.
+    """
+
+    def __init__(
+        self,
+        arena: SharedArena,
+        workers: dict[int, mp.process.BaseProcess],
+        interval: float,
+        stall_timeout: float,
+    ):
+        super().__init__(name="repro-watchdog", daemon=True)
+        self.arena = arena
+        self.workers = dict(workers)
+        self.interval = float(interval)
+        self.stall_timeout = float(stall_timeout)
+        self.victims: dict[int, str] = {}
+        self.progress: dict[int, int] = {}
+        self.fired = threading.Event()
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+    def run(self) -> None:
+        spawn_ns = time.monotonic_ns()
+        while not self._halt.wait(self.interval):
+            verdicts: dict[int, str] = {}
+            now_ns = time.monotonic_ns()
+            for rank, worker in self.workers.items():
+                if self.arena.status(rank) == STATUS_DONE:
+                    continue
+                exitcode = worker.exitcode
+                if exitcode is not None:
+                    if exitcode != 0:
+                        verdicts[rank] = (
+                            f"exited with code {exitcode} "
+                            "without reporting a result"
+                        )
+                    continue
+                beat = self.arena.heartbeat_ns(rank)
+                # A rank that never beat is still importing/spawning;
+                # measure its silence from watchdog start instead.
+                age = (now_ns - (beat or spawn_ns)) / 1e9
+                if age > self.stall_timeout:
+                    verdicts[rank] = (
+                        f"heartbeat silent for {age:.1f}s "
+                        f"(stall timeout {self.stall_timeout:.1f}s)"
+                    )
+            if verdicts:
+                self.progress = {
+                    rank: self.arena.progress(rank)
+                    for rank in self.workers
+                }
+                for rank, reason in verdicts.items():
+                    self.victims[rank] = reason
+                    self.arena.mark_failed(rank)
+                self.arena.abort()
+                self.fired.set()
+                return
+
+
+def _teardown_workers(
+    workers: list,
+    arena: SharedArena,
+    registry: MetricsRegistry,
+    join_grace: float,
+    term_grace: float,
+    kill_grace: float,
+) -> None:
+    """Escalating join → SIGTERM → SIGKILL ladder over one cohort.
+
+    Every escalation is counted into ``comm_workers_killed_total`` by
+    signal, so a run that needed force to die is visible in telemetry.
+    """
+    started = [worker for worker in workers if worker.pid is not None]
+    if any(worker.is_alive() for worker in started):
+        arena.abort()
+    for worker in started:
+        worker.join(timeout=join_grace)
+    stubborn = [worker for worker in started if worker.is_alive()]
+    for worker in stubborn:
+        worker.terminate()
+        registry.counter(
+            "comm_workers_killed_total", {"signal": "term"},
+            help="worker processes that needed a signal to exit",
+        ).inc()
+    for worker in stubborn:
+        worker.join(timeout=term_grace)
+    hard = [worker for worker in stubborn if worker.is_alive()]
+    for worker in hard:  # pragma: no cover - needs a SIGTERM-proof child
+        worker.kill()
+        registry.counter(
+            "comm_workers_killed_total", {"signal": "kill"},
+            help="worker processes that needed a signal to exit",
+        ).inc()
+        worker.join(timeout=kill_grace)
+
+
+@dataclass
+class _RoundOutcome:
+    """What one incarnation produced: results, failures, and verdicts."""
+
+    results: dict[int, dict]
+    errors: dict[int, str]
+    victims: dict[int, str]  # watchdog verdicts (rank -> reason)
+    progress: dict[int, int]  # last-started iteration at conviction time
+    reported: frozenset  # ranks whose error arrived via the queue
+
+
+def _run_round(
+    ctx,
+    config: ParallelRunConfig,
+    active: list[int],
+    start_iteration: int,
+    consumed: set[int],
+    incarnation: int,
+    registry: MetricsRegistry,
+    stall_timeout: float,
+) -> _RoundOutcome:
+    """Run one incarnation of the cohort to completion or first failure."""
+    arena = SharedArena.create(
+        config.nproc,
+        data_bytes=config.arena_bytes,
+        active_ranks=active,
+        incarnation=incarnation,
+    )
+    out_queue = ctx.Queue()
+    workers = {
+        rank: ctx.Process(
+            target=_worker_main,
+            args=(
+                config, arena.spec, rank, out_queue,
+                start_iteration, tuple(sorted(consumed)),
+            ),
+            name=f"repro-rank{rank}",
+            daemon=True,
+        )
+        for rank in active
+    }
+    results: dict[int, dict] = {}
+    errors: dict[int, str] = {}
+    reported: set[int] = set()
+    watchdog = _Watchdog(
+        arena, workers, config.watchdog_interval, stall_timeout
+    )
+
+    def pending() -> list[int]:
+        return [r for r in active if r not in results and r not in errors]
+
+    try:
+        for worker in workers.values():
+            worker.start()
+        watchdog.start()
+        deadline = time.monotonic() + config.timeout + 3600.0
+        drain_deadline = None
+        while pending():
+            try:
+                status, rank, payload = out_queue.get(timeout=0.2)
+                if status == "ok":
+                    results[rank] = payload
+                else:
+                    errors[rank] = payload
+                    reported.add(rank)
+                continue
+            except queue_module.Empty:
+                pass
+            if watchdog.fired.is_set():
+                # Victims never report; synthesize their errors now and
+                # give survivors a bounded window to report theirs.
+                for rank, reason in watchdog.victims.items():
+                    if rank not in results and rank not in errors:
+                        errors[rank] = f"worker rank {rank} {reason}"
+                now = time.monotonic()
+                if drain_deadline is None:
+                    drain_deadline = now + _DRAIN_GRACE
+                elif now > drain_deadline:  # pragma: no cover - slow drain
+                    for rank in pending():
+                        errors[rank] = (
+                            f"worker rank {rank} did not report after "
+                            "the arena abort"
+                        )
+                    break
+            if time.monotonic() > deadline:  # pragma: no cover - backstop
+                arena.abort()
+                raise ParallelCrashError(
+                    f"parallel run deadlocked: {sorted(pending())} "
+                    "never reported"
+                )
+    finally:
+        watchdog.stop()
+        _teardown_workers(
+            list(workers.values()), arena, registry,
+            config.join_grace, config.term_grace, config.kill_grace,
+        )
+        if not watchdog.progress:
+            watchdog.progress = {
+                rank: arena.progress(rank) for rank in active
+            }
+        arena.close()
+    return _RoundOutcome(
+        results=results,
+        errors=errors,
+        victims=dict(watchdog.victims),
+        progress=dict(watchdog.progress),
+        reported=frozenset(reported),
+    )
+
+
+def _validate_config(config: ParallelRunConfig) -> FaultPlan | None:
+    """Fail fast in the parent, before any process is spawned."""
+    if config.nproc < 1:
+        raise ValueError(f"nproc must be >= 1, got {config.nproc}")
+    if config.recovery not in ("degrade", "restart"):
+        raise ValueError(
+            f"recovery must be 'degrade' or 'restart', "
+            f"got {config.recovery!r}"
+        )
+    if config.straggler_policy not in ("wait", "drop"):
+        raise ValueError(
+            "the parallel backend supports straggler policies 'wait' and "
+            f"'drop', got {config.straggler_policy!r} ('backup' buffers "
+            "peer gradients in-process and is sequential-only)"
+        )
+    if config.straggler_policy == "drop" and config.recovery == "restart":
+        raise ValueError(
+            "straggler eviction ('drop') permanently removes the rank and "
+            "requires --recovery degrade; 'restart' would respawn the "
+            "straggler into the same clause forever"
+        )
+    if config.checkpoint_every < 0:
+        raise ValueError(
+            f"checkpoint_every must be >= 0, got {config.checkpoint_every}"
+        )
+    if config.max_recoveries < 0:
+        raise ValueError(
+            f"max_recoveries must be >= 0, got {config.max_recoveries}"
+        )
+    if config.faults is None:
+        return None
+    plan = FaultPlan.parse(config.faults, seed=config.seed)
+    validate_worker_plan(plan)
+    for event in plan.events:
+        if event.rank is not None and event.rank >= config.nproc:
+            raise ValueError(
+                f"fault {event.kind}@{event.start} targets rank "
+                f"{event.rank}, but the run has {config.nproc} workers"
+            )
+        if (
+            event.kind == "crash"
+            and event.rejoin is not None
+            and config.recovery == "degrade"
+        ):
+            raise ValueError(
+                "crash rejoin= requires --recovery restart under the "
+                "parallel backend: a degraded cohort never re-admits ranks"
+            )
+    return plan
+
+
+def _consume_clauses(
+    plan: FaultPlan,
+    consumed: set[int],
+    dead: set[int],
+    progress: dict[int, int],
+) -> None:
+    """Retire crash/stall clauses the victims just executed.
+
+    A clause is consumed when a dead rank it targets had started (per
+    its heartbeat progress word) the clause's first iteration — the
+    respawned incarnation inherits the consumed set so the same clause
+    cannot fire twice.
+    """
+    for index, event in enumerate(plan.events):
+        if index in consumed or event.kind not in ("crash", "stall"):
+            continue
+        targets = {event.rank} if event.rank is not None else dead
+        if any(
+            rank in dead and progress.get(rank, -1) >= event.start
+            for rank in targets
+        ):
+            consumed.add(index)
+
+
+def run_parallel(config: ParallelRunConfig) -> ParallelResult:
+    """Train ``config.benchmark`` across ``config.nproc`` real processes.
+
+    Spawns one worker per rank and watches their liveness.  A dead or
+    wedged rank either fails the run with a typed
+    :class:`ParallelCrashError` naming it (the default), or — when
+    checkpointing is enabled — triggers a recovery: teardown, a fresh
+    arena under a bumped incarnation, and a respawn of the next cohort
+    from the latest common checkpoint, with the outage priced into the
+    merged report's ``sim_recovery_seconds``.  Always verifies that the
+    finishing ranks hold byte-identical model states and unlinks every
+    shared segment, no matter how the run ends.
+    """
+    plan = _validate_config(config)
+    checkpoint_every = config.checkpoint_every
+    if plan is not None and config.recovery == "restart" \
+            and checkpoint_every == 0:
+        # Mirror the sequential trainer: restart recovery is useless
+        # without checkpoints, so it implies checkpointing every step.
+        checkpoint_every = 1
+    recovery_enabled = checkpoint_every > 0
+    checkpoint_dir = config.checkpoint_dir
+    own_checkpoint_dir = False
+    if recovery_enabled and checkpoint_dir is None:
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-parallel-ckpt-")
+        own_checkpoint_dir = True
+    worker_config = replace(
+        config,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
+    stall_timeout = config.stall_timeout
+    if config.straggler_policy == "drop" \
+            and config.straggler_timeout is not None:
+        stall_timeout = min(stall_timeout, config.straggler_timeout)
+
+    ctx = mp.get_context("spawn")
+    registry = MetricsRegistry()
+    active = list(range(config.nproc))
+    start_iteration = 0
+    consumed: set[int] = set()
+    recoveries: list[dict] = []
+    start = time.perf_counter()
+    try:
+        while True:
+            outcome = _run_round(
+                ctx, worker_config, active, start_iteration, consumed,
+                len(recoveries), registry, stall_timeout,
+            )
+            if not outcome.errors:
+                results = outcome.results
+                break
+            # Recover only from silent deaths (SIGKILL, wedge): a rank
+            # that managed to report its own Python error would fail
+            # identically on respawn, so those stay fail-stop.
+            dead = sorted(
+                rank for rank in outcome.victims
+                if rank not in outcome.reported
+            )
+            survivors = [rank for rank in active if rank not in set(dead)]
+            if (
+                not recovery_enabled
+                or not dead
+                or not survivors
+                or len(recoveries) >= config.max_recoveries
+            ):
+                detail = "\n".join(
+                    f"rank {rank}: {message}"
+                    for rank, message in sorted(outcome.errors.items())
+                )
+                raise ParallelCrashError(
+                    f"{len(outcome.errors)} of {config.nproc} workers "
+                    f"failed:\n{detail}"
+                )
+            next_active = (
+                survivors if config.recovery == "degrade" else list(active)
+            )
+            if plan is not None:
+                _consume_clauses(plan, consumed, set(dead), outcome.progress)
+            restored = latest_common_iteration(checkpoint_dir, next_active)
+            new_start = int(restored) if restored is not None else 0
+            furthest = max(
+                (outcome.progress.get(rank, 0) for rank in active),
+                default=0,
+            )
+            checkpoint_bytes = 0
+            if new_start > 0:
+                for rank in next_active:
+                    path = worker_checkpoint_path(
+                        checkpoint_dir, rank, new_start
+                    )
+                    try:
+                        checkpoint_bytes += os.path.getsize(path)
+                    except OSError:  # pragma: no cover - pruned mid-read
+                        pass
+            recoveries.append({
+                "incarnation": len(recoveries) + 1,
+                "dead_ranks": list(dead),
+                "reasons": {
+                    rank: outcome.victims[rank] for rank in dead
+                },
+                "cohort": list(next_active),
+                "restored_iteration": new_start,
+                "lost_iterations": max(1, furthest - new_start),
+                "checkpoint_bytes": checkpoint_bytes,
+            })
+            registry.counter(
+                "recoveries_total",
+                help="watchdog-triggered cohort recoveries",
+            ).inc()
+            active = next_active
+            start_iteration = new_start
+        wall_seconds = time.perf_counter() - start
+    finally:
+        if own_checkpoint_dir:
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    digests = {rank: results[rank]["digest"] for rank in results}
+    if len(set(digests.values())) != 1:
+        raise ParallelDivergenceError(
+            f"ranks finished with different model states: {digests}"
+        )
+    from repro.core.trainer import TrainingReport
+
+    leader = min(results)
+    report = TrainingReport(**results[leader]["report"])
+    if recoveries:
+        # Price every outage the way the sequential restart path does:
+        # the redone iterations at this run's mean sim iteration cost,
+        # plus shipping the restored checkpoint over the modeled link.
+        mean_iteration_seconds = (
+            report.sim_total_seconds / max(1, int(report.iterations))
+        )
+        bandwidth = ethernet(
+            _RECOVERY_NETWORK_GBPS
+        ).effective_bytes_per_second
+        recovery_seconds = sum(
+            rec["lost_iterations"] * mean_iteration_seconds
+            + rec["checkpoint_bytes"] / bandwidth
+            for rec in recoveries
+        )
+        report.sim_recovery_seconds = (
+            report.sim_recovery_seconds + recovery_seconds
+        )
+    merged_metrics = None
+    if config.metrics:
+        merged_metrics = MetricsRegistry()
+        for rank, payload in sorted(results.items()):
+            load_snapshot(
+                merged_metrics, payload.get("metrics", []),
+                extra_labels={"rank": str(rank)},
+            )
+        load_snapshot(merged_metrics, snapshot_registry(registry))
+    memory_high_water: dict[str, int] = {}
+    per_rank_events: dict[int, list[dict]] = {}
+    for rank, payload in results.items():
+        for key, value in payload.get("memory_high_water", {}).items():
+            memory_high_water[f"rank{rank}/{key}"] = value
+        if "events" in payload:
+            per_rank_events[rank] = payload["events"]
+    return ParallelResult(
+        report=report,
+        best_quality=results[leader]["best_quality"],
+        digests=digests,
+        params=results[leader]["params"],
+        wall_seconds=wall_seconds,
+        events=_merge_events(per_rank_events),
+        memory_high_water=memory_high_water,
+        recoveries=recoveries,
+        metrics=merged_metrics,
+    )
+
+
 def _merge_events(per_rank_events: dict[int, list[dict]]) -> list[dict]:
     """Merge per-rank trace shards into one event stream.
 
@@ -616,110 +1203,3 @@ def _merge_events(per_rank_events: dict[int, list[dict]]) -> list[dict]:
             remapped["attrs"] = {**event.get("attrs", {}), "rank": rank}
             merged.append(remapped)
     return merged
-
-
-def run_parallel(config: ParallelRunConfig) -> ParallelResult:
-    """Train ``config.benchmark`` across ``config.nproc`` real processes.
-
-    Spawns one worker per rank, watches for crashes (a dead child sets
-    the arena abort flag so surviving ranks raise instead of hanging,
-    and the parent surfaces :class:`ParallelCrashError`), verifies all
-    ranks finished with byte-identical model states, merges telemetry,
-    and always unlinks the shared segments.
-    """
-    if config.nproc < 1:
-        raise ValueError(f"nproc must be >= 1, got {config.nproc}")
-    ctx = mp.get_context("spawn")
-    arena = SharedArena.create(config.nproc, data_bytes=config.arena_bytes)
-    out_queue = ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker_main,
-            args=(config, arena.spec, rank, out_queue),
-            name=f"repro-rank{rank}",
-            daemon=True,
-        )
-        for rank in range(config.nproc)
-    ]
-    results: dict[int, dict] = {}
-    errors: dict[int, str] = {}
-    start = time.perf_counter()
-    try:
-        for worker in workers:
-            worker.start()
-        deadline = time.monotonic() + config.timeout + 3600.0
-        while len(results) + len(errors) < config.nproc:
-            try:
-                status, rank, payload = out_queue.get(timeout=0.2)
-                if status == "ok":
-                    results[rank] = payload
-                else:
-                    errors[rank] = payload
-                continue
-            except queue_module.Empty:
-                pass
-            for rank, worker in enumerate(workers):
-                if (
-                    rank not in results
-                    and rank not in errors
-                    and not worker.is_alive()
-                    and worker.exitcode not in (0, None)
-                ):
-                    # Died without reporting (segfault, SIGKILL):
-                    # unblock the survivors, record the crash.
-                    arena.abort()
-                    errors[rank] = (
-                        f"worker rank {rank} exited with code "
-                        f"{worker.exitcode} without reporting a result"
-                    )
-            if time.monotonic() > deadline:  # pragma: no cover - backstop
-                arena.abort()
-                raise ParallelCrashError(
-                    "parallel run deadlocked: "
-                    f"{sorted(set(range(config.nproc)) - set(results))} "
-                    "never reported"
-                )
-        wall_seconds = time.perf_counter() - start
-        for worker in workers:
-            worker.join(timeout=30.0)
-    finally:
-        started = [worker for worker in workers if worker.pid is not None]
-        if any(worker.is_alive() for worker in started):
-            arena.abort()
-        for worker in started:
-            worker.join(timeout=5.0)
-            if worker.is_alive():  # pragma: no cover - backstop
-                worker.terminate()
-                worker.join(timeout=5.0)
-        arena.close()
-    if errors:
-        detail = "\n".join(
-            f"rank {rank}: {message}" for rank, message in sorted(errors.items())
-        )
-        raise ParallelCrashError(
-            f"{len(errors)} of {config.nproc} workers failed:\n{detail}"
-        )
-    digests = {rank: results[rank]["digest"] for rank in results}
-    if len(set(digests.values())) != 1:
-        raise ParallelDivergenceError(
-            f"ranks finished with different model states: {digests}"
-        )
-    from repro.core.trainer import TrainingReport
-
-    report = TrainingReport(**results[0]["report"])
-    memory_high_water: dict[str, int] = {}
-    per_rank_events: dict[int, list[dict]] = {}
-    for rank, payload in results.items():
-        for key, value in payload.get("memory_high_water", {}).items():
-            memory_high_water[f"rank{rank}/{key}"] = value
-        if "events" in payload:
-            per_rank_events[rank] = payload["events"]
-    return ParallelResult(
-        report=report,
-        best_quality=results[0]["best_quality"],
-        digests=digests,
-        params=results[0]["params"],
-        wall_seconds=wall_seconds,
-        events=_merge_events(per_rank_events),
-        memory_high_water=memory_high_water,
-    )

@@ -40,6 +40,20 @@ for aborts, :class:`ArenaTimeoutError` (a
 :class:`ArenaOverflowError` when a payload cannot fit even after
 waiting for reclamation.
 
+Liveness is observable from outside: each rank owns a **heartbeat**
+pair (a monotonic-ns timestamp plus a progress word holding the last
+iteration it started) that it refreshes at every iteration boundary
+*and* inside every arena poll loop, so a rank blocked waiting on a
+peer still reads as alive while a SIGKILLed or wedged one goes stale.
+The parent's watchdog (see :mod:`repro.comm.parallel`) reads the
+heartbeats; CLOCK_MONOTONIC is system-wide on the platforms we target,
+so cross-process timestamp arithmetic is sound.  The control segment
+also carries the cohort **incarnation** number (bumped by the parent
+on every crash-recovery re-rendezvous) and a per-rank **active mask**:
+survivor cohorts exclude dead ranks, and every reclamation floor is a
+minimum over *active* ranks only, so a dead rank's frozen ``drained``
+counter can never wedge the survivors' allocator.
+
 Lifecycle: the parent *creates* the segments and is the only process
 that *unlinks* them; workers *attach* and must only close.  Spawned
 workers share the parent's ``resource_tracker`` process, so a worker's
@@ -74,7 +88,11 @@ STATUS_FAILED = 2
 # Control-segment slot indices (int64 each).
 _CTRL_ABORT = 0
 _CTRL_NRANKS = 1
-_CTRL_FIXED = 2  # posted[N], drained[N], status[N], then the meta ring
+_CTRL_INCARNATION = 2
+# posted[N], drained[N], status[N], active[N], hb_time[N],
+# hb_progress[N], then the meta ring.
+_CTRL_FIXED = 3
+_RANK_WORDS = 6
 
 _META_FIELDS = 3  # offset, nbytes, kind
 
@@ -115,7 +133,11 @@ class ArenaSpec:
 
 
 def _control_slots(n_ranks: int, meta_slots: int) -> int:
-    return _CTRL_FIXED + 3 * n_ranks + n_ranks * meta_slots * _META_FIELDS
+    return (
+        _CTRL_FIXED
+        + _RANK_WORDS * n_ranks
+        + n_ranks * meta_slots * _META_FIELDS
+    )
 
 
 
@@ -145,7 +167,10 @@ class SharedArena:
         self._posted = ctrl[_CTRL_FIXED:_CTRL_FIXED + n]
         self._drained = ctrl[_CTRL_FIXED + n:_CTRL_FIXED + 2 * n]
         self._status = ctrl[_CTRL_FIXED + 2 * n:_CTRL_FIXED + 3 * n]
-        self._meta = ctrl[_CTRL_FIXED + 3 * n:].reshape(
+        self._active = ctrl[_CTRL_FIXED + 3 * n:_CTRL_FIXED + 4 * n]
+        self._hb_time = ctrl[_CTRL_FIXED + 4 * n:_CTRL_FIXED + 5 * n]
+        self._hb_progress = ctrl[_CTRL_FIXED + 5 * n:_CTRL_FIXED + 6 * n]
+        self._meta = ctrl[_CTRL_FIXED + _RANK_WORDS * n:].reshape(
             n, spec.meta_slots, _META_FIELDS
         )
         self._data = [
@@ -165,12 +190,29 @@ class SharedArena:
         n_ranks: int,
         data_bytes: int = DEFAULT_DATA_BYTES,
         meta_slots: int = DEFAULT_META_SLOTS,
+        active_ranks=None,
+        incarnation: int = 0,
     ) -> "SharedArena":
-        """Create the segments (parent side).  The result owns them."""
+        """Create the segments (parent side).  The result owns them.
+
+        ``active_ranks`` restricts the cohort to a survivor subset
+        (``None`` means every rank participates); ``incarnation`` is
+        the parent's crash-recovery generation counter, stamped into
+        the control segment for worker-side introspection.
+        """
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         if data_bytes < 4096:
             raise ValueError(f"data_bytes too small: {data_bytes}")
+        if active_ranks is None:
+            active_ranks = range(n_ranks)
+        active = sorted(set(int(r) for r in active_ranks))
+        if not active:
+            raise ValueError("an arena needs at least one active rank")
+        if active[0] < 0 or active[-1] >= n_ranks:
+            raise ValueError(
+                f"active ranks {active} out of range for {n_ranks} ranks"
+            )
         control = shared_memory.SharedMemory(
             create=True, size=_control_slots(n_ranks, meta_slots) * 8
         )
@@ -188,6 +230,9 @@ class SharedArena:
         arena = cls(spec, rank=None, control=control, data=data, owner=True)
         arena._ctrl[:] = 0
         arena._ctrl[_CTRL_NRANKS] = n_ranks
+        arena._ctrl[_CTRL_INCARNATION] = int(incarnation)
+        for rank in active:
+            arena._active[rank] = 1
         return arena
 
     @classmethod
@@ -218,6 +263,7 @@ class SharedArena:
         # Drop numpy views before closing the underlying mmaps.
         self._ctrl = self._posted = self._drained = None
         self._status = self._meta = None
+        self._active = self._hb_time = self._hb_progress = None
         self._data = []
         for shm in [self._control_shm, *self._data_shm]:
             try:
@@ -248,6 +294,71 @@ class SharedArena:
 
     def status(self, rank: int) -> int:
         return int(self._status[rank])
+
+    # -- liveness (heartbeats, incarnation, active mask)
+
+    def heartbeat(self, progress: int | None = None) -> None:
+        """Refresh this rank's liveness words.
+
+        Called at every iteration boundary (with ``progress`` set to the
+        iteration just started) and from inside the arena's own poll
+        loops (timestamp only), so a rank blocked on a peer still reads
+        as alive to the watchdog.
+        """
+        if self.rank is None or self._hb_time is None:
+            return
+        self._hb_time[self.rank] = time.monotonic_ns()
+        if progress is not None:
+            self._hb_progress[self.rank] = int(progress)
+
+    def _beat(self) -> None:
+        if self.rank is not None and self._hb_time is not None:
+            self._hb_time[self.rank] = time.monotonic_ns()
+
+    def heartbeat_ns(self, rank: int) -> int:
+        """Last monotonic-ns heartbeat of ``rank`` (0 = never beat)."""
+        return int(self._hb_time[rank])
+
+    def progress(self, rank: int) -> int:
+        """Last iteration ``rank`` reported starting."""
+        return int(self._hb_progress[rank])
+
+    @property
+    def incarnation(self) -> int:
+        """Crash-recovery generation this arena was created under."""
+        return int(self._ctrl[_CTRL_INCARNATION])
+
+    def is_active(self, rank: int) -> bool:
+        return bool(self._active[rank])
+
+    def active_ranks(self) -> list[int]:
+        return [r for r in range(self.spec.n_ranks) if self._active[r]]
+
+    def mark_failed(self, rank: int) -> None:
+        """Parent-side: record ``rank`` as failed (watchdog verdict).
+
+        Workers report their own failures via :meth:`set_status`; this
+        is for deaths the rank cannot report itself (SIGKILL, wedge).
+        """
+        self._status[rank] = STATUS_FAILED
+
+    def _drained_floor(self) -> int:
+        """Min drained seq over *active* ranks only.
+
+        A dead rank's drained counter freezes; flooring over the active
+        mask keeps it from wedging the survivors' allocator.
+        """
+        active = self._active
+        drained = self._drained
+        floor = None
+        for r in range(self.spec.n_ranks):
+            if active[r]:
+                value = int(drained[r])
+                if floor is None or value < floor:
+                    floor = value
+        # No active ranks can only happen mid-teardown; treat
+        # everything as drained so no loop spins on it.
+        return floor if floor is not None else int(drained.max())
 
     def _check_abort(self, context: str) -> None:
         if self.aborted:
@@ -298,7 +409,8 @@ class SharedArena:
         if horizon < 0:
             return
         deadline = time.monotonic() + timeout
-        while int(self._drained.min()) <= horizon:
+        while self._drained_floor() <= horizon:
+            self._beat()
             self._check_abort(f"meta-slot wait (seq={seq})")
             if time.monotonic() > deadline:
                 raise ArenaTimeoutError(
@@ -337,6 +449,7 @@ class SharedArena:
                 self._head = end
                 self._outstanding.append((seq, start, nbytes))
                 return start
+            self._beat()
             self._check_abort(f"allocation (seq={seq})")
             if time.monotonic() > deadline:
                 raise ArenaOverflowError(
@@ -347,8 +460,8 @@ class SharedArena:
             time.sleep(_POLL_SLEEP)
 
     def _reclaim(self) -> None:
-        """Free blocks whose seq every rank has drained past."""
-        floor = int(self._drained.min())
+        """Free blocks whose seq every active rank has drained past."""
+        floor = self._drained_floor()
         if floor:
             self._outstanding = [
                 entry for entry in self._outstanding if entry[0] >= floor
@@ -357,8 +470,14 @@ class SharedArena:
     # -- reading
 
     def _wait_posted(self, seq: int, rank: int, timeout: float) -> None:
+        if not self._active[rank]:
+            raise ArenaProtocolError(
+                f"rank {rank} is not in this incarnation's active cohort; "
+                f"nothing will ever be posted for seq {seq}"
+            )
         deadline = time.monotonic() + timeout
         while int(self._posted[rank]) <= seq:
+            self._beat()
             self._check_abort(f"read of rank {rank} (seq={seq})")
             if self._status[rank] == STATUS_FAILED:
                 raise ArenaAbortedError(

@@ -26,10 +26,33 @@ times.
 from __future__ import annotations
 
 import copy
+import os
 import pickle
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
+
+
+def _array_nbytes(states: list) -> int:
+    """Sum ndarray bytes reachable from ``states`` (dedup by identity)."""
+    total = 0
+    seen: set[int] = set()
+    stack: list = list(states)
+    while stack:
+        value = stack.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        if isinstance(value, np.ndarray):
+            total += int(value.nbytes)
+        elif isinstance(value, dict):
+            stack.extend(value.values())
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            stack.extend(value)
+        elif hasattr(value, "__dict__") and not isinstance(value, type):
+            stack.extend(vars(value).values())
+    return total
 
 
 @dataclass
@@ -99,25 +122,9 @@ class Checkpoint:
         checkpoint to a replacement worker; python object overhead is
         noise next to the parameter/residual arrays and is ignored.
         """
-        total = 0
-        states = [self.task_state, *self.memory_states,
-                  *self.compressor_states]
-        seen: set[int] = set()
-        stack: list = list(states)
-        while stack:
-            value = stack.pop()
-            if id(value) in seen:
-                continue
-            seen.add(id(value))
-            if isinstance(value, np.ndarray):
-                total += int(value.nbytes)
-            elif isinstance(value, dict):
-                stack.extend(value.values())
-            elif isinstance(value, (list, tuple, set, frozenset)):
-                stack.extend(value)
-            elif hasattr(value, "__dict__") and not isinstance(value, type):
-                stack.extend(vars(value).values())
-        return total
+        return _array_nbytes(
+            [self.task_state, *self.memory_states, *self.compressor_states]
+        )
 
     # -- persistence --------------------------------------------------------
 
@@ -134,6 +141,232 @@ class Checkpoint:
         if not isinstance(checkpoint, cls):
             raise TypeError(
                 f"{path!r} does not contain a Checkpoint "
+                f"(got {type(checkpoint).__name__})"
+            )
+        return checkpoint
+
+
+# ---------------------------------------------------------------------------
+# Per-rank checkpoints for the real-parallel backend
+# ---------------------------------------------------------------------------
+#
+# A parallel worker process owns exactly one rank's EF state, so the
+# sequential :class:`Checkpoint` (which snapshots *every* rank) does not
+# apply.  Each worker instead persists a :class:`WorkerCheckpoint` to a
+# shared directory; after a crash the parent restores the survivors (or
+# the whole respawned cohort) from the newest iteration **every required
+# rank** has on disk, so the restored cohort is mutually consistent.
+
+_WORKER_CKPT_RE = re.compile(r"^ckpt-r(\d{3,})-i(\d{8,})\.pkl$")
+
+
+def worker_checkpoint_path(directory: str, rank: int, iteration: int) -> str:
+    """Canonical on-disk name for rank ``rank``'s iteration snapshot."""
+    return os.path.join(directory, f"ckpt-r{rank:03d}-i{iteration:08d}.pkl")
+
+
+def list_worker_checkpoints(directory: str) -> dict[int, list[int]]:
+    """Map each rank to the sorted iterations it has checkpoints for."""
+    found: dict[int, list[int]] = {}
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return found
+    for name in names:
+        match = _WORKER_CKPT_RE.match(name)
+        if match:
+            found.setdefault(int(match.group(1)), []).append(
+                int(match.group(2))
+            )
+    for iterations in found.values():
+        iterations.sort()
+    return found
+
+
+def latest_common_iteration(directory: str, ranks) -> int | None:
+    """Newest iteration every rank in ``ranks`` has a checkpoint for."""
+    found = list_worker_checkpoints(directory)
+    common: set[int] | None = None
+    for rank in ranks:
+        iterations = set(found.get(int(rank), ()))
+        common = iterations if common is None else common & iterations
+        if not common:
+            return None
+    return max(common) if common else None
+
+
+def prune_worker_checkpoints(
+    directory: str, rank: int, keep: int = 2
+) -> None:
+    """Drop all but the newest ``keep`` snapshots for ``rank``.
+
+    Two generations stay on disk so a crash *during* a checkpoint write
+    (the atomic rename means a torn file never has the canonical name,
+    but the rank may die before renaming) still leaves a complete,
+    mutually consistent generation behind.
+    """
+    iterations = list_worker_checkpoints(directory).get(rank, [])
+    for iteration in iterations[:-keep] if keep > 0 else iterations:
+        try:
+            os.remove(worker_checkpoint_path(directory, rank, iteration))
+        except FileNotFoundError:  # pragma: no cover - concurrent prune
+            pass
+
+
+def _numeric_module_states(model) -> list[dict]:
+    """Per-module numeric buffers, in ``model.modules()`` order.
+
+    Captures plain-ndarray attributes (BatchNorm running stats) and
+    RNG generators (Dropout masks), which is exactly the model state
+    that is neither a Parameter nor rebuildable from the config.  The
+    module *graph* itself is deliberately not captured: closures (grad
+    hooks) do not pickle, and the respawned worker rebuilds an
+    identical graph from the run config anyway.
+    """
+    states: list[dict] = []
+    for module in model.modules():
+        state: dict = {}
+        for key, value in module.__dict__.items():
+            if isinstance(value, np.ndarray):
+                state[key] = value.copy()
+            elif isinstance(value, np.random.Generator):
+                state[key] = copy.deepcopy(value)
+        states.append(state)
+    return states
+
+
+@dataclass
+class WorkerCheckpoint:
+    """One rank's restorable snapshot, for the real-parallel backend.
+
+    Captures the shared model/optimizer state (bitwise identical across
+    ranks, since every rank applies the same aggregated update) plus
+    *this rank's* EF memory, compressor stream and report totals, so a
+    respawned worker resumes its exact trajectory — the parallel twin of
+    :class:`Checkpoint`'s bitwise-restore guarantee.  Only numeric
+    state is persisted (parameter arrays, module buffers, optimizer
+    slots); the unpicklable autograd graph is rebuilt from the run
+    config by the respawned worker.
+    """
+
+    rank: int
+    n_workers: int
+    iteration: int
+    task_state: dict = field(repr=False)
+    memory_state: dict = field(repr=False)
+    compressor_state: dict = field(repr=False)
+    report_state: dict = field(repr=False)
+
+    @classmethod
+    def capture(cls, trainer) -> "WorkerCheckpoint":
+        """Snapshot a worker-mode trainer after its current iteration."""
+        if trainer.rank is None:
+            raise ValueError(
+                "WorkerCheckpoint.capture needs a worker-mode trainer "
+                "(rank=...); use Checkpoint for the sequential simulator"
+            )
+        report = trainer.report
+        report_state = {
+            name: copy.deepcopy(getattr(report, name))
+            for name in report._FIELDS
+        }
+        report_state["_sim_epoch"] = trainer._sim_epoch
+        task = trainer.task
+        task_state = {
+            "params": {
+                name: np.array(param.data, copy=True)
+                for name, param in task.model.named_parameters()
+            },
+            "modules": _numeric_module_states(task.model),
+            "optimizer": {
+                key: copy.deepcopy(value)
+                for key, value in task.optimizer.__dict__.items()
+                if key != "params"  # live Parameter refs; graph-bound
+            },
+        }
+        return cls(
+            rank=trainer.rank,
+            n_workers=trainer.n_workers,
+            iteration=report.iterations,
+            task_state=task_state,
+            memory_state=trainer.memories[trainer.rank].state_dict(),
+            compressor_state=copy.deepcopy(
+                trainer.compressors[trainer.rank].__dict__
+            ),
+            report_state=report_state,
+        )
+
+    def restore(self, trainer) -> None:
+        """Load this snapshot back into a compatible worker, in place."""
+        if trainer.rank != self.rank:
+            raise ValueError(
+                f"checkpoint belongs to rank {self.rank}, "
+                f"trainer is rank {trainer.rank}"
+            )
+        if trainer.n_workers != self.n_workers:
+            raise ValueError(
+                f"checkpoint was taken with {self.n_workers} workers, "
+                f"trainer has {trainer.n_workers}"
+            )
+        model = trainer.task.model
+        params = self.task_state["params"]
+        live = dict(model.named_parameters())
+        if set(params) != set(live):
+            raise ValueError(
+                "checkpoint parameters do not match the trainer's model: "
+                f"{sorted(set(params) ^ set(live))}"
+            )
+        for name, param in live.items():
+            param.data = params[name].copy()
+        for module, state in zip(
+            model.modules(), self.task_state["modules"], strict=True
+        ):
+            for key, value in state.items():
+                setattr(module, key, copy.deepcopy(value))
+        trainer.task.optimizer.__dict__.update(
+            copy.deepcopy(self.task_state["optimizer"])
+        )
+        trainer.memories[self.rank].load_state_dict(self.memory_state)
+        trainer.compressors[self.rank].__dict__.update(
+            copy.deepcopy(self.compressor_state)
+        )
+        state = dict(self.report_state)
+        trainer._sim_epoch = float(state.pop("_sim_epoch", 0.0))
+        for name, value in state.items():
+            setattr(trainer.report, name, copy.deepcopy(value))
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload size (what recovery pricing charges per rank)."""
+        return _array_nbytes(
+            [self.task_state, self.memory_state, self.compressor_state]
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str) -> str:
+        """Atomically persist under the canonical per-rank name.
+
+        Write-to-temp + rename, so a crash mid-write never leaves a
+        torn file where :func:`latest_common_iteration` would find it.
+        """
+        os.makedirs(directory, exist_ok=True)
+        path = worker_checkpoint_path(directory, self.rank, self.iteration)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, directory: str, rank: int, iteration: int) -> "WorkerCheckpoint":
+        """Read the snapshot :meth:`save` wrote for (rank, iteration)."""
+        path = worker_checkpoint_path(directory, rank, iteration)
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, cls):
+            raise TypeError(
+                f"{path!r} does not contain a WorkerCheckpoint "
                 f"(got {type(checkpoint).__name__})"
             )
         return checkpoint

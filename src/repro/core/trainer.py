@@ -41,7 +41,11 @@ from repro.core.api import (
     FusedConcatCtx,
     concat_compressed,
 )
-from repro.core.checkpoint import Checkpoint
+from repro.core.checkpoint import (
+    Checkpoint,
+    WorkerCheckpoint,
+    prune_worker_checkpoints,
+)
 from repro.core.fusion import FusionBucket, FusionPlan, ScratchPool
 from repro.core.memory import Memory, make_memory
 from repro.core.rng import spawn_worker_seeds
@@ -389,9 +393,28 @@ class DistributedTrainer:
         processes.  Per-rank state (compressor clones, memories, seeds,
         fusion plans) is still built for all ``n_workers`` ranks so
         layouts and random streams match the sequential run exactly;
-        only rank ``rank``'s state advances.  Worker mode excludes the
-        fault-injection and checkpoint machinery (both assume one
-        process owns every rank's state).
+        only rank ``rank``'s state advances.  In worker mode faults are
+        *executed for real* (see :mod:`repro.faults.real`): crash
+        SIGKILLs this process, stall wedges it, straggler injects a
+        real sleep — only those kinds are accepted, and membership /
+        recovery are the parent's job (see ``run_parallel``), not this
+        process's.
+    checkpoint_dir:
+        Worker-mode only: directory per-rank
+        :class:`~repro.core.checkpoint.WorkerCheckpoint` snapshots are
+        persisted to every ``checkpoint_every`` iterations (the last
+        two generations are kept).  Required when worker-mode
+        checkpointing is on.
+    active_ranks:
+        Worker-mode only: the survivor cohort this incarnation runs
+        with (must contain ``rank``).  ``None`` means every rank
+        participates.  Aggregation normalizes over this cohort and
+        inactive ranks' batches are skipped, mirroring the sequential
+        simulator's degraded cohort.
+    consumed_faults:
+        Worker-mode only: fault-plan clause indices an earlier
+        incarnation already executed (the parent's recovery history),
+        so a respawned worker does not re-crash on a handled clause.
     """
 
     def __init__(
@@ -420,6 +443,9 @@ class DistributedTrainer:
         retry=None,
         rank: int | None = None,
         aggregation: str = "auto",
+        checkpoint_dir: str | None = None,
+        active_ranks: list[int] | None = None,
+        consumed_faults: Iterable[int] = (),
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -432,15 +458,20 @@ class DistributedTrainer:
             raise ValueError(
                 f"rank must be in [0, {n_workers}), got {rank}"
             )
-        if rank is not None and faults is not None:
+        if rank is not None and checkpoint_every and checkpoint_dir is None:
             raise ValueError(
-                "worker mode (rank=...) cannot inject faults — the fault "
-                "machinery assumes one process owns every rank's state"
+                "worker mode (rank=...) persists per-rank checkpoints to "
+                "disk; checkpoint_every > 0 needs a checkpoint_dir"
             )
-        if rank is not None and checkpoint_every:
+        if rank is None and checkpoint_dir is not None:
             raise ValueError(
-                "worker mode (rank=...) cannot checkpoint — peer ranks' "
-                "memories live in other processes"
+                "checkpoint_dir is worker-mode only; the sequential "
+                "simulator checkpoints in memory (save_checkpoint persists)"
+            )
+        if rank is None and active_ranks is not None:
+            raise ValueError(
+                "active_ranks is worker-mode only; the sequential "
+                "simulator derives the cohort from the fault plan"
             )
         if fusion_mb < 0:
             raise ValueError(f"fusion_mb must be >= 0, got {fusion_mb}")
@@ -537,26 +568,71 @@ class DistributedTrainer:
         self.staleness_bound = int(staleness_bound)
         self.ef_restore = bool(ef_restore)
         self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_dir = checkpoint_dir
         self._memory_kind = memory_kind
         self._memory_params = params
         if isinstance(faults, str):
             faults = FaultPlan.parse(faults, seed=seed)
         self.injector: FaultInjector | None = None
+        self._real_faults = None
         if faults is not None:
-            from repro.comm.resilience import ResilientCommunicator
+            if self.rank is not None:
+                from repro.faults.real import (
+                    RealFaultExecutor,
+                    validate_worker_plan,
+                )
 
-            self.injector = FaultInjector(
-                faults, self.n_workers, registry=self.metrics
-            )
-            self.comm = ResilientCommunicator(
-                self.comm, retry=retry, seed=seed
-            )
-            if self.recovery == "restart" and self.checkpoint_every == 0:
+                validate_worker_plan(faults)
+                if straggler_policy == "backup":
+                    raise ValueError(
+                        "the backup straggler policy buffers peer "
+                        "gradients in-process and is not supported in "
+                        "worker mode; use 'wait' or 'drop'"
+                    )
+                self.injector = FaultInjector(
+                    faults, self.n_workers, registry=self.metrics
+                )
+                self.injector.preconsume(consumed_faults)
+                self._real_faults = RealFaultExecutor(self.rank)
+            else:
+                from repro.comm.resilience import ResilientCommunicator
+
+                if any(e.kind == "stall" for e in faults.events):
+                    raise ValueError(
+                        "'stall' is a real-parallel-only fault kind (a "
+                        "wedged OS process); the sequential simulator "
+                        "models slow ranks with 'straggler' instead"
+                    )
+                self.injector = FaultInjector(
+                    faults, self.n_workers, registry=self.metrics
+                )
+                self.comm = ResilientCommunicator(
+                    self.comm, retry=retry, seed=seed
+                )
+            if (
+                self.recovery == "restart"
+                and self.checkpoint_every == 0
+                and (self.rank is None or self.checkpoint_dir is not None)
+            ):
                 self.checkpoint_every = 1
         self.aggregation = aggregation
         self._all_ranks = list(range(self.n_workers))
-        self._active_ranks: list[int] = self._all_ranks
-        self._n_active = self.n_workers
+        if active_ranks is not None:
+            cohort = sorted(set(int(r) for r in active_ranks))
+            if self.rank not in cohort:
+                raise ValueError(
+                    f"rank {self.rank} is not in active_ranks {cohort}"
+                )
+            if cohort[0] < 0 or cohort[-1] >= self.n_workers:
+                raise ValueError(
+                    f"active_ranks {cohort} out of range for "
+                    f"{self.n_workers} workers"
+                )
+            self._active_ranks = cohort
+        else:
+            self._active_ranks = self._all_ranks
+        self._n_active = len(self._active_ranks)
+        self._worker_cohort = frozenset(self._active_ranks)
         self._last_checkpoint: Checkpoint | None = None
         self._crash_snapshots: dict[int, dict] = {}
         self._stale_grads: dict[int, tuple[int, dict]] = {}
@@ -570,6 +646,11 @@ class DistributedTrainer:
             raise ValueError(
                 f"need {self.n_workers} per-rank batches, got {len(batches)}"
             )
+        if self.rank is not None:
+            # Beat *before* fault execution: a rank that crashes at
+            # iteration k first tells the watchdog it reached k, which
+            # is what recovery uses to consume the crash clause.
+            self.comm.heartbeat(self.report.iterations)
         faults = self._begin_iteration_faults()
         if faults is None:
             return self._run_iteration(batches, None)
@@ -606,6 +687,10 @@ class DistributedTrainer:
             for rank, (inputs, targets) in enumerate(batches):
                 if rank in crashed:
                     continue  # a down worker computes nothing
+                if self.rank is not None and rank not in self._worker_cohort:
+                    # Parallel degrade: this rank died in an earlier
+                    # incarnation and was never replaced.
+                    continue
                 if self.rank is not None and rank != self.rank:
                     # Worker mode: peers compute in their own processes;
                     # this process only accounts their sample counts (the
@@ -632,7 +717,7 @@ class DistributedTrainer:
             sim_compute = 0.0
             if self.perf_model is not None:
                 computing = (
-                    self.n_workers if self.rank is not None
+                    self._n_active if self.rank is not None
                     else max(1, len(grads_by_rank))
                 )
                 sim_compute = self.perf_model.compute_seconds(
@@ -683,6 +768,21 @@ class DistributedTrainer:
         if self.injector is None:
             return None
         iteration = self.report.iterations
+        if self.rank is not None:
+            # Worker mode: the cohort is fixed for this incarnation
+            # (membership changes are the parent watchdog's job) and
+            # faults targeting this rank happen for real — SIGKILL,
+            # wedge, injected sleep.  Returning None keeps the exchange
+            # on the fault-free path: a doomed iteration is aborted and
+            # replayed from checkpoint, never half-accounted.
+            faults = self.injector.begin_iteration(iteration)
+            if faults.any:
+                self.metrics.counter(
+                    "degraded_iterations_total",
+                    help="iterations that ran with any fault active",
+                ).inc(1)
+            self._real_faults.execute(faults)
+            return None
         faults = self.injector.begin_iteration(iteration)
         if faults.crashed and self.recovery == "restart":
             self._restart_recover(iteration, faults)
@@ -809,14 +909,21 @@ class DistributedTrainer:
         ).inc(len(consumed))
 
     def _maybe_checkpoint(self) -> None:
-        if (
+        if not (
             self.checkpoint_every > 0
             and self.report.iterations % self.checkpoint_every == 0
         ):
+            return
+        if self.rank is not None:
+            WorkerCheckpoint.capture(self).save(self.checkpoint_dir)
+            prune_worker_checkpoints(
+                self.checkpoint_dir, self.rank, keep=2
+            )
+        else:
             self._last_checkpoint = Checkpoint.capture(self)
-            self.metrics.counter(
-                "checkpoints_total", help="EF-aware checkpoints captured",
-            ).inc(1)
+        self.metrics.counter(
+            "checkpoints_total", help="EF-aware checkpoints captured",
+        ).inc(1)
 
     def save_checkpoint(self, path: str | None = None) -> Checkpoint:
         """Capture (and optionally persist) an EF-aware checkpoint now."""
@@ -1625,21 +1732,56 @@ class DistributedTrainer:
         loader: Iterable[list[tuple[Any, Any]]],
         epochs: int = 1,
         eval_fn: Callable[[], float] | None = None,
+        start_iteration: int = 0,
     ) -> TrainingReport:
         """Run ``epochs`` passes over a sharded loader.
 
         ``loader`` yields, per iteration, a list of ``n_workers``
         mini-batches (one per rank).  ``eval_fn`` is called after every
         epoch and its value recorded as the epoch's model quality.
+
+        ``start_iteration`` resumes a restored run: the first
+        ``start_iteration`` loader yields are consumed without
+        training (the deterministic loader replays the same batches,
+        so skipping re-aligns the data stream with the restored
+        state), fully restored epochs keep the bookkeeping already in
+        the report, and a partially restored epoch's mean rebuilds
+        from the report's per-iteration losses.
         """
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if start_iteration < 0:
+            raise ValueError(
+                f"start_iteration must be >= 0, got {start_iteration}"
+            )
+        if start_iteration and self.report.iterations != start_iteration:
+            raise ValueError(
+                f"start_iteration={start_iteration} requires a trainer "
+                f"restored to that point (report says "
+                f"{self.report.iterations} completed iterations)"
+            )
+        skip = start_iteration
+        seen = 0
         for _ in range(epochs):
+            epoch_start = seen
             epoch_losses = []
+            yielded = 0
             for batches in loader:
+                yielded += 1
+                seen += 1
+                if seen <= skip:
+                    continue  # restored from checkpoint; already trained
                 epoch_losses.append(self.step(batches))
-            if not epoch_losses:
+            if yielded == 0:
                 raise ValueError("loader yielded no iterations")
+            if seen <= skip:
+                continue  # epoch fully restored: bookkeeping is on record
+            if epoch_start < skip:
+                # Partial epoch: the restored prefix's losses live in
+                # the report; rebuild the epoch mean over all of them.
+                epoch_losses = (
+                    list(self.report.losses[epoch_start:skip]) + epoch_losses
+                )
             self.report.epoch_losses.append(float(np.mean(epoch_losses)))
             if eval_fn is not None:
                 self.report.epoch_quality.append(float(eval_fn()))

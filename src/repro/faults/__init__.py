@@ -17,6 +17,7 @@ straggler policies, EF-aware checkpoint/restore).  See
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    REAL_KINDS,
     CollectiveTimeoutError,
     FaultError,
     FaultEvent,
@@ -24,13 +25,17 @@ from repro.faults.plan import (
     IterationFaults,
     WorkerCrashError,
 )
+from repro.faults.real import RealFaultExecutor, validate_worker_plan
 
 __all__ = [
+    "REAL_KINDS",
     "CollectiveTimeoutError",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "IterationFaults",
+    "RealFaultExecutor",
     "WorkerCrashError",
+    "validate_worker_plan",
 ]

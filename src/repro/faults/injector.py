@@ -71,6 +71,15 @@ class FaultInjector:
             consumed.append(event)
         return consumed
 
+    def preconsume(self, indices) -> None:
+        """Mark clause indices already handled by an earlier incarnation.
+
+        A respawned parallel worker inherits the parent's recovery
+        history this way, so a crash/stall the watchdog already paid
+        for is not re-executed after the restart.
+        """
+        self._consumed.update(int(index) for index in indices)
+
     # -- accounting ---------------------------------------------------------
 
     def _count(self, faults: IterationFaults) -> None:
@@ -83,6 +92,7 @@ class FaultInjector:
             "degrade": 1 if faults.degraded else 0,
             "crash": len(newly_crashed),
             "rejoin": len(faults.rejoined),
+            "stall": len(faults.stalled),
         }
         for kind, count in tallies.items():
             if count:

@@ -18,6 +18,7 @@ parsed from the compact CLI grammar (see :meth:`FaultPlan.parse`)::
     corrupt@10-40:rank=*,bits=1,p=0.05  # 5% of sends get a bit flip
     degrade@30-60:bw=0.25,lat=4         # link at 25% bandwidth, 4x latency
     crash@12:rank=3,rejoin=18           # rank 3 dies, rejoins at iter 18
+    stall@7:rank=2                      # rank 2 wedges (stops heartbeating)
 
 Clauses are joined with ``;``.  Iteration windows are inclusive.
 """
@@ -48,7 +49,14 @@ _KINDS = {
     "corrupt": {"rank", "bits", "p"},
     "degrade": {"bw", "lat", "p"},
     "crash": {"rank", "rejoin"},
+    "stall": {"rank"},
 }
+
+#: Kinds that resolve to *real* worker-process actions (SIGKILL, injected
+#: sleeps) under the parallel backend.  The remaining kinds manipulate
+#: simulator-only state (wire payloads, the modeled link) and are
+#: rejected in worker mode.
+REAL_KINDS = frozenset({"crash", "straggler", "stall"})
 
 
 @dataclass(frozen=True)
@@ -123,6 +131,16 @@ class FaultEvent:
                     f"rejoin ({self.rejoin}) must come after the crash "
                     f"({self.start})"
                 )
+        if self.kind == "stall":
+            if self.rank is None:
+                raise ValueError("stall requires an explicit rank")
+            if self.start != self.stop:
+                raise ValueError(
+                    "stall takes a single iteration: the rank wedges there "
+                    "and never recovers on its own"
+                )
+            if self.probability != 1.0:
+                raise ValueError("stall clauses cannot be probabilistic")
 
 
 @dataclass(frozen=True)
@@ -137,6 +155,7 @@ class IterationFaults:
     latency_scale: float = 1.0
     crashed: frozenset[int] = frozenset()
     rejoined: frozenset[int] = frozenset()
+    stalled: frozenset[int] = frozenset()
 
     @property
     def any(self) -> bool:
@@ -147,6 +166,7 @@ class IterationFaults:
             or self.corrupt_bits
             or self.crashed
             or self.rejoined
+            or self.stalled
             or self.degraded
         )
 
@@ -221,7 +241,12 @@ class FaultPlan:
         latency_scale = 1.0
         crashed: set[int] = set()
         rejoined: set[int] = set()
+        stalled: set[int] = set()
         for index, event in enumerate(self.events):
+            if event.kind == "stall":
+                if index not in consumed and iteration == event.start:
+                    stalled.add(event.rank)
+                continue
             if event.kind == "crash":
                 if index in consumed:
                     continue
@@ -264,6 +289,7 @@ class FaultPlan:
             compute_slowdown.pop(rank, None)
             drops.pop(rank, None)
             corrupt_bits.pop(rank, None)
+            stalled.discard(rank)
         return IterationFaults(
             iteration=iteration,
             compute_slowdown=compute_slowdown,
@@ -273,6 +299,7 @@ class FaultPlan:
             latency_scale=latency_scale,
             crashed=frozenset(crashed),
             rejoined=frozenset(rejoined),
+            stalled=frozenset(stalled),
         )
 
     def crash_events_at(self, iteration: int) -> list[tuple[int, FaultEvent]]:

@@ -233,6 +233,74 @@ class MetricsRegistry:
             instrument.reset()
 
 
+def snapshot_registry(registry: MetricsRegistry) -> list[dict]:
+    """Dump every instrument as a picklable list of plain dicts.
+
+    Parallel workers live in separate processes, so their registries
+    cannot be shared; each worker ships a snapshot through the result
+    queue and the parent replays them with :func:`load_snapshot`.
+    Counters/gauges carry ``value``; histograms carry raw ``values`` so
+    percentiles stay exact after the merge.
+    """
+    out: list[dict] = []
+    for instrument in registry:
+        entry: dict = {
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+            "kind": instrument.kind,
+            "unit": instrument.unit,
+            "help": instrument.help,
+        }
+        if isinstance(instrument, Histogram):
+            entry["values"] = list(instrument._values)
+        else:
+            entry["value"] = instrument.value
+        out.append(entry)
+    return out
+
+
+def load_snapshot(
+    registry: MetricsRegistry,
+    snapshot: list[dict],
+    extra_labels: dict[str, str] | None = None,
+) -> None:
+    """Replay a :func:`snapshot_registry` dump into ``registry``.
+
+    ``extra_labels`` (e.g. ``{"rank": "2"}``) are merged into each
+    instrument's labels so per-worker series stay distinguishable.
+    Counters accumulate, gauges overwrite and histogram samples append,
+    so loading several snapshots into one registry merges them.
+    """
+    for entry in snapshot:
+        labels = dict(entry.get("labels") or {})
+        if extra_labels:
+            labels.update(
+                {str(k): str(v) for k, v in extra_labels.items()}
+            )
+        name = entry["name"]
+        kind = entry.get("kind")
+        unit = entry.get("unit", "")
+        help_text = entry.get("help", "")
+        if kind == "counter":
+            registry.counter(name, labels, unit=unit, help=help_text).inc(
+                float(entry.get("value", 0.0))
+            )
+        elif kind == "gauge":
+            registry.gauge(name, labels, unit=unit, help=help_text).set(
+                float(entry.get("value", 0.0))
+            )
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name, labels, unit=unit, help=help_text
+            )
+            for value in entry.get("values", ()):
+                histogram.observe(float(value))
+        else:
+            raise ValueError(
+                f"snapshot entry {name!r} has unknown kind {kind!r}"
+            )
+
+
 class _NullInstrument:
     """Shared do-nothing counter/gauge/histogram for disabled telemetry."""
 

@@ -1,0 +1,152 @@
+"""Crash recovery on the real-parallel backend.
+
+These are the survivability acceptance tests: real spawned processes,
+real SIGKILLs, a real watchdog.  The property test sweeps the kill
+point over **every** iteration boundary of the run — restart recovery
+must land on the same bits as the uninterrupted run no matter where
+the crash falls — and every faulted run must leave ``/dev/shm`` exactly
+as it found it.
+
+Spawn tests are expensive (seconds each); everything cheap about the
+machinery lives in ``test_shm.py`` (liveness words),
+``test_worker_checkpoint.py`` (snapshot round trip) and
+``test_real_faults.py`` (fault actions).
+"""
+
+import glob
+
+import pytest
+
+from repro.comm.parallel import (
+    ParallelCrashError,
+    ParallelRunConfig,
+    run_parallel,
+)
+
+BENCH = "ncf-movielens"
+
+
+def _shm_segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _config(**overrides) -> ParallelRunConfig:
+    base = dict(
+        benchmark=BENCH, compressor="topk", nproc=2,
+        seed=0, epochs=1, arena_bytes=8 * 1024 * 1024,
+    )
+    base.update(overrides)
+    return ParallelRunConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """The uninterrupted reference run every recovery is judged against."""
+    return run_parallel(_config())
+
+
+class TestRestartRecovery:
+    def test_kill_at_every_boundary_resumes_bitwise(self, clean_run):
+        """Property: SIGKILL rank 1 at iteration k, for every k.
+
+        The respawned cohort restores the latest common checkpoint and
+        must reproduce the clean run's final model state bitwise and
+        its loss trajectory exactly, with the outage priced into
+        ``sim_recovery_seconds`` and zero leaked shm segments.
+        """
+        iterations = clean_run.report.iterations
+        clean_digest = set(clean_run.digests.values())
+        assert iterations >= 3
+        failures = []
+        for k in range(1, iterations):
+            before = _shm_segments()
+            result = run_parallel(_config(
+                faults=f"crash@{k}:rank=1",
+                recovery="restart",
+                checkpoint_every=1,
+            ))
+            leaked = _shm_segments() - before
+            if set(result.digests.values()) != clean_digest:
+                failures.append(f"k={k}: model state diverged")
+            if result.report.losses != clean_run.report.losses:
+                failures.append(f"k={k}: loss trajectory diverged")
+            if len(result.recoveries) != 1:
+                failures.append(
+                    f"k={k}: {len(result.recoveries)} recoveries, wanted 1"
+                )
+            elif result.recoveries[0]["dead_ranks"] != [1]:
+                failures.append(
+                    f"k={k}: wrong victims "
+                    f"{result.recoveries[0]['dead_ranks']}"
+                )
+            if not result.report.sim_recovery_seconds > 0:
+                failures.append(f"k={k}: outage was not priced")
+            if leaked:
+                failures.append(f"k={k}: leaked {sorted(leaked)}")
+        assert not failures, "\n".join(failures)
+
+    def test_stall_is_convicted_by_heartbeat_and_recovered(self, clean_run):
+        """A wedged (alive but silent) rank is watchdog-convicted."""
+        result = run_parallel(_config(
+            faults="stall@2:rank=1",
+            recovery="restart",
+            checkpoint_every=1,
+            stall_timeout=4.0,
+        ))
+        assert len(result.recoveries) == 1
+        (recovery,) = result.recoveries
+        assert recovery["dead_ranks"] == [1]
+        assert "heartbeat silent" in recovery["reasons"][1]
+        # The consumed stall clause must not re-fire: the respawned
+        # cohort finishes the clean trajectory bitwise.
+        assert set(result.digests.values()) == set(
+            clean_run.digests.values()
+        )
+
+
+class TestDegradeRecovery:
+    def test_survivors_form_a_smaller_cohort(self):
+        result = run_parallel(_config(
+            faults="crash@2:rank=1",
+            recovery="degrade",
+            checkpoint_every=1,
+        ))
+        assert len(result.recoveries) == 1
+        (recovery,) = result.recoveries
+        assert recovery["dead_ranks"] == [1]
+        assert recovery["cohort"] == [0]
+        assert result.report.sim_recovery_seconds > 0
+        assert len(result.digests) == 1  # only the survivor reports
+
+    def test_straggler_drop_policy_evicts(self):
+        # slow=20 sleeps ~4.8s without heartbeating; the 1.5s straggler
+        # deadline (drop policy) must evict it long before that.
+        result = run_parallel(_config(
+            faults="straggler@1:rank=1,slow=20",
+            straggler_policy="drop",
+            straggler_timeout=1.5,
+            recovery="degrade",
+            checkpoint_every=1,
+        ))
+        assert len(result.recoveries) == 1
+        assert result.recoveries[0]["cohort"] == [0]
+
+
+class TestFailStopTeardown:
+    def test_deterministic_worker_error_stays_fail_stop(self):
+        """Queue-reported Python errors must not trigger recovery."""
+        before = _shm_segments()
+        with pytest.raises(ParallelCrashError, match="2 of 2"):
+            run_parallel(_config(
+                compressor="no-such-compressor",
+                recovery="restart",
+                checkpoint_every=1,
+            ))
+        assert _shm_segments() - before == set()
+
+    def test_unrecoverable_kill_leaks_nothing(self):
+        """Recovery off (checkpoint_every=0): the kill is fatal but clean."""
+        before = _shm_segments()
+        with pytest.raises(ParallelCrashError, match="rank 1"):
+            run_parallel(_config(faults="crash@2:rank=1"))
+        assert _shm_segments() - before == set()

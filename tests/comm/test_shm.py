@@ -117,6 +117,59 @@ class TestLifecycle:
             owner.close()
 
 
+class TestLiveness:
+    """Heartbeats, incarnation and the active mask (watchdog inputs)."""
+
+    def test_heartbeat_updates_time_and_progress(self, arena_pair):
+        owner, (r0, _) = arena_pair
+        assert owner.heartbeat_ns(0) == 0  # never beat
+        r0.heartbeat(progress=7)
+        assert owner.heartbeat_ns(0) > 0
+        assert owner.progress(0) == 7
+        stamp = owner.heartbeat_ns(0)
+        r0.heartbeat()  # timestamp-only refresh keeps the progress word
+        assert owner.heartbeat_ns(0) >= stamp
+        assert owner.progress(0) == 7
+
+    def test_parent_view_heartbeat_is_a_noop(self, arena_pair):
+        owner, _ = arena_pair
+        owner.heartbeat(progress=3)  # rank is None: nothing to stamp
+        assert owner.heartbeat_ns(0) == 0
+        assert owner.heartbeat_ns(1) == 0
+
+    def test_incarnation_and_active_mask_defaults(self, arena_pair):
+        owner, (r0, _) = arena_pair
+        assert owner.incarnation == 0
+        assert owner.active_ranks() == [0, 1]
+        assert r0.is_active(0) and r0.is_active(1)
+
+    def test_survivor_cohort_arena(self):
+        owner = SharedArena.create(
+            n_ranks=3, data_bytes=4096, meta_slots=8,
+            active_ranks=[0, 2], incarnation=2,
+        )
+        try:
+            view = SharedArena.attach(owner.spec, rank=2)
+            try:
+                assert view.incarnation == 2
+                assert view.active_ranks() == [0, 2]
+                assert not view.is_active(1)
+            finally:
+                view.close()
+        finally:
+            owner.close()
+
+    def test_mark_failed_records_watchdog_verdict(self, arena_pair):
+        owner, (r0, _) = arena_pair
+        owner.mark_failed(1)
+        assert owner.status(1) == STATUS_FAILED
+        owner.abort()
+        # The verdict surfaces to survivors exactly like a self-reported
+        # failure: the aborted wait names the dead rank.
+        with pytest.raises(ArenaAbortedError, match=r"\[1\]"):
+            r0.read(0, rank=1, timeout=5.0)
+
+
 class TestReclamation:
     def test_wraparound_reuses_drained_bytes(self, arena_pair):
         _, (r0, r1) = arena_pair

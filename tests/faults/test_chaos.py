@@ -1,0 +1,79 @@
+"""Chaos kill-schedule derivation (`repro.faults.chaos`).
+
+Only the pure scheduling logic runs here; the full campaign (real
+spawns, real SIGKILLs) is exercised by ``repro chaos`` in the CI
+``chaos-smoke`` job and by ``tests/comm/test_parallel_recovery.py``.
+"""
+
+import pytest
+
+from repro.faults.chaos import ChaosTrial, kill_schedule
+
+
+class TestKillSchedule:
+    def test_deterministic_per_seed(self):
+        one = kill_schedule(seed=7, trials=5, iterations=20, nproc=4)
+        two = kill_schedule(seed=7, trials=5, iterations=20, nproc=4)
+        assert one == two
+        other = kill_schedule(seed=8, trials=5, iterations=20, nproc=4)
+        assert one != other
+
+    def test_counter_based_prefix_property(self):
+        # Trial k's schedule must not depend on how many trials run:
+        # a 3-trial campaign is a prefix of the 10-trial one.
+        short = kill_schedule(seed=0, trials=3, iterations=20, nproc=4)
+        long = kill_schedule(seed=0, trials=10, iterations=20, nproc=4)
+        assert long[:3] == short
+
+    def test_kills_land_strictly_mid_run(self):
+        for kill, victim in kill_schedule(
+            seed=3, trials=50, iterations=5, nproc=2
+        ):
+            assert 1 <= kill <= 3  # never iteration 0, never the last
+            assert 0 <= victim <= 1
+
+    def test_too_short_run_is_rejected(self):
+        with pytest.raises(ValueError, match=">= 3 iterations"):
+            kill_schedule(seed=0, trials=1, iterations=2, nproc=2)
+
+
+class TestTrialVerdict:
+    def _good(self):
+        return ChaosTrial(
+            trial=0, kill_iteration=3, victim_rank=1,
+            completed=True, recovered=True, digest_match=True,
+            recovery_seconds=0.01,
+        )
+
+    def test_all_invariants_pass(self):
+        assert self._good().passed
+
+    def test_each_invariant_fails_the_trial(self):
+        trial = self._good()
+        trial.completed = False
+        assert not trial.passed
+
+        trial = self._good()
+        trial.recovered = False
+        assert not trial.passed
+
+        trial = self._good()
+        trial.recovery_seconds = 0.0  # outage not priced
+        assert not trial.passed
+
+        trial = self._good()
+        trial.leaked_segments = ["/dev/shm/psm_dead"]
+        assert not trial.passed
+
+        trial = self._good()
+        trial.digest_match = False
+        assert not trial.passed
+
+        trial = self._good()
+        trial.error = "boom"
+        assert not trial.passed
+
+    def test_degrade_trials_have_no_digest_verdict(self):
+        trial = self._good()
+        trial.digest_match = None  # degrade: loss-gap bound instead
+        assert trial.passed

@@ -117,6 +117,35 @@ class TestResolution:
         assert faults.slowdown_over([]) == 1.0
 
 
+class TestStallClauses:
+    def test_stall_parses_and_resolves_at_its_iteration(self):
+        plan = FaultPlan.parse("stall@7:rank=2")
+        assert plan.events[0].kind == "stall"
+        assert (plan.events[0].start, plan.events[0].stop) == (7, 7)
+        assert plan.faults_at(6, 4).stalled == frozenset()
+        assert plan.faults_at(7, 4).stalled == {2}
+        assert plan.faults_at(7, 4).any
+
+    @pytest.mark.parametrize("spec,match", [
+        ("stall@3", "explicit rank"),
+        ("stall@3-5:rank=0", "single iteration"),
+        ("stall@3:rank=0,p=0.5", "does not take"),
+    ])
+    def test_malformed_stall_rejected(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan.parse(spec)
+
+    def test_consumed_stall_stops_applying(self):
+        plan = FaultPlan.parse("stall@3:rank=1")
+        assert plan.faults_at(3, 2, consumed={0}).stalled == frozenset()
+
+    def test_crashed_rank_cannot_also_stall(self):
+        plan = FaultPlan.parse("crash@3:rank=1;stall@3:rank=1")
+        faults = plan.faults_at(3, 2)
+        assert faults.crashed == {1}
+        assert faults.stalled == frozenset()
+
+
 class TestDeterminism:
     def test_probabilistic_resolution_is_seed_stable(self):
         spec = "corrupt@0-200:rank=*,bits=1,p=0.3"

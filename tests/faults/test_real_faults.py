@@ -1,0 +1,71 @@
+"""Real fault actions for parallel workers (`repro.faults.real`).
+
+Covers the plan validation the CLI relies on to fail fast and the
+executor's observable actions (straggler sleeps, no-ops).  The crash
+and stall actions themselves are terminal by design — SIGKILL and an
+infinite wedge — so they are exercised end-to-end by the spawn tests
+in ``tests/comm/test_parallel_recovery.py`` instead.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.plan import REAL_KINDS, FaultPlan
+from repro.faults.real import RealFaultExecutor, validate_worker_plan
+
+
+class TestValidateWorkerPlan:
+    def test_accepts_every_real_kind(self):
+        plan = FaultPlan.parse(
+            "crash@3:rank=1;straggler@1-5:rank=0,slow=2;stall@4:rank=1"
+        )
+        assert {e.kind for e in plan.events} <= REAL_KINDS
+        validate_worker_plan(plan)  # must not raise
+
+    def test_accepts_empty_plan(self):
+        validate_worker_plan(FaultPlan.parse(""))
+
+    @pytest.mark.parametrize("spec,kind", [
+        ("corrupt@3:rank=0,bits=1", "corrupt"),
+        ("drop@3:rank=0,count=1", "drop"),
+        ("degrade@3-9:bw=0.5", "degrade"),
+    ])
+    def test_rejects_simulator_only_kinds_by_name(self, spec, kind):
+        with pytest.raises(ValueError, match=kind):
+            validate_worker_plan(FaultPlan.parse(spec))
+
+    def test_rejection_lists_every_offending_kind(self):
+        plan = FaultPlan.parse(
+            "corrupt@3:rank=0,bits=1;drop@4:rank=0,count=1;crash@5:rank=0"
+        )
+        with pytest.raises(ValueError) as excinfo:
+            validate_worker_plan(plan)
+        message = str(excinfo.value)
+        assert "corrupt" in message and "drop" in message
+        assert "--backend parallel" in message
+
+
+class TestRealFaultExecutor:
+    def test_untargeted_iteration_is_a_noop(self):
+        plan = FaultPlan.parse("straggler@5:rank=1,slow=3")
+        executor = RealFaultExecutor(rank=0, straggler_seconds=10.0)
+        started = time.perf_counter()
+        executor.execute(plan.faults_at(5, n_workers=2))  # other rank
+        executor.execute(plan.faults_at(4, n_workers=2))  # other iter
+        assert time.perf_counter() - started < 1.0
+
+    def test_straggler_sleeps_proportionally(self):
+        plan = FaultPlan.parse("straggler@2:rank=0,slow=3")
+        executor = RealFaultExecutor(rank=0, straggler_seconds=0.05)
+        started = time.perf_counter()
+        executor.execute(plan.faults_at(2, n_workers=2))
+        elapsed = time.perf_counter() - started
+        assert elapsed >= (3 - 1) * 0.05  # (slow - 1) x base seconds
+
+    def test_parity_slowdown_does_not_sleep(self):
+        plan = FaultPlan.parse("straggler@2:rank=0,slow=1")
+        executor = RealFaultExecutor(rank=0, straggler_seconds=10.0)
+        started = time.perf_counter()
+        executor.execute(plan.faults_at(2, n_workers=2))
+        assert time.perf_counter() - started < 1.0

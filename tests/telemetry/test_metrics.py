@@ -125,6 +125,83 @@ class TestRegistry:
         assert registry.histogram("lat").count == 0
 
 
+class TestSnapshot:
+    """Cross-process snapshot/replay (`snapshot_registry`/`load_snapshot`)."""
+
+    def _populated(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("bytes", {"op": "send"}, unit="B").inc(100)
+        registry.gauge("ratio").set(0.25)
+        for value in (1.0, 2.0, 7.0):
+            registry.histogram("lat", unit="s").observe(value)
+        return registry
+
+    def test_round_trip_is_lossless(self):
+        import pickle
+
+        from repro.telemetry.metrics import (
+            MetricsRegistry,
+            load_snapshot,
+            snapshot_registry,
+        )
+
+        source = self._populated()
+        # The snapshot must survive the worker result queue (pickling).
+        snapshot = pickle.loads(pickle.dumps(snapshot_registry(source)))
+        target = MetricsRegistry()
+        load_snapshot(target, snapshot)
+        assert target.value("bytes", {"op": "send"}) == 100.0
+        assert target.value("ratio") == 0.25
+        histogram = target.histogram("lat", unit="s")
+        assert histogram.count == 3
+        assert histogram.percentile(100.0) == 7.0
+
+    def test_extra_labels_keep_ranks_distinguishable(self):
+        from repro.telemetry.metrics import (
+            MetricsRegistry,
+            load_snapshot,
+            snapshot_registry,
+        )
+
+        merged = MetricsRegistry()
+        for rank in range(2):
+            worker = MetricsRegistry()
+            worker.counter("steps").inc(5 + rank)
+            load_snapshot(
+                merged, snapshot_registry(worker),
+                extra_labels={"rank": str(rank)},
+            )
+        assert merged.value("steps", {"rank": "0"}) == 5.0
+        assert merged.value("steps", {"rank": "1"}) == 6.0
+
+    def test_counters_accumulate_across_loads(self):
+        from repro.telemetry.metrics import (
+            MetricsRegistry,
+            load_snapshot,
+            snapshot_registry,
+        )
+
+        worker = MetricsRegistry()
+        worker.counter("steps").inc(3)
+        worker.histogram("lat").observe(1.0)
+        merged = MetricsRegistry()
+        for _ in range(2):
+            load_snapshot(merged, snapshot_registry(worker))
+        assert merged.value("steps") == 6.0
+        assert merged.histogram("lat").count == 2
+
+    def test_unknown_kind_is_rejected(self):
+        from repro.telemetry.metrics import MetricsRegistry, load_snapshot
+
+        with pytest.raises(ValueError, match="unknown kind"):
+            load_snapshot(
+                MetricsRegistry(),
+                [{"name": "x", "kind": "summary", "value": 1.0}],
+            )
+
+
 class TestNullRegistry:
     def test_all_instruments_shared_and_inert(self):
         a = NULL_REGISTRY.counter("x")

@@ -64,28 +64,51 @@ class TestCommands:
 class TestParallelBackendFlags:
     """Flag validation for --backend parallel (no processes spawned)."""
 
-    def test_rejects_faults(self):
-        with pytest.raises(SystemExit, match="--faults"):
+    def test_rejects_non_flat_topology(self):
+        with pytest.raises(SystemExit, match="flat topology"):
             main(["train", "--benchmark", "ncf-movielens",
                   "--compressor", "topk", "--backend", "parallel",
-                  "--faults", "crash@3:rank=1"])
+                  "--topology", "ps"])
 
-    def test_rejects_checkpointing_and_metrics_out(self, tmp_path):
-        with pytest.raises(SystemExit) as excinfo:
+    def test_rejects_sim_only_fault_kinds(self):
+        # corrupt/drop/degrade mutate in-process wire bytes; the parallel
+        # backend only injects real process faults (crash/straggler/stall).
+        with pytest.raises(SystemExit, match="corrupt"):
             main(["train", "--benchmark", "ncf-movielens",
                   "--compressor", "topk", "--backend", "parallel",
-                  "--checkpoint-every", "2",
-                  "--metrics-out", str(tmp_path / "m.jsonl")])
-        message = str(excinfo.value)
-        assert "--checkpoint-every" in message
-        assert "--metrics-out" in message
-        assert "--backend sim" in message
+                  "--faults", "corrupt@5-20:rank=1,bits=8"])
 
-    def test_rejects_straggler_policy(self):
-        with pytest.raises(SystemExit, match="--straggler-policy"):
+    def test_rejects_backup_straggler_policy(self):
+        with pytest.raises(SystemExit, match="sequential-only"):
             main(["train", "--benchmark", "ncf-movielens",
                   "--compressor", "topk", "--backend", "parallel",
-                  "--straggler-policy", "drop"])
+                  "--straggler-policy", "backup"])
+
+    def test_rejects_drop_policy_under_restart(self):
+        with pytest.raises(SystemExit, match="requires --recovery degrade"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--straggler-policy", "drop", "--recovery", "restart"])
+
+    def test_rejects_rejoin_under_degrade(self):
+        with pytest.raises(SystemExit, match="never re-admits"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--faults", "crash@3:rank=1,rejoin=5",
+                  "--recovery", "degrade"])
+
+    def test_rejects_fault_rank_out_of_range(self):
+        with pytest.raises(SystemExit, match="targets rank 9"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk", "--backend", "parallel",
+                  "--nproc", "2", "--faults", "crash@3:rank=9",
+                  "--recovery", "restart"])
+
+    def test_sim_backend_rejects_checkpoint_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="--backend parallel"):
+            main(["train", "--benchmark", "ncf-movielens",
+                  "--compressor", "topk",
+                  "--checkpoint-dir", str(tmp_path)])
 
     def test_parallel_flags_parse(self, capsys):
         # --nproc/--arena-mb/--backend must parse; an unknown benchmark
