@@ -6,6 +6,8 @@ Examples::
     repro lint --format json --out LINT.json --check
     repro lint --write-baseline      # accept current findings (justify them!)
     repro lint src/repro/core tests  # explicit paths
+    repro lint --changed             # only files touched vs HEAD
+    repro lint --changed origin/main # only files touched vs a base ref
 """
 
 from __future__ import annotations
@@ -44,6 +46,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint "
                              "(default: src/repro)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="lint only Python files git reports as "
+                             "changed vs BASE (default HEAD: staged + "
+                             "unstaged + untracked); exits 0 when "
+                             "nothing relevant changed")
     parser.add_argument("--format", choices=["text", "json"], default="text",
                         help="stdout format (default: text)")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -65,9 +73,58 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="list baselined findings in the text report")
 
 
+def changed_python_files(base: str = "HEAD") -> list[str]:
+    """Python files git reports as changed relative to ``base``.
+
+    Unions ``git diff --name-only <base>`` (tracked edits, staged or
+    not) with untracked files, so a freshly added module is linted
+    before its first commit.  Deleted files are skipped.  Raises
+    ``SystemExit`` when git is unavailable or ``base`` is not a ref.
+    """
+    import subprocess
+
+    commands = [
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    names: list[str] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except FileNotFoundError:
+            raise SystemExit("lint --changed needs git on PATH")
+        except subprocess.CalledProcessError as error:
+            raise SystemExit(
+                f"lint --changed: {' '.join(command)} failed: "
+                f"{error.stderr.strip() or error.returncode}"
+            )
+        names.extend(proc.stdout.splitlines())
+    seen: set[str] = set()
+    files = []
+    for name in names:
+        if name.endswith(".py") and name not in seen and Path(name).is_file():
+            seen.add(name)
+            files.append(name)
+    return files
+
+
 def run_lint(args) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
-    paths = args.paths or default_lint_paths()
+    if getattr(args, "changed", None) is not None:
+        if args.paths:
+            raise SystemExit(
+                "lint --changed derives the file list from git; drop the "
+                "explicit paths (or drop --changed)"
+            )
+        paths = changed_python_files(args.changed)
+        if not paths:
+            print(f"lint --changed: no Python files changed vs "
+                  f"{args.changed}; nothing to check")
+            return 0
+    else:
+        paths = args.paths or default_lint_paths()
     baseline = None
     if not args.no_baseline:
         try:
@@ -99,7 +156,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST contract checker for the GRACE reproduction "
-                    "(rules GR001–GR006; see docs/ANALYSIS.md)",
+                    "(rules GR001–GR011; see docs/ANALYSIS.md)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

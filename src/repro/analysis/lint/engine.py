@@ -55,6 +55,17 @@ class ModuleSource:
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
         self.aliases = _import_aliases(self.tree)
+        self._callgraph = None
+
+    @property
+    def callgraph(self):
+        """The module's :class:`~repro.analysis.lint.dataflow.ModuleCallGraph`
+        (built lazily; shared by every rule linting this module)."""
+        if self._callgraph is None:
+            from repro.analysis.lint.dataflow import ModuleCallGraph
+
+            self._callgraph = ModuleCallGraph(self.tree)
+        return self._callgraph
 
     def line(self, lineno: int) -> str:
         """The 1-indexed source line (empty past EOF)."""

@@ -1,0 +1,143 @@
+"""Metric-name manifest generator (the registry behind GR011).
+
+Telemetry metric names are plain string literals at their call sites
+(``metrics.counter("comm_ops_total", ...)``), so nothing stops a typo'd
+or renamed metric from silently splitting a time series — the docs in
+``docs/OBSERVABILITY.md`` and the Prometheus export drift apart from
+the code with no failure anywhere.  This module closes the loop:
+
+* :func:`scan_metric_sites` AST-scans a source tree for every literal
+  metric name — ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+  registrations and ``_MetricField("...")`` declarations;
+* :func:`build_manifest` folds the sites into ``name -> (kinds...)``;
+* :func:`render_manifest` / :func:`write_manifest` emit the committed
+  registry module ``repro/telemetry/manifest.py``.
+
+GR011 then checks every literal metric name in the repo against the
+*committed* manifest, and a unit test asserts the committed manifest
+matches a fresh scan — so adding a metric forces a regeneration
+(``python -m repro.analysis.lint.manifest``), and the docs test keyed
+off the manifest keeps OBSERVABILITY.md honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Registry methods whose literal first argument declares a metric.
+DECLARING_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Descriptor whose literal first argument declares a counter.
+FIELD_DECLARATORS = frozenset({"_MetricField"})
+
+#: Default tree to scan, relative to the repo root.
+DEFAULT_SCAN_ROOT = "src/repro"
+
+#: Where the committed manifest lives, relative to the repo root.
+MANIFEST_PATH = "src/repro/telemetry/manifest.py"
+
+_HEADER = '''"""Metric-name manifest — GENERATED, do not edit by hand.
+
+Regenerate with ``python -m repro.analysis.lint.manifest`` after adding
+or renaming a metric; GR011 flags any literal metric name that is not a
+key here, and ``tests/analysis/lint/test_metric_manifest.py`` fails if
+this file is stale.  Values are the registration kinds each name is
+used with.
+"""
+
+METRIC_MANIFEST: dict[str, tuple[str, ...]] = {
+'''
+
+
+@dataclass(frozen=True)
+class MetricSite:
+    """One literal metric name found in the source tree."""
+
+    name: str
+    kind: str
+    file: str
+    line: int
+
+
+def _literal_first_arg(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        return call.args[0].value
+    return None
+
+
+def scan_metric_sites(root: str | Path = ".") -> list[MetricSite]:
+    """Every literal metric declaration under ``root/src/repro``."""
+    base = Path(root) / DEFAULT_SCAN_ROOT
+    sites: list[MetricSite] = []
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" in path.parts or path.name == "manifest.py":
+            continue
+        rel = path.relative_to(Path(root)).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _literal_first_arg(node)
+            if name is None:
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in DECLARING_METHODS
+            ):
+                sites.append(
+                    MetricSite(name, node.func.attr, rel, node.lineno)
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in FIELD_DECLARATORS
+            ):
+                sites.append(MetricSite(name, "counter", rel, node.lineno))
+    return sites
+
+
+def build_manifest(sites: list[MetricSite]) -> dict[str, tuple[str, ...]]:
+    """Fold scan sites into the ``name -> sorted kinds`` manifest."""
+    kinds: dict[str, set[str]] = {}
+    for site in sites:
+        kinds.setdefault(site.name, set()).add(site.kind)
+    return {
+        name: tuple(sorted(found)) for name, found in sorted(kinds.items())
+    }
+
+
+def render_manifest(manifest: dict[str, tuple[str, ...]]) -> str:
+    """Source text of the committed manifest module."""
+    lines = [_HEADER]
+    for name, kinds in manifest.items():
+        rendered = ", ".join(f'"{kind}"' for kind in kinds)
+        # The trailing comma keeps one-kind entries actual tuples.
+        lines.append(f'    "{name}": ({rendered},),\n')
+    lines.append("}\n")
+    return "".join(lines)
+
+
+def generate_manifest_source(root: str | Path = ".") -> str:
+    """Scan ``root`` and render the manifest module text."""
+    return render_manifest(build_manifest(scan_metric_sites(root)))
+
+
+def write_manifest(root: str | Path = ".") -> Path:
+    """Regenerate the committed manifest in place; returns its path."""
+    target = Path(root) / MANIFEST_PATH
+    target.write_text(generate_manifest_source(root), encoding="utf-8")
+    return target
+
+
+def main() -> int:  # pragma: no cover - thin CLI shim
+    path = write_manifest(".")
+    names = len(build_manifest(scan_metric_sites(".")))
+    print(f"wrote {path} ({names} metric names)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

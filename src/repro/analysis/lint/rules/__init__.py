@@ -1,8 +1,11 @@
-"""The repo-specific lint rules (GR001–GR006).
+"""The repo-specific lint rules (GR001–GR011).
 
 Each rule lives in its own module; :func:`default_rules` instantiates
-the full set in rule-id order.  Downstream code (plugins, tests) can
-compose its own list — the engine takes any ``list[Rule]``.
+the full set in rule-id order.  GR001–GR006 are the original
+per-function checks (PR 5); GR007–GR011 are the concurrency family
+built on the interprocedural layer in
+:mod:`repro.analysis.lint.dataflow`.  Downstream code (plugins, tests)
+can compose its own list — the engine takes any ``list[Rule]``.
 """
 
 from __future__ import annotations
@@ -14,12 +17,22 @@ from repro.analysis.lint.rules.ctx_honesty import CtxHonestyRule
 from repro.analysis.lint.rules.payload import PayloadTypeRule
 from repro.analysis.lint.rules.async_handles import UndrainedHandleRule
 from repro.analysis.lint.rules.telemetry_spans import SpanContextRule
+from repro.analysis.lint.rules.arena_protocol import StoreBeforePublishRule
+from repro.analysis.lint.rules.poll_loops import UncooperativePollLoopRule
+from repro.analysis.lint.rules.spawn_safety import SpawnSafetyRule
+from repro.analysis.lint.rules.handle_deadlock import BlockingWhileUndrainedRule
+from repro.analysis.lint.rules.metric_names import MetricNameRule
 
 __all__ = [
+    "BlockingWhileUndrainedRule",
     "CtxHonestyRule",
     "Float64LeakRule",
+    "MetricNameRule",
     "PayloadTypeRule",
     "SpanContextRule",
+    "SpawnSafetyRule",
+    "StoreBeforePublishRule",
+    "UncooperativePollLoopRule",
     "UndrainedHandleRule",
     "UnseededRngRule",
     "default_rules",
@@ -35,4 +48,9 @@ def default_rules() -> list[Rule]:
         PayloadTypeRule(),
         UndrainedHandleRule(),
         SpanContextRule(),
+        StoreBeforePublishRule(),
+        UncooperativePollLoopRule(),
+        SpawnSafetyRule(),
+        BlockingWhileUndrainedRule(),
+        MetricNameRule(),
     ]

@@ -1,0 +1,151 @@
+"""GR007 — payload/metadata store after the sequence-number publication.
+
+The shared-memory arena's whole correctness argument is one ordering
+rule: a rank writes its payload bytes and the metadata slot *first* and
+stores ``posted[rank] = seq + 1`` *last*, so a peer that observes the
+publication sees complete data (``repro.comm.shm``, protocol step 1).
+Invert the order and nothing fails loudly — a racing reader copies
+stale or torn bytes, the reduction silently diverges, and the bitwise
+parity the parallel backend is proven against dies in a way only a
+lucky interleaving exposes.
+
+This rule enforces the ordering statically: inside any straight-line
+block in ``comm/`` code, once a statement stores to a ``posted``/
+``_posted`` slot (the publication), no later statement in that block
+may write the arena's payload surfaces (``_data``/``_meta``
+subscripts, resolved through local aliases — ``slot = self._meta[...]``
+followed by ``slot[0] = off`` counts) or call a module-local helper
+that performs such writes without itself re-publishing.  A helper that
+both writes *and* publishes is a complete next-collective post and is
+fine; a bare payload write after a publish is the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.dataflow import (
+    chain_tail,
+    local_aliases,
+    resolve_chain,
+    statement_blocks,
+)
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+#: Attribute-chain tails that constitute the publication store.
+PUBLISH_TAILS = frozenset({"posted", "_posted"})
+
+#: Attribute-chain tails that are the published payload surfaces.
+PAYLOAD_TAILS = frozenset({"_data", "_meta", "data_segment", "meta_ring"})
+
+
+def _store_targets(stmt: ast.stmt) -> list[ast.AST]:
+    """Subscript store targets of an assignment statement (else [])."""
+    if isinstance(stmt, ast.Assign):
+        return [t for t in stmt.targets if isinstance(t, ast.Subscript)]
+    if isinstance(stmt, ast.AugAssign) and isinstance(
+        stmt.target, ast.Subscript
+    ):
+        return [stmt.target]
+    return []
+
+
+class StoreBeforePublishRule(Rule):
+    """Flag payload writes sequenced after the publication store."""
+
+    rule_id = "GR007"
+    title = "payload store after sequence-number publication"
+    severity = "error"
+    scopes = ("comm/",)
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        graph = module.callgraph
+        writers = self._classify_functions(graph)
+        for info in graph.functions.values():
+            aliases = local_aliases(info.node)
+            findings.extend(
+                self._check_function(module, info, aliases, graph, writers)
+            )
+        return findings
+
+    # -- function classification -------------------------------------------
+
+    def _classify_functions(self, graph) -> dict[str, tuple[bool, bool]]:
+        """qualname -> (writes_payload, publishes), transitively."""
+        direct: dict[str, tuple[bool, bool]] = {}
+        for info in graph.functions.values():
+            aliases = local_aliases(info.node)
+            writes = publishes = False
+            for node in ast.walk(info.node):
+                for target in _store_targets(node) if isinstance(
+                    node, ast.stmt
+                ) else []:
+                    tail = chain_tail(resolve_chain(target, aliases))
+                    if tail in PAYLOAD_TAILS:
+                        writes = True
+                    elif tail in PUBLISH_TAILS:
+                        publishes = True
+            direct[info.qualname] = (writes, publishes)
+        closed: dict[str, tuple[bool, bool]] = {}
+        for info in graph.functions.values():
+            writes = publishes = False
+            for qualname in graph.reachable(info):
+                w, p = direct.get(qualname, (False, False))
+                writes = writes or w
+                publishes = publishes or p
+            closed[info.qualname] = (writes, publishes)
+        return closed
+
+    # -- per-function check -------------------------------------------------
+
+    def _check_function(self, module, info, aliases, graph, writers):
+        for block in statement_blocks(info.node):
+            published_at: ast.stmt | None = None
+            for stmt in block:
+                if published_at is not None:
+                    yield from self._flag_late_writes(
+                        module, info, stmt, aliases, graph, writers,
+                        published_at,
+                    )
+                if self._publishes_inline(stmt, aliases):
+                    published_at = stmt
+
+    def _publishes_inline(self, stmt: ast.stmt, aliases) -> bool:
+        return any(
+            chain_tail(resolve_chain(t, aliases)) in PUBLISH_TAILS
+            for t in _store_targets(stmt)
+        )
+
+    def _flag_late_writes(
+        self, module, info, stmt, aliases, graph, writers, published_at
+    ):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.stmt):
+                for target in _store_targets(node):
+                    tail = chain_tail(resolve_chain(target, aliases))
+                    if tail in PAYLOAD_TAILS:
+                        yield self.finding(
+                            module, node,
+                            f"store to {tail!r} is sequenced after the "
+                            f"publication store on line "
+                            f"{published_at.lineno}; a peer that observes "
+                            "the published sequence number may read this "
+                            "write half-done — write payload and metadata "
+                            "first, publish last",
+                        )
+            if isinstance(node, ast.Call):
+                for callee in graph.resolve_call(node, caller=info):
+                    writes, publishes = writers.get(
+                        callee.qualname, (False, False)
+                    )
+                    if writes and not publishes:
+                        yield self.finding(
+                            module, node,
+                            f"call to {callee.qualname}() after the "
+                            f"publication store on line "
+                            f"{published_at.lineno} writes the arena "
+                            "payload without re-publishing; readers of "
+                            "the already-published sequence number can "
+                            "observe the mutation mid-flight",
+                        )

@@ -5,12 +5,20 @@
 event; THC-style aggregation bugs in compression pipelines are exactly
 this shape — a code path that fires the collective and never joins it,
 so the gradient silently never arrives (or the timeline never charges
-the transfer).  The rule flags a nonblocking call whose handle is
-discarded outright, or bound to a local name that the enclosing
-function never touches again.  Any later use — ``.wait()``,
-``.result``, appending to a pending list, returning or passing the
-handle on — counts as draining, because ownership has moved to code
-this file-local analysis cannot see.
+the transfer).  The real-parallel backend raised the stakes: a leaked
+``ParallelAsyncHandle`` leaves an arena sequence number unposted, which
+is not a quiet accounting error but a cross-rank deadlock.
+
+The rule flags a handle-producing call — a nonblocking launcher *or* a
+direct ``ParallelAsyncHandle``/``AsyncHandle`` construction — whose
+result is discarded outright, or bound to a local name the enclosing
+function never touches again.  Any later use counts as draining:
+``.wait()``, ``.result``, appending to a pending list, returning or
+passing the handle on, and in particular drains on recovery paths —
+a handle waited (or cancelled) only inside an
+``except ArenaAbortedError`` / watchdog-recovery handler is still
+owned code, not a leak, so the whole function body including every
+``except`` block is searched for uses.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from repro.analysis.lint.engine import ModuleSource, Rule
 NONBLOCKING_CALLS = frozenset({
     "iallreduce_parts", "iallgather", "iallreduce", "ibroadcast", "ireduce",
 })
+
+#: Handle types whose direct construction creates drain responsibility.
+HANDLE_CONSTRUCTORS = frozenset({"ParallelAsyncHandle", "AsyncHandle"})
 
 
 class UndrainedHandleRule(Rule):
@@ -39,12 +50,21 @@ class UndrainedHandleRule(Rule):
                 findings.extend(self._check_function(module, node))
         return findings
 
-    def _is_nonblocking(self, node: ast.AST) -> bool:
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
+    def _handle_source(self, node: ast.AST) -> str | None:
+        """Label of a handle-producing call, or None."""
+        if not isinstance(node, ast.Call):
+            return None
+        if (
+            isinstance(node.func, ast.Attribute)
             and node.func.attr in NONBLOCKING_CALLS
-        )
+        ):
+            return f"{node.func.attr}()"
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in HANDLE_CONSTRUCTORS
+        ):
+            return f"{node.func.id}(...)"
+        return None
 
     def _check_function(self, module: ModuleSource, func: ast.FunctionDef):
         # The launcher methods themselves (and thin wrappers that hand
@@ -52,36 +72,44 @@ class UndrainedHandleRule(Rule):
         # transfer, not a leak.
         statements = list(ast.walk(func))
         for stmt in statements:
-            if isinstance(stmt, ast.Expr) and self._is_nonblocking(
-                stmt.value
-            ):
-                yield self.finding(
-                    module, stmt.value,
-                    f"result of {stmt.value.func.attr}() is discarded; the "
-                    "collective's AsyncHandle must be waited on (or handed "
-                    "off) or the aggregated payload never lands and the "
-                    "timeline never charges the transfer",
-                )
+            if isinstance(stmt, ast.Expr):
+                source = self._handle_source(stmt.value)
+                if source is not None:
+                    yield self.finding(
+                        module, stmt.value,
+                        f"result of {source} is discarded; the "
+                        "collective's handle must be waited on (or handed "
+                        "off) or the aggregated payload never lands — "
+                        "under the parallel backend the leaked sequence "
+                        "number deadlocks the peer ranks",
+                    )
             elif (
                 isinstance(stmt, ast.Assign)
-                and self._is_nonblocking(stmt.value)
                 and len(stmt.targets) == 1
                 and isinstance(stmt.targets[0], ast.Name)
             ):
+                source = self._handle_source(stmt.value)
+                if source is None:
+                    continue
                 name = stmt.targets[0].id
                 if not self._used_later(func, stmt, name):
                     yield self.finding(
                         module, stmt.value,
-                        f"handle {name!r} from {stmt.value.func.attr}() is "
-                        "never used again in this function; call "
-                        f"{name}.wait() (or hand the handle off) so the "
-                        "collective actually drains",
+                        f"handle {name!r} from {source} is never used "
+                        f"again in this function; call {name}.wait() (or "
+                        "hand the handle off) so the collective actually "
+                        "drains",
                     )
 
     def _used_later(
         self, func: ast.FunctionDef, assign: ast.Assign, name: str
     ) -> bool:
-        """Whether ``name`` is loaded anywhere else in the function."""
+        """Whether ``name`` is loaded anywhere else in the function.
+
+        The walk deliberately includes ``except`` handlers and
+        ``finally`` blocks: a drain on the ArenaAbortedError recovery
+        path is a legitimate hand-off, not a leak.
+        """
         for node in ast.walk(func):
             if (
                 isinstance(node, ast.Name)

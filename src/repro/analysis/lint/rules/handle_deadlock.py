@@ -1,0 +1,170 @@
+"""GR010 — blocking collective while an undrained async handle is live.
+
+The parallel communicator executes collectives in deterministic program
+order: every rank must issue the *same* sequence of arena posts
+(``repro.comm.parallel``).  A nonblocking handle defers its peer
+reduction to ``wait()``, so the ordering contract extends across it —
+issuing a *blocking* collective on the same communicator while one of
+its handles is still undrained wedges the ranks against each other:
+the blocking call occupies the next sequence number, the deferred
+``wait()`` expects it, and both sides spin in the arena until the
+watchdog shoots the run.  The hang reproduces only under real
+parallelism, which is exactly why it should be caught at lint time.
+
+The rule tracks, within each straight-line block, handles produced by
+``<comm>.iallreduce_parts(...)``-style calls (or a raw
+``ParallelAsyncHandle(...)`` construction) and flags any blocking
+collective issued *on the same receiver chain* while a handle is live.
+Ownership transfers end tracking: ``handle.wait()``, passing the
+handle to a call (``pending.append(h)``), storing it into a container
+or attribute, or returning it all hand responsibility to other code,
+which GR005 then holds to the drain-before-drop contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.dataflow import (
+    local_aliases,
+    resolve_chain,
+    statement_blocks,
+)
+from repro.analysis.lint.engine import ModuleSource, Rule
+from repro.analysis.lint.rules.async_handles import NONBLOCKING_CALLS
+
+#: Communicator methods that block until every rank participates.
+BLOCKING_CALLS = frozenset({
+    "allreduce",
+    "allreduce_parts",
+    "allgather",
+    "broadcast",
+    "reduce",
+    "sparse_allreduce",
+    "exchange_objects",
+    "barrier",
+})
+
+#: Constructing one of these directly also creates drain responsibility.
+HANDLE_CONSTRUCTORS = frozenset({"ParallelAsyncHandle", "AsyncHandle"})
+
+
+def _receiver_chain(call: ast.Call, aliases) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return resolve_chain(call.func.value, aliases)
+    return None
+
+
+class BlockingWhileUndrainedRule(Rule):
+    """Flag the deadlock shape: blocking call over a live async handle."""
+
+    rule_id = "GR010"
+    title = "blocking collective while an async handle is undrained"
+    severity = "error"
+    scopes = ()
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        graph = module.callgraph
+        for info in graph.functions.values():
+            aliases = local_aliases(info.node)
+            for block in statement_blocks(info.node):
+                findings.extend(self._check_block(module, block, aliases))
+        return findings
+
+    def _check_block(self, module, block, aliases):
+        # handle name -> (receiver chain or None, issuing call node)
+        live: dict[str, tuple[str | None, ast.Call]] = {}
+        for stmt in block:
+            self._apply_waits(stmt, live)
+            yield from self._flag_blocking(module, stmt, aliases, live)
+            self._apply_issues(stmt, aliases, live)
+            self._apply_transfers(stmt, live)
+
+    def _apply_waits(self, stmt, live) -> None:
+        for call in ast.walk(stmt):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "wait"
+                and isinstance(call.func.value, ast.Name)
+            ):
+                live.pop(call.func.value.id, None)
+
+    def _flag_blocking(self, module, stmt, aliases, live):
+        if not live:
+            return
+        for call in ast.walk(stmt):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in BLOCKING_CALLS
+            ):
+                continue
+            receiver = _receiver_chain(call, aliases)
+            for name, (issuer, issue_call) in live.items():
+                if receiver is not None and receiver == issuer:
+                    yield self.finding(
+                        module, call,
+                        f"blocking {call.func.attr}() on {receiver!r} "
+                        f"while handle {name!r} issued on line "
+                        f"{issue_call.lineno} is undrained; the blocking "
+                        "call claims the next arena sequence number the "
+                        "deferred wait() expects — every rank deadlocks "
+                        "until the watchdog aborts. wait() the handle "
+                        "first",
+                    )
+
+    def _apply_issues(self, stmt, aliases, live) -> None:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            return
+        call = stmt.value
+        name = stmt.targets[0].id
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in NONBLOCKING_CALLS
+        ):
+            live[name] = (_receiver_chain(call, aliases), call)
+        elif (
+            isinstance(call.func, ast.Name)
+            and call.func.id in HANDLE_CONSTRUCTORS
+        ):
+            live[name] = (None, call)
+
+    def _apply_transfers(self, stmt, live) -> None:
+        if not live:
+            return
+        dead: set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for arg in [*node.args, *(k.value for k in node.keywords)]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id in live:
+                            dead.add(sub.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id in live:
+                        dead.add(sub.id)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        value = getattr(node, "value", None)
+                        if value is not None:
+                            for sub in ast.walk(value):
+                                if (
+                                    isinstance(sub, ast.Name)
+                                    and sub.id in live
+                                ):
+                                    dead.add(sub.id)
+        for name in dead:
+            live.pop(name, None)

@@ -1,0 +1,75 @@
+"""GR011 — metric-name honesty against the committed manifest.
+
+A metric name is an API: docs/OBSERVABILITY.md documents it, the
+Prometheus exporter serves it, dashboards query it.  Because names are
+bare string literals at every call site, a typo or an un-regenerated
+rename doesn't fail anything — it quietly forks the time series.  This
+rule pins every literal metric name in the repo to the generated
+registry manifest (``repro.telemetry.manifest.METRIC_MANIFEST``, built
+by ``python -m repro.analysis.lint.manifest``): registrations
+(``.counter`` / ``.gauge`` / ``.histogram``), reads (``.value``) and
+``_MetricField`` declarations must all use a manifest name.  Together
+with the staleness test over the manifest itself, this makes "add a
+metric" a two-sided transaction the linter can audit.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import ModuleSource, Rule
+from repro.analysis.lint.manifest import (
+    DECLARING_METHODS,
+    FIELD_DECLARATORS,
+    _literal_first_arg,
+)
+
+#: Registry methods that *read* a metric by name.
+READING_METHODS = frozenset({"value"})
+
+
+class MetricNameRule(Rule):
+    """Flag literal metric names missing from the generated manifest."""
+
+    rule_id = "GR011"
+    title = "metric name not in the generated registry manifest"
+    severity = "error"
+    scopes = ()
+
+    def __init__(self, manifest: dict[str, tuple[str, ...]] | None = None):
+        if manifest is None:
+            from repro.telemetry.manifest import METRIC_MANIFEST
+
+            manifest = METRIC_MANIFEST
+        self.manifest = manifest
+
+    def check(self, module: ModuleSource) -> list:
+        if module.path.endswith("telemetry/manifest.py"):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _literal_first_arg(node)
+            if name is None or name in self.manifest:
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                DECLARING_METHODS | READING_METHODS
+            ):
+                kind = node.func.attr
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in FIELD_DECLARATORS
+            ):
+                kind = "field"
+            else:
+                continue
+            findings.append(self.finding(
+                module, node,
+                f"metric name {name!r} ({kind} site) is not in the "
+                "generated registry manifest; if the metric is new, "
+                "regenerate with `python -m repro.analysis.lint.manifest` "
+                "and document it in docs/OBSERVABILITY.md — otherwise "
+                "this is a typo that forks the time series",
+            ))
+        return findings

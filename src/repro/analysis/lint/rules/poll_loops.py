@@ -1,0 +1,154 @@
+"""GR008 — poll loops in ``comm/`` that can outlive a dead cluster.
+
+The watchdog (PR 9) convicts a rank by heartbeat staleness and unblocks
+survivors by setting the arena's abort word.  Both mechanisms assume
+every wait loop in the communication layer cooperates: it *beats* the
+heartbeat so the parent can tell "slow" from "dead", and it *checks*
+the abort word so a conviction actually interrupts it.  A poll loop
+that does neither is invisible to the watchdog while alive and immune
+to it when aborted — the precise shape of bug the runtime machinery
+cannot catch, because the symptom is a hang.
+
+The rule finds ``while`` loops in ``comm/`` files whose body sleeps
+(``time.sleep`` or an ``Event.wait``-style timed wait) and demands that
+the loop body — or anything transitively reachable from it through the
+module call graph — shows both:
+
+* heartbeat evidence: a call whose name contains ``beat``/``heartbeat``
+  or a store to an ``_hb_*`` slot;
+* abort evidence: a call to ``_check_abort``-style helpers or a read of
+  an ``abort``/``aborted`` attribute.
+
+Loops that sleep without looping (one-shot backoff) and loops that
+don't sleep at all (bounded drains) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.dataflow import (
+    chain_tail,
+    local_aliases,
+    resolve_chain,
+)
+from repro.analysis.lint.engine import ModuleSource, Rule
+
+_BEAT_CALL_FRAGMENTS = ("beat", "heartbeat")
+_BEAT_STORE_PREFIX = "_hb_"
+_ABORT_CALL_FRAGMENTS = ("check_abort", "abort")
+_ABORT_ATTRS = frozenset({"aborted", "abort", "_abort"})
+
+
+def _sleeps(node: ast.AST, module: ModuleSource) -> bool:
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        resolved = module.resolve(call.func)
+        if resolved == "time.sleep":
+            return True
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "wait"
+            and call.args
+        ):
+            # Timed Event.wait(timeout) — a sleep in disguise.
+            return True
+    return False
+
+
+def _call_names(node: ast.AST) -> list[str]:
+    names = []
+    for call in ast.walk(node):
+        if isinstance(call, ast.Call):
+            if isinstance(call.func, ast.Attribute):
+                names.append(call.func.attr)
+            elif isinstance(call.func, ast.Name):
+                names.append(call.func.id)
+    return names
+
+
+def _beats(node: ast.AST, aliases) -> bool:
+    if any(
+        fragment in name
+        for name in _call_names(node)
+        for fragment in _BEAT_CALL_FRAGMENTS
+    ):
+        return True
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                tail = chain_tail(resolve_chain(target, aliases))
+                if tail is not None and tail.startswith(_BEAT_STORE_PREFIX):
+                    return True
+    return False
+
+
+def _checks_abort(node: ast.AST) -> bool:
+    if any(
+        fragment in name
+        for name in _call_names(node)
+        for fragment in _ABORT_CALL_FRAGMENTS
+    ):
+        return True
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.attr in _ABORT_ATTRS
+        ):
+            return True
+    return False
+
+
+class UncooperativePollLoopRule(Rule):
+    """Flag sleeping while-loops that neither beat nor check abort."""
+
+    rule_id = "GR008"
+    title = "poll loop without heartbeat or abort check"
+    severity = "error"
+    scopes = ("comm/",)
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        graph = module.callgraph
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, ast.While):
+                continue
+            if not _sleeps(loop, module):
+                continue
+            caller = graph.enclosing(loop)
+            aliases = (
+                local_aliases(caller.node) if caller is not None else {}
+            )
+            beats = _beats(loop, aliases)
+            aborts = _checks_abort(loop)
+            if beats and aborts:
+                continue
+            # Follow calls out of the loop body before concluding.
+            for qualname in graph.reachable_from_node(loop, caller=caller):
+                info = graph.functions[qualname]
+                callee_aliases = local_aliases(info.node)
+                beats = beats or _beats(info.node, callee_aliases)
+                aborts = aborts or _checks_abort(info.node)
+                if beats and aborts:
+                    break
+            if beats and aborts:
+                continue
+            missing = []
+            if not beats:
+                missing.append("beat the heartbeat")
+            if not aborts:
+                missing.append("check the abort word")
+            findings.append(self.finding(
+                module, loop,
+                "sleeping poll loop does not "
+                + " or ".join(missing)
+                + " (directly or via any called helper); the watchdog "
+                "cannot distinguish it from a dead rank while it runs "
+                "and cannot interrupt it once a peer is convicted",
+            ))
+        return findings

@@ -212,6 +212,7 @@ def _train_parallel(args, spec) -> int:
         straggler_policy=args.straggler_policy,
         metrics=bool(args.metrics_out),
         stall_timeout=args.stall_timeout,
+        sanitize_arena=args.sanitize_arena,
     )
     try:
         result = run_parallel(config)
@@ -236,6 +237,11 @@ def _train_parallel(args, spec) -> int:
     print(f"wall clock       : {result.wall_seconds:.2f} s")
     print(f"model digest     : {digest[:16]} "
           f"(all {len(result.digests)} ranks agree)")
+    if result.sanitizer is not None:
+        san = result.sanitizer
+        print(f"arena sanitizer  : "
+              f"{'ok' if san.ok else f'{len(san.violations)} violation(s)'} "
+              f"({san.events_total} events)")
     if args.faults or result.recoveries:
         print(f"recoveries       : {len(result.recoveries)}")
         for rec in result.recoveries:
@@ -322,6 +328,14 @@ def cmd_chaos(args) -> int:
         stall_timeout=args.stall_timeout,
     )
     print(result.describe())
+    if args.sanitizer_report:
+        import json
+
+        with open(args.sanitizer_report, "w", encoding="utf-8") as handle:
+            json.dump(result.sanitizer_summary(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"sanitizer report : {args.sanitizer_report}")
     return 0 if result.passed else 1
 
 
@@ -656,6 +670,26 @@ def cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def cmd_protocol_check(args) -> int:
+    """Exhaustively model-check the 2-rank arena state machine."""
+    import json
+
+    from repro.analysis.protocol import run_protocol_check
+
+    summary = run_protocol_check(seqs=args.seqs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for name, scenario in sorted(summary["scenarios"].items()):
+        verdict = "ok" if scenario["ok"] else "FAIL"
+        print(f"{name:<24}: {verdict}  "
+              f"({scenario['states']} states, "
+              f"{scenario['terminals']} terminal)")
+    print(f"protocol-check   : {'ok' if summary['ok'] else 'FAIL'}")
+    return 0 if summary["ok"] else 1
+
+
 def cmd_experiment(args) -> int:
     """Regenerate one of the paper's tables/figures."""
     from repro.bench.experiments import (
@@ -769,6 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the expensive sanitizer checks (snapshot "
                             "replay, fused reference) every N-th call "
                             "(default 1; structural checks always run)")
+    train.add_argument("--sanitize-arena", action="store_true",
+                       help="--backend parallel: record every arena "
+                            "protocol event (write/post/read/drain/alloc/"
+                            "beat) per rank and replay the merged streams "
+                            "through a happens-before checker after the "
+                            "run; violations fail the run "
+                            "(see docs/ANALYSIS.md)")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL telemetry trace here")
     train.add_argument("--chrome-trace", default=None, metavar="PATH",
@@ -956,15 +997,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--arena-mb", type=float, default=8.0, metavar="MB")
     chaos.add_argument("--stall-timeout", type=float, default=30.0,
                        metavar="SECONDS")
+    chaos.add_argument("--sanitizer-report", default=None, metavar="PATH",
+                       help="write the campaign's arena-sanitizer "
+                            "happens-before summary (clean run + every "
+                            "trial) as JSON; the sanitizer itself is "
+                            "always on under chaos")
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo's AST contract rules (GR001-GR006) over "
+        help="run the repo's AST contract rules (GR001-GR011) over "
              "src/repro or the given paths",
     )
     from repro.analysis.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    protocol = sub.add_parser(
+        "protocol-check",
+        help="exhaustively enumerate the 2-rank arena state machine "
+             "(bump-allocator wraparound, worker death, degraded "
+             "cohorts) and fail on any reachable torn read, stale "
+             "metadata, or deadlock",
+    )
+    protocol.add_argument("--seqs", type=int, default=3, metavar="N",
+                          help="sequence numbers each rank publishes; 3 "
+                               "forces meta-ring and data wraparound "
+                               "(default 3)")
+    protocol.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the scenario summary as JSON")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -991,6 +1051,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "chaos": cmd_chaos,
         "lint": cmd_lint,
+        "protocol-check": cmd_protocol_check,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

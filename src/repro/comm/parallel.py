@@ -566,6 +566,12 @@ class ParallelRunConfig:
     checkpoint_dir: str | None = None
     straggler_policy: str = "wait"
     metrics: bool = False
+    # Arena happens-before sanitizer (repro.comm.sanitizer): when on,
+    # every rank records post/read/drain/alloc/beat events into a
+    # shared ring and the parent replays them after each round; any
+    # violation fails the run with ArenaSanitizerError.
+    sanitize_arena: bool = False
+    sanitize_slots: int = 8192
     watchdog_interval: float = 0.25
     stall_timeout: float = 30.0
     straggler_timeout: float | None = None
@@ -588,6 +594,7 @@ class ParallelResult:
     memory_high_water: dict[str, int] = field(default_factory=dict)
     recoveries: list[dict] = field(default_factory=list)  # one per respawn
     metrics: MetricsRegistry | None = None  # merged per-rank registries
+    sanitizer: object | None = None  # SanitizerReport when --sanitize-arena
 
 
 def model_digest(params: dict[str, np.ndarray]) -> str:
@@ -838,6 +845,7 @@ class _RoundOutcome:
     victims: dict[int, str]  # watchdog verdicts (rank -> reason)
     progress: dict[int, int]  # last-started iteration at conviction time
     reported: frozenset  # ranks whose error arrived via the queue
+    sanitizer: object | None = None  # per-round SanitizerReport (or None)
 
 
 def _run_round(
@@ -856,6 +864,7 @@ def _run_round(
         data_bytes=config.arena_bytes,
         active_ranks=active,
         incarnation=incarnation,
+        event_slots=config.sanitize_slots if config.sanitize_arena else 0,
     )
     out_queue = ctx.Queue()
     workers = {
@@ -929,6 +938,24 @@ def _run_round(
             watchdog.progress = {
                 rank: arena.progress(rank) for rank in active
             }
+        sanitizer_report = None
+        if arena.recording:
+            # Every worker is dead by now, so the rings are quiescent;
+            # the segments outlive the workers, so kill-truncated
+            # streams replay fine.
+            from repro.comm.sanitizer import collect_report
+
+            sanitizer_report = collect_report(
+                arena, hb_gap_ns=int(stall_timeout * 1e9)
+            )
+            registry.counter(
+                "arena_sanitizer_events_total",
+                help="protocol events replayed by the arena sanitizer",
+            ).inc(sanitizer_report.events_total)
+            registry.counter(
+                "arena_sanitizer_violations_total",
+                help="happens-before violations found by the sanitizer",
+            ).inc(len(sanitizer_report.violations))
         arena.close()
     return _RoundOutcome(
         results=results,
@@ -936,6 +963,7 @@ def _run_round(
         victims=dict(watchdog.victims),
         progress=dict(watchdog.progress),
         reported=frozenset(reported),
+        sanitizer=sanitizer_report,
     )
 
 
@@ -1056,6 +1084,7 @@ def run_parallel(config: ParallelRunConfig) -> ParallelResult:
     start_iteration = 0
     consumed: set[int] = set()
     recoveries: list[dict] = []
+    sanitizer_total = None
     start = time.perf_counter()
     try:
         while True:
@@ -1063,6 +1092,12 @@ def run_parallel(config: ParallelRunConfig) -> ParallelResult:
                 ctx, worker_config, active, start_iteration, consumed,
                 len(recoveries), registry, stall_timeout,
             )
+            if outcome.sanitizer is not None:
+                if sanitizer_total is None:
+                    from repro.comm.sanitizer import SanitizerReport
+
+                    sanitizer_total = SanitizerReport()
+                sanitizer_total.merge(outcome.sanitizer)
             if not outcome.errors:
                 results = outcome.results
                 break
@@ -1130,6 +1165,10 @@ def run_parallel(config: ParallelRunConfig) -> ParallelResult:
     finally:
         if own_checkpoint_dir:
             shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    if sanitizer_total is not None and not sanitizer_total.ok:
+        from repro.comm.sanitizer import ArenaSanitizerError
+
+        raise ArenaSanitizerError(sanitizer_total)
     digests = {rank: results[rank]["digest"] for rank in results}
     if len(set(digests.values())) != 1:
         raise ParallelDivergenceError(
@@ -1183,6 +1222,7 @@ def run_parallel(config: ParallelRunConfig) -> ParallelResult:
         memory_high_water=memory_high_water,
         recoveries=recoveries,
         metrics=merged_metrics,
+        sanitizer=sanitizer_total,
     )
 
 

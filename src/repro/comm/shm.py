@@ -130,6 +130,11 @@ class ArenaSpec:
     n_ranks: int
     data_bytes: int
     meta_slots: int
+    # Optional sanitizer event ring (see repro.comm.sanitizer): name of
+    # the extra shared segment and per-rank slot count; (None, 0) means
+    # event recording is off and every _record() call is a no-op.
+    event_name: str | None = None
+    event_slots: int = 0
 
 
 def _control_slots(n_ranks: int, meta_slots: int) -> int:
@@ -138,6 +143,25 @@ def _control_slots(n_ranks: int, meta_slots: int) -> int:
         + _RANK_WORDS * n_ranks
         + n_ranks * meta_slots * _META_FIELDS
     )
+
+
+# Sanitizer event types, recorded into the per-rank event ring.  The
+# writer protocol mirrors the arena's own: slot fields first, cursor
+# bump last, so the parent's replay never sees a half-written event.
+EV_WRITE = 1  # payload bytes + metadata slot written (pre-publication)
+EV_POST = 2  # publication store completed (posted[r] = seq + 1)
+EV_READ = 3  # peer contribution observed/copied (a = peer rank)
+EV_DRAIN = 4  # drained[r] advanced past seq
+EV_ALLOC = 5  # bump allocation granted (a = offset, b = nbytes)
+EV_BEAT = 6  # heartbeat refresh (throttled; a = progress or -1)
+
+_EV_FIELDS = 5  # etype, seq, a, b, t_ns
+_EV_HEADER = 2  # cursor, dropped
+_EV_BEAT_THROTTLE_NS = 1_000_000  # at most one EV_BEAT per ms per rank
+
+
+def _event_slots_total(n_ranks: int, event_slots: int) -> int:
+    return n_ranks * (_EV_HEADER + event_slots * _EV_FIELDS)
 
 
 
@@ -152,11 +176,13 @@ class SharedArena:
         control: shared_memory.SharedMemory,
         data: list[shared_memory.SharedMemory],
         owner: bool,
+        events: shared_memory.SharedMemory | None = None,
     ):
         self.spec = spec
         self.rank = rank
         self._control_shm = control
         self._data_shm = data
+        self._events_shm = events
         self._owner = owner
         self._closed = False
         n = spec.n_ranks
@@ -177,6 +203,27 @@ class SharedArena:
             np.frombuffer(shm.buf, dtype=np.uint8, count=spec.data_bytes)
             for shm in data
         ]
+        # Sanitizer event ring views (None when recording is off).
+        if events is not None and spec.event_slots:
+            ev = np.frombuffer(
+                events.buf,
+                dtype=np.int64,
+                count=_event_slots_total(n, spec.event_slots),
+            )
+            per_rank = _EV_HEADER + spec.event_slots * _EV_FIELDS
+            self._ev_cursor = ev[0::per_rank][:n]
+            self._ev_dropped = ev[1::per_rank][:n]
+            self._ev_rings = [
+                ev[
+                    r * per_rank + _EV_HEADER:(r + 1) * per_rank
+                ].reshape(spec.event_slots, _EV_FIELDS)
+                for r in range(n)
+            ]
+        else:
+            self._ev_cursor = None
+            self._ev_dropped = None
+            self._ev_rings = None
+        self._last_beat_ev_ns = 0
         # Writer-local bump-allocator state (only meaningful when
         # rank is not None): blocks still owned by undrained seqs.
         self._head = 0
@@ -192,6 +239,7 @@ class SharedArena:
         meta_slots: int = DEFAULT_META_SLOTS,
         active_ranks=None,
         incarnation: int = 0,
+        event_slots: int = 0,
     ) -> "SharedArena":
         """Create the segments (parent side).  The result owns them.
 
@@ -199,6 +247,9 @@ class SharedArena:
         (``None`` means every rank participates); ``incarnation`` is
         the parent's crash-recovery generation counter, stamped into
         the control segment for worker-side introspection.
+        ``event_slots > 0`` additionally creates the per-rank sanitizer
+        event ring (see :mod:`repro.comm.sanitizer`) that every view of
+        the arena then records protocol events into.
         """
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -220,15 +271,29 @@ class SharedArena:
             shared_memory.SharedMemory(create=True, size=data_bytes)
             for _ in range(n_ranks)
         ]
+        events = None
+        if event_slots:
+            events = shared_memory.SharedMemory(
+                create=True,
+                size=_event_slots_total(n_ranks, event_slots) * 8,
+            )
         spec = ArenaSpec(
             control_name=control.name,
             data_names=tuple(shm.name for shm in data),
             n_ranks=n_ranks,
             data_bytes=data_bytes,
             meta_slots=meta_slots,
+            event_name=events.name if events is not None else None,
+            event_slots=event_slots,
         )
-        arena = cls(spec, rank=None, control=control, data=data, owner=True)
+        arena = cls(
+            spec, rank=None, control=control, data=data, owner=True,
+            events=events,
+        )
         arena._ctrl[:] = 0
+        if arena._ev_cursor is not None:
+            arena._ev_cursor[:] = 0
+            arena._ev_dropped[:] = 0
         arena._ctrl[_CTRL_NRANKS] = n_ranks
         arena._ctrl[_CTRL_INCARNATION] = int(incarnation)
         for rank in active:
@@ -253,7 +318,13 @@ class SharedArena:
             shared_memory.SharedMemory(name=name)
             for name in spec.data_names
         ]
-        return cls(spec, rank=rank, control=control, data=data, owner=False)
+        events = None
+        if spec.event_name is not None and spec.event_slots:
+            events = shared_memory.SharedMemory(name=spec.event_name)
+        return cls(
+            spec, rank=rank, control=control, data=data, owner=False,
+            events=events,
+        )
 
     def close(self) -> None:
         """Release this process's mapping; the owner also unlinks."""
@@ -264,8 +335,12 @@ class SharedArena:
         self._ctrl = self._posted = self._drained = None
         self._status = self._meta = None
         self._active = self._hb_time = self._hb_progress = None
+        self._ev_cursor = self._ev_dropped = self._ev_rings = None
         self._data = []
-        for shm in [self._control_shm, *self._data_shm]:
+        segments = [self._control_shm, *self._data_shm]
+        if self._events_shm is not None:
+            segments.append(self._events_shm)
+        for shm in segments:
             try:
                 shm.close()
             except BufferError:  # pragma: no cover - interpreter quirk
@@ -275,6 +350,74 @@ class SharedArena:
                     shm.unlink()
                 except FileNotFoundError:  # pragma: no cover
                     pass
+
+    # -- sanitizer event recording
+
+    def _record(self, etype: int, seq: int, a: int = -1, b: int = -1) -> None:
+        """Append one event to this rank's ring (no-op when disabled).
+
+        Slot fields are written before the cursor bump, mirroring the
+        arena's own store-before-publish discipline, so the parent's
+        replay never observes a torn event.  A full ring overwrites the
+        oldest events and counts them in ``dropped`` — the checker
+        narrows its claims to the surviving window.
+        """
+        if self._ev_rings is None or self.rank is None:
+            return
+        cursor = int(self._ev_cursor[self.rank])
+        ring = self._ev_rings[self.rank]
+        slot = ring[cursor % self.spec.event_slots]
+        slot[0] = etype
+        slot[1] = seq
+        slot[2] = a
+        slot[3] = b
+        slot[4] = time.monotonic_ns()
+        if cursor >= self.spec.event_slots:
+            self._ev_dropped[self.rank] += 1
+        self._ev_cursor[self.rank] = cursor + 1
+
+    def _record_beat(self, progress: int | None = None) -> None:
+        if self._ev_rings is None or self.rank is None:
+            return
+        now = time.monotonic_ns()
+        if now - self._last_beat_ev_ns < _EV_BEAT_THROTTLE_NS:
+            return
+        self._last_beat_ev_ns = now
+        self._record(
+            EV_BEAT, -1, progress if progress is not None else -1
+        )
+
+    @property
+    def recording(self) -> bool:
+        """Whether this arena carries a sanitizer event ring."""
+        return self._ev_rings is not None
+
+    def event_streams(self) -> dict[int, list[tuple[int, int, int, int, int]]]:
+        """Parent-side: each rank's recorded events, in program order.
+
+        Returns ``rank -> [(etype, seq, a, b, t_ns), ...]`` limited to
+        the ring window that survived wraparound.  Safe to call after
+        the workers have exited (the segments outlive them).
+        """
+        if self._ev_rings is None:
+            raise RuntimeError("this arena has no sanitizer event ring")
+        streams: dict[int, list[tuple[int, int, int, int, int]]] = {}
+        nslots = self.spec.event_slots
+        for rank in range(self.spec.n_ranks):
+            cursor = int(self._ev_cursor[rank])
+            start = max(0, cursor - nslots)
+            ring = self._ev_rings[rank]
+            streams[rank] = [
+                tuple(int(v) for v in ring[i % nslots])
+                for i in range(start, cursor)
+            ]
+        return streams
+
+    def events_dropped(self, rank: int) -> int:
+        """How many of ``rank``'s events were overwritten by wraparound."""
+        if self._ev_dropped is None:
+            return 0
+        return int(self._ev_dropped[rank])
 
     # -- failure signalling
 
@@ -310,10 +453,12 @@ class SharedArena:
         self._hb_time[self.rank] = time.monotonic_ns()
         if progress is not None:
             self._hb_progress[self.rank] = int(progress)
+        self._record_beat(progress)
 
     def _beat(self) -> None:
         if self.rank is not None and self._hb_time is not None:
             self._hb_time[self.rank] = time.monotonic_ns()
+            self._record_beat()
 
     def heartbeat_ns(self, rank: int) -> int:
         """Last monotonic-ns heartbeat of ``rank`` (0 = never beat)."""
@@ -395,6 +540,12 @@ class SharedArena:
         slot[0] = offset
         slot[1] = nbytes
         slot[2] = kind
+        self._record(EV_WRITE, seq, offset, nbytes)
+        # The POST event is recorded *before* the publication store so
+        # its timestamp lower-bounds visibility: a peer can only observe
+        # posted[r] (and record its READ) after this point, so a clean
+        # execution always orders post_t < read_t in the sanitizer.
+        self._record(EV_POST, seq, offset, nbytes)
         # Publication barrier: posted[r] is stored last, so any reader
         # observing it sees the metadata and bytes written above.
         self._posted[self.rank] = seq + 1
@@ -448,6 +599,7 @@ class SharedArena:
             ):
                 self._head = end
                 self._outstanding.append((seq, start, nbytes))
+                self._record(EV_ALLOC, seq, start, nbytes)
                 return start
             self._beat()
             self._check_abort(f"allocation (seq={seq})")
@@ -508,6 +660,7 @@ class SharedArena:
                 f"rank {rank} posted unknown payload kind {kind} at seq "
                 f"{seq} — ranks have desynchronized"
             )
+        self._record(EV_READ, seq, rank, nbytes)
         return self._data[rank][offset:offset + nbytes], kind
 
     def read(
@@ -533,6 +686,7 @@ class SharedArena:
         current = int(self._drained[self.rank])
         if seq + 1 > current:
             self._drained[self.rank] = seq + 1
+            self._record(EV_DRAIN, seq)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SharedArena(rank={self.rank}, n_ranks={self.spec.n_ranks}, "

@@ -17,7 +17,13 @@ enabled.  Every trial asserts the recovery invariants:
 * the surviving model is **right** — bitwise-equal final state under
   ``restart`` recovery, final loss within ``loss_tolerance`` of the
   clean run under ``degrade`` (the survivors legitimately see a
-  different gradient average).
+  different gradient average);
+* the arena protocol was **clean** — every run (the clean reference
+  and every kill trial) records its shared-memory protocol events and
+  replays them through the happens-before checker
+  (:mod:`repro.comm.sanitizer`); any violation fails the trial.  The
+  sanitizer is always on under chaos: a kill-truncated event stream is
+  exactly where publication-order bugs hide.
 
 The harness is the backing for ``repro chaos`` and the CI
 ``chaos-smoke`` job; see ``docs/ROBUSTNESS.md``.
@@ -32,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.comm.parallel import ParallelRunConfig, run_parallel
+from repro.comm.sanitizer import ArenaSanitizerError
 
 #: Domain separator for the kill-schedule RNG (arbitrary, fixed).
 _CHAOS_STREAM = 0xC4A05
@@ -59,6 +66,9 @@ class ChaosTrial:
     recovery_seconds: float = 0.0
     wall_seconds: float = 0.0
     leaked_segments: list[str] = field(default_factory=list)
+    sanitizer: dict | None = None
+    sanitizer_events: int = 0
+    sanitizer_violations: int = 0
     error: str | None = None
 
     @property
@@ -70,6 +80,7 @@ class ChaosTrial:
             and self.recovery_seconds > 0
             and not self.leaked_segments
             and self.digest_match is not False
+            and self.sanitizer_violations == 0
             and self.error is None
         )
 
@@ -80,7 +91,9 @@ class ChaosTrial:
             f"recovered={self.recovered} "
             f"recovery_s={self.recovery_seconds:.6f} "
             f"loss_gap={self.loss_gap if self.loss_gap is not None else '-'} "
-            f"leaks={len(self.leaked_segments)}"
+            f"leaks={len(self.leaked_segments)} "
+            f"sanitizer={self.sanitizer_events}ev/"
+            f"{self.sanitizer_violations}viol"
         )
         if self.error:
             detail += f" error={self.error}"
@@ -99,19 +112,51 @@ class ChaosResult:
     baseline_iterations: int
     baseline_loss: float
     baseline_digest: str
+    baseline_sanitizer: dict | None = None
     trials: list[ChaosTrial] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return bool(self.trials) and all(t.passed for t in self.trials)
 
+    def sanitizer_summary(self) -> dict:
+        """JSON-ready artifact: every run's happens-before replay."""
+        total_events = sum(t.sanitizer_events for t in self.trials)
+        total_violations = sum(t.sanitizer_violations for t in self.trials)
+        if self.baseline_sanitizer is not None:
+            total_events += self.baseline_sanitizer.get("events_total", 0)
+            total_violations += len(
+                self.baseline_sanitizer.get("violations", [])
+            )
+        return {
+            "ok": total_violations == 0,
+            "events_total": total_events,
+            "violations_total": total_violations,
+            "clean": self.baseline_sanitizer,
+            "trials": [
+                {
+                    "trial": t.trial,
+                    "kill_iteration": t.kill_iteration,
+                    "victim_rank": t.victim_rank,
+                    "report": t.sanitizer,
+                }
+                for t in self.trials
+            ],
+        }
+
     def describe(self) -> str:
+        san = self.sanitizer_summary()
         lines = [
             f"chaos: {self.benchmark}/{self.compressor} "
             f"nproc={self.nproc} recovery={self.recovery} seed={self.seed} "
             f"({self.baseline_iterations} iterations clean)",
         ]
         lines.extend(trial.describe() for trial in self.trials)
+        lines.append(
+            f"arena sanitizer: {san['events_total']} events, "
+            f"{san['violations_total']} violation(s) across clean + "
+            f"{len(self.trials)} trial(s)"
+        )
         lines.append(
             f"{sum(t.passed for t in self.trials)}/{len(self.trials)} "
             "trials passed"
@@ -159,6 +204,7 @@ def run_chaos(
     arena_bytes: int = 8 << 20,
     stall_timeout: float = 30.0,
     join_grace: float = 5.0,
+    sanitize_arena: bool = True,
 ) -> ChaosResult:
     """Run a chaos campaign; every trial SIGKILLs one seeded victim.
 
@@ -175,6 +221,7 @@ def run_chaos(
         seed=seed,
         epochs=epochs,
         arena_bytes=arena_bytes,
+        sanitize_arena=sanitize_arena,
     )
     clean = run_parallel(ParallelRunConfig(**base))
     baseline_iterations = int(clean.report.iterations)
@@ -189,6 +236,10 @@ def run_chaos(
         baseline_iterations=baseline_iterations,
         baseline_loss=baseline_loss,
         baseline_digest=baseline_digest,
+        baseline_sanitizer=(
+            clean.sanitizer.to_dict() if clean.sanitizer is not None
+            else None
+        ),
     )
     schedule = kill_schedule(seed, trials, baseline_iterations, nproc)
     for trial, (kill, victim) in enumerate(schedule):
@@ -206,10 +257,21 @@ def run_chaos(
                 stall_timeout=stall_timeout,
                 join_grace=join_grace,
             ))
+        except ArenaSanitizerError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.sanitizer = exc.report.to_dict()
+            outcome.sanitizer_events = exc.report.events_total
+            outcome.sanitizer_violations = len(exc.report.violations)
         except Exception as exc:  # noqa: BLE001 - verdict, not control flow
             outcome.error = f"{type(exc).__name__}: {exc}"
         else:
             outcome.completed = True
+            if run.sanitizer is not None:
+                outcome.sanitizer = run.sanitizer.to_dict()
+                outcome.sanitizer_events = run.sanitizer.events_total
+                outcome.sanitizer_violations = len(
+                    run.sanitizer.violations
+                )
             outcome.recovered = len(run.recoveries) >= 1
             outcome.recovery_seconds = float(
                 run.report.sim_recovery_seconds

@@ -6,7 +6,9 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.analysis.lint.cli import default_lint_paths, main as lint_main
+from repro.analysis.lint.cli import (
+    changed_python_files, default_lint_paths, main as lint_main,
+)
 from repro.analysis.lint.engine import lint_paths
 from repro.analysis.lint.rules import default_rules
 from repro.cli import main as repro_main
@@ -93,6 +95,61 @@ class TestReproSubcommand:
         monkeypatch.chdir(tmp_path)
         (found,) = default_lint_paths()
         assert Path(found) == Path(repro.__file__).parent
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A throwaway git repo with one committed clean module."""
+    import subprocess
+
+    monkeypatch.chdir(tmp_path)
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+
+    def git(*argv):
+        subprocess.run(["git", *argv], cwd=tmp_path, check=True,
+                       capture_output=True)
+
+    git("init", "-q")
+    (tmp_path / "committed.py").write_text(GOOD_SOURCE, encoding="utf-8")
+    git("add", "committed.py")
+    git("commit", "-qm", "seed")
+    return tmp_path
+
+
+class TestChangedScope:
+    def test_no_changes_is_a_clean_noop(self, git_repo, capsys):
+        assert lint_main(["--changed", "--no-baseline"]) == 0
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_untracked_and_edited_files_are_picked_up(self, git_repo):
+        (git_repo / "fresh.py").write_text(BAD_SOURCE, encoding="utf-8")
+        (git_repo / "committed.py").write_text(
+            GOOD_SOURCE + "\n# edited\n", encoding="utf-8"
+        )
+        assert sorted(changed_python_files()) == [
+            "committed.py", "fresh.py",
+        ]
+        # The bad untracked file fails the scoped run...
+        assert lint_main(["--changed", "--no-baseline"]) == 1
+        # ...and fixing it restores a green run without linting the
+        # rest of the tree.
+        (git_repo / "fresh.py").write_text(GOOD_SOURCE, encoding="utf-8")
+        assert lint_main(["--changed", "--no-baseline"]) == 0
+
+    def test_deleted_files_are_skipped(self, git_repo):
+        (git_repo / "committed.py").unlink()
+        assert changed_python_files() == []
+
+    def test_changed_rejects_explicit_paths(self, git_repo):
+        with pytest.raises(SystemExit):
+            lint_main(["--changed", "committed.py", "--no-baseline"])
+
+    def test_bad_base_ref_is_a_clean_error(self, git_repo):
+        with pytest.raises(SystemExit):
+            lint_main(["--changed", "no-such-ref", "--no-baseline"])
 
 
 class TestSelfLint:

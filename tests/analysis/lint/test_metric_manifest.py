@@ -1,0 +1,85 @@
+"""The generated metric-name manifest: scanner, renderer, staleness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.manifest import (
+    DEFAULT_SCAN_ROOT,
+    MANIFEST_PATH,
+    build_manifest,
+    generate_manifest_source,
+    scan_metric_sites,
+)
+
+
+def _require_repo_root() -> None:
+    if not (Path(DEFAULT_SCAN_ROOT).is_dir() and Path(MANIFEST_PATH).is_file()):
+        pytest.skip("needs the source tree (run from the repo root)")
+
+
+class TestScanner:
+    def test_scan_finds_known_registrations(self):
+        _require_repo_root()
+        names = {site.name for site in scan_metric_sites(".")}
+        assert "train_iterations_total" in names
+        assert "arena_sanitizer_events_total" in names
+        assert "arena_sanitizer_violations_total" in names
+
+    def test_manifest_maps_names_to_sorted_kinds(self):
+        _require_repo_root()
+        manifest = build_manifest(scan_metric_sites("."))
+        assert all(
+            kinds == tuple(sorted(kinds)) for kinds in manifest.values()
+        )
+        assert "counter" in manifest["arena_sanitizer_events_total"]
+
+
+class TestStaleness:
+    def test_committed_manifest_matches_regeneration(self):
+        """`add a metric` is a two-sided transaction: the committed
+        manifest must equal what the scanner generates right now.
+        Regenerate with ``python -m repro.analysis.lint.manifest``."""
+        _require_repo_root()
+        committed = Path(MANIFEST_PATH).read_text(encoding="utf-8")
+        assert committed == generate_manifest_source("."), (
+            "src/repro/telemetry/manifest.py is stale — regenerate it "
+            "with `python -m repro.analysis.lint.manifest`"
+        )
+
+    def test_importable_manifest_agrees_with_scan(self):
+        _require_repo_root()
+        from repro.telemetry.manifest import METRIC_MANIFEST
+
+        assert METRIC_MANIFEST == build_manifest(scan_metric_sites("."))
+
+
+class TestDocsHonesty:
+    def test_every_manifest_name_is_documented(self):
+        """docs/OBSERVABILITY.md must mention every registered metric,
+        either literally or via a documented wildcard family such as
+        ``train_*_total``."""
+        _require_repo_root()
+        from fnmatch import fnmatch
+        import re
+
+        from repro.telemetry.manifest import METRIC_MANIFEST
+
+        doc_path = Path("docs/OBSERVABILITY.md")
+        if not doc_path.is_file():
+            pytest.skip("docs tree not present")
+        text = doc_path.read_text(encoding="utf-8")
+        # Drop fenced code blocks first — their triple backticks would
+        # misalign the inline-token pairing below.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        tokens = set(re.findall(r"`([^`\n]+)`", text))
+        undocumented = [
+            name for name in METRIC_MANIFEST
+            if name not in tokens
+            and not any(
+                "*" in token and fnmatch(name, token) for token in tokens
+            )
+        ]
+        assert undocumented == [], (
+            f"metrics missing from docs/OBSERVABILITY.md: {undocumented}"
+        )

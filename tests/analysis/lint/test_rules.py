@@ -21,9 +21,9 @@ def _lint(rule, source, path="src/repro/core/fake.py"):
 
 
 class TestDefaultRules:
-    def test_six_rules_in_id_order(self):
+    def test_eleven_rules_in_id_order(self):
         ids = [rule.rule_id for rule in default_rules()]
-        assert ids == ["GR001", "GR002", "GR003", "GR004", "GR005", "GR006"]
+        assert ids == [f"GR{n:03d}" for n in range(1, 12)]
 
 
 class TestGR001UnseededRng:

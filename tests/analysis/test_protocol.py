@@ -1,0 +1,81 @@
+"""The exhaustive 2-rank arena protocol model (``repro protocol-check``)."""
+
+import pytest
+
+from repro.analysis.protocol import (
+    ModelConfig,
+    ProtocolModel,
+    check_model,
+    run_protocol_check,
+)
+
+
+class TestCleanScenarios:
+    def test_clean_wraparound_has_no_violations(self):
+        # seqs=3 > meta_slots=2 forces meta-ring reuse; capacity=2
+        # blocks with payload=1 force data-segment wraparound.
+        result = check_model(ModelConfig(seqs=3))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.states > 0
+        assert result.terminals > 0
+
+    def test_die_anywhere_never_deadlocks(self):
+        result = check_model(ModelConfig(seqs=3, crash_rank=1))
+        assert result.ok, [str(v) for v in result.violations]
+        # Many distinct terminals: one per crash point the DFS explored.
+        assert result.terminals > 1
+
+    def test_degraded_cohort_completes_alone(self):
+        result = check_model(ModelConfig(seqs=3, active=(0,)))
+        assert result.ok
+
+    def test_state_space_is_fully_enumerated_and_small(self):
+        result = ProtocolModel(ModelConfig(seqs=3)).explore()
+        assert result.ok
+        # The model must stay exhaustively checkable in CI.
+        assert result.states < 100_000
+
+
+class TestBrokenModel:
+    def test_publish_before_write_is_caught(self):
+        result = check_model(ModelConfig(seqs=3, broken=True))
+        assert not result.ok
+        kinds = {v.kind for v in result.violations}
+        assert kinds & {"stale-meta", "torn-read"}
+
+    def test_violation_names_rank_seq_and_schedule(self):
+        result = check_model(ModelConfig(seqs=3, broken=True))
+        worst = result.violations[0]
+        assert worst.rank in (0, 1)
+        assert 0 <= worst.seq < 3
+        assert worst.schedule  # a replayable interleaving prefix
+
+
+class TestConfig:
+    def test_active_defaults_to_all_ranks(self):
+        assert ModelConfig().active_ranks == (0, 1)
+
+    def test_explicit_active_subset(self):
+        assert ModelConfig(active=(1,)).active_ranks == (1,)
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_protocol_check(seqs=3)
+
+    def test_suite_is_green(self, summary):
+        assert summary["ok"], summary
+
+    def test_suite_covers_the_four_scenarios(self, summary):
+        assert set(summary["scenarios"]) == {
+            "clean-wraparound",
+            "die-anywhere",
+            "degraded-cohort",
+            "broken-publish-first",
+        }
+
+    def test_broken_scenario_is_negative_control(self, summary):
+        broken = summary["scenarios"]["broken-publish-first"]
+        assert broken["ok"]  # ok == the bug WAS caught
+        assert broken["violations"]

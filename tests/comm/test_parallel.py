@@ -264,6 +264,18 @@ class TestRunParallel:
             result.report.bytes_per_worker == seq_report.bytes_per_worker
         )
 
+    def test_sanitize_arena_attaches_a_clean_replay_report(self):
+        result = run_parallel(ParallelRunConfig(
+            benchmark=FIG6A, compressor="topk", nproc=2,
+            seed=0, epochs=1, arena_bytes=8 * 1024 * 1024,
+            sanitize_arena=True,
+        ))
+        san = result.sanitizer
+        assert san is not None
+        assert san.ok, [str(v) for v in san.violations]
+        assert san.events_total > 0
+        assert set(san.per_rank_events) == {0, 1}
+
     def test_worker_failure_is_typed_not_a_hang(self):
         with pytest.raises(ParallelCrashError) as excinfo:
             run_parallel(ParallelRunConfig(
